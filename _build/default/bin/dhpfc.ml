@@ -1,0 +1,204 @@
+(* dhpfc — command-line driver for the dHPF-reproduction compiler.
+
+   Subcommands:
+     compile   parse, analyze and compile a mini-HPF file; print the SPMD
+               node program, communication sets, or a phase-time report
+     run       compile and execute on the simulated machine, with a serial
+               run for comparison
+     bench     print one of the built-in benchmark programs *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let builtin name =
+  match name with
+  | "jacobi" -> Some (Codes.jacobi ())
+  | "tomcatv" -> Some (Codes.tomcatv ())
+  | "erlebacher" -> Some (Codes.erlebacher ())
+  | "gauss" -> Some (Codes.gauss ())
+  | "figure2" -> Some (Codes.figure2 ())
+  | "sp_like" -> Some (Codes.sp_like ())
+  | _ -> None
+
+let load src_arg =
+  match builtin src_arg with
+  | Some src -> src
+  | None -> read_file src_arg
+
+let handle_errors f =
+  try f () with
+  | Hpf.Parser.Error (msg, line) ->
+      Fmt.epr "parse error, line %d: %s@." line msg;
+      exit 1
+  | Hpf.Lexer.Error (msg, line) ->
+      Fmt.epr "lexical error, line %d: %s@." line msg;
+      exit 1
+  | Hpf.Sema.Error msg ->
+      Fmt.epr "semantic error: %s@." msg;
+      exit 1
+  | Dhpf.Gen.Unsupported msg | Dhpf.Layout.Unsupported msg ->
+      Fmt.epr "unsupported: %s@." msg;
+      exit 1
+
+(* ---- arguments ---- *)
+
+let src_t =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"SRC"
+        ~doc:
+          "Mini-HPF source file, or the name of a built-in benchmark \
+           (jacobi, tomcatv, erlebacher, gauss, figure2, sp_like).")
+
+let show_sets_t =
+  Arg.(value & flag & info [ "show-sets" ] ~doc:"Print the communication sets of every event.")
+
+let show_spmd_t =
+  Arg.(value & flag & info [ "show-spmd" ] ~doc:"Print the generated SPMD node program.")
+
+let report_t =
+  Arg.(value & flag & info [ "report" ] ~doc:"Print the compilation phase-time breakdown.")
+
+let no_opt names doc = Arg.(value & flag & info names ~doc)
+let no_split_t = no_opt [ "no-split" ] "Disable loop splitting (Figure 4)."
+let no_vect_t = no_opt [ "no-vectorize" ] "Disable message vectorization."
+let no_coal_t = no_opt [ "no-coalesce" ] "Disable message coalescing."
+let no_inplace_t = no_opt [ "no-inplace" ] "Disable in-place communication recognition."
+
+let opts_of ~no_split ~no_vect ~no_coal ~no_inplace =
+  {
+    Dhpf.Gen.opt_split = not no_split;
+    opt_vectorize = not no_vect;
+    opt_coalesce = not no_coal;
+    opt_inplace = not no_inplace;
+  }
+
+let nprocs_t =
+  Arg.(value & opt int 4 & info [ "p"; "nprocs" ] ~docv:"P" ~doc:"Number of simulated processors.")
+
+let param_t =
+  Arg.(
+    value
+    & opt_all (pair ~sep:'=' string int) []
+    & info [ "D"; "param" ] ~docv:"NAME=VALUE" ~doc:"Bind a symbolic program parameter.")
+
+(* ---- compile ---- *)
+
+let compile_cmd =
+  let run src show_sets show_spmd report no_split no_vect no_coal no_inplace =
+    handle_errors @@ fun () ->
+    let opts = opts_of ~no_split ~no_vect ~no_coal ~no_inplace in
+    Dhpf.Phase.reset Dhpf.Phase.global;
+    let chk = Hpf.Sema.analyze_source (load src) in
+    let compiled = Dhpf.Gen.compile ~opts chk in
+    if show_sets then
+      List.iter
+        (fun (e : Dhpf.Gen.event) ->
+          Fmt.pr "event %d: %s%s@." e.ev_id e.ev_desc
+            (if e.ev_inplace.Dhpf.Inplace.contiguous then " [in-place]"
+             else if e.ev_inplace.Dhpf.Inplace.rect_section then " [rect]"
+             else "");
+          Fmt.pr "  SendCommMap(m) = %a@." Iset.Rel.pp e.ev_maps.Dhpf.Comm.send_map;
+          Fmt.pr "  RecvCommMap(m) = %a@." Iset.Rel.pp e.ev_maps.Dhpf.Comm.recv_map;
+          match e.ev_active with
+          | Some a ->
+              Fmt.pr "  busyVPSet        = %a@." Iset.Rel.pp a.Dhpf.Vp.busy;
+              Fmt.pr "  activeSendVPSet  = %a@." Iset.Rel.pp a.Dhpf.Vp.active_send;
+              Fmt.pr "  activeRecvVPSet  = %a@." Iset.Rel.pp a.Dhpf.Vp.active_recv
+          | None -> ())
+        compiled.cevents;
+    if show_spmd then print_string (Dhpf.Spmd.program_to_string compiled.cprog);
+    if report then begin
+      let ph = Dhpf.Phase.global in
+      Fmt.pr "total compilation time: %.3f s@." (Dhpf.Phase.elapsed ph);
+      List.iter
+        (fun l -> Fmt.pr "  %-32s %8.3f s@." l (Dhpf.Phase.total ph l))
+        (Dhpf.Phase.labels ph)
+    end;
+    if not (show_sets || show_spmd || report) then
+      Fmt.pr "compiled: %d communication events, %d statements@."
+        (List.length compiled.cevents)
+        (List.length compiled.cprog.Dhpf.Spmd.main)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a mini-HPF program")
+    Term.(
+      const run $ src_t $ show_sets_t $ show_spmd_t $ report_t $ no_split_t
+      $ no_vect_t $ no_coal_t $ no_inplace_t)
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let run src nprocs params no_split no_vect no_coal no_inplace =
+    handle_errors @@ fun () ->
+    let opts = opts_of ~no_split ~no_vect ~no_coal ~no_inplace in
+    let chk = Hpf.Sema.analyze_source (load src) in
+    let compiled = Dhpf.Gen.compile ~opts chk in
+    let serial = Spmdsim.Serial.run chk in
+    let sim = Spmdsim.Exec.make ~nprocs ~params compiled.cprog in
+    let stats = Spmdsim.Exec.run sim in
+    Fmt.pr "serial (T1)     : %10.3f ms  (%d flops)@." (serial.r_time *. 1e3)
+      serial.r_flops;
+    Fmt.pr "spmd on %2d procs: %10.3f ms  (%d msgs, %d KiB)@." (Spmdsim.Exec.nprocs sim)
+      (stats.s_time *. 1e3) stats.s_msgs (stats.s_bytes / 1024);
+    Fmt.pr "speedup         : %10.2f@." (serial.r_time /. stats.s_time)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and execute on the simulated machine")
+    Term.(
+      const run $ src_t $ nprocs_t $ param_t $ no_split_t $ no_vect_t $ no_coal_t
+      $ no_inplace_t)
+
+(* ---- bench (print a built-in source) ---- *)
+
+let bench_cmd =
+  let run name =
+    match builtin name with
+    | Some src -> print_string src
+    | None ->
+        Fmt.epr "unknown benchmark %s@." name;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "source" ~doc:"Print a built-in benchmark program")
+    Term.(const run $ src_t)
+
+(* ---- omega (set calculator REPL) ---- *)
+
+let omega_cmd =
+  let run script =
+    match script with
+    | Some path ->
+        List.iter print_endline (Iset.Calc.eval_script (read_file path))
+    | None ->
+        Fmt.pr "dhpf omega calculator — A := {[i] : 1 <= i <= n}; sat A; ...@.";
+        let env = ref [] in
+        (try
+           while true do
+             Fmt.pr "omega> %!";
+             let line = input_line stdin in
+             match Iset.Calc.eval_line !env line with
+             | env', out ->
+                 env := env';
+                 if out <> "" then print_endline out
+             | exception Iset.Calc.Error msg -> Fmt.pr "error: %s@." msg
+             | exception Iset.Parse.Error msg -> Fmt.pr "parse error: %s@." msg
+           done
+         with End_of_file -> ())
+  in
+  let script_t =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SCRIPT" ~doc:"Script file; omitted: interactive.")
+  in
+  Cmd.v
+    (Cmd.info "omega" ~doc:"Interactive integer-set calculator (Omega-calculator style)")
+    Term.(const run $ script_t)
+
+let () =
+  let info = Cmd.info "dhpfc" ~version:"1.0" ~doc:"dHPF-reproduction data-parallel compiler" in
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; bench_cmd; omega_cmd ]))

@@ -1,0 +1,1 @@
+examples/comm_analysis.ml: Codes Comm Cp Dhpf Fmt Gen Hpf Iset Layout List Option Rel Spmd

@@ -1,0 +1,1 @@
+examples/comm_analysis.mli:

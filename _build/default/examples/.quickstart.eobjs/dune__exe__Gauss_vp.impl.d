@@ -1,0 +1,1 @@
+examples/gauss_vp.ml: Codes Dhpf Fmt Gen Hpf Iset List Rel Spmd Spmdsim Vp

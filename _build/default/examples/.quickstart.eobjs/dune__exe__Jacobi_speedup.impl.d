@@ -1,0 +1,1 @@
+examples/jacobi_speedup.ml: Codes Dhpf Fmt Hpf List Spmdsim

@@ -1,0 +1,1 @@
+examples/loop_splitting.ml: Codes Cp Dhpf Fmt Gen Hpf Iset Layout List Rel Split Spmd Spmdsim

@@ -1,0 +1,1 @@
+examples/pipeline.ml: Comm Dhpf Fmt Gen Hpf Iset List Rel Spmd Spmdsim String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Codegen Dhpf Fmt Hpf Iset List Parse Rel Spmdsim

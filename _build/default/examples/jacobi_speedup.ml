@@ -1,0 +1,24 @@
+(* Figure 7(c): Jacobi speedups. Compiles the 4-point stencil once for a
+   symbolic number of processors (a 2 x P/2 grid) and executes the same
+   SPMD program on 1..16 simulated processors, printing the speedup curve
+   relative to the serial reference.
+
+   Run with: dune exec examples/jacobi_speedup.exe *)
+
+let () =
+  let n = 192 and iters = 4 in
+  Fmt.pr "JACOBI %dx%d, %d sweeps, (BLOCK,BLOCK) on a 2 x (P/2) grid@." n n iters;
+  let src = Codes.jacobi ~n ~iters ~procs:(Codes.Symbolic2 2) () in
+  let chk = Hpf.Sema.analyze_source src in
+  let compiled = Dhpf.Gen.compile chk in
+  let serial = Spmdsim.Serial.run chk in
+  Fmt.pr "serial (T1): %.2f ms@.@." (serial.r_time *. 1e3);
+  Fmt.pr "%6s %12s %10s %8s@." "procs" "time (ms)" "speedup" "msgs";
+  (* the 2 x (P/2) grid needs P >= 2; T(1) is the serial run above *)
+  List.iter
+    (fun p ->
+      let sim = Spmdsim.Exec.make ~nprocs:p compiled.cprog in
+      let stats = Spmdsim.Exec.run sim in
+      Fmt.pr "%6d %12.2f %10.2f %8d@." p (stats.s_time *. 1e3)
+        (serial.r_time /. stats.s_time) stats.s_msgs)
+    [ 2; 4; 8; 16 ]

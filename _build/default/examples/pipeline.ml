@@ -1,0 +1,71 @@
+(* Pipelined communication: a forward sweep along the distributed dimension
+   cannot have its communication vectorized out of the sweep loop (the loop
+   carries the dependence), so the compiler places it one level inside — the
+   classic coarse-grain pipeline. This example shows the set-based placement
+   decision, the participation sets that give the communication code its
+   loop "CP", and the resulting message pattern.
+
+   Run with: dune exec examples/pipeline.exe *)
+
+open Iset
+open Dhpf
+
+let section title = Fmt.pr "@.=== %s ===@." title
+
+let src =
+  {|
+program sweep
+  parameter n = 192
+  real f(n,n)
+  processors p(number_of_processors())
+  template t(n,n)
+  align f(i,j) with t(i,j)
+  distribute t(*,block) onto p
+  do i = 1, n
+    do j = 1, n
+      f(i,j) = i + 0.1*j
+    end do
+  end do
+  do j = 2, n
+    do i = 1, n
+      f(i,j) = f(i,j) - 0.5 * f(i,j-1)
+    end do
+  end do
+end
+|}
+
+let () =
+  Fmt.pr "%s@." src;
+  let chk = Hpf.Sema.analyze_source src in
+  let compiled = Gen.compile chk in
+
+  section "Where did the communication go?";
+  List.iter
+    (fun (e : Gen.event) ->
+      Fmt.pr "event: %s — placed inside loops [%s]@." e.ev_desc
+        (String.concat ", " e.ev_level_vars);
+      Fmt.pr "  (the j loop carries f(i,j) -> f(i,j-1): hoisting out of j would@.";
+      Fmt.pr "   read stale values, so the compiler pipelines plane by plane)@.";
+      Fmt.pr "  SendCommMap(m) = %a@." Rel.pp e.ev_maps.Comm.send_map;
+      let part = Comm.participation ~level_vars:e.ev_level_vars e.ev_maps.Comm.send_map in
+      Fmt.pr "  send participation (iterations where myid must send) = %a@." Rel.pp part)
+    compiled.cevents;
+
+  section "Generated SPMD code";
+  print_string (Spmd.program_to_string compiled.cprog);
+
+  section "Execution: the pipeline in message counts and time";
+  let serial = Spmdsim.Serial.run chk in
+  Fmt.pr "%6s %12s %10s %8s@." "procs" "time (ms)" "speedup" "msgs";
+  List.iter
+    (fun p ->
+      let sim = Spmdsim.Exec.make ~nprocs:p compiled.cprog in
+      let stats = Spmdsim.Exec.run sim in
+      Fmt.pr "%6d %12.3f %10.2f %8d@." p (stats.s_time *. 1e3)
+        (serial.r_time /. stats.s_time) stats.s_msgs)
+    [ 1; 2; 4; 8 ];
+  Fmt.pr
+    "@.(P-1 messages per sweep — one boundary column per processor pair.@.\
+    \ The sweep itself runs as a pipeline whose fill time grows with P while@.\
+    \ the per-processor work shrinks: exactly why the paper's ERLEBACHER@.\
+    \ z-sweeps limit its speedup.)@."

@@ -1,0 +1,390 @@
+(** The benchmark programs of the paper's evaluation, written in the
+    mini-HPF input language.
+
+    - {!jacobi}: 4-point stencil with a convergence reduction,
+      (BLOCK,BLOCK) on a 2 x (P/2) grid — Figure 7(c).
+    - {!tomcatv}: mesh-generation kernel with the structure the paper
+      describes for the SPEC92 code: 2-D stencils over seven n x n arrays,
+      two global max reductions in the main loop, line solves along the
+      undistributed dimension; (BLOCK, star) — Figure 7(a).
+    - {!erlebacher}: 3-D compact-differencing kernel: local x/y sweeps,
+      pipelined forward/backward z sweeps along the distributed dimension, a
+      broadcast of a boundary plane and a 3D-to-2D reduction; (star, star, BLOCK) —
+      Figure 7(b).
+    - {!gauss}: the Gaussian-elimination fragment of Figure 5, with
+      (CYCLIC,CYCLIC) distribution on a symbolic processor grid.
+    - {!figure2}: the align/distribute example of Figure 2.
+    - {!sp_like}: a generated multi-procedure application with the bulk
+      characteristics the paper reports for NAS SP (30 procedures, 3-D/4-D
+      arrays, stencil sweeps in the y and z dimensions, block distributions)
+      — used for the Table 1 compile-time measurements. *)
+
+type procs =
+  | Fixed of int * int
+  | Symbolic2 of int
+      (** a k x (number_of_processors()/k) grid, second extent symbolic *)
+  | SymbolicBoth  (** both grid extents unknown at compile time *)
+
+let procs_decl = function
+  | Fixed (a, b) -> Printf.sprintf "processors p(%d,%d)" a b
+  | Symbolic2 k -> Printf.sprintf "processors p(%d,number_of_processors()/%d)" k k
+  | SymbolicBoth ->
+      "processors p(number_of_processors()/2,        number_of_processors()/(number_of_processors()/2))"
+
+let procs_decl_1d = function
+  | Fixed (a, b) -> Printf.sprintf "processors p(%d)" (a * b)
+  | Symbolic2 _ | SymbolicBoth -> "processors p(number_of_processors())"
+
+(* ------------------------------------------------------------------ *)
+
+let jacobi ?(n = 256) ?(iters = 5) ?(procs = Symbolic2 2) () =
+  Printf.sprintf
+    {|
+program jacobi
+  parameter n = %d
+  real a(n,n), b(n,n)
+  real eps
+  %s
+  template t(n,n)
+  align a(i,j) with t(i,j)
+  align b(i,j) with t(i,j)
+  distribute t(block,block) onto p
+
+  do i = 1, n
+    do j = 1, n
+      a(i,j) = i*i + 2*j + mod(i+j, 7)
+    end do
+  end do
+
+  do iter = 1, %d
+    do i = 2, n-1
+      do j = 2, n-1
+        b(i,j) = 0.25 * (a(i-1,j) + a(i+1,j) + a(i,j-1) + a(i,j+1))
+      end do
+    end do
+    eps = 0.0
+    do i = 2, n-1
+      do j = 2, n-1
+        eps = max(eps, abs(b(i,j) - a(i,j)))
+      end do
+    end do
+    do i = 2, n-1
+      do j = 2, n-1
+        a(i,j) = b(i,j)
+      end do
+    end do
+  end do
+end program jacobi
+|}
+    n (procs_decl procs) iters
+
+(* ------------------------------------------------------------------ *)
+
+let tomcatv ?(n = 257) ?(iters = 3) ?(procs = Symbolic2 1) () =
+  Printf.sprintf
+    {|
+program tomcatv
+  parameter n = %d
+  real x(n,n), y(n,n), rx(n,n), ry(n,n), d(n,n), aa(n,n), dd(n,n)
+  real rxm, rym, r
+  %s
+  template t(n,n)
+  align x(i,j) with t(i,j)
+  align y(i,j) with t(i,j)
+  align rx(i,j) with t(i,j)
+  align ry(i,j) with t(i,j)
+  align d(i,j) with t(i,j)
+  align aa(i,j) with t(i,j)
+  align dd(i,j) with t(i,j)
+  distribute t(block,*) onto p
+
+  do i = 1, n
+    do j = 1, n
+      x(i,j) = i + 0.25*j
+      y(i,j) = 0.5*j + mod(i, 3)
+      d(i,j) = 0.0
+    end do
+  end do
+
+  do iter = 1, %d
+    ! residual computation: 9-point stencils on x and y
+    do i = 2, n-1
+      do j = 2, n-1
+        rx(i,j) = x(i-1,j) + x(i+1,j) + x(i,j-1) + x(i,j+1) - 4.0*x(i,j) + 0.125*(x(i-1,j-1) + x(i+1,j+1) - x(i-1,j+1) - x(i+1,j-1))
+        ry(i,j) = y(i-1,j) + y(i+1,j) + y(i,j-1) + y(i,j+1) - 4.0*y(i,j) + 0.125*(y(i-1,j-1) + y(i+1,j+1) - y(i-1,j+1) - y(i+1,j-1))
+        aa(i,j) = 0.25 + 0.01*mod(i+j, 5)
+        dd(i,j) = 2.0 + 0.01*mod(i-j, 3)
+      end do
+    end do
+    ! two global max reductions over the residuals
+    rxm = 0.0
+    rym = 0.0
+    do i = 2, n-1
+      do j = 2, n-1
+        rxm = max(rxm, abs(rx(i,j)))
+        rym = max(rym, abs(ry(i,j)))
+      end do
+    end do
+    ! line solve along the undistributed dimension (local sweeps)
+    do i = 2, n-1
+      do j = 2, n-1
+        d(i,j) = 1.0 / (dd(i,j) - aa(i,j)*0.25*d(i,j-1))
+        rx(i,j) = (rx(i,j) - aa(i,j)*rx(i,j-1)) * d(i,j)
+        ry(i,j) = (ry(i,j) - aa(i,j)*ry(i,j-1)) * d(i,j)
+      end do
+    end do
+    ! mesh update
+    do i = 2, n-1
+      do j = 2, n-1
+        x(i,j) = x(i,j) + 0.3*rx(i,j)
+        y(i,j) = y(i,j) + 0.3*ry(i,j)
+      end do
+    end do
+  end do
+end program tomcatv
+|}
+    n (procs_decl_1d procs) iters
+
+(* ------------------------------------------------------------------ *)
+
+let erlebacher ?(n = 32) ?(iters = 2) ?(procs = Symbolic2 1) () =
+  Printf.sprintf
+    {|
+program erlebacher
+  parameter n = %d
+  real f(n,n,n), fz(n,n,n)
+  real d(n,n), s(n,n)
+  real c
+  %s
+  template t(n,n,n)
+  align f(i,j,k) with t(i,j,k)
+  align fz(i,j,k) with t(i,j,k)
+  distribute t(*,*,block) onto p
+
+  do k = 1, n
+    do j = 1, n
+      do i = 1, n
+        f(i,j,k) = 0.01*i + 0.02*j + 0.03*k + mod(i+j+k, 5)
+      end do
+    end do
+  end do
+
+  do iter = 1, %d
+    ! x- and y-direction compact differences: entirely local
+    do k = 1, n
+      do j = 1, n
+        do i = 2, n-1
+          fz(i,j,k) = 0.5 * (f(i+1,j,k) - f(i-1,j,k))
+        end do
+      end do
+    end do
+    do k = 1, n
+      do j = 2, n-1
+        do i = 1, n
+          fz(i,j,k) = fz(i,j,k) + 0.5 * (f(i,j+1,k) - f(i,j-1,k))
+        end do
+      end do
+    end do
+    ! forward elimination along the distributed z dimension (pipelined)
+    do k = 2, n
+      do j = 1, n
+        do i = 1, n
+          fz(i,j,k) = fz(i,j,k) - 0.3 * fz(i,j,k-1)
+        end do
+      end do
+    end do
+    ! backward substitution along z, reversed (pipelined the other way)
+    do kk = 1, n-1
+      do j = 1, n
+        do i = 1, n
+          fz(i,j,n-kk) = 0.4 * (fz(i,j,n-kk) - 0.2 * fz(i,j,n-kk+1))
+        end do
+      end do
+    end do
+    ! boundary plane feeds a replicated 2-D array: broadcast of a panel
+    do j = 1, n
+      do i = 1, n
+        d(i,j) = 0.9 * fz(i,j,n)
+      end do
+    end do
+    ! 3D -> 2D reduction into a replicated array
+    do j = 1, n
+      do i = 1, n
+        s(i,j) = 0.0
+      end do
+    end do
+    do k = 1, n
+      do j = 1, n
+        do i = 1, n
+          s(i,j) = s(i,j) + fz(i,j,k)
+        end do
+      end do
+    end do
+    c = 0.0
+    do j = 1, n
+      do i = 1, n
+        c = max(c, abs(s(i,j)) + 0.001*d(i,j))
+      end do
+    end do
+  end do
+end program erlebacher
+|}
+    n (procs_decl_1d procs) iters
+
+(* ------------------------------------------------------------------ *)
+
+let gauss ?(n = 12) ?(pivot = 3) ?(procs = Symbolic2 2) () =
+  Printf.sprintf
+    {|
+program gauss
+  parameter n = %d
+  parameter pivot = %d
+  real a(n,n)
+  %s
+  template t(n,n)
+  align a(i,j) with t(i,j)
+  distribute t(cyclic,cyclic) onto p
+
+  do i = 1, n
+    do j = 1, n
+      a(i,j) = 1.0 + 0.5*i + 0.25*j + mod(i*j, 4)
+    end do
+  end do
+
+  do i = pivot+1, n
+    do j = pivot+1, n
+      a(i,j) = a(i,j) - 0.1 * a(pivot,j)
+    end do
+  end do
+end program gauss
+|}
+    n pivot (procs_decl procs)
+
+(* ------------------------------------------------------------------ *)
+
+(** The example program of Figure 2 (with the paper's odd array bounds). *)
+let figure2 ?(nval = 50) () =
+  Printf.sprintf
+    {|
+program fig2
+  parameter nn = %d
+  real a(0:99,100), b(100,100)
+  processors p(4)
+  template t(100,100)
+  align a(i,j) with t(i+1,j)
+  align b(i,j) with t(*,i)
+  distribute t(*,block) onto p
+
+  do i = 1, nn
+    do j = 2, nn+1
+      !on_home b(j-1,i)
+      a(i,j) = b(j-1,i)
+    end do
+  end do
+end program fig2
+|}
+    nval
+
+(* ------------------------------------------------------------------ *)
+
+(** SP-shaped multi-procedure code for the Table 1 compile-time study:
+    [nsub] subroutines over shared 3-D and 4-D arrays, stencil sweeps in the
+    distributed y/z dimensions, plus boundary and copy procedures; the main
+    program calls every procedure inside a time-step loop. *)
+let sp_like ?(n = 24) ?(nsub = 30) ?(procs = Fixed (2, 2)) () =
+  let buf = Buffer.create 8192 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "program splike\n";
+  pf "  parameter n = %d\n" n;
+  pf "  real u(5,n,n,n), rhs(5,n,n,n), us(n,n,n), vs(n,n,n), ws(n,n,n), sq(n,n,n)\n";
+  pf "  real rho(n,n,n), fjac(n,n,n)\n";
+  pf "  real dt, err\n";
+  pf "  %s\n" (procs_decl procs);
+  pf "  template t(n,n)\n";
+  pf "  align u(c,i,j,k) with t(j,k)\n";
+  pf "  align rhs(c,i,j,k) with t(j,k)\n";
+  pf "  align us(i,j,k) with t(j,k)\n";
+  pf "  align vs(i,j,k) with t(j,k)\n";
+  pf "  align ws(i,j,k) with t(j,k)\n";
+  pf "  align sq(i,j,k) with t(j,k)\n";
+  pf "  align rho(i,j,k) with t(j,k)\n";
+  pf "  align fjac(i,j,k) with t(j,k)\n";
+  pf "  distribute t(block,block) onto p\n";
+  pf "\n";
+  pf "  call init_u\n";
+  pf "  do step = 1, 2\n";
+  for s = 1 to nsub - 4 do
+    pf "    call sweep%d\n" s
+  done;
+  pf "    call boundary\n";
+  pf "    call add_rhs\n";
+  pf "    call residual\n";
+  pf "  end do\n";
+  pf "end program splike\n\n";
+  pf "subroutine init_u\n";
+  pf "  do k = 1, n\n    do j = 1, n\n      do i = 1, n\n";
+  pf "        us(i,j,k) = 0.1*i + 0.2*j + 0.3*k\n";
+  pf "        vs(i,j,k) = 0.2*i + 0.1*j + mod(i+k, 3)\n";
+  pf "        ws(i,j,k) = 0.3*i + 0.4*k\n";
+  pf "        sq(i,j,k) = 0.01*(i + j + k)\n";
+  pf "        rho(i,j,k) = 1.0 + 0.001*i\n";
+  pf "        fjac(i,j,k) = 0.5\n";
+  pf "      end do\n    end do\n  end do\n";
+  pf "  do c = 1, 5\n    do k = 1, n\n      do j = 1, n\n        do i = 1, n\n";
+  pf "          u(c,i,j,k) = 0.05*c + 0.1*i + 0.01*j + 0.02*k\n";
+  pf "          rhs(c,i,j,k) = 0.0\n";
+  pf "        end do\n      end do\n    end do\n  end do\n";
+  pf "end subroutine init_u\n\n";
+  (* stencil sweeps alternating between y- and z-direction dependence,
+     varying the arrays and stencil shapes so the communication patterns are
+     not all identical *)
+  let arrs = [| "us"; "vs"; "ws"; "sq"; "rho"; "fjac" |] in
+  for s = 1 to nsub - 4 do
+    let a = arrs.(s mod 6) and b = arrs.((s + 2) mod 6) in
+    pf "subroutine sweep%d\n" s;
+    if s mod 2 = 0 then begin
+      pf "  do k = 2, n-1\n    do j = 2, n-1\n      do i = 1, n\n";
+      pf "        %s(i,j,k) = %s(i,j,k) + 0.25*(%s(i,j-1,k) + %s(i,j+1,k)) - 0.125*%s(i,j,k-1)\n"
+        a a b b b;
+      pf "      end do\n    end do\n  end do\n"
+    end
+    else begin
+      pf "  do k = 2, n-1\n    do j = 2, n-1\n      do i = 1, n\n";
+      pf "        %s(i,j,k) = 0.75*%s(i,j,k) + 0.25*(%s(i,j,k-1) + %s(i,j,k+1)) + 0.0625*%s(i,j+1,k)\n"
+        a a b b b;
+      pf "      end do\n    end do\n  end do\n"
+    end;
+    pf "end subroutine sweep%d\n\n" s
+  done;
+  pf "subroutine boundary\n";
+  pf "  do k = 1, n\n    do i = 1, n\n";
+  pf "      us(i,1,k) = us(i,2,k)\n";
+  pf "      us(i,n,k) = us(i,n-1,k)\n";
+  pf "    end do\n  end do\n";
+  pf "end subroutine boundary\n\n";
+  pf "subroutine add_rhs\n";
+  pf "  do c = 1, 5\n    do k = 2, n-1\n      do j = 2, n-1\n        do i = 1, n\n";
+  pf "          rhs(c,i,j,k) = u(c,i,j-1,k) + u(c,i,j+1,k) - 2.0*u(c,i,j,k) + 0.1*us(i,j,k)\n";
+  pf "        end do\n      end do\n    end do\n  end do\n";
+  pf "  do c = 1, 5\n    do k = 2, n-1\n      do j = 2, n-1\n        do i = 1, n\n";
+  pf "          u(c,i,j,k) = u(c,i,j,k) + 0.01*rhs(c,i,j,k)\n";
+  pf "        end do\n      end do\n    end do\n  end do\n";
+  pf "end subroutine add_rhs\n\n";
+  pf "subroutine residual\n";
+  pf "  err = 0.0\n";
+  pf "  do k = 2, n-1\n    do j = 2, n-1\n      do i = 1, n\n";
+  pf "        err = max(err, abs(rho(i,j,k) - fjac(i,j,k)))\n";
+  pf "      end do\n    end do\n  end do\n";
+  pf "end subroutine residual\n";
+  Buffer.contents buf
+
+(** All benchmark sources with small sizes, for smoke tests. *)
+let all_small () =
+  [
+    ("jacobi", jacobi ~n:16 ~iters:2 ~procs:(Fixed (2, 2)) ());
+    ("tomcatv", tomcatv ~n:17 ~iters:2 ~procs:(Fixed (2, 2)) ());
+    ("erlebacher", erlebacher ~n:8 ~iters:1 ~procs:(Fixed (2, 2)) ());
+    ("gauss", gauss ~n:8 ~pivot:2 ~procs:(Fixed (2, 2)) ());
+    ("figure2", figure2 ~nval:20 ());
+    ("sp_like", sp_like ~n:10 ~nsub:8 ~procs:(Fixed (2, 2)) ());
+  ]

@@ -1,0 +1,39 @@
+(** The benchmark programs of the paper's evaluation, as mini-HPF source
+    text. Sizes, iteration counts and processor arrangements are
+    parameters, so the same generators serve the unit tests (tiny), the
+    examples, and the Figure 7 / Table 1 harness (paper-scale). *)
+
+type procs =
+  | Fixed of int * int
+  | Symbolic2 of int
+      (** a k x (number_of_processors()/k) grid, second extent symbolic *)
+  | SymbolicBoth  (** both grid extents unknown at compile time *)
+
+val jacobi : ?n:int -> ?iters:int -> ?procs:procs -> unit -> string
+(** 4-point stencil with a convergence max-reduction; (BLOCK,BLOCK) —
+    Figure 7(c). *)
+
+val tomcatv : ?n:int -> ?iters:int -> ?procs:procs -> unit -> string
+(** Mesh-generation kernel shaped like the SPEC92 code: 9-point stencils
+    over seven n x n arrays, two global max reductions per main iteration,
+    line solves along the undistributed dimension; (BLOCK, star) — Figure 7(a). *)
+
+val erlebacher : ?n:int -> ?iters:int -> ?procs:procs -> unit -> string
+(** 3-D compact differencing: local x/y sweeps, pipelined forward and
+    backward z sweeps along the distributed dimension, a broadcast boundary
+    plane and a 3D-to-2D sum reduction; (star, star, BLOCK) — Figure 7(b). *)
+
+val gauss : ?n:int -> ?pivot:int -> ?procs:procs -> unit -> string
+(** The Gaussian-elimination fragment of Figure 5, (CYCLIC,CYCLIC). *)
+
+val figure2 : ?nval:int -> unit -> string
+(** The align/distribute example program of Figure 2. *)
+
+val sp_like : ?n:int -> ?nsub:int -> ?procs:procs -> unit -> string
+(** A generated multi-procedure application with the bulk characteristics
+    the paper reports for NAS SP (default 30 procedures, 3-D/4-D arrays,
+    stencil sweeps in the distributed y/z dimensions); the Table 1
+    compile-time workload. *)
+
+val all_small : unit -> (string * string) list
+(** Every benchmark at smoke-test size. *)

@@ -1,0 +1,1 @@
+lib/dhpf/comm.ml: Array Conj Constr Fun Iset Layout Lin List Rel Var

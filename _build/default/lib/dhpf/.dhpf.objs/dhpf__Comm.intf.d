@@ -1,0 +1,1 @@
+lib/dhpf/comm.mli: Constr Iset Layout Rel

@@ -1,0 +1,1 @@
+lib/dhpf/cp.ml: Array Conj Constr Fmt Fun Hpf Iset Layout Lin List Option Printf Rel Spmd Var

@@ -1,0 +1,1 @@
+lib/dhpf/gen.ml: Array Codegen Comm Conj Constr Cp Fmt Fun Hashtbl Hpf Hull Inplace Iset Layout Lin List Option Phase Printexc Printf Rel Split Spmd String Var Vp

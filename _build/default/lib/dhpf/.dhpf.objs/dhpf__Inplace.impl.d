@@ -1,0 +1,1 @@
+lib/dhpf/inplace.ml: Conj Constr Hull Iset Lin List Rel Var

@@ -1,0 +1,1 @@
+lib/dhpf/inplace.mli: Iset Rel

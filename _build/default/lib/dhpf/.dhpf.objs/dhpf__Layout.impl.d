@@ -1,0 +1,1 @@
+lib/dhpf/layout.ml: Array Codegen Conj Constr Fmt Hashtbl Hpf Iset Lin List Option Printf Rel Spmd Var

@@ -1,0 +1,1 @@
+lib/dhpf/phase.ml: Fun Hashtbl List Unix

@@ -1,0 +1,1 @@
+lib/dhpf/phase.mli:

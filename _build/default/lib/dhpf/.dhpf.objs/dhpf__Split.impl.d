@@ -1,0 +1,1 @@
+lib/dhpf/split.ml: Hpf Iset Layout List Rel

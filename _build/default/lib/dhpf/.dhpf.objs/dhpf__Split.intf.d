@@ -1,0 +1,1 @@
+lib/dhpf/split.mli: Hpf Iset Layout Rel

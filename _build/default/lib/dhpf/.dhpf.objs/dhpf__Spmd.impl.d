@@ -1,0 +1,1 @@
+lib/dhpf/spmd.ml: Buffer Fmt Format Hpf Iset List String

@@ -1,0 +1,1 @@
+lib/dhpf/vp.ml: Iset Layout List Rel

@@ -1,0 +1,1 @@
+lib/dhpf/vp.mli: Iset Layout Rel

@@ -1,0 +1,141 @@
+(** Communication analysis: the equations of Figure 3.
+
+    A {e logical communication event} covers a set of coalesced references to
+    one array, vectorized out to a placement point enclosed by loops
+    [J1..Jv]. All sets here are parameterized by the enclosing loop variables
+    (as parameters named after the loops) and by myid's VP coordinates
+    ([vm$k]); the relations map partner VP tuples to array element tuples. *)
+
+open Iset
+
+(** Add constraints to every disjunct of a relation. *)
+let add_constraints rel cs =
+  Rel.make ~in_names:(Rel.in_names rel) ~out_names:(Rel.out_names rel)
+    ~in_ar:(Rel.in_arity rel) ~out_ar:(Rel.out_arity rel)
+    (List.map (fun c -> Conj.add c cs) (Rel.conjuncts rel))
+
+(** CPMap^v of Figure 3 step 1: restrict the iteration tuple so its first
+    [v] coordinates equal the enclosing loop variables at the placement
+    point; deeper coordinates stay free (that is the vectorization). *)
+let fix_outer_iters (level_vars : string list) cpmap =
+  let cs =
+    List.mapi
+      (fun i v ->
+        Constr.equal_terms (Lin.var (Var.Out i)) (Lin.var (Var.Param v)))
+      level_vars
+  in
+  if cs = [] then cpmap else add_constraints cpmap cs
+
+type maps = {
+  data_accessed : Rel.t;  (** vp -> data: all data accessed by each processor *)
+  nl_data : Rel.t;  (** set over data: off-processor data accessed by myid *)
+  send_map : Rel.t;  (** partner vp -> data that myid must send to it *)
+  recv_map : Rel.t;  (** partner vp -> data that myid must receive from it *)
+  send_map_full : Rel.t;
+      (** like [send_map] but without the partner != myid exclusion: the
+          per-partner data description stays a single conjunct, which is what
+          the §3.3 contiguity test and the packing loops want (self pairs are
+          skipped by a runtime guard anyway) *)
+}
+
+(** Figure 3 for one logical event. [refs] pairs each reference's CPMap
+    (vp -> full iteration tuple of its nest, already range-restricted to the
+    loop) with its RefMap (iteration tuple -> data, domain-restricted to the
+    iteration space). *)
+let comm_maps (ctx : Layout.ctx) ~(kind : [ `Read | `Write ])
+    ~(level_vars : string list) ~(array : string)
+    (refs : (Rel.t * Rel.t) list) : maps =
+  let layout =
+    match Layout.layout_of ctx array with
+    | Some l -> l
+    | None -> invalid_arg "Comm.comm_maps: replicated array"
+  in
+  let m = Layout.my_vp_point ctx in
+  (* step 2: DataAccessed = U_r CPMap_r^v o RefMap_r *)
+  let data_accessed =
+    match
+      List.map
+        (fun (cpmap, refmap) -> Rel.compose (fix_outer_iters level_vars cpmap) refmap)
+        refs
+    with
+    | [] -> invalid_arg "Comm.comm_maps: no references"
+    | t :: ts -> List.fold_left Rel.union t ts
+  in
+  let accessed_by_me = Rel.apply_point data_accessed m in
+  let owned_by_me = Rel.apply_point layout m in
+  (* step 3 (specialized to myid, as in §5 "implementation issues"):
+     non-local data = accessed(me) − owned(me); for non-replicated layouts
+     the read and write forms coincide *)
+  let nl_data = Rel.coalesce (Rel.diff accessed_by_me owned_by_me) in
+  let send_map, recv_map =
+    match kind with
+    | `Read ->
+        (* senders: I own data others access (step 6 uses LocalCommMap_read);
+           receivers: owners of the data I access but do not own (step 5) *)
+        let local = Rel.restrict_range data_accessed owned_by_me in
+        let nl = Rel.restrict_range layout nl_data in
+        (local, nl)
+    | `Write ->
+        (* I computed data owned by partner p: send to the owner;
+           the owner receives from whoever accessed its data *)
+        let nl = Rel.restrict_range layout nl_data in
+        let local = Rel.restrict_range data_accessed owned_by_me in
+        (nl, local)
+  in
+  (* "we ensure that a processor does not communicate with itself": remove
+     the partner = myid pairs from both maps (p != vm is the union over
+     dimensions of p_k < vm_k and p_k > vm_k) *)
+  let not_self rel =
+    let conjs =
+      List.concat_map
+        (fun k ->
+          let p = Lin.var (Var.In k) in
+          let vm = Lin.var (Var.Param ctx.Layout.vm.(k)) in
+          [
+            Conj.make ~n_ex:0 [ Constr.le (Lin.add_const 1 p) vm ];
+            Conj.make ~n_ex:0 [ Constr.le (Lin.add_const 1 vm) p ];
+          ])
+        (List.init ctx.Layout.rank_p Fun.id)
+    in
+    let guard =
+      Rel.make
+        ~in_names:(Rel.in_names rel)
+        ~in_ar:ctx.Layout.rank_p ~out_ar:0 conjs
+    in
+    Rel.restrict_domain rel guard
+  in
+  {
+    data_accessed;
+    nl_data;
+    send_map = Rel.coalesce (not_self send_map);
+    recv_map = Rel.coalesce (not_self recv_map);
+    send_map_full = Rel.coalesce send_map;
+  }
+
+(** Participation set over given loop-variable parameters: the prefix values
+    for which the relation is non-empty. Used to give communication code a
+    "CP" when it sits inside partitioned loops (pipelined patterns). *)
+let participation ~(level_vars : string list) rel : Rel.t =
+  let n = List.length level_vars in
+  let name_idx = List.mapi (fun i v -> (v, i)) level_vars in
+  let conjs =
+    List.map
+      (fun c ->
+        let base = Conj.n_ex c in
+        let in_ar = Rel.in_arity rel and out_ar = Rel.out_arity rel in
+        let f = function
+          | Var.In i -> Var.Ex (base + i)
+          | Var.Out i -> Var.Ex (base + in_ar + i)
+          | Var.Param s -> (
+              match List.assoc_opt s name_idx with
+              | Some i -> Var.In i
+              | None -> Var.Param s)
+          | v -> v
+        in
+        Conj.make
+          ~n_ex:(base + in_ar + out_ar)
+          (List.map (Constr.map_lin (Lin.map_vars f)) (Conj.constraints c)))
+      (Rel.conjuncts rel)
+  in
+  Rel.simplify
+    (Rel.set ~names:(Array.of_list level_vars) ~ar:n conjs)

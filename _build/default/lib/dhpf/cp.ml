@@ -1,0 +1,184 @@
+(** Computation partitioning (§3.1): the ON_HOME model.
+
+    A statement's CP is a union of ON_HOME terms over arbitrary affine
+    references; [cpmap_of_refs] realizes the paper's
+    CPMap = U_j (Layout_Aj o RefMap_j^-1) n_range loop. *)
+
+open Iset
+
+exception Unsupported of string
+
+let errf fmt = Fmt.kstr (fun s -> raise (Unsupported s)) fmt
+
+(** One enclosing loop: bounds are source expressions, affine in parameters
+    and outer loop variables. *)
+type loop = { lvar : string; llo : Hpf.Ast.iexpr; lhi : Hpf.Ast.iexpr; lstep : int }
+
+let nest_names nest = Array.of_list (List.map (fun l -> l.lvar) nest)
+
+(* lookup for affine conversion inside a nest: loop vars by depth, other
+   names as parameters *)
+let nest_lookup env nest s =
+  let rec idx i = function
+    | [] -> None
+    | l :: _ when l.lvar = s -> Some i
+    | _ :: rest -> idx (i + 1) rest
+  in
+  match idx 0 nest with
+  | Some i -> Var.In i
+  | None ->
+      if Hpf.Sema.is_param env s then Var.Param s
+      else errf "non-affine or unknown name %s in subscript/bound" s
+
+let affine_in_nest env nest e =
+  try Hpf.Sema.subst_known_params env (Hpf.Sema.affine ~lookup:(nest_lookup env nest) e)
+  with Hpf.Sema.Nonaffine e -> errf "expression not affine: %a" Hpf.Ast.pp_iexpr e
+
+(** The iteration space of a loop nest, as a set over the nest variables
+    (outermost first). Strided loops contribute stride existentials. *)
+let iter_space (ctx : Layout.ctx) (nest : loop list) : Rel.t =
+  let d = List.length nest in
+  let n_ex = ref 0 in
+  let cs = ref [] in
+  List.iteri
+    (fun i l ->
+      let v = Lin.var (Var.In i) in
+      let prefix = List.filteri (fun j _ -> j <= i) nest in
+      let lo = affine_in_nest ctx.Layout.env prefix l.llo in
+      let hi = affine_in_nest ctx.Layout.env prefix l.lhi in
+      if l.lstep = 1 then
+        cs := Constr.le lo v :: Constr.le v hi :: !cs
+      else if l.lstep > 1 then begin
+        let alpha = Var.Ex !n_ex in
+        incr n_ex;
+        cs :=
+          Constr.le lo v :: Constr.le v hi
+          :: Constr.eq (Lin.sub (Lin.sub v lo) (Lin.var ~coef:l.lstep alpha))
+          :: !cs
+      end
+      else errf "negative loop steps are not supported (loop %s)" l.lvar)
+    nest;
+  Rel.set ~names:(nest_names nest) ~ar:d [ Conj.make ~n_ex:!n_ex !cs ]
+
+(** RefMap for reference [name(idx)]: iteration tuple -> data tuple. *)
+let refmap (ctx : Layout.ctx) (nest : loop list) ((_name, idx) : Hpf.Ast.ref_) : Rel.t =
+  let d = List.length nest in
+  let rank = List.length idx in
+  let cs =
+    List.mapi
+      (fun k e ->
+        Constr.equal_terms
+          (Lin.var (Var.Out k))
+          (affine_in_nest ctx.Layout.env nest e))
+      idx
+  in
+  Rel.make ~in_names:(nest_names nest)
+    ~out_names:(Array.init rank (fun i -> Printf.sprintf "a%d" (i + 1)))
+    ~in_ar:d ~out_ar:rank
+    [ Conj.make ~n_ex:0 cs ]
+
+(** CPMap for a replicated computation: every processor executes every
+    iteration. *)
+let replicated_cpmap (ctx : Layout.ctx) (iter : Rel.t) : Rel.t =
+  let d = Rel.in_arity iter in
+  let vp = Layout.vp_space ctx in
+  (* conj = vp constraints on In, iter constraints shifted to Out *)
+  let shift c =
+    Conj.map_lin (Lin.map_vars (function Var.In i -> Var.Out i | v -> v)) c
+  in
+  let conjs =
+    List.concat_map
+      (fun cv -> List.map (fun ci -> Conj.meet cv (shift ci)) (Rel.conjuncts iter))
+      (Rel.conjuncts vp)
+  in
+  Rel.make
+    ~in_names:(Rel.in_names vp)
+    ~out_names:(Rel.in_names iter)
+    ~in_ar:ctx.Layout.rank_p ~out_ar:d conjs
+
+(** CPMap from a union of ON_HOME references. References to replicated
+    arrays make the statement replicated. *)
+let cpmap_of_refs (ctx : Layout.ctx) (nest : loop list) (iter : Rel.t)
+    (refs : Hpf.Ast.ref_ list) : Rel.t =
+  let terms =
+    List.map
+      (fun (name, idx) ->
+        match Layout.layout_of ctx name with
+        | Some layout ->
+            let rm = refmap ctx nest (name, idx) in
+            (* Layout_A o RefMap^-1, range-restricted to the loop *)
+            Some (Rel.restrict_range (Rel.compose layout (Rel.inverse rm)) iter)
+        | None -> None)
+      refs
+  in
+  if List.exists Option.is_none terms then replicated_cpmap ctx iter
+  else
+    match List.filter_map Fun.id terms with
+    | [] -> replicated_cpmap ctx iter
+    | t :: ts -> List.fold_left Rel.union t ts
+
+(** cpIterSet(m): the iterations myid executes, parameterized by the vm$k
+    parameters. *)
+let cp_iter_set (ctx : Layout.ctx) (cpmap : Rel.t) : Rel.t =
+  Rel.apply_point cpmap (Layout.my_vp_point ctx)
+
+(* ------------------------------------------------------------------ *)
+(* Reductions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type reduction = { red_op : Spmd.reduce_op; red_rhs : Hpf.Ast.fexpr }
+
+(** Recognize reduction statements: s = s + e, s = e + s, s = max(s, e),
+    s = min(s, e) — for a scalar s, or for an array element s(i,...) updated
+    with the same subscripts (an array reduction, e.g. the 3D-to-2D sum in
+    ERLEBACHER). Array sum reductions assume the accumulator starts at the
+    additive identity on every processor (replicated zero-initialization),
+    which is how such reductions are written. *)
+let reduction_of (lhs : Hpf.Ast.ref_) (rhs : Hpf.Ast.fexpr) : reduction option =
+  let name, idx = lhs in
+  let is_s = function
+    | Hpf.Ast.FRef (n, idx') -> n = name && idx' = idx
+    | _ -> false
+  in
+  ignore idx;
+  match rhs with
+    | Hpf.Ast.FBin (Hpf.Ast.Add, a, b) when is_s a ->
+        Some { red_op = Spmd.RSum; red_rhs = b }
+    | Hpf.Ast.FBin (Hpf.Ast.Add, a, b) when is_s b ->
+        Some { red_op = Spmd.RSum; red_rhs = a }
+    | Hpf.Ast.FCall ("max", [ a; b ]) when is_s a ->
+        Some { red_op = Spmd.RMax; red_rhs = b }
+    | Hpf.Ast.FCall ("max", [ a; b ]) when is_s b ->
+        Some { red_op = Spmd.RMax; red_rhs = a }
+    | Hpf.Ast.FCall ("min", [ a; b ]) when is_s a ->
+        Some { red_op = Spmd.RMin; red_rhs = b }
+    | Hpf.Ast.FCall ("min", [ a; b ]) when is_s b ->
+        Some { red_op = Spmd.RMin; red_rhs = a }
+    | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Reference collection                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** All array references in an expression (name, subscripts). *)
+let rec refs_of_fexpr (e : Hpf.Ast.fexpr) : Hpf.Ast.ref_ list =
+  match e with
+  | FNum _ | FInt _ -> []
+  | FRef (n, idx) -> if idx = [] then [] else [ (n, idx) ]
+  | FNeg a -> refs_of_fexpr a
+  | FBin (_, a, b) -> refs_of_fexpr a @ refs_of_fexpr b
+  | FCall (_, args) -> List.concat_map refs_of_fexpr args
+
+let rec scalars_of_fexpr (e : Hpf.Ast.fexpr) : string list =
+  match e with
+  | FNum _ | FInt _ -> []
+  | FRef (n, idx) -> if idx = [] then [ n ] else []
+  | FNeg a -> scalars_of_fexpr a
+  | FBin (_, a, b) -> scalars_of_fexpr a @ scalars_of_fexpr b
+  | FCall (_, args) -> List.concat_map scalars_of_fexpr args
+
+let rec refs_of_cond (c : Hpf.Ast.cond) : Hpf.Ast.ref_ list =
+  match c with
+  | CCmp (a, _, b) -> refs_of_fexpr a @ refs_of_fexpr b
+  | CAnd (a, b) | COr (a, b) -> refs_of_cond a @ refs_of_cond b
+  | CNot a -> refs_of_cond a

@@ -1,0 +1,138 @@
+(** Recognizing in-place (contiguous) communication, §3.3.
+
+    A rectangular communication set C for a column-major array A of rank n
+    is contiguous iff there is a k with: dims 1..k−1 span the full array
+    range, dim k is a convex (gap-free) index range, and dims k+1..n are
+    singletons. As in the paper, we run a single left-to-right scan: find
+    the first dimension where C stops covering the full range, then check
+    the remaining predicates. All tests are symbolic (must hold for every
+    parameter value); an unproved test yields [false], i.e. fall back to
+    packing (the paper's runtime-check generation is likewise incomplete). *)
+
+open Iset
+
+(** Projection of a set onto one dimension. *)
+let proj_dim set i =
+  let conjs =
+    List.map
+      (fun c ->
+        let base = Conj.n_ex c in
+        let ar = Rel.in_arity set in
+        let f = function
+          | Var.In j when j = i -> Var.In 0
+          | Var.In j -> Var.Ex (base + j)
+          | v -> v
+        in
+        Conj.make ~n_ex:(base + ar)
+          (List.map (Constr.map_lin (Lin.map_vars f)) (Conj.constraints c)))
+      (Rel.conjuncts set)
+  in
+  Rel.simplify (Rel.set ~names:[| "x" |] ~ar:1 conjs)
+
+(** Is the 1-D set provably a singleton for all parameter values?
+    Tests emptiness of {x,y : x in S, y in S, x < y}. *)
+let is_singleton (s1d : Rel.t) =
+  let lift_to pos c =
+    let base = Conj.n_ex c in
+    ignore base;
+    Conj.map_lin (Lin.map_vars (function Var.In 0 -> Var.In pos | v -> v)) c
+  in
+  let pairs =
+    List.concat_map
+      (fun cx ->
+        List.map
+          (fun cy ->
+            Conj.add
+              (Conj.meet (lift_to 0 cx) (lift_to 1 cy))
+              [ Constr.le (Lin.add_const 1 (Lin.var (Var.In 0))) (Lin.var (Var.In 1)) ])
+          (Rel.conjuncts s1d))
+      (Rel.conjuncts s1d)
+  in
+  not (List.exists Conj.sat pairs)
+
+(* Parameter-only context of a set: all tuple variables existentialized.
+   The §3.3 predicates hold "whenever the communication happens", so the
+   full-range test is evaluated under this context (e.g. the symbolic
+   bounds on vm and the enclosing loop variables). *)
+let param_context set =
+  let conjs =
+    List.map
+      (fun c ->
+        let base = Conj.n_ex c in
+        let ar = Rel.in_arity set in
+        let f = function Var.In i -> Var.Ex (base + i) | v -> v in
+        Conj.make ~n_ex:(base + ar)
+          (List.map (Constr.map_lin (Lin.map_vars f)) (Conj.constraints c)))
+      (Rel.conjuncts set)
+  in
+  conjs
+
+(** Does C span the full range of the array in this dimension, whenever the
+    communication occurs at all? Tests (A<i> ∧ ctx) ⊆ C<i>; C ⊆ A holds by
+    construction. *)
+let full_range ~ctx c1d a1d =
+  let restricted =
+    Rel.set ~names:(Rel.in_names a1d) ~ar:1
+      (List.concat_map
+         (fun ca -> List.map (fun cc -> Conj.meet ca cc) ctx)
+         (Rel.conjuncts a1d))
+  in
+  try Rel.subset restricted c1d with Conj.Inexact_negation -> false
+
+type result = {
+  contiguous : bool;  (** proved contiguous: transfer in place, no packing *)
+  rect_section : bool;  (** every dimension convex: strided-section transfer *)
+  break_dim : int;  (** first non-full dimension (n if all full) *)
+}
+
+(** [analyze ~comm_set ~array_bounds] — both sets over the array's index
+    space. Applies the paper's restriction to single-conjunct sets. *)
+let analyze ~(comm_set : Rel.t) ~(array_bounds : Rel.t) : result =
+  let n = Rel.in_arity comm_set in
+  (* As in the paper, the test applies to single-conjunct communication
+     sets only; everything else falls back to packing. The guard comes
+     first: products/equality over multi-conjunct sets blow up. *)
+  if List.length (Rel.conjuncts comm_set) <> 1 then
+    { contiguous = false; rect_section = false; break_dim = 0 }
+  else begin
+  let projs = List.init n (fun i -> proj_dim comm_set i) in
+  let aprojs = List.init n (fun i -> proj_dim array_bounds i) in
+  (* rectangular = the set is the product of its (convex) 1-D projections *)
+  let product =
+    let lift i c =
+      Conj.map_lin (Lin.map_vars (function Var.In 0 -> Var.In i | v -> v)) c
+    in
+    let cross acc (i, proj) =
+      List.concat_map
+        (fun c -> List.map (fun p -> Conj.meet c (lift i p)) (Rel.conjuncts proj))
+        acc
+    in
+    let conjs =
+      List.fold_left cross [ Conj.true_ ] (List.mapi (fun i p -> (i, p)) projs)
+    in
+    Rel.set ~names:(Rel.in_names comm_set) ~ar:n conjs
+  in
+  let rect_section =
+    List.for_all Hull.is_convex projs
+    && (try Rel.equal comm_set product with Conj.Inexact_negation -> false)
+  in
+  if not rect_section then { contiguous = false; rect_section; break_dim = 0 }
+  else begin
+    (* scan left to right for the first dimension not covering the range *)
+    let ctx = param_context comm_set in
+    let rec scan k =
+      if k = n then n
+      else if full_range ~ctx (List.nth projs k) (List.nth aprojs k) then scan (k + 1)
+      else k
+    in
+    let k = scan 0 in
+    let contiguous =
+      k = n
+      || Hull.is_convex (List.nth projs k)
+         && List.for_all
+              (fun j -> is_singleton (List.nth projs j))
+              (List.init (n - k - 1) (fun i -> k + 1 + i))
+    in
+    { contiguous; rect_section; break_dim = k }
+  end
+  end

@@ -1,0 +1,26 @@
+(** Recognizing in-place (contiguous) communication, §3.3 of the paper.
+
+    A rectangular communication set C for a column-major array of rank n is
+    contiguous iff some k exists with: dimensions before k span the full
+    array range, dimension k is a convex index range, and dimensions after
+    k are singletons. All tests are symbolic — they must hold for every
+    parameter value under the set's own parameter context; an unproved test
+    yields [false] (fall back to packing). *)
+
+open Iset
+
+val proj_dim : Rel.t -> int -> Rel.t
+(** Projection of a set onto one dimension (a 1-D set). *)
+
+val is_singleton : Rel.t -> bool
+(** Provably a single value for all parameter values? *)
+
+type result = {
+  contiguous : bool;  (** proved contiguous: transfer in place, no packing *)
+  rect_section : bool;  (** the set is the product of its convex projections *)
+  break_dim : int;  (** first non-full dimension found by the scan *)
+}
+
+val analyze : comm_set:Rel.t -> array_bounds:Rel.t -> result
+(** Single left-to-right scan as in the paper; restricted (also as in the
+    paper) to single-conjunct communication sets. *)

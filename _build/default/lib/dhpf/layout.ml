@@ -1,0 +1,533 @@
+(** Construction of the primitive mappings of Figure 2: Align, Dist and
+    Layout, plus the §4 virtual-processor refinement for symbolic
+    distribution parameters.
+
+    The "processor" tuple of every relation is in VP coordinates, one
+    dimension per processor-array dimension:
+    - concrete distributions: the VP coordinate {e is} the (0-based)
+      physical coordinate;
+    - symbolic [block]: the VP coordinate is the template index of the first
+      cell of a block; the single active VP of processor m is
+      [vm = B·m + tlo] (one VP per physical processor, so no VP loops);
+    - symbolic [cyclic]: the VP coordinate is the template index itself;
+      processor m owns the VPs with [(v − tlo) mod P = m].
+
+    Symbolic block sizes and processor extents enter the sets only as
+    parameters with unit or constant coefficients — never multiplied by a
+    variable — which is exactly how the paper stays inside the decidable
+    class. *)
+
+open Iset
+
+exception Unsupported of string
+
+let errf fmt = Fmt.kstr (fun s -> raise (Unsupported s)) fmt
+
+type dim_info = {
+  proc_dim : int;
+  tmpl_dim : int;
+  fmt : Hpf.Ast.dist_fmt;
+  vp_mode : Spmd.vp_mode;
+  pextent_lin : Lin.t;  (** processor count: constant or a parameter *)
+  pextent_expr : Spmd.expr;
+  bsize_lin : Lin.t option;  (** block size (block fmt): constant or param *)
+  bsize_expr : Spmd.expr option;
+  tlo_lin : Lin.t;
+  thi_lin : Lin.t;
+  tlo_expr : Spmd.expr;
+}
+
+type ctx = {
+  env : Hpf.Sema.env;
+  proc : Hpf.Sema.proc_info;
+  rank_p : int;  (** number of processor (= VP) dimensions *)
+  dims : dim_info list;
+  tmpl : Hpf.Sema.template_info;
+  layouts : (string * Rel.t) list;  (** vp -> data, distributed arrays only *)
+  rt_arrays : Spmd.array_decl list;
+  params : Spmd.param_binding list;
+  vm : string array;  (** parameter names for myid's VP coordinates *)
+  mphys : string array;  (** parameter names for myid's physical coordinates *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Expression conversion helpers                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** iexpr over program parameters -> linear term (Param variables). *)
+let lin_of_iexpr env e =
+  let lookup s =
+    if Hpf.Sema.is_param env s then Var.Param s
+    else errf "name %s is not a parameter (in a declaration bound)" s
+  in
+  try Hpf.Sema.subst_known_params env (Hpf.Sema.affine ~lookup e)
+  with Hpf.Sema.Nonaffine _ -> errf "declaration bound is not affine: %a" Hpf.Ast.pp_iexpr e
+
+(** Linear term over parameters/loop-vars -> runtime expression. *)
+let expr_of_lin lin =
+  let module C = Codegen in
+  Lin.fold
+    (fun v c acc ->
+      match v with
+      | Var.Param s -> C.eadd acc (C.emul c (C.EVar s))
+      | _ -> errf "internal: tuple variable in runtime bound")
+    lin
+    (C.eint (Lin.constant lin))
+
+(** iexpr -> runtime expression, resolving parameter names to EVar (including
+    processor-extent parameters and number_of_processors). *)
+let rec rt_expr e : Spmd.expr =
+  let module C = Codegen in
+  match (e : Hpf.Ast.iexpr) with
+  | INum k -> C.EInt k
+  | IName s -> C.EVar s
+  | IAdd (a, b) -> C.eadd (rt_expr a) (rt_expr b)
+  | ISub (a, b) -> C.esub (rt_expr a) (rt_expr b)
+  | INeg a -> C.esub (C.EInt 0) (rt_expr a)
+  | IMul (a, b) -> (
+      match (rt_expr a, rt_expr b) with
+      | C.EInt x, eb -> C.emul x eb
+      | ea, C.EInt y -> C.emul y ea
+      | _ -> errf "non-affine multiply in declaration: %a" Hpf.Ast.pp_iexpr e)
+  | IDiv (a, b) -> (
+      match rt_expr b with
+      | C.EInt k when k > 0 -> C.efloordiv (rt_expr a) k
+      | _ -> errf "division by non-constant in declaration: %a" Hpf.Ast.pp_iexpr e)
+  | ICall ("number_of_processors", []) -> C.EVar "number_of_processors"
+  | ICall (f, _) -> errf "call to %s in declaration" f
+
+(* ------------------------------------------------------------------ *)
+(* Context construction                                                *)
+(* ------------------------------------------------------------------ *)
+
+let vm_name k = Printf.sprintf "vm$%d" (k + 1)
+let m_name k = Printf.sprintf "m$%d" (k + 1)
+let bsize_name tname d = Printf.sprintf "b$%s$%d" tname (d + 1)
+
+(** Whether an iexpr is a compile-time constant under the environment. *)
+let const_of env e =
+  let rec go e =
+    match (e : Hpf.Ast.iexpr) with
+    | INum k -> k
+    | IName s -> (
+        match Hpf.Sema.param_value env s with
+        | Some v -> v
+        | None -> raise Exit)
+    | IAdd (a, b) -> go a + go b
+    | ISub (a, b) -> go a - go b
+    | IMul (a, b) -> go a * go b
+    | IDiv (a, b) -> Lin.fdiv (go a) (go b)
+    | INeg a -> -go a
+    | ICall _ -> raise Exit
+  in
+  try Some (go e) with Exit -> None
+
+let pextent_iexpr_of = function
+  | Hpf.Sema.Concrete k -> Hpf.Ast.INum k
+  | Hpf.Sema.Symbolic (name, _) -> Hpf.Ast.IName name
+
+let build_dim env (tmpl : Hpf.Sema.template_info) proc_dim tmpl_dim fmt
+    (pext : Hpf.Sema.extent) : dim_info * Spmd.param_binding list =
+  let tlo_ie, thi_ie = List.nth tmpl.tdims tmpl_dim in
+  let tlo_lin = lin_of_iexpr env tlo_ie and thi_lin = lin_of_iexpr env thi_ie in
+  let tlo_expr = rt_expr tlo_ie in
+  let pextent_lin, pextent_expr, p_concrete, pbinds =
+    match pext with
+    | Hpf.Sema.Concrete k -> (Lin.const k, Codegen.EInt k, Some k, [])
+    | Hpf.Sema.Symbolic (name, e) ->
+        ( Lin.var (Var.Param name),
+          Codegen.EVar name,
+          None,
+          [ { Spmd.pb_name = name; pb_value = `Expr e } ] )
+  in
+  match fmt with
+  | Hpf.Ast.DStar -> assert false
+  | Hpf.Ast.DBlock -> (
+      (* block size B = ceil(extent / P) *)
+      let extent_ie =
+        Hpf.Ast.IAdd (Hpf.Ast.ISub (thi_ie, tlo_ie), Hpf.Ast.INum 1)
+      in
+      match (const_of env extent_ie, p_concrete) with
+      | Some n, Some p ->
+          let b = Lin.cdiv n p in
+          ( {
+              proc_dim; tmpl_dim; fmt;
+              vp_mode = Spmd.VpIsPhys;
+              pextent_lin; pextent_expr;
+              bsize_lin = Some (Lin.const b);
+              bsize_expr = Some (Codegen.EInt b);
+              tlo_lin; thi_lin; tlo_expr;
+            },
+            pbinds )
+      | _ ->
+          let bname = bsize_name tmpl.tname tmpl_dim in
+          let bdef =
+            (* ceil(extent / P) = (extent + P - 1) / P *)
+            Hpf.Ast.IDiv
+              ( Hpf.Ast.ISub (Hpf.Ast.IAdd (extent_ie, pextent_iexpr_of pext), Hpf.Ast.INum 1),
+                pextent_iexpr_of pext )
+          in
+          ( {
+              proc_dim; tmpl_dim; fmt;
+              vp_mode = Spmd.VpBlockOnePer;
+              pextent_lin; pextent_expr;
+              bsize_lin = Some (Lin.var (Var.Param bname));
+              bsize_expr = Some (Codegen.EVar bname);
+              tlo_lin; thi_lin; tlo_expr;
+            },
+            pbinds @ [ { Spmd.pb_name = bname; pb_value = `Expr bdef } ] ))
+  | Hpf.Ast.DBlockK k ->
+      (* block(k): like block with a fixed block size; one block per
+         processor (HPF block(k) semantics with P·k >= extent) *)
+      let vp_mode = if p_concrete <> None then Spmd.VpIsPhys else Spmd.VpBlockOnePer in
+      ( {
+          proc_dim; tmpl_dim; fmt;
+          vp_mode;
+          pextent_lin; pextent_expr;
+          bsize_lin = Some (Lin.const k);
+          bsize_expr = Some (Codegen.EInt k);
+          tlo_lin; thi_lin; tlo_expr;
+        },
+        pbinds )
+  | Hpf.Ast.DCyclic ->
+      let vp_mode = if p_concrete <> None then Spmd.VpIsPhys else Spmd.VpTemplateCell in
+      ( { proc_dim; tmpl_dim; fmt; vp_mode; pextent_lin; pextent_expr;
+          bsize_lin = None; bsize_expr = None; tlo_lin; thi_lin; tlo_expr },
+        pbinds )
+  | Hpf.Ast.DCyclicK k ->
+      if p_concrete = None then
+        errf "cyclic(%d) with a symbolic processor count is not supported" k;
+      ( { proc_dim; tmpl_dim; fmt; vp_mode = Spmd.VpIsPhys; pextent_lin; pextent_expr;
+          bsize_lin = Some (Lin.const k); bsize_expr = Some (Codegen.EInt k);
+          tlo_lin; thi_lin; tlo_expr },
+        pbinds )
+
+(* ------------------------------------------------------------------ *)
+(* Dist relation: template -> vp                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Constraint block for one distributed dimension; [t] is the template
+   coordinate variable, [v] the VP coordinate variable. Returns constraints
+   and the number of fresh existentials used (ids starting at [ex0]). *)
+let dim_constraints (d : dim_info) ~t ~v ~ex0 =
+  let tv = Lin.var t and vv = Lin.var v in
+  let c_le a b = Constr.le a b in
+  let bounds_v_proc =
+    (* 0 <= v <= P-1 for physical coordinates *)
+    [ c_le Lin.zero vv; c_le vv (Lin.add_const (-1) d.pextent_lin) ]
+  in
+  match (d.fmt, d.vp_mode) with
+  | Hpf.Ast.DBlock, Spmd.VpIsPhys | Hpf.Ast.DBlockK _, Spmd.VpIsPhys ->
+      let b = Option.get d.bsize_lin in
+      let blo = Lin.add d.tlo_lin (Lin.add (Lin.scale (Lin.constant b) vv) Lin.zero) in
+      (* B is a constant here *)
+      ( [
+          c_le blo tv;
+          c_le tv (Lin.add_const (-1) (Lin.add blo b));
+        ]
+        @ bounds_v_proc,
+        0 )
+  | (Hpf.Ast.DBlock | Hpf.Ast.DBlockK _), Spmd.VpBlockOnePer ->
+      let b = Option.get d.bsize_lin in
+      (* v <= t <= v + B - 1, tlo <= v <= thi *)
+      ( [
+          c_le vv tv;
+          c_le tv (Lin.add_const (-1) (Lin.add vv b));
+          c_le d.tlo_lin vv;
+          c_le vv d.thi_lin;
+        ],
+        0 )
+  | Hpf.Ast.DCyclic, Spmd.VpIsPhys ->
+      let p =
+        match Lin.constant d.pextent_lin with
+        | k when Lin.is_const d.pextent_lin -> k
+        | _ -> assert false
+      in
+      (* exists a: t - tlo - v = P·a *)
+      let alpha = Var.Ex ex0 in
+      ( [
+          Constr.eq
+            (Lin.sub (Lin.sub tv (Lin.add d.tlo_lin vv)) (Lin.var ~coef:p alpha));
+        ]
+        @ bounds_v_proc,
+        1 )
+  | Hpf.Ast.DCyclic, Spmd.VpTemplateCell ->
+      (* v = t; ownership is resolved at run time *)
+      ([ Constr.equal_terms vv tv ], 0)
+  | Hpf.Ast.DCyclicK k, Spmd.VpIsPhys ->
+      let p =
+        match Lin.constant d.pextent_lin with
+        | c when Lin.is_const d.pextent_lin -> c
+        | _ -> assert false
+      in
+      (* exists a: 0 <= t - tlo - k·v - k·P·a <= k-1 *)
+      let alpha = Var.Ex ex0 in
+      let off =
+        Lin.sub (Lin.sub tv d.tlo_lin)
+          (Lin.add (Lin.scale k vv) (Lin.var ~coef:(k * p) alpha))
+      in
+      ([ c_le Lin.zero off; c_le off (Lin.const (k - 1)) ] @ bounds_v_proc, 1)
+  | _ -> assert false
+
+(** Dist relation for the template: template tuple -> VP tuple. *)
+let dist_rel ctx =
+  let rank_t = List.length ctx.tmpl.tdims in
+  let n_ex = ref 0 in
+  let cs = ref [] in
+  (* template bounds *)
+  List.iteri
+    (fun d (lo, hi) ->
+      let t = Lin.var (Var.In d) in
+      cs :=
+        Constr.le (lin_of_iexpr ctx.env lo) t
+        :: Constr.le t (lin_of_iexpr ctx.env hi)
+        :: !cs)
+    ctx.tmpl.tdims;
+  List.iter
+    (fun d ->
+      let cons, used =
+        dim_constraints d ~t:(Var.In d.tmpl_dim) ~v:(Var.Out d.proc_dim) ~ex0:!n_ex
+      in
+      n_ex := !n_ex + used;
+      cs := cons @ !cs)
+    ctx.dims;
+  Rel.make
+    ~in_names:(Array.init rank_t (fun i -> Printf.sprintf "t%d" (i + 1)))
+    ~out_names:(Array.init ctx.rank_p (fun i -> Printf.sprintf "v%d" (i + 1)))
+    ~in_ar:rank_t ~out_ar:ctx.rank_p
+    [ Conj.make ~n_ex:!n_ex !cs ]
+
+(* ------------------------------------------------------------------ *)
+(* Align relation: data -> template                                    *)
+(* ------------------------------------------------------------------ *)
+
+let align_rel ctx (ai : Hpf.Sema.array_info) (al : Hpf.Sema.align_info) =
+  let rank_a = List.length ai.adims in
+  let rank_t = List.length ctx.tmpl.tdims in
+  let dummy_idx =
+    List.mapi (fun i d -> (d, i)) al.al_dummies
+  in
+  let lookup s =
+    match List.assoc_opt s dummy_idx with
+    | Some i -> Var.In i
+    | None ->
+        if Hpf.Sema.is_param ctx.env s then Var.Param s
+        else errf "align target uses unknown name %s" s
+  in
+  let cs = ref [] in
+  (* array bounds *)
+  List.iteri
+    (fun i (lo, hi) ->
+      let a = Lin.var (Var.In i) in
+      cs :=
+        Constr.le (lin_of_iexpr ctx.env lo) a
+        :: Constr.le a (lin_of_iexpr ctx.env hi)
+        :: !cs)
+    ai.adims;
+  (* template bounds *)
+  List.iteri
+    (fun d (lo, hi) ->
+      let t = Lin.var (Var.Out d) in
+      cs :=
+        Constr.le (lin_of_iexpr ctx.env lo) t
+        :: Constr.le t (lin_of_iexpr ctx.env hi)
+        :: !cs)
+    ctx.tmpl.tdims;
+  List.iteri
+    (fun d target ->
+      match target with
+      | Hpf.Ast.ATStar -> ()
+      | Hpf.Ast.ATExpr e ->
+          let f =
+            try Hpf.Sema.affine ~lookup e
+            with Hpf.Sema.Nonaffine _ ->
+              errf "align target not affine: %a" Hpf.Ast.pp_iexpr e
+          in
+          cs := Constr.equal_terms (Lin.var (Var.Out d)) f :: !cs)
+    al.al_targets;
+  Rel.make
+    ~in_names:(Array.init rank_a (fun i -> Printf.sprintf "a%d" (i + 1)))
+    ~out_names:(Array.init rank_t (fun i -> Printf.sprintf "t%d" (i + 1)))
+    ~in_ar:rank_a ~out_ar:rank_t
+    [ Conj.make ~n_ex:0 !cs ]
+
+(* ------------------------------------------------------------------ *)
+(* Runtime layout descriptors                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rt_layout ctx (ai : Hpf.Sema.array_info) (al : Hpf.Sema.align_info) :
+    Spmd.array_layout =
+  let dims =
+    List.map
+      (fun (d : dim_info) ->
+        let target = List.nth al.al_targets d.tmpl_dim in
+        let source =
+          match target with
+          | Hpf.Ast.ATStar -> Spmd.AnyCoord
+          | Hpf.Ast.ATExpr e -> (
+              (* template coord = coef·idx[data_dim] + off: find the single
+                 dummy used *)
+              let dummies = al.al_dummies in
+              let used =
+                List.filteri
+                  (fun _ dn ->
+                    let rec occurs e =
+                      match (e : Hpf.Ast.iexpr) with
+                      | IName s -> s = dn
+                      | INum _ -> false
+                      | IAdd (a, b) | ISub (a, b) | IMul (a, b) | IDiv (a, b) ->
+                          occurs a || occurs b
+                      | INeg a -> occurs a
+                      | ICall (_, args) -> List.exists occurs args
+                    in
+                    occurs e)
+                  dummies
+              in
+              match used with
+              | [] -> Spmd.FixedCoord (rt_expr e)
+              | [ dn ] ->
+                  let data_dim =
+                    Option.get (List.find_index (fun x -> x = dn) dummies)
+                  in
+                  (* linearize: coef·dummy + off *)
+                  let lookup s =
+                    if s = dn then Var.In 0
+                    else if Hpf.Sema.is_param ctx.env s then Var.Param s
+                    else errf "align target name %s" s
+                  in
+                  let lin =
+                    try Hpf.Sema.affine ~lookup e
+                    with Hpf.Sema.Nonaffine _ -> errf "align target not affine"
+                  in
+                  let coef = Lin.coeff lin (Var.In 0) in
+                  let off = expr_of_lin (Lin.drop (Var.In 0) lin) in
+                  Spmd.FromData { data_dim; coef; off }
+              | _ -> errf "align target uses several dummies (runtime layout)")
+        in
+        let fmt : Spmd.fmt_rt =
+          match d.fmt with
+          | Hpf.Ast.DBlock | Hpf.Ast.DBlockK _ ->
+              Spmd.RBlock { bsize = Option.get d.bsize_expr }
+          | Hpf.Ast.DCyclic -> Spmd.RCyclic
+          | Hpf.Ast.DCyclicK k -> Spmd.RBlockCyclic k
+          | Hpf.Ast.DStar -> assert false
+        in
+        {
+          Spmd.source;
+          fmt;
+          tlo = d.tlo_expr;
+          vp_mode = d.vp_mode;
+          pextent = d.pextent_expr;
+        })
+      ctx.dims
+  in
+  { Spmd.la_name = ai.aname; la_dims = dims }
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Build the layout context for a checked program: dimension bindings,
+    per-array Layout relations (vp -> data), runtime descriptors and the
+    startup parameter bindings. *)
+let build (chk : Hpf.Sema.checked) : ctx =
+  let env = chk.env in
+  let proc = Hpf.Sema.the_proc_array env in
+  let rank_p = List.length proc.pextents in
+  (* the (single) distributed template: find distribute directives *)
+  let dists = Hashtbl.fold (fun _ d acc -> d :: acc) env.dists [] in
+  let di =
+    match dists with
+    | [ d ] -> d
+    | [] -> errf "no distribute directive"
+    | _ -> errf "multiple distributed templates are not supported"
+  in
+  let tmpl = Hpf.Sema.template_of env di.di_template in
+  (* pair distributed template dims with processor dims, left to right *)
+  let dims = ref [] and params = ref [] in
+  let pdim = ref 0 in
+  List.iteri
+    (fun tdim fmt ->
+      match (fmt : Hpf.Ast.dist_fmt) with
+      | Hpf.Ast.DStar -> ()
+      | _ ->
+          let pext = List.nth proc.pextents !pdim in
+          let di, pb = build_dim env tmpl !pdim tdim fmt pext in
+          dims := di :: !dims;
+          params := !params @ pb;
+          incr pdim)
+    di.di_fmts;
+  let dims = List.rev !dims in
+  let ctx0 =
+    {
+      env;
+      proc;
+      rank_p;
+      dims;
+      tmpl;
+      layouts = [];
+      rt_arrays = [];
+      params = !params;
+      vm = Array.init rank_p vm_name;
+      mphys = Array.init rank_p m_name;
+    }
+  in
+  let dist = dist_rel ctx0 in
+  let layouts = ref [] and rt_arrays = ref [] in
+  Hashtbl.iter
+    (fun _ (ai : Hpf.Sema.array_info) ->
+      let bounds_rt =
+        List.map (fun (lo, hi) -> (rt_expr lo, rt_expr hi)) ai.adims
+      in
+      match Hpf.Sema.align_of env ai.aname with
+      | Some al when al.al_template = tmpl.tname ->
+          let align = align_rel ctx0 ai al in
+          (* Layout = Dist^-1 o Align^-1 : vp -> data *)
+          let layout = Rel.compose (Rel.inverse dist) (Rel.inverse align) in
+          let layout =
+            Rel.with_names
+              ~in_names:(Array.init rank_p (fun i -> Printf.sprintf "v%d" (i + 1)))
+              ~out_names:(Array.init (List.length ai.adims) (fun i -> Printf.sprintf "a%d" (i + 1)))
+              layout
+          in
+          layouts := (ai.aname, layout) :: !layouts;
+          rt_arrays :=
+            { Spmd.ad_name = ai.aname; ad_bounds = bounds_rt;
+              ad_layout = Some (rt_layout ctx0 ai al) }
+            :: !rt_arrays
+      | _ ->
+          rt_arrays :=
+            { Spmd.ad_name = ai.aname; ad_bounds = bounds_rt; ad_layout = None }
+            :: !rt_arrays)
+    env.arrays;
+  { ctx0 with layouts = !layouts; rt_arrays = !rt_arrays }
+
+let layout_of ctx name = List.assoc_opt name ctx.layouts
+
+(** Is the array distributed (has a layout)? Replicated arrays and scalars
+    are owned by every processor. *)
+let distributed ctx name = List.mem_assoc name ctx.layouts
+
+(** The set of VP tuples owned by the calling processor, as linear terms over
+    the [vm$k] parameters — the paper's {m} singleton. *)
+let my_vp_point ctx =
+  Array.to_list (Array.map (fun n -> Lin.var (Var.Param n)) ctx.vm)
+
+(** Processor-space bounds for codegen contexts: the full VP index space. *)
+let vp_space ctx =
+  let cs =
+    List.concat_map
+      (fun (d : dim_info) ->
+        let v = Lin.var (Var.In d.proc_dim) in
+        match d.vp_mode with
+        | Spmd.VpIsPhys ->
+            [ Constr.le Lin.zero v;
+              Constr.le v (Lin.add_const (-1) d.pextent_lin) ]
+        | Spmd.VpBlockOnePer | Spmd.VpTemplateCell ->
+            [ Constr.le d.tlo_lin v; Constr.le v d.thi_lin ])
+      ctx.dims
+  in
+  Rel.set
+    ~names:(Array.init ctx.rank_p (fun i -> Printf.sprintf "v%d" (i + 1)))
+    ~ar:ctx.rank_p
+    [ Conj.make ~n_ex:0 cs ]

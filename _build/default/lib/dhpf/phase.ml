@@ -1,0 +1,44 @@
+(** Wall-clock phase accounting, used to regenerate the paper's Table 1
+    (breakdown of dHPF compilation time). Phases may nest; a phase's time is
+    attributed to its own label and, implicitly, to every enclosing label
+    (the paper's table shows nested refinements the same way). *)
+
+type t = {
+  totals : (string, float) Hashtbl.t;
+  mutable stack : (string * float) list;
+  mutable t0 : float;
+}
+
+let create () = { totals = Hashtbl.create 32; stack = []; t0 = Unix.gettimeofday () }
+
+let reset t =
+  Hashtbl.reset t.totals;
+  t.stack <- [];
+  t.t0 <- Unix.gettimeofday ()
+
+let add t label dt =
+  let cur = try Hashtbl.find t.totals label with Not_found -> 0.0 in
+  Hashtbl.replace t.totals label (cur +. dt)
+
+(** Time [f], attributing the elapsed time to [label]. Re-entrant: nested
+    timings of the same label are not double counted. *)
+let time t label f =
+  if List.exists (fun (l, _) -> l = label) t.stack then f ()
+  else begin
+    let start = Unix.gettimeofday () in
+    t.stack <- (label, start) :: t.stack;
+    Fun.protect
+      ~finally:(fun () ->
+        t.stack <- List.tl t.stack;
+        add t label (Unix.gettimeofday () -. start))
+      f
+  end
+
+let total t label = try Hashtbl.find t.totals label with Not_found -> 0.0
+
+let elapsed t = Unix.gettimeofday () -. t.t0
+
+let labels t = Hashtbl.fold (fun l _ acc -> l :: acc) t.totals [] |> List.sort compare
+
+(** The global profiler used by the compiler driver. *)
+let global = create ()

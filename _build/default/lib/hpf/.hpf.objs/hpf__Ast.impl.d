@@ -1,0 +1,1 @@
+lib/hpf/ast.ml: Fmt List String

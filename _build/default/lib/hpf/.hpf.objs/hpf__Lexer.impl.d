@@ -1,0 +1,1 @@
+lib/hpf/lexer.ml: Lexing List Printf String Tok

@@ -1,0 +1,1 @@
+lib/hpf/parser.ml: Array Ast Lexer List Printf Tok

@@ -1,0 +1,1 @@
+lib/hpf/parser.mli: Ast

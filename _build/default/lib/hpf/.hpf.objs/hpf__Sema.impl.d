@@ -1,0 +1,1 @@
+lib/hpf/sema.ml: Ast Float Fmt Hashtbl Iset List Option Parser Printf

@@ -1,0 +1,1 @@
+lib/hpf/sema.mli: Ast Hashtbl Iset

@@ -1,0 +1,1 @@
+lib/hpf/tok.ml: Printf

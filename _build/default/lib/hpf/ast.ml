@@ -1,0 +1,154 @@
+(** Abstract syntax for the mini-HPF input language.
+
+    The language is a line-oriented Fortran subset with the HPF directives
+    the paper's analyses consume: [processors], [template], [align],
+    [distribute], and [on_home] computation-partitioning annotations. *)
+
+(** Integer expressions: array subscripts must be affine in loop variables
+    and parameters; processor-array extents may additionally use integer
+    division and the [number_of_processors()] intrinsic (evaluated at SPMD
+    startup, never inside a set — §4 of the paper). *)
+type iexpr =
+  | INum of int
+  | IName of string
+  | IAdd of iexpr * iexpr
+  | ISub of iexpr * iexpr
+  | IMul of iexpr * iexpr
+  | IDiv of iexpr * iexpr
+  | INeg of iexpr
+  | ICall of string * iexpr list
+
+type fbinop = Add | Sub | Mul | Div
+
+type cmpop = Lt | Le | Gt | Ge | Eq | Ne
+
+(** Floating-point (computation) expressions. *)
+type fexpr =
+  | FNum of float
+  | FRef of string * iexpr list  (** scalar when the index list is empty *)
+  | FBin of fbinop * fexpr * fexpr
+  | FNeg of fexpr
+  | FCall of string * fexpr list  (** abs, max, min, sqrt, mod, ... *)
+  | FInt of iexpr  (** integer expression coerced to real (e.g. a loop var) *)
+
+type cond =
+  | CCmp of fexpr * cmpop * fexpr
+  | CAnd of cond * cond
+  | COr of cond * cond
+  | CNot of cond
+
+type ref_ = string * iexpr list
+
+type stmt =
+  | SAssign of {
+      lhs : ref_;
+      rhs : fexpr;
+      on_home : ref_ list option;  (** None: owner-computes on the lhs *)
+      line : int;
+    }
+  | SDo of { var : string; lo : iexpr; hi : iexpr; step : int; body : stmt list }
+  | SIf of { cond : cond; then_ : stmt list; else_ : stmt list }
+  | SCall of string * int  (** callee, source line *)
+
+type elt_type = Real | Integer
+
+type dist_fmt = DBlock | DBlockK of int | DCyclic | DCyclicK of int | DStar
+
+type align_target =
+  | ATExpr of iexpr  (** affine in the align dummies *)
+  | ATStar  (** replicated along this template dimension *)
+
+type decl =
+  | DParam of { name : string; value : int option }
+      (** [value = None]: symbolic parameter, bound at run time *)
+  | DArray of { name : string; elt : elt_type; dims : (iexpr * iexpr) list }
+  | DScalar of { name : string; elt : elt_type }
+  | DProcessors of { name : string; extents : iexpr list }
+  | DTemplate of { name : string; dims : (iexpr * iexpr) list }
+  | DAlign of {
+      array : string;
+      dummies : string list;
+      template : string;
+      targets : align_target list;
+    }
+  | DDistribute of { template : string; fmts : dist_fmt list; onto : string }
+
+type unit_ = {
+  uname : string;
+  kind : [ `Program | `Subroutine ];
+  decls : decl list;
+  body : stmt list;
+}
+
+type program = { units : unit_ list }
+
+let main_unit p =
+  match List.find_opt (fun u -> u.kind = `Program) p.units with
+  | Some u -> u
+  | None -> List.hd p.units
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing (for error messages and the CLI)                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec pp_iexpr fmt = function
+  | INum k -> Fmt.int fmt k
+  | IName s -> Fmt.string fmt s
+  | IAdd (a, b) -> Fmt.pf fmt "%a+%a" pp_iexpr a pp_iexpr b
+  | ISub (a, b) -> Fmt.pf fmt "%a-%a" pp_iexpr a pp_atom b
+  | IMul (a, b) -> Fmt.pf fmt "%a*%a" pp_atom a pp_atom b
+  | IDiv (a, b) -> Fmt.pf fmt "%a/%a" pp_atom a pp_atom b
+  | INeg a -> Fmt.pf fmt "-%a" pp_atom a
+  | ICall (f, args) -> Fmt.pf fmt "%s(%a)" f Fmt.(list ~sep:comma pp_iexpr) args
+
+and pp_atom fmt e =
+  match e with
+  | IAdd _ | ISub _ -> Fmt.pf fmt "(%a)" pp_iexpr e
+  | _ -> pp_iexpr fmt e
+
+let pp_ref fmt (name, idx) =
+  if idx = [] then Fmt.string fmt name
+  else Fmt.pf fmt "%s(%a)" name Fmt.(list ~sep:comma pp_iexpr) idx
+
+let string_of_cmpop = function
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "/="
+
+let rec pp_fexpr fmt = function
+  | FNum x -> Fmt.float fmt x
+  | FRef (n, idx) -> pp_ref fmt (n, idx)
+  | FBin (op, a, b) ->
+      let s = match op with Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" in
+      Fmt.pf fmt "(%a %s %a)" pp_fexpr a s pp_fexpr b
+  | FNeg a -> Fmt.pf fmt "(-%a)" pp_fexpr a
+  | FCall (f, args) -> Fmt.pf fmt "%s(%a)" f Fmt.(list ~sep:comma pp_fexpr) args
+  | FInt e -> pp_iexpr fmt e
+
+let rec pp_cond fmt = function
+  | CCmp (a, op, b) -> Fmt.pf fmt "%a %s %a" pp_fexpr a (string_of_cmpop op) pp_fexpr b
+  | CAnd (a, b) -> Fmt.pf fmt "(%a .and. %a)" pp_cond a pp_cond b
+  | COr (a, b) -> Fmt.pf fmt "(%a .or. %a)" pp_cond a pp_cond b
+  | CNot a -> Fmt.pf fmt "(.not. %a)" pp_cond a
+
+let rec pp_stmt ?(indent = 0) fmt s =
+  let pad = String.make indent ' ' in
+  match s with
+  | SAssign { lhs; rhs; on_home; _ } ->
+      (match on_home with
+      | Some refs ->
+          Fmt.pf fmt "%s!on_home %a@." pad Fmt.(list ~sep:comma pp_ref) refs
+      | None -> ());
+      Fmt.pf fmt "%s%a = %a@." pad pp_ref lhs pp_fexpr rhs
+  | SDo { var; lo; hi; step; body } ->
+      if step = 1 then Fmt.pf fmt "%sdo %s = %a, %a@." pad var pp_iexpr lo pp_iexpr hi
+      else Fmt.pf fmt "%sdo %s = %a, %a, %d@." pad var pp_iexpr lo pp_iexpr hi step;
+      List.iter (pp_stmt ~indent:(indent + 2) fmt) body;
+      Fmt.pf fmt "%send do@." pad
+  | SIf { cond; then_; else_ } ->
+      Fmt.pf fmt "%sif (%a) then@." pad pp_cond cond;
+      List.iter (pp_stmt ~indent:(indent + 2) fmt) then_;
+      if else_ <> [] then begin
+        Fmt.pf fmt "%selse@." pad;
+        List.iter (pp_stmt ~indent:(indent + 2) fmt) else_
+      end;
+      Fmt.pf fmt "%send if@." pad
+  | SCall (f, _) -> Fmt.pf fmt "%scall %s@." pad f

@@ -1,0 +1,118 @@
+{
+(* Lexer for the mini-HPF language. Line-oriented: NEWLINE is a token;
+   comments run from '!' to end of line, except the !on_home / !hpf$ on_home
+   computation-partitioning directive which is significant. *)
+
+open Tok
+
+exception Error of string * int
+
+let keyword = function
+  | "program" -> Some PROGRAM
+  | "end" -> Some END
+  | "enddo" -> Some END (* treated as "end do"; parser accepts both *)
+  | "do" -> Some DO
+  | "if" -> Some IF
+  | "then" -> Some THEN
+  | "else" -> Some ELSE
+  | "endif" -> Some END
+  | "real" -> Some REAL
+  | "integer" -> Some INTEGER
+  | "parameter" -> Some PARAMETER
+  | "processors" -> Some PROCESSORS
+  | "template" -> Some TEMPLATE
+  | "align" -> Some ALIGN
+  | "with" -> Some WITH
+  | "distribute" -> Some DISTRIBUTE
+  | "onto" -> Some ONTO
+  | "subroutine" -> Some SUBROUTINE
+  | "call" -> Some CALL
+  | "block" -> Some BLOCK
+  | "cyclic" -> Some CYCLIC
+  | _ -> None
+}
+
+let blank = [' ' '\t' '\r']
+let digit = ['0'-'9']
+let letter = ['a'-'z' 'A'-'Z' '_']
+let ident = letter (letter | digit)*
+let exponent = ['e' 'E' 'd' 'D'] ['+' '-']? digit+
+let floatlit = digit+ '.' digit* exponent? | '.' digit+ exponent? | digit+ exponent
+
+rule token line = parse
+  | blank+              { token line lexbuf }
+  | '\n'                { incr line; NEWLINE }
+  | '&' blank* '\n'     { incr line; token line lexbuf } (* continuation *)
+  | '!' ([^ '\n']* as s) { COMMENT_ s }
+  | floatlit as s       {
+      let s = String.map (function 'd' | 'D' -> 'e' | c -> c) s in
+      FLOATLIT (float_of_string s) }
+  | digit+ as s         { INT (int_of_string s) }
+  | ident as s          {
+      let ls = String.lowercase_ascii s in
+      match keyword ls with Some t -> t | None -> IDENT ls }
+  | ".lt."              { LT }
+  | ".le."              { LE }
+  | ".gt."              { GT }
+  | ".ge."              { GE }
+  | ".eq."              { EQEQ }
+  | ".ne."              { NE }
+  | ".and."             { AND }
+  | ".or."              { OR }
+  | ".not."             { NOT }
+  | "<="                { LE }
+  | ">="                { GE }
+  | "=="                { EQEQ }
+  | "/="                { NE }
+  | "<"                 { LT }
+  | ">"                 { GT }
+  | "("                 { LPAREN }
+  | ")"                 { RPAREN }
+  | ","                 { COMMA }
+  | ":"                 { COLON }
+  | "*"                 { STAR }
+  | "+"                 { PLUS }
+  | "-"                 { MINUS }
+  | "/"                 { SLASH }
+  | "="                 { ASSIGN }
+  | eof                 { EOF }
+  | _ as c              { raise (Error (Printf.sprintf "unexpected character %C" c, !line)) }
+
+{
+(* If the comment text is an on_home directive, return its body. *)
+let directive_body s =
+  let strip p u =
+    let lp = String.length p in
+    if String.length u >= lp && String.lowercase_ascii (String.sub u 0 lp) = p
+    then Some (String.trim (String.sub u lp (String.length u - lp)))
+    else None
+  in
+  let t = String.trim s in
+  let t = match strip "hpf$" t with Some r -> r | None -> t in
+  strip "on_home" t
+
+(** Tokenize a whole source string into (token, line) pairs. Comments are
+    dropped, except !on_home (or !hpf$ on_home) directives, whose bodies are
+    re-tokenized and spliced in after an ONHOME token. *)
+let tokenize src =
+  let lexbuf = Lexing.from_string src in
+  let line = ref 1 in
+  let rec go acc =
+    match token line lexbuf with
+    | COMMENT_ s -> (
+        match directive_body s with
+        | None -> go acc
+        | Some body ->
+            let lb2 = Lexing.from_string body in
+            let l2 = ref !line in
+            let rec sub acc =
+              match token l2 lb2 with
+              | EOF | COMMENT_ _ -> acc
+              | t -> sub ((t, !line) :: acc)
+            in
+            go (sub ((ONHOME, !line) :: acc)))
+    | EOF -> List.rev ((EOF, !line) :: acc)
+    | t -> go ((t, !line) :: acc)
+  in
+  go []
+}

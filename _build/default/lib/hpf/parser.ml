@@ -1,0 +1,513 @@
+(** Hand-written recursive-descent parser for the mini-HPF language
+    (menhir is not available in this environment; the token stream comes
+    from the ocamllex {!Lexer}). *)
+
+open Ast
+
+exception Error of string * int
+
+type st = { toks : (Tok.t * int) array; mutable pos : int }
+
+let peek st = fst st.toks.(st.pos)
+let line st = snd st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let err st msg = raise (Error (msg, line st))
+
+let expect st t =
+  if peek st = t then advance st
+  else err st (Printf.sprintf "expected %s, found %s" (Tok.to_string t) (Tok.to_string (peek st)))
+
+let ident st =
+  match peek st with
+  | Tok.IDENT s -> advance st; s
+  | t -> err st (Printf.sprintf "expected identifier, found %s" (Tok.to_string t))
+
+let skip_newlines st =
+  while peek st = Tok.NEWLINE do advance st done
+
+let end_of_stmt st =
+  match peek st with
+  | Tok.NEWLINE -> skip_newlines st
+  | Tok.EOF -> ()
+  | t -> err st (Printf.sprintf "expected end of line, found %s" (Tok.to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* Integer expressions                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec iexpr st = iexpr_add st
+
+and iexpr_add st =
+  let lhs = iexpr_mul st in
+  let rec go lhs =
+    match peek st with
+    | Tok.PLUS -> advance st; go (IAdd (lhs, iexpr_mul st))
+    | Tok.MINUS -> advance st; go (ISub (lhs, iexpr_mul st))
+    | _ -> lhs
+  in
+  go lhs
+
+and iexpr_mul st =
+  let lhs = iexpr_unary st in
+  let rec go lhs =
+    match peek st with
+    | Tok.STAR -> advance st; go (IMul (lhs, iexpr_unary st))
+    | Tok.SLASH -> advance st; go (IDiv (lhs, iexpr_unary st))
+    | _ -> lhs
+  in
+  go lhs
+
+and iexpr_unary st =
+  match peek st with
+  | Tok.MINUS -> advance st; INeg (iexpr_unary st)
+  | Tok.INT k -> advance st; INum k
+  | Tok.IDENT name ->
+      advance st;
+      if peek st = Tok.LPAREN then begin
+        advance st;
+        let args =
+          if peek st = Tok.RPAREN then []
+          else
+            let rec go acc =
+              let e = iexpr st in
+              if peek st = Tok.COMMA then begin advance st; go (e :: acc) end
+              else List.rev (e :: acc)
+            in
+            go []
+        in
+        expect st Tok.RPAREN;
+        ICall (name, args)
+      end
+      else IName name
+  | Tok.LPAREN ->
+      advance st;
+      let e = iexpr st in
+      expect st Tok.RPAREN;
+      e
+  | t -> err st (Printf.sprintf "expected integer expression, found %s" (Tok.to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* Floating expressions and conditions                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec fexpr st = fexpr_add st
+
+and fexpr_add st =
+  let lhs = fexpr_mul st in
+  let rec go lhs =
+    match peek st with
+    | Tok.PLUS -> advance st; go (FBin (Add, lhs, fexpr_mul st))
+    | Tok.MINUS -> advance st; go (FBin (Sub, lhs, fexpr_mul st))
+    | _ -> lhs
+  in
+  go lhs
+
+and fexpr_mul st =
+  let lhs = fexpr_unary st in
+  let rec go lhs =
+    match peek st with
+    | Tok.STAR -> advance st; go (FBin (Mul, lhs, fexpr_mul st))
+    | Tok.SLASH -> advance st; go (FBin (Div, lhs, fexpr_mul st))
+    | _ -> lhs
+  in
+  go lhs
+
+and fexpr_unary st =
+  match peek st with
+  | Tok.MINUS -> advance st; FNeg (fexpr_unary st)
+  | Tok.PLUS -> advance st; fexpr_unary st
+  | Tok.FLOATLIT x -> advance st; FNum x
+  | Tok.INT k -> advance st; FNum (float_of_int k)
+  | Tok.IDENT name ->
+      advance st;
+      if peek st = Tok.LPAREN then begin
+        advance st;
+        let args =
+          if peek st = Tok.RPAREN then []
+          else
+            let rec go acc =
+              let e = fexpr st in
+              if peek st = Tok.COMMA then begin advance st; go (e :: acc) end
+              else List.rev (e :: acc)
+            in
+            go []
+        in
+        expect st Tok.RPAREN;
+        (* array reference vs intrinsic call is resolved by Sema *)
+        FCall (name, args)
+      end
+      else FRef (name, [])
+  | Tok.LPAREN ->
+      advance st;
+      let e = fexpr st in
+      expect st Tok.RPAREN;
+      e
+  | t -> err st (Printf.sprintf "expected expression, found %s" (Tok.to_string t))
+
+let cmpop st =
+  match peek st with
+  | Tok.LT -> advance st; Some Lt
+  | Tok.LE -> advance st; Some Le
+  | Tok.GT -> advance st; Some Gt
+  | Tok.GE -> advance st; Some Ge
+  | Tok.EQEQ -> advance st; Some Eq
+  | Tok.NE -> advance st; Some Ne
+  | _ -> None
+
+let rec cond st = cond_or st
+
+and cond_or st =
+  let lhs = cond_and st in
+  if peek st = Tok.OR then begin advance st; COr (lhs, cond_or st) end else lhs
+
+and cond_and st =
+  let lhs = cond_atom st in
+  if peek st = Tok.AND then begin advance st; CAnd (lhs, cond_and st) end else lhs
+
+and cond_atom st =
+  match peek st with
+  | Tok.NOT -> advance st; CNot (cond_atom st)
+  | Tok.LPAREN -> (
+      (* could be a parenthesized condition or a parenthesized fexpr
+         followed by a comparison; try condition first via backtracking *)
+      let save = st.pos in
+      advance st;
+      match cond st with
+      | c when peek st = Tok.RPAREN && cmp_follows st -> expect st Tok.RPAREN; c
+      | _ | (exception Error _) ->
+          st.pos <- save;
+          cmp st)
+  | _ -> cmp st
+
+and cmp_follows st =
+  (* after '(cond)', the next token must not start a comparison *)
+  match fst st.toks.(st.pos + 1) with
+  | Tok.LT | Tok.LE | Tok.GT | Tok.GE | Tok.EQEQ | Tok.NE
+  | Tok.PLUS | Tok.MINUS | Tok.STAR | Tok.SLASH -> false
+  | _ -> true
+
+and cmp st =
+  let lhs = fexpr st in
+  match cmpop st with
+  | Some op -> CCmp (lhs, op, fexpr st)
+  | None -> err st "expected comparison operator"
+
+(* ------------------------------------------------------------------ *)
+(* References                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let ref_ st : ref_ =
+  let name = ident st in
+  if peek st = Tok.LPAREN then begin
+    advance st;
+    let rec go acc =
+      let e = iexpr st in
+      if peek st = Tok.COMMA then begin advance st; go (e :: acc) end
+      else List.rev (e :: acc)
+    in
+    let idx = go [] in
+    expect st Tok.RPAREN;
+    (name, idx)
+  end
+  else (name, [])
+
+let ref_list st =
+  let rec go acc =
+    let r = ref_ st in
+    if peek st = Tok.COMMA then begin advance st; go (r :: acc) end
+    else List.rev (r :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* a dim is lo:hi or extent (meaning 1:extent) *)
+let dim st =
+  let e1 = iexpr st in
+  if peek st = Tok.COLON then begin
+    advance st;
+    let e2 = iexpr st in
+    (e1, e2)
+  end
+  else (INum 1, e1)
+
+let dims st =
+  expect st Tok.LPAREN;
+  let rec go acc =
+    let d = dim st in
+    if peek st = Tok.COMMA then begin advance st; go (d :: acc) end
+    else List.rev (d :: acc)
+  in
+  let ds = go [] in
+  expect st Tok.RPAREN;
+  ds
+
+let array_or_scalar_decls st elt =
+  let rec go acc =
+    let name = ident st in
+    let d =
+      if peek st = Tok.LPAREN then DArray { name; elt; dims = dims st }
+      else DScalar { name; elt }
+    in
+    if peek st = Tok.COMMA then begin advance st; go (d :: acc) end
+    else List.rev (d :: acc)
+  in
+  go []
+
+let dist_fmt st =
+  match peek st with
+  | Tok.STAR -> advance st; DStar
+  | Tok.BLOCK ->
+      advance st;
+      if peek st = Tok.LPAREN then begin
+        advance st;
+        let k = match peek st with Tok.INT k -> advance st; k | _ -> err st "expected block size" in
+        expect st Tok.RPAREN;
+        DBlockK k
+      end
+      else DBlock
+  | Tok.CYCLIC ->
+      advance st;
+      if peek st = Tok.LPAREN then begin
+        advance st;
+        let k = match peek st with Tok.INT k -> advance st; k | _ -> err st "expected cycle size" in
+        expect st Tok.RPAREN;
+        DCyclicK k
+      end
+      else DCyclic
+  | t -> err st (Printf.sprintf "expected distribution format, found %s" (Tok.to_string t))
+
+let decl st : decl list =
+  match peek st with
+  | Tok.PARAMETER ->
+      advance st;
+      let rec go acc =
+        let name = ident st in
+        let value =
+          if peek st = Tok.ASSIGN then begin
+            advance st;
+            match peek st with
+            | Tok.INT k -> advance st; Some k
+            | Tok.MINUS -> (
+                advance st;
+                match peek st with
+                | Tok.INT k -> advance st; Some (-k)
+                | _ -> err st "expected integer parameter value")
+            | _ -> err st "expected integer parameter value"
+          end
+          else None
+        in
+        let d = DParam { name; value } in
+        if peek st = Tok.COMMA then begin advance st; go (d :: acc) end
+        else List.rev (d :: acc)
+      in
+      go []
+  | Tok.REAL -> advance st; array_or_scalar_decls st Real
+  | Tok.INTEGER -> advance st; array_or_scalar_decls st Integer
+  | Tok.PROCESSORS ->
+      advance st;
+      let name = ident st in
+      let extents =
+        if peek st = Tok.LPAREN then begin
+          advance st;
+          let rec go acc =
+            let e = iexpr st in
+            if peek st = Tok.COMMA then begin advance st; go (e :: acc) end
+            else List.rev (e :: acc)
+          in
+          let es = go [] in
+          expect st Tok.RPAREN;
+          es
+        end
+        else [ INum 1 ]
+      in
+      [ DProcessors { name; extents } ]
+  | Tok.TEMPLATE ->
+      advance st;
+      let name = ident st in
+      [ DTemplate { name; dims = dims st } ]
+  | Tok.ALIGN ->
+      advance st;
+      let array = ident st in
+      expect st Tok.LPAREN;
+      let rec go acc =
+        let d = ident st in
+        if peek st = Tok.COMMA then begin advance st; go (d :: acc) end
+        else List.rev (d :: acc)
+      in
+      let dummies = go [] in
+      expect st Tok.RPAREN;
+      expect st Tok.WITH;
+      let template = ident st in
+      expect st Tok.LPAREN;
+      let rec got acc =
+        let t = if peek st = Tok.STAR then begin advance st; ATStar end else ATExpr (iexpr st) in
+        if peek st = Tok.COMMA then begin advance st; got (t :: acc) end
+        else List.rev (t :: acc)
+      in
+      let targets = got [] in
+      expect st Tok.RPAREN;
+      [ DAlign { array; dummies; template; targets } ]
+  | Tok.DISTRIBUTE ->
+      advance st;
+      let template = ident st in
+      expect st Tok.LPAREN;
+      let rec go acc =
+        let f = dist_fmt st in
+        if peek st = Tok.COMMA then begin advance st; go (f :: acc) end
+        else List.rev (f :: acc)
+      in
+      let fmts = go [] in
+      expect st Tok.RPAREN;
+      expect st Tok.ONTO;
+      let onto = ident st in
+      [ DDistribute { template; fmts; onto } ]
+  | _ -> err st "expected declaration"
+
+let is_decl_start = function
+  | Tok.PARAMETER | Tok.REAL | Tok.INTEGER | Tok.PROCESSORS | Tok.TEMPLATE
+  | Tok.ALIGN | Tok.DISTRIBUTE -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec stmt st ~pending_on_home : stmt =
+  match peek st with
+  | Tok.DO ->
+      advance st;
+      let var = ident st in
+      expect st Tok.ASSIGN;
+      let lo = iexpr st in
+      expect st Tok.COMMA;
+      let hi = iexpr st in
+      let step =
+        if peek st = Tok.COMMA then begin
+          advance st;
+          match peek st with
+          | Tok.INT k -> advance st; k
+          | Tok.MINUS -> (
+              advance st;
+              match peek st with
+              | Tok.INT k -> advance st; -k
+              | _ -> err st "expected step")
+          | _ -> err st "expected constant step"
+        end
+        else 1
+      in
+      end_of_stmt st;
+      let body = stmt_list st in
+      expect st Tok.END;
+      if peek st = Tok.DO then advance st;
+      end_of_stmt st;
+      SDo { var; lo; hi; step; body }
+  | Tok.IF ->
+      advance st;
+      expect st Tok.LPAREN;
+      let c = cond st in
+      expect st Tok.RPAREN;
+      expect st Tok.THEN;
+      end_of_stmt st;
+      let then_ = stmt_list st in
+      let else_ =
+        if peek st = Tok.ELSE then begin
+          advance st;
+          end_of_stmt st;
+          stmt_list st
+        end
+        else []
+      in
+      expect st Tok.END;
+      if peek st = Tok.IF then advance st;
+      end_of_stmt st;
+      SIf { cond = c; then_; else_ }
+  | Tok.CALL ->
+      let ln = line st in
+      advance st;
+      let f = ident st in
+      end_of_stmt st;
+      SCall (f, ln)
+  | Tok.ONHOME ->
+      advance st;
+      let refs = ref_list st in
+      (* directive on its own line applies to the next statement;
+         inline after an assignment is handled in assignment parsing *)
+      end_of_stmt st;
+      stmt st ~pending_on_home:(Some refs)
+  | Tok.IDENT _ ->
+      let ln = line st in
+      let lhs = ref_ st in
+      expect st Tok.ASSIGN;
+      let rhs = fexpr st in
+      let oh =
+        if peek st = Tok.ONHOME then begin
+          advance st;
+          Some (ref_list st)
+        end
+        else pending_on_home
+      in
+      end_of_stmt st;
+      SAssign { lhs; rhs; on_home = oh; line = ln }
+  | t -> err st (Printf.sprintf "expected statement, found %s" (Tok.to_string t))
+
+and stmt_list st =
+  skip_newlines st;
+  let rec go acc =
+    match peek st with
+    | Tok.END | Tok.ELSE | Tok.EOF -> List.rev acc
+    | _ ->
+        let s = stmt st ~pending_on_home:None in
+        skip_newlines st;
+        go (s :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Units and programs                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let unit_ st =
+  skip_newlines st;
+  let kind =
+    match peek st with
+    | Tok.PROGRAM -> advance st; `Program
+    | Tok.SUBROUTINE -> advance st; `Subroutine
+    | t -> err st (Printf.sprintf "expected program or subroutine, found %s" (Tok.to_string t))
+  in
+  let uname = ident st in
+  end_of_stmt st;
+  (* declarations first *)
+  let decls = ref [] in
+  skip_newlines st;
+  while is_decl_start (peek st) do
+    decls := !decls @ decl st;
+    end_of_stmt st;
+    skip_newlines st
+  done;
+  let body = stmt_list st in
+  expect st Tok.END;
+  (* optional: end program / end subroutine [name] *)
+  (match peek st with
+  | Tok.PROGRAM | Tok.SUBROUTINE -> advance st; (match peek st with Tok.IDENT _ -> advance st | _ -> ())
+  | _ -> ());
+  (match peek st with Tok.NEWLINE -> skip_newlines st | _ -> ());
+  { uname; kind; decls = !decls; body }
+
+let program_of_tokens toks =
+  let st = { toks; pos = 0 } in
+  let rec go acc =
+    skip_newlines st;
+    if peek st = Tok.EOF then List.rev acc else go (unit_ st :: acc)
+  in
+  let units = go [] in
+  if units = [] then err st "empty program";
+  { units }
+
+(** Parse a program from source text. *)
+let program src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  program_of_tokens toks

@@ -1,0 +1,12 @@
+(** Hand-written recursive-descent parser for the mini-HPF language (menhir
+    is not available in this environment; the token stream comes from the
+    ocamllex {!Lexer}). *)
+
+exception Error of string * int
+(** Message and source line. *)
+
+val program : string -> Ast.program
+(** Parse a program (one [program] unit plus any number of [subroutine]
+    units) from source text.
+    @raise Error on malformed input
+    @raise Lexer.Error on lexical errors. *)

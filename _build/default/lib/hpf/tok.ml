@@ -1,0 +1,42 @@
+(** Tokens of the mini-HPF language. *)
+
+type t =
+  | IDENT of string
+  | INT of int
+  | FLOATLIT of float
+  | NEWLINE
+  (* keywords *)
+  | PROGRAM | END | DO | IF | THEN | ELSE
+  | REAL | INTEGER | PARAMETER
+  | PROCESSORS | TEMPLATE | ALIGN | WITH | DISTRIBUTE | ONTO
+  | SUBROUTINE | CALL
+  | BLOCK | CYCLIC
+  | ONHOME
+  | COMMENT_ of string
+      (** internal to the lexer: raw comment text, turned into ONHOME +
+          directive tokens or dropped by {!Lexer.tokenize} *)
+  (* punctuation and operators *)
+  | LPAREN | RPAREN | COMMA | COLON | STAR | PLUS | MINUS | SLASH
+  | ASSIGN (* = *)
+  | LT | LE | GT | GE | EQEQ | NE
+  | AND | OR | NOT
+  | EOF
+
+let to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT k -> string_of_int k
+  | FLOATLIT x -> string_of_float x
+  | NEWLINE -> "end of line"
+  | PROGRAM -> "program" | END -> "end" | DO -> "do" | IF -> "if"
+  | THEN -> "then" | ELSE -> "else"
+  | REAL -> "real" | INTEGER -> "integer" | PARAMETER -> "parameter"
+  | PROCESSORS -> "processors" | TEMPLATE -> "template" | ALIGN -> "align"
+  | WITH -> "with" | DISTRIBUTE -> "distribute" | ONTO -> "onto"
+  | SUBROUTINE -> "subroutine" | CALL -> "call"
+  | BLOCK -> "block" | CYCLIC -> "cyclic" | ONHOME -> "!on_home"
+  | COMMENT_ s -> Printf.sprintf "comment %S" s
+  | LPAREN -> "(" | RPAREN -> ")" | COMMA -> "," | COLON -> ":" | STAR -> "*"
+  | PLUS -> "+" | MINUS -> "-" | SLASH -> "/" | ASSIGN -> "="
+  | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">=" | EQEQ -> "==" | NE -> "/="
+  | AND -> ".and." | OR -> ".or." | NOT -> ".not."
+  | EOF -> "end of file"

@@ -1,0 +1,1 @@
+lib/iset/calc.ml: Codegen Conj Fmt Hull List Parse Rel String

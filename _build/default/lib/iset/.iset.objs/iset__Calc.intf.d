@@ -1,0 +1,1 @@
+lib/iset/calc.mli: Rel

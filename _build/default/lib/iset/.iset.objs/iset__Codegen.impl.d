@@ -1,0 +1,1 @@
+lib/iset/codegen.ml: Array Buffer Conj Constr Fmt Format Hashtbl Hull Lazy Lin List Printf Rel String Var

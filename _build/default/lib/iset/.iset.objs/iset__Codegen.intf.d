@@ -1,0 +1,1 @@
+lib/iset/codegen.mli: Conj Constr Format Lin Rel

@@ -1,0 +1,1 @@
+lib/iset/conj.ml: Constr Fmt Hashtbl Int Lin List Map Var

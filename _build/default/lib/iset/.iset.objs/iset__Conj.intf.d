@@ -1,0 +1,1 @@
+lib/iset/conj.mli: Constr Format Lin Var

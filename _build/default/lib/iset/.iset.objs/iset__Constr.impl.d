@@ -1,0 +1,1 @@
+lib/iset/constr.ml: Fmt Lin Var

@@ -1,0 +1,1 @@
+lib/iset/constr.mli: Format Lin Var

@@ -1,0 +1,1 @@
+lib/iset/hull.ml: Conj Constr Int Lin List Rel Var

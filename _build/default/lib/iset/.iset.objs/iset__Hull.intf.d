@@ -1,0 +1,1 @@
+lib/iset/hull.mli: Conj Constr Rel

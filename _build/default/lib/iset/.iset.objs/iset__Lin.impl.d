@@ -1,0 +1,1 @@
+lib/iset/lin.ml: Fmt Int List Var

@@ -1,0 +1,1 @@
+lib/iset/lin.mli: Format Var

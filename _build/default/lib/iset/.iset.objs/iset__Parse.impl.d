@@ -1,0 +1,1 @@
+lib/iset/parse.ml: Array Conj Constr Lin List Printf Rel String Var

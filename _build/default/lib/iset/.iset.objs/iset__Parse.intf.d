@@ -1,0 +1,1 @@
+lib/iset/parse.mli: Rel

@@ -1,0 +1,1 @@
+lib/iset/rel.ml: Array Conj Constr Fmt Lin List Printf Var

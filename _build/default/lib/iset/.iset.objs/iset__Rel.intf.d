@@ -1,0 +1,1 @@
+lib/iset/rel.mli: Conj Format Lin Var

@@ -1,0 +1,1 @@
+lib/iset/var.ml: Fmt Int Map Set String

@@ -1,0 +1,1 @@
+lib/iset/var.mli: Format Map Set

@@ -1,0 +1,31 @@
+(** A small calculator language over sets and relations, in the spirit of
+    the Omega calculator distributed with the original Omega library.
+    Drives [dhpfc omega]; also convenient in tests.
+
+    Statement forms (one per line; [#] starts a comment):
+    {v
+      NAME := EXPR            bind a relation
+      EXPR                    print (simplified)
+      sat EXPR | empty EXPR | convex EXPR
+      EXPR subset EXPR | EXPR equal EXPR
+      codegen EXPR            print a scanning loop nest
+      env                     list bound names
+    v}
+
+    Expressions: [{...}] literals (see {!Parse}), names, parentheses, [-]
+    (difference), and the operators [inter union compose apply
+    restrictdomain restrictrange gist] (binary, left-associative) and
+    [domain range inverse hull simplify coalesce flatten disjoint]
+    (prefix). *)
+
+exception Error of string
+
+type env = (string * Rel.t) list
+
+val eval_line : env -> string -> env * string
+(** Evaluate one statement; returns the updated environment and the printed
+    output ([""] if the statement prints nothing).
+    @raise Error on malformed input or a mis-typed operation. *)
+
+val eval_script : ?env:env -> string -> string list
+(** Evaluate a newline-separated script, collecting printed outputs. *)

@@ -1,0 +1,651 @@
+(** Loop-nest synthesis from integer sets — the analogue of Kelly, Pugh and
+    Rosser's multiple-mappings code generation used by the paper.
+
+    Given one iteration set per statement (over a common tuple of loop
+    variables) and a [context] of constraints already enforced by the
+    enclosing scope, [gen] produces an AST of [do] loops, guards and
+    statement leaves that enumerates each set in lexicographic order.
+
+    Single-statement nests take the fast path: every constraint of the (one)
+    conjunct becomes a loop bound or stride, so the generated loops carry no
+    guards. Multi-statement nests share loops over the implied-constraint
+    hull of the union and filter with per-statement guards placed at the
+    innermost level — the paper's "guards not lifted" configuration, which
+    avoids the code replication MM-CODEGEN otherwise performs (§5). Loop
+    strides come from stride-like existentials; non-loop divisibility
+    constraints become [k | e] guards. *)
+
+exception Unsupported of string
+
+(* ------------------------------------------------------------------ *)
+(* Expressions and conditions                                          *)
+(* ------------------------------------------------------------------ *)
+
+type expr =
+  | EInt of int
+  | EVar of string
+  | EAdd of expr * expr
+  | ESub of expr * expr
+  | EMul of int * expr
+  | EFloorDiv of expr * int
+  | ECeilDiv of expr * int
+  | EMax of expr list
+  | EMin of expr list
+  | EAlignUp of expr * expr * expr
+      (** [EAlignUp (e, target, k)]: smallest [x >= e] with [x ≡ target (mod k)];
+          the modulus may be symbolic (virtual-processor strides). *)
+
+type cond =
+  | CTrue
+  | CGeq0 of expr
+  | CEq0 of expr
+  | CDivides of int * expr
+  | CAnd of cond list
+  | COr of cond list
+  | CNot of cond
+
+type 'a ast =
+  | AFor of { var : string; lo : expr; hi : expr; step : int; body : 'a ast list }
+  | AIf of cond * 'a ast list
+  | ALeaf of 'a
+
+(* Smart constructors with constant folding. *)
+
+let eint k = EInt k
+
+let eadd a b =
+  match (a, b) with
+  | EInt x, EInt y -> EInt (x + y)
+  | EInt 0, e | e, EInt 0 -> e
+  | _ -> EAdd (a, b)
+
+let esub a b =
+  match (a, b) with
+  | EInt x, EInt y -> EInt (x - y)
+  | e, EInt 0 -> e
+  | _ -> ESub (a, b)
+
+let emul k e =
+  match (k, e) with
+  | 0, _ -> EInt 0
+  | 1, e -> e
+  | k, EInt x -> EInt (k * x)
+  | _ -> EMul (k, e)
+
+let efloordiv e k =
+  assert (k > 0);
+  match (e, k) with e, 1 -> e | EInt x, k -> EInt (Lin.fdiv x k) | _ -> EFloorDiv (e, k)
+
+let eceildiv e k =
+  assert (k > 0);
+  match (e, k) with e, 1 -> e | EInt x, k -> EInt (Lin.cdiv x k) | _ -> ECeilDiv (e, k)
+
+let emax = function
+  | [] -> invalid_arg "emax: empty"
+  | [ e ] -> e
+  | es -> EMax es
+
+let emin = function
+  | [] -> invalid_arg "emin: empty"
+  | [ e ] -> e
+  | es -> EMin es
+
+let cand = function [] -> CTrue | [ c ] -> c | cs -> CAnd cs
+
+(* ------------------------------------------------------------------ *)
+(* Lin -> expr                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Convert a linear term to an expression; [name_of] maps tuple variables to
+    loop-variable names. Raises [Unsupported] on existentials. *)
+let expr_of_lin ~name_of lin =
+  Lin.fold
+    (fun v c acc ->
+      match v with
+      | Var.Ex _ -> raise (Unsupported "existential variable in generated expression")
+      | Var.Param s -> eadd acc (emul c (EVar s))
+      | Var.In i -> eadd acc (emul c (EVar (name_of i)))
+      | Var.Out _ -> raise (Unsupported "output variable in generated expression"))
+    lin
+    (eint (Lin.constant lin))
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation (used by the SPMD interpreter and the tests)             *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval_expr env = function
+  | EInt k -> k
+  | EVar s -> env s
+  | EAdd (a, b) -> eval_expr env a + eval_expr env b
+  | ESub (a, b) -> eval_expr env a - eval_expr env b
+  | EMul (k, e) -> k * eval_expr env e
+  | EFloorDiv (e, k) -> Lin.fdiv (eval_expr env e) k
+  | ECeilDiv (e, k) -> Lin.cdiv (eval_expr env e) k
+  | EMax es -> List.fold_left (fun m e -> max m (eval_expr env e)) min_int es
+  | EMin es -> List.fold_left (fun m e -> min m (eval_expr env e)) max_int es
+  | EAlignUp (e, target, k) ->
+      let x = eval_expr env e in
+      x + Lin.pmod (eval_expr env target - x) (eval_expr env k)
+
+let rec eval_cond env = function
+  | CTrue -> true
+  | CGeq0 e -> eval_expr env e >= 0
+  | CEq0 e -> eval_expr env e = 0
+  | CDivides (k, e) -> Lin.pmod (eval_expr env e) k = 0
+  | CAnd cs -> List.for_all (eval_cond env) cs
+  | COr cs -> List.exists (eval_cond env) cs
+  | CNot c -> not (eval_cond env c)
+
+(** Execute the AST: call [f tag bindings] for every statement instance, in
+    emission order. [env] resolves parameters; loop variables shadow it. *)
+let run ~env ~f asts =
+  let tbl : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let lookup s = match Hashtbl.find_opt tbl s with Some v -> v | None -> env s in
+  let rec go = function
+    | ALeaf tag ->
+        f tag (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+    | AIf (c, body) -> if eval_cond lookup c then List.iter go body
+    | AFor { var; lo; hi; step; body } ->
+        let l = eval_expr lookup lo and h = eval_expr lookup hi in
+        let i = ref l in
+        while !i <= h do
+          Hashtbl.replace tbl var !i;
+          List.iter go body;
+          i := !i + step
+        done;
+        Hashtbl.remove tbl var
+  in
+  List.iter go asts
+
+(* ------------------------------------------------------------------ *)
+(* Constraint classification                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Deepest input-variable index in a term; -1 if none. *)
+let deepest lin =
+  Lin.fold (fun v _ acc -> match v with Var.In i -> max acc i | _ -> acc) lin (-1)
+
+type stride = { level : int; modulus : int; rest : Lin.t; vcoef : int }
+(* A stride-like equality  vcoef·v_level + modulus·α + rest = 0  (α existential,
+   |vcoef| = 1) — representable as a loop step; or, when vcoef = 0 or
+   |vcoef| > 1, a divisibility guard on [rest']. *)
+
+type window = { w_lows : (int * Lin.t) list; w_highs : (int * Lin.t) list }
+(* ∃α: a_i·α >= l_i for all i, b_j·α <= u_j for all j (all a_i, b_j > 0):
+   an integer α exists iff max_i ceil(l_i/a_i) <= min_j floor(u_j/b_j),
+   which is directly expressible as a guard. Produced by set differences
+   and inexact projections (e.g. pipelined participation sets). *)
+
+(* Classify a conjunct: returns (plain ex-free constraints, strides,
+   windows). Raises [Unsupported] on other existential shapes. *)
+let classify conj =
+  let cs = Conj.constraints conj in
+  let exvars = Var.Set.filter Var.is_ex (Conj.vars conj) in
+  let strides = ref [] in
+  let windows = ref [] in
+  let consumed = ref [] in
+  let only_ex a lin =
+    Var.Set.for_all
+      (fun v -> (not (Var.is_ex v)) || Var.equal v a)
+      (Lin.vars lin)
+  in
+  Var.Set.iter
+    (fun a ->
+      match List.filter (Constr.mem a) cs with
+      | [ c ] when Constr.kind c = Constr.Eq ->
+          let lin = Constr.lin c in
+          if not (only_ex a lin) then
+            raise (Unsupported "coupled existentials in code generation");
+          let m = abs (Lin.coeff lin a) in
+          let rest = Lin.drop a lin in
+          (* m·α ± ... : rest ≡ 0 (mod m). Find the deepest variable in rest;
+             if it has unit coefficient the stride can drive that loop. *)
+          let d = deepest rest in
+          let vc = if d >= 0 then Lin.coeff rest (Var.In d) else 0 in
+          strides := { level = d; modulus = m; rest; vcoef = vc } :: !strides;
+          consumed := c :: !consumed
+      | occs when List.for_all (fun c -> Constr.kind c = Constr.Geq) occs ->
+          (* α bounded by inequalities only: collect lower/upper bounds *)
+          let lows = ref [] and highs = ref [] in
+          List.iter
+            (fun c ->
+              if not (only_ex a (Constr.lin c)) then
+                raise (Unsupported "coupled existentials in code generation");
+              let k = Constr.coeff c a in
+              let rest = Lin.drop a (Constr.lin c) in
+              if k > 0 then
+                (* k·α + rest >= 0 -> k·α >= -rest *)
+                lows := (k, Lin.neg rest) :: !lows
+              else highs := (-k, rest) :: !highs;
+              consumed := c :: !consumed)
+            occs;
+          if !lows <> [] && !highs <> [] then
+            windows := { w_lows = !lows; w_highs = !highs } :: !windows
+          (* one-sided: vacuous, constraints dropped *)
+      | _ -> raise (Unsupported "non-stride existential in code generation"))
+    exvars;
+  let plain =
+    List.filter
+      (fun c ->
+        (not (List.memq c !consumed))
+        && not (Lin.exists_var Var.is_ex (Constr.lin c)))
+      cs
+  in
+  (plain, List.rev !strides, List.rev !windows)
+
+(* Lower/upper bound expressions for variable [v_d] from a Geq constraint. *)
+type bound = Lower of expr | Upper of expr | NotBound
+
+let bound_of ~name_of d c =
+  match Constr.kind c with
+  | Constr.Eq -> NotBound
+  | Constr.Geq ->
+      let lin = Constr.lin c in
+      let a = Lin.coeff lin (Var.In d) in
+      if a = 0 then NotBound
+      else
+        let rest = Lin.drop (Var.In d) lin in
+        if a > 0 then
+          (* a·v + rest >= 0  =>  v >= ceil(−rest / a) *)
+          Lower (eceildiv (expr_of_lin ~name_of (Lin.neg rest)) a)
+        else Upper (efloordiv (expr_of_lin ~name_of rest) (-a))
+
+let cond_of_constr ~name_of c =
+  let e = expr_of_lin ~name_of (Constr.lin c) in
+  match Constr.kind c with Constr.Eq -> CEq0 e | Constr.Geq -> CGeq0 e
+
+let cond_of_stride ~name_of (s : stride) =
+  CDivides (s.modulus, expr_of_lin ~name_of s.rest)
+
+let cond_of_window ~name_of (w : window) =
+  CGeq0
+    (esub
+       (emin (List.map (fun (b, u) -> efloordiv (expr_of_lin ~name_of u) b) w.w_highs))
+       (emax (List.map (fun (a, l) -> eceildiv (expr_of_lin ~name_of l) a) w.w_lows)))
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type 'a stmt = { tag : 'a; dom : Rel.t }
+
+type classified = {
+  plain : Constr.t list;
+  strides : stride list;
+  windows : window list;
+}
+
+type 'a item = {
+  tag_ : 'a;
+  cls : classified;
+  excl : classified list;
+      (* earlier overlapping pieces of the same statement: a point fires
+         this piece only if it matches no earlier piece (runtime
+         first-match replaces set-level disjointification) *)
+}
+
+(* Split constraints of an item by deepest level. *)
+let at_level d cs = List.partition (fun c -> deepest (Constr.lin c) = d) cs
+
+let strides_at_level d ss = List.partition (fun s -> s.level = d) ss
+
+(* Membership condition of a classified conjunct, for runtime exclusion. *)
+let cond_of_classified ~name_of (c : classified) =
+  cand
+    (List.map (cond_of_constr ~name_of) c.plain
+    @ List.map (cond_of_stride ~name_of) c.strides
+    @ List.map (cond_of_window ~name_of) c.windows)
+
+let excl_conds ~name_of excl =
+  List.map (fun prior -> CNot (cond_of_classified ~name_of prior)) excl
+
+(* Fast path: a single conjunct enumerated exactly, constraints become
+   bounds and strides become steps; no guards except divisibility windows
+   and first-match exclusions at the leaf. [tags] are the statements to
+   emit, in order, at each enumerated point. *)
+let rec gen_single ~names ~context_conj ~k ~tags level (it : unit item) : 'a ast list =
+  let name_of i = names.(i) in
+  if level = k then begin
+    (* remaining constraints involve no loop vars deeper than k: they were
+       either consumed or are invariant; emit them as a guard. *)
+    let conds =
+      List.map (cond_of_constr ~name_of) it.cls.plain
+      @ List.map (cond_of_stride ~name_of) it.cls.strides
+      @ List.map (cond_of_window ~name_of) it.cls.windows
+      @ excl_conds ~name_of it.excl
+    in
+    let leaves = List.map (fun t -> ALeaf t) tags in
+    match conds with [] -> leaves | cs -> [ AIf (cand cs, leaves) ]
+  end
+  else begin
+    let here, rest = at_level level it.cls.plain in
+    let strides_here, strides_rest = strides_at_level level it.cls.strides in
+    let lbs, ubs, guards =
+      List.fold_left
+        (fun (lbs, ubs, gs) c ->
+          match Constr.kind c with
+          | Constr.Eq ->
+              let lin = Constr.lin c in
+              let a = Lin.coeff lin (Var.In level) in
+              let rest = Lin.drop (Var.In level) lin in
+              (* a·v + rest = 0  =>  v = −rest/a *)
+              let num =
+                expr_of_lin ~name_of (if a > 0 then Lin.neg rest else rest)
+              in
+              let a = abs a in
+              (eceildiv num a :: lbs, efloordiv num a :: ubs, gs)
+          | Constr.Geq -> (
+              match bound_of ~name_of level c with
+              | Lower e -> (e :: lbs, ubs, gs)
+              | Upper e -> (lbs, e :: ubs, gs)
+              | NotBound -> (lbs, ubs, c :: gs)))
+        ([], [], []) here
+    in
+    assert (guards = []);
+    (* fall back on context bounds when the set leaves a side open *)
+    let ctx_bounds side =
+      List.filter_map
+        (fun c ->
+          if deepest (Constr.lin c) <> level then None
+          else
+            match bound_of ~name_of level c with
+            | Lower e when side = `Lo -> Some e
+            | Upper e when side = `Hi -> Some e
+            | _ -> None)
+        (Conj.constraints context_conj)
+    in
+    let lbs = if lbs = [] then ctx_bounds `Lo else lbs in
+    let ubs = if ubs = [] then ctx_bounds `Hi else ubs in
+    if lbs = [] || ubs = [] then
+      raise (Unsupported (Printf.sprintf "unbounded loop variable %s" names.(level)));
+    (* steps from stride-like existentials on this level *)
+    let step, lo, extra_guards =
+      match strides_here with
+      | [ st ] when abs st.vcoef = 1 && deepest (Lin.drop (Var.In st.level) st.rest) < level ->
+          (* vcoef·v + rest' ≡ 0 (mod m): v ≡ −vcoef·rest' (mod m) *)
+          let rest' = Lin.drop (Var.In level) st.rest in
+          let target = expr_of_lin ~name_of (Lin.scale (-st.vcoef) rest') in
+          (st.modulus, EAlignUp (emax lbs, target, EInt st.modulus), [])
+      | ss -> (1, emax lbs, List.map (cond_of_stride ~name_of) ss)
+    in
+    let body =
+      gen_single ~names ~context_conj ~k ~tags (level + 1)
+        { it with cls = { it.cls with plain = rest; strides = strides_rest } }
+    in
+    let body = match extra_guards with [] -> body | gs -> [ AIf (cand gs, body) ] in
+    [ AFor { var = names.(level); lo; hi = emin ubs; step; body } ]
+  end
+
+(* One conjunct as its own exact nest, invariant constraints lifted to a
+   top-level guard. *)
+let gen_piece ~names ~context_conj ~k ~tags (it : unit item) : 'a ast list =
+  let inv, rest = List.partition (fun c -> deepest (Constr.lin c) < 0) it.cls.plain in
+  let inv_s, rest_s = List.partition (fun st -> deepest st.rest < 0) it.cls.strides in
+  let nest =
+    gen_single ~names ~context_conj ~k ~tags 0
+      { it with cls = { it.cls with plain = rest; strides = rest_s } }
+  in
+  let name_of i = names.(i) in
+  let conds =
+    List.map (cond_of_constr ~name_of) inv @ List.map (cond_of_stride ~name_of) inv_s
+  in
+  if conds = [] then nest else [ AIf (cand conds, nest) ]
+
+(* General path: shared hull loops, per-item guards at the leaves.
+
+   Hull bounds are computed lazily: constraints shared syntactically by
+   every conjunct are free; the Omega-backed entailment test runs only for
+   a loop level whose lower or upper bound is otherwise missing. Residual
+   leaf guards keep the enumeration exact either way. *)
+let gen_multi ~names ~context_conj ~k (items : 'a item list) : 'a ast list =
+  let name_of i = names.(i) in
+  let conjs = List.map (fun it -> Conj.make ~n_ex:0 it.cls.plain) items in
+  let syn_implied =
+    Hull.implied_constraints ~syntactic_only:true ~context:context_conj conjs
+  in
+  let exact_implied =
+    lazy (Hull.implied_constraints ~context:context_conj conjs)
+  in
+  (* Expand equalities into inequality pairs so they can serve as bounds. *)
+  let expand c =
+    match Constr.kind c with
+    | Constr.Geq -> [ c ]
+    | Constr.Eq -> [ Constr.geq (Constr.lin c); Constr.geq (Lin.neg (Constr.lin c)) ]
+  in
+  let syn_ineqs = List.concat_map expand syn_implied in
+  (* invariant (loop-variable-free) constraints shared by every item cannot
+     become loop bounds and are filtered out of the leaf residuals, so they
+     must guard the whole nest *)
+  let inv_conds =
+    List.filter_map
+      (fun c ->
+        if deepest (Constr.lin c) < 0 then Some (cond_of_constr ~name_of c) else None)
+      syn_implied
+  in
+  let rec build level =
+    if level = k then
+      List.concat_map
+        (fun it ->
+          let residual =
+            List.filter
+              (fun c -> not (List.exists (Constr.equal c) syn_implied))
+              it.cls.plain
+          in
+          let conds =
+            List.map (cond_of_constr ~name_of) residual
+            @ List.map (cond_of_stride ~name_of) it.cls.strides
+            @ List.map (cond_of_window ~name_of) it.cls.windows
+            @ excl_conds ~name_of it.excl
+          in
+          match conds with
+          | [] -> [ ALeaf it.tag_ ]
+          | cs -> [ AIf (cand cs, [ ALeaf it.tag_ ]) ])
+        items
+    else begin
+      let collect cs side =
+        List.filter_map
+          (fun c ->
+            if deepest (Constr.lin c) <> level then None
+            else
+              match bound_of ~name_of level c with
+              | Lower e when side = `Lo -> Some e
+              | Upper e when side = `Hi -> Some e
+              | _ -> None)
+          cs
+      in
+      let pick side =
+        match collect syn_ineqs side with
+        | [] -> (
+            match collect (Conj.constraints context_conj) side with
+            | [] -> collect (List.concat_map expand (Lazy.force exact_implied)) side
+            | bs -> bs)
+        | bs -> bs
+      in
+      let lbs = pick `Lo and ubs = pick `Hi in
+      if lbs = [] || ubs = [] then
+        raise (Unsupported (Printf.sprintf "unbounded loop variable %s" names.(level)));
+      [ AFor { var = names.(level); lo = emax lbs; hi = emin ubs; step = 1; body = build (level + 1) } ]
+    end
+  in
+  match inv_conds with [] -> build 0 | cs -> [ AIf (cand cs, build 0) ]
+
+(** Generate loop nests that enumerate every statement's iteration set in
+    lexicographic order (statements in list order within an iteration).
+    All [dom]s must be sets of the same arity over the variables named by
+    [names]; [context] holds constraints already enforced by the enclosing
+    scope (the paper's [Known] argument).
+
+    Overlapping disjuncts of one statement are resolved by first-match
+    exclusion guards evaluated at run time (pass [~disjoint:false] to allow
+    re-enumeration instead, for idempotent statements such as packing). *)
+let gen ?context ?(disjoint = true) ?(order = `Lex) ~names (stmts : 'a stmt list) :
+    'a ast list =
+  let k = Array.length names in
+  let context_conj =
+    match context with
+    | None -> Conj.true_
+    | Some ctx -> (
+        match Rel.conjuncts ctx with
+        | [ c ] -> c
+        | [] -> Conj.true_
+        | _ -> Conj.true_)
+  in
+  let classify_dom dom =
+    let dom = Rel.coalesce dom in
+    List.map
+      (fun conj ->
+        let plain, strides, windows = classify conj in
+        { plain; strides; windows })
+      (Rel.conjuncts dom)
+  in
+  (* piecewise generation: each disjunct becomes its own exact nest (bounds
+     instead of hull-plus-guards); earlier pieces are excluded at run time.
+     Legal only when the caller does not need lexicographic interleaving
+     across pieces. Requires all statements to share one domain. *)
+  let shared_dom =
+    match stmts with
+    | [] -> None
+    | [ s ] -> Some s.dom
+    | s0 :: rest -> if List.for_all (fun s -> s.dom == s0.dom) rest then Some s0.dom else None
+  in
+  match (order, shared_dom) with
+  | `Any, Some dom ->
+      let tags = List.map (fun s -> s.tag) stmts in
+      let classifieds = classify_dom dom in
+      List.concat
+        (List.mapi
+           (fun i cls ->
+             let excl =
+               if disjoint && i > 0 then List.filteri (fun j _ -> j < i) classifieds
+               else []
+             in
+             gen_piece ~names ~context_conj ~k ~tags { tag_ = (); cls; excl })
+           classifieds)
+  | _ ->
+      let items =
+        List.concat_map
+          (fun { tag; dom } ->
+            if Rel.in_arity dom <> k || not (Rel.is_set dom) then
+              invalid_arg "Codegen.gen: statement domain arity mismatch";
+            let classifieds = classify_dom dom in
+            List.mapi
+              (fun i cls ->
+                let excl =
+                  if disjoint && i > 0 then List.filteri (fun j _ -> j < i) classifieds
+                  else []
+                in
+                { tag_ = tag; cls; excl })
+              classifieds)
+          stmts
+      in
+      (match items with
+      | [] -> []
+      | [ it ] ->
+          gen_piece ~names ~context_conj ~k ~tags:[ it.tag_ ]
+            { tag_ = (); cls = it.cls; excl = it.excl }
+      | items -> gen_multi ~names ~context_conj ~k items)
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec pp_expr fmt = function
+  | EInt k -> Fmt.int fmt k
+  | EVar s -> Fmt.string fmt s
+  | EAdd (a, b) -> Fmt.pf fmt "%a + %a" pp_expr a pp_expr b
+  | ESub (a, b) -> Fmt.pf fmt "%a - %a" pp_expr a pp_paren b
+  | EMul (k, e) -> Fmt.pf fmt "%d*%a" k pp_paren e
+  | EFloorDiv (e, k) -> Fmt.pf fmt "floor(%a, %d)" pp_expr e k
+  | ECeilDiv (e, k) -> Fmt.pf fmt "ceil(%a, %d)" pp_expr e k
+  | EMax es -> Fmt.pf fmt "max(%a)" Fmt.(list ~sep:comma pp_expr) es
+  | EMin es -> Fmt.pf fmt "min(%a)" Fmt.(list ~sep:comma pp_expr) es
+  | EAlignUp (e, t, k) -> Fmt.pf fmt "alignup(%a, %a, %a)" pp_expr e pp_expr t pp_expr k
+
+and pp_paren fmt e =
+  match e with
+  | EAdd _ | ESub _ -> Fmt.pf fmt "(%a)" pp_expr e
+  | _ -> pp_expr fmt e
+
+let rec pp_cond fmt = function
+  | CTrue -> Fmt.string fmt ".true."
+  | CGeq0 e -> Fmt.pf fmt "%a >= 0" pp_expr e
+  | CEq0 e -> Fmt.pf fmt "%a == 0" pp_expr e
+  | CDivides (k, e) -> Fmt.pf fmt "mod(%a, %d) == 0" pp_expr e k
+  | CAnd cs -> Fmt.(list ~sep:(any " .and. ") pp_cond_paren) fmt cs
+  | COr cs -> Fmt.(list ~sep:(any " .or. ") pp_cond_paren) fmt cs
+  | CNot c -> Fmt.pf fmt ".not. %a" pp_cond_paren c
+
+and pp_cond_paren fmt c =
+  match c with
+  | CAnd _ | COr _ | CNot _ -> Fmt.pf fmt "(%a)" pp_cond c
+  | _ -> pp_cond fmt c
+
+let rec pp_ast pp_tag fmt ?(indent = 0) ast =
+  let pad = String.make indent ' ' in
+  match ast with
+  | AFor { var; lo; hi; step; body } ->
+      if step = 1 then Fmt.pf fmt "%sdo %s = %a, %a@." pad var pp_expr lo pp_expr hi
+      else Fmt.pf fmt "%sdo %s = %a, %a, %d@." pad var pp_expr lo pp_expr hi step;
+      List.iter (pp_ast pp_tag fmt ~indent:(indent + 2)) body;
+      Fmt.pf fmt "%senddo@." pad
+  | AIf (c, body) ->
+      Fmt.pf fmt "%sif (%a) then@." pad pp_cond c;
+      List.iter (pp_ast pp_tag fmt ~indent:(indent + 2)) body;
+      Fmt.pf fmt "%sendif@." pad
+  | ALeaf tag -> Fmt.pf fmt "%s%a@." pad pp_tag tag
+
+let ast_to_string pp_tag asts =
+  let buf = Buffer.create 1024 in
+  let fmt = Format.formatter_of_buffer buf in
+  Format.pp_set_margin fmt 400;
+  List.iter (pp_ast pp_tag fmt ~indent:0) asts;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Sound over-approximation                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Is the existential [a] in a shape classify can handle? *)
+let ex_shape_ok cs a =
+  let occs = List.filter (Constr.mem a) cs in
+  let only_ex lin =
+    Var.Set.for_all (fun v -> (not (Var.is_ex v)) || Var.equal v a) (Lin.vars lin)
+  in
+  match occs with
+  | [ c ] when Constr.kind c = Constr.Eq -> only_ex (Constr.lin c)
+  | occs ->
+      List.for_all
+        (fun c -> Constr.kind c = Constr.Geq && only_ex (Constr.lin c))
+        occs
+
+(** Sound over-approximation of a set: drop every constraint involving an
+    existential that does not fit the stride/window classification (removing
+    constraints only enlarges the set). Intermediate iteration-demand sets
+    may be enlarged freely — deeper loop levels and leaf guards re-restrict
+    — so this keeps code generation total on projections that exact
+    simplification cannot decouple. *)
+let approx (r : Rel.t) : Rel.t =
+  let fix_conj conj =
+    let rec go conj =
+      let cs = Conj.constraints conj in
+      let bad =
+        Var.Set.filter
+          (fun v -> Var.is_ex v && not (ex_shape_ok cs v))
+          (Conj.vars conj)
+      in
+      if Var.Set.is_empty bad then conj
+      else
+        let cs' =
+          List.filter
+            (fun c ->
+              not (Var.Set.exists (fun v -> Constr.mem v c) bad))
+            cs
+        in
+        go (Conj.make ~n_ex:(Conj.n_ex conj) cs')
+    in
+    Conj.compact_ex (go conj)
+  in
+  Rel.make ~in_names:(Rel.in_names r) ~out_names:(Rel.out_names r)
+    ~in_ar:(Rel.in_arity r) ~out_ar:(Rel.out_arity r)
+    (List.map fix_conj (Rel.conjuncts r))

@@ -1,0 +1,684 @@
+(** Conjuncts: a conjunction of affine constraints together with a block of
+    existentially quantified variables.
+
+    This module carries the heart of the framework: constraint normalization,
+    Pugh's exact equality elimination (including the symmetric-modulus
+    coefficient-reduction step), exact and inexact Fourier-Motzkin
+    elimination, the Omega satisfiability test (real shadow / dark shadow /
+    splinters), negation of conjuncts (exact, provided residual existentials
+    are stride-like), and gist. *)
+
+exception Inexact_negation
+
+type t = { n_ex : int; cs : Constr.t list }
+
+let true_ = { n_ex = 0; cs = [] }
+
+let make ~n_ex cs = { n_ex; cs }
+
+let constraints t = t.cs
+let n_ex t = t.n_ex
+
+let add t cs = { t with cs = cs @ t.cs }
+
+let fresh_ex t = ({ t with n_ex = t.n_ex + 1 }, Var.Ex t.n_ex)
+
+let map_lin f t = { t with cs = List.map (Constr.map_lin f) t.cs }
+
+let subst v rhs t = map_lin (Lin.subst v rhs) t
+
+(** All variables occurring in the conjunct. *)
+let vars t =
+  List.fold_left
+    (fun acc c -> Var.Set.union acc (Lin.vars (Constr.lin c)))
+    Var.Set.empty t.cs
+
+let mem_var v t = List.exists (Constr.mem v) t.cs
+
+(** Shift every existential id by [offset]. *)
+let shift_ex offset t =
+  if offset = 0 then t
+  else
+    let f = function Var.Ex i -> Var.Ex (i + offset) | v -> v in
+    { n_ex = t.n_ex + offset; cs = List.map (Constr.map_lin (Lin.map_vars f)) t.cs }
+
+(** Conjunction of two conjuncts (renaming [b]'s existentials apart). *)
+let meet a b =
+  let b = shift_ex a.n_ex b in
+  { n_ex = b.n_ex; cs = a.cs @ b.cs }
+
+(** Renumber existentials densely and drop unused ids. *)
+let compact_ex t =
+  let used =
+    Var.Set.filter Var.is_ex (vars t) |> Var.Set.elements
+    |> List.map (function Var.Ex i -> i | _ -> assert false)
+    |> List.sort Int.compare
+  in
+  let tbl = Hashtbl.create 8 in
+  List.iteri (fun fresh old -> Hashtbl.replace tbl old fresh) used;
+  let f = function
+    | Var.Ex i -> Var.Ex (Hashtbl.find tbl i)
+    | v -> v
+  in
+  { n_ex = List.length used; cs = List.map (Constr.map_lin (Lin.map_vars f)) t.cs }
+
+(* ------------------------------------------------------------------ *)
+(* Normalization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+exception Unsat
+
+let normalize_list cs =
+  let keep =
+    List.filter_map
+      (fun c ->
+        match Constr.normalize c with
+        | Constr.Tauto -> None
+        | Constr.Contra -> raise Unsat
+        | Constr.Ok c -> Some c)
+      cs
+  in
+  List.sort_uniq Constr.compare keep
+
+(* Group inequalities by their coefficient vector; for identical coefficient
+   vectors keep the tightest constant; detect opposite pairs that contradict
+   or force an equality. *)
+module LinKey = Map.Make (struct
+  type t = int Var.Map.t
+  let compare = Var.Map.compare Int.compare
+end)
+
+let tighten cs =
+  let eqs, geqs = List.partition (fun c -> Constr.kind c = Constr.Eq) cs in
+  (* tightest constant per coefficient vector *)
+  let best =
+    List.fold_left
+      (fun m c ->
+        let lin = Constr.lin c in
+        let key = lin.Lin.coeffs in
+        let k = Lin.constant lin in
+        LinKey.update key
+          (function None -> Some k | Some k' -> Some (min k k'))
+          m)
+      LinKey.empty geqs
+  in
+  (* opposite pairs *)
+  let extra_eqs = ref [] in
+  let dropped = Hashtbl.create 8 in
+  LinKey.iter
+    (fun key k ->
+      let nkey = Var.Map.map (fun c -> -c) key in
+      match LinKey.find_opt nkey best with
+      | Some k' when not (Var.Map.is_empty key) ->
+          (* key·x + k >= 0 and -key·x + k' >= 0, i.e. -k <= key·x <= k' *)
+          if -k > k' then raise Unsat
+          else if -k = k' then begin
+            if not (Hashtbl.mem dropped nkey) then begin
+              Hashtbl.replace dropped key ();
+              extra_eqs :=
+                Constr.eq { Lin.coeffs = key; const = k } :: !extra_eqs
+            end
+          end
+      | _ -> ())
+    best;
+  let geqs =
+    LinKey.fold
+      (fun key k acc ->
+        if Hashtbl.mem dropped key || Hashtbl.mem dropped (Var.Map.map (fun c -> -c) key)
+        then acc
+        else Constr.geq { Lin.coeffs = key; const = k } :: acc)
+      best []
+  in
+  eqs @ !extra_eqs @ geqs
+
+(* ------------------------------------------------------------------ *)
+(* Equality-based elimination (Pugh)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Solve equality [c] for variable [v] when |coeff| = 1: returns rhs term. *)
+let solve_unit_eq c v =
+  let lin = Constr.lin c in
+  let a = Lin.coeff lin v in
+  assert (abs a = 1);
+  let rest = Lin.drop v lin in
+  (* a·v + rest = 0  =>  v = -rest / a *)
+  if a = 1 then Lin.neg rest else rest
+
+(* One step of Omega's symmetric-modulus coefficient reduction applied to an
+   equality in which every variable has |coeff| > 1. Returns the transformed
+   conjunct (a fresh existential is introduced; coefficients strictly
+   shrink). [t] must contain [c]. *)
+let reduce_equality t c =
+  let lin = Constr.lin c in
+  (* pick the variable with the smallest |coeff| *)
+  let xk, ak =
+    Lin.fold
+      (fun v a (bv, ba) -> if abs a < abs ba then (v, a) else (bv, ba))
+      lin
+      (Var.Param "!none", max_int)
+  in
+  assert (ak <> max_int);
+  let m = abs ak + 1 in
+  let t, sigma = fresh_ex t in
+  (* m·σ = Σ smod(a_i, m)·x_i + smod(c, m); and smod(a_k, m) = -sign(a_k) *)
+  let rhs =
+    Lin.fold
+      (fun v a acc -> Lin.add acc (Lin.var ~coef:(Lin.smod a m) v))
+      lin
+      (Lin.const (Lin.smod (Lin.constant lin) m))
+  in
+  (* The defining constraint m·σ = rhs has coefficient −sign(a_k) on x_k
+     (since |a_k| = m − 1 gives smod(a_k, m) = −sign(a_k)), so it can be
+     solved exactly for x_k:
+       x_k = sign(a_k) · (Σ_{i≠k} smod(a_i,m)·x_i + smod(c,m) − m·σ).
+     Substituting everywhere eliminates x_k and shrinks the coefficients of
+     the original equality. *)
+  let sign = if ak > 0 then 1 else -1 in
+  let rest = Lin.drop xk rhs in
+  let xk_rhs = Lin.scale sign (Lin.sub rest (Lin.var ~coef:m sigma)) in
+  let cs = List.map (Constr.subst xk xk_rhs) t.cs in
+  (* Re-add the definition of x_k so the relation still mentions x_k if it is
+     a tuple variable; if x_k is existential the definition fully replaces
+     it. *)
+  let defc = Constr.eq (Lin.sub (Lin.var xk) xk_rhs) in
+  let cs = if Var.is_ex xk then cs else defc :: cs in
+  { t with cs }
+
+(* ------------------------------------------------------------------ *)
+(* Fourier-Motzkin elimination                                         *)
+(* ------------------------------------------------------------------ *)
+
+type bounds = {
+  lowers : (int * Lin.t) list; (* a·v >= L  encoded as (a, L) with a > 0 *)
+  uppers : (int * Lin.t) list; (* b·v <= U  encoded as (b, U) with b > 0 *)
+  others : Constr.t list; (* constraints not involving v *)
+  eqs_with_v : Constr.t list;
+}
+
+let bounds_of v t =
+  List.fold_left
+    (fun acc c ->
+      let a = Constr.coeff c v in
+      if a = 0 then { acc with others = c :: acc.others }
+      else
+        match Constr.kind c with
+        | Constr.Eq -> { acc with eqs_with_v = c :: acc.eqs_with_v }
+        | Constr.Geq ->
+            let rest = Lin.drop v (Constr.lin c) in
+            if a > 0 then
+              (* a·v + rest >= 0  =>  a·v >= -rest *)
+              { acc with lowers = (a, Lin.neg rest) :: acc.lowers }
+            else
+              (* a·v + rest >= 0 with a < 0  =>  |a|·v <= rest *)
+              { acc with uppers = (-a, rest) :: acc.uppers })
+    { lowers = []; uppers = []; others = []; eqs_with_v = [] }
+    t.cs
+
+(* Real-shadow constraint for pair (a·v >= L, b·v <= U): a·U − b·L >= 0. *)
+let real_shadow_pair (a, l) (b, u) = Constr.geq (Lin.sub (Lin.scale a u) (Lin.scale b l))
+
+(* Dark-shadow: a·U − b·L >= (a−1)(b−1). *)
+let dark_shadow_pair (a, l) (b, u) =
+  Constr.geq (Lin.add_const (-((a - 1) * (b - 1))) (Lin.sub (Lin.scale a u) (Lin.scale b l)))
+
+type elim_result =
+  | Exact of t
+  | Inexact of { real : t; dark : t; lowers : (int * Lin.t) list; max_upper_coef : int }
+
+(* Eliminate variable [v] from the inequalities of [t]. Precondition: v does
+   not occur in any equality of [t]. *)
+let fme v t =
+  let b = bounds_of v t in
+  assert (b.eqs_with_v = []);
+  if b.lowers = [] || b.uppers = [] then Exact { t with cs = b.others }
+  else
+    let exact =
+      List.for_all
+        (fun (a, _) -> List.for_all (fun (bb, _) -> a = 1 || bb = 1) b.uppers)
+        b.lowers
+    in
+    let combine pairf =
+      List.concat_map (fun lo -> List.map (fun up -> pairf lo up) b.uppers) b.lowers
+    in
+    if exact then Exact { t with cs = combine real_shadow_pair @ b.others }
+    else
+      let real = { t with cs = combine real_shadow_pair @ b.others } in
+      let dark = { t with cs = combine dark_shadow_pair @ b.others } in
+      let max_upper_coef = List.fold_left (fun m (bb, _) -> max m bb) 1 b.uppers in
+      Inexact { real; dark; lowers = b.lowers; max_upper_coef }
+
+(* ------------------------------------------------------------------ *)
+(* Simplification                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Use equality [c] (with coefficient a on v, |a| > 1) to remove v from every
+   OTHER constraint, by scaling each by |a| and substituting a·v = −rest.
+   Exact: scaling an inequality by a positive factor preserves its integer
+   solutions, and the equality itself is kept. Afterwards v occurs only in
+   [c], i.e. it is stride-like. *)
+let scale_subst t c v =
+  let a = Constr.coeff c v in
+  let s = if a > 0 then 1 else -1 in
+  let rest = Lin.drop v (Constr.lin c) in
+  let cs =
+    List.map
+      (fun c2 ->
+        if c2 == c then c2
+        else
+          let b = Constr.coeff c2 v in
+          if b = 0 then c2
+          else
+            let r2 = Lin.drop v (Constr.lin c2) in
+            (* |a|·(b·v + r2) = b·s·(a·v) + |a|·r2 = −b·s·rest + |a|·r2 *)
+            let lin = Lin.sub (Lin.scale (abs a) r2) (Lin.scale (b * s) rest) in
+            match Constr.kind c2 with
+            | Constr.Eq -> Constr.eq lin
+            | Constr.Geq -> Constr.geq lin)
+      t.cs
+  in
+  { t with cs }
+
+(* Try to remove existential variables exactly. One pass; returns the
+   conjunct and whether progress was made. *)
+let eliminate_existentials t =
+  let progress = ref false in
+  (* [confined] prevents ping-ponging: two existentials coupled by one
+     equality would otherwise take turns rewriting each other's bounds
+     forever. Each variable is confined (scale_subst'ed) at most once per
+     pass; the outer simplification fixpoint handles the rest. *)
+  let rec go confined t =
+    let exs = Var.Set.filter Var.is_ex (vars t) |> Var.Set.elements in
+    (* prefer a defining equality with as few existentials as possible, so
+       bounds get rewritten towards tuple variables and parameters *)
+    let pick_eq eqs =
+      let n_ex_of c =
+        Var.Set.cardinal (Var.Set.filter Var.is_ex (Lin.vars (Constr.lin c)))
+      in
+      List.fold_left
+        (fun best c -> if n_ex_of c < n_ex_of best then c else best)
+        (List.hd eqs) (List.tl eqs)
+    in
+    let try_var t v =
+      let b = bounds_of v t in
+      match b.eqs_with_v with
+      | c :: _ when abs (Constr.coeff c v) = 1 ->
+          (* substitute v away; the defining equality disappears *)
+          let rhs = solve_unit_eq c v in
+          let cs = List.filter (fun c' -> not (c' == c)) t.cs in
+          progress := true;
+          Some (`Elim { t with cs = List.map (Constr.subst v rhs) cs })
+      | _ :: _ as eqs ->
+          let occurs_elsewhere =
+            b.lowers <> [] || b.uppers <> [] || List.length eqs > 1
+          in
+          if occurs_elsewhere && not (Var.Set.mem v confined) then begin
+            (* confine v to its defining equality; it becomes stride-like *)
+            progress := true;
+            let t' = scale_subst t (pick_eq eqs) v in
+            let t' = { t' with cs = normalize_list t'.cs } in
+            Some (`Confined (v, t'))
+          end
+          else
+            (* v occurs only in this equality: a stride (divisibility)
+               constraint on the remaining variables; keep it *)
+            None
+      | [] -> (
+          if b.lowers = [] || b.uppers = [] then begin
+            progress := true;
+            Some (`Elim { t with cs = b.others })
+          end
+          else
+            match fme v t with
+            | Exact t' ->
+                progress := true;
+                Some (`Elim t')
+            | Inexact _ -> None)
+    in
+    let rec loop t = function
+      | [] -> t
+      | v :: rest -> (
+          if not (mem_var v t) then loop t rest
+          else
+            match try_var t v with
+            | Some (`Elim t') -> go confined t'
+            | Some (`Confined (v, t')) -> go (Var.Set.add v confined) t'
+            | None -> loop t rest)
+    in
+    loop t exs
+  in
+  let t = go Var.Set.empty t in
+  (t, !progress)
+
+(* Substitute unit-coefficient equalities through the other constraints so
+   that tuple-variable relationships propagate (the equality itself is
+   kept when it defines a tuple or parameter variable). *)
+let propagate_equalities t =
+  let rec go processed = function
+    | [] -> { t with cs = List.rev processed }
+    | c :: rest when Constr.kind c = Constr.Eq -> (
+        (* find a variable with unit coefficient, preferring existentials *)
+        let lin = Constr.lin c in
+        let candidates =
+          Lin.fold (fun v a acc -> if abs a = 1 then v :: acc else acc) lin []
+        in
+        let pickv =
+          match List.find_opt Var.is_ex candidates with
+          | Some v -> Some v
+          | None -> ( match candidates with v :: _ -> Some v | [] -> None)
+        in
+        match pickv with
+        | None -> go (c :: processed) rest
+        | Some v ->
+            let rhs = solve_unit_eq c v in
+            let processed = List.map (Constr.subst v rhs) processed in
+            let rest = List.map (Constr.subst v rhs) rest in
+            (* existential definitions disappear; tuple/parameter definitions
+               are kept so the relation still relates its tuple variables *)
+            let processed = if Var.is_ex v then processed else c :: processed in
+            go processed rest)
+    | c :: rest -> go (c :: processed) rest
+  in
+  go [] t.cs
+
+(* Merge several existentials that occur only in one equality into a single
+   one: c1·α1 + c2·α2 + ... (each αi nowhere else) spans exactly the
+   multiples of gcd(c1,c2,...), so the group is replaced by g·β. This is
+   what turns the composition of two cyclic layouts into a single stride. *)
+let merge_eq_existentials t =
+  let progress = ref false in
+  let occurrences v = List.length (List.filter (Constr.mem v) t.cs) in
+  let t =
+    List.fold_left
+      (fun t c ->
+        if Constr.kind c <> Constr.Eq || not (List.memq c t.cs) then t
+        else
+          let lin = Constr.lin c in
+          let exclusive =
+            Lin.fold
+              (fun v coef acc ->
+                if Var.is_ex v && occurrences v = 1 then (v, coef) :: acc else acc)
+              lin []
+          in
+          if List.length exclusive < 2 then t
+          else begin
+            progress := true;
+            let g = List.fold_left (fun g (_, c) -> Lin.gcd g c) 0 exclusive in
+            let t', beta = fresh_ex t in
+            let lin' =
+              List.fold_left (fun l (v, _) -> Lin.drop v l) lin exclusive
+            in
+            let lin' = Lin.add lin' (Lin.var ~coef:g beta) in
+            let cs =
+              List.map (fun c' -> if c' == c then Constr.eq lin' else c') t'.cs
+            in
+            { t' with cs }
+          end)
+      t t.cs
+  in
+  (t, !progress)
+
+(* An equality c·α + rest = 0 with α occurring nowhere else is just the
+   congruence rest ≡ 0 (mod |c|), so every coefficient of [rest] (and its
+   constant) can be reduced to its symmetric remainder mod |c|. In
+   particular coefficients divisible by |c| vanish — this decouples
+   stride constraints produced by composing cyclic layouts. *)
+let reduce_stride_coeffs t =
+  let progress = ref false in
+  let occurrences v = List.length (List.filter (Constr.mem v) t.cs) in
+  let cs =
+    List.map
+      (fun c ->
+        if Constr.kind c <> Constr.Eq then c
+        else
+          let lin = Constr.lin c in
+          match
+            Lin.fold
+              (fun v coef acc ->
+                if acc = None && Var.is_ex v && occurrences v = 1 then Some (v, coef)
+                else acc)
+              lin None
+          with
+          | None -> c
+          | Some (alpha, coef) ->
+              let m = abs coef in
+              if m <= 1 then c
+              else
+                let lin' =
+                  Lin.fold
+                    (fun v r acc ->
+                      if Var.equal v alpha then Lin.add acc (Lin.var ~coef:r v)
+                      else begin
+                        let r' = Lin.smod r m in
+                        if r' <> r then progress := true;
+                        Lin.add acc (Lin.var ~coef:r' v)
+                      end)
+                    lin
+                    (let k = Lin.constant lin in
+                     let k' = Lin.smod k m in
+                     if k' <> k then progress := true;
+                     Lin.const k')
+                in
+                Constr.eq lin')
+      t.cs
+  in
+  ({ t with cs }, !progress)
+
+let simplify t =
+  try
+    let rec fix t n =
+      if n > 12 then Some t
+      else
+        let cs = normalize_list t.cs in
+        let cs = tighten cs in
+        let t = { t with cs } in
+        let t = propagate_equalities t in
+        let t, progress = eliminate_existentials t in
+        let t, progress2 = merge_eq_existentials t in
+        let t, progress3 = reduce_stride_coeffs t in
+        let cs' = normalize_list t.cs in
+        let t = { t with cs = cs' } in
+        if progress || progress2 || progress3 then fix t (n + 1)
+        else Some (compact_ex t)
+    in
+    fix t 0
+  with Unsat -> None
+
+(* ------------------------------------------------------------------ *)
+(* Omega satisfiability test                                           *)
+(* ------------------------------------------------------------------ *)
+
+exception Too_hard
+
+(* For satisfiability every variable is treated as existential. *)
+let all_existential t =
+  let tbl = Hashtbl.create 8 in
+  let next = ref t.n_ex in
+  let f v =
+    if Var.is_ex v then v
+    else begin
+      match Hashtbl.find_opt tbl v with
+      | Some v' -> v'
+      | None ->
+          let v' = Var.Ex !next in
+          incr next;
+          Hashtbl.replace tbl v v';
+          v'
+    end
+  in
+  let cs = List.map (Constr.map_lin (Lin.map_vars f)) t.cs in
+  { n_ex = !next; cs }
+
+let rec omega_sat ~fuel t =
+  if fuel <= 0 then raise Too_hard;
+  match simplify t with
+  | None -> false
+  | Some t -> (
+      let vs = vars t |> Var.Set.elements in
+      match vs with
+      | [] -> true (* only tautological constraints remain *)
+      | _ -> (
+          (* After simplify, any remaining equality has no unit-coefficient
+             handle on an existential; but since every var is existential in
+             sat mode, propagate_equalities has already consumed unit
+             equalities. Handle remaining equalities by coefficient
+             reduction. *)
+          match List.find_opt (fun c -> Constr.kind c = Constr.Eq) t.cs with
+          | Some c -> (
+              let unit_v =
+                Lin.fold
+                  (fun v a acc -> if abs a = 1 then Some v else acc)
+                  (Constr.lin c) None
+              in
+              match unit_v with
+              | Some v ->
+                  let rhs = solve_unit_eq c v in
+                  let cs = List.filter (fun c' -> not (c' == c)) t.cs in
+                  omega_sat ~fuel:(fuel - 1)
+                    { t with cs = List.map (Constr.subst v rhs) cs }
+              | None -> omega_sat ~fuel:(fuel - 1) (reduce_equality t c))
+          | None ->
+              (* choose the variable with the cheapest elimination *)
+              let cost v =
+                let b = bounds_of v t in
+                let nl = List.length b.lowers and nu = List.length b.uppers in
+                let exact =
+                  List.for_all
+                    (fun (a, _) -> List.for_all (fun (bb, _) -> a = 1 || bb = 1) b.uppers)
+                    b.lowers
+                in
+                ((if exact then 0 else 1000000), (nl * nu) - nl - nu)
+              in
+              let v =
+                List.fold_left
+                  (fun (bv, bc) v ->
+                    let c = cost v in
+                    if c < bc then (v, c) else (bv, bc))
+                  (List.hd vs, cost (List.hd vs))
+                  (List.tl vs)
+                |> fst
+              in
+              (match fme v t with
+              | Exact t' -> omega_sat ~fuel:(fuel - 1) t'
+              | Inexact { real; dark; lowers; max_upper_coef = m } ->
+                  if not (omega_sat ~fuel:(fuel - 1) real) then false
+                  else if omega_sat ~fuel:(fuel - 1) dark then true
+                  else
+                    (* splinters: for each lower bound a·v >= L, test
+                       a·v = L + i for i in 0 .. (a·m − a − m)/m *)
+                    List.exists
+                      (fun (a, l) ->
+                        let hi = ((a * m) - a - m) / m in
+                        let rec try_i i =
+                          if i > hi then false
+                          else
+                            let eqc =
+                              Constr.eq
+                                (Lin.sub (Lin.var ~coef:a v) (Lin.add_const i l))
+                            in
+                            omega_sat ~fuel:(fuel - 1) { t with cs = eqc :: t.cs }
+                            || try_i (i + 1)
+                        in
+                        try_i 0)
+                      lowers)))
+
+let sat t = omega_sat ~fuel:300 (all_existential t)
+
+let is_empty t = not (sat t)
+
+(* ------------------------------------------------------------------ *)
+(* Negation, implication, gist                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Negate a conjunct, producing a disjunction of conjuncts.
+
+    Exact when every residual existential α is in {e window} form: its
+    occurrences amount to [l <= k·α <= u] for affine l, u free of other
+    existentials — either a single equality ([l = u], a stride) or a
+    lower/upper inequality pair. The negation of "some multiple of k lies in
+    [l,u]" is "some multiple of k lies in [u−k+1, l−1]", which is again a
+    window, so the class is closed under the set operations the compiler
+    performs. Raises [Inexact_negation] otherwise. *)
+let negate t =
+  match simplify t with
+  | None -> [ true_ ] (* ¬false = true *)
+  | Some t ->
+      let exs = Var.Set.filter Var.is_ex (vars t) in
+      (* window_of α: (k, l, u, constraints consumed) with l <= k·α <= u *)
+      let window_of a =
+        let occs = List.filter (Constr.mem a) t.cs in
+        let no_other_ex lin =
+          Var.Set.for_all
+            (fun v -> (not (Var.is_ex v)) || Var.equal v a)
+            (Lin.vars lin)
+        in
+        match occs with
+        | [ c ] when Constr.kind c = Constr.Eq ->
+            let ka = Lin.coeff (Constr.lin c) a in
+            let rest = Lin.drop a (Constr.lin c) in
+            if not (no_other_ex rest) then raise Inexact_negation;
+            (* ka·α + rest = 0  ⇔  |ka|·α = −sign(ka)·rest *)
+            let r = Lin.scale (if ka > 0 then -1 else 1) rest in
+            (abs ka, r, r, occs)
+        | [ c1; c2 ] when Constr.kind c1 = Constr.Geq && Constr.kind c2 = Constr.Geq ->
+            let k1 = Constr.coeff c1 a and k2 = Constr.coeff c2 a in
+            if k1 + k2 <> 0 then raise Inexact_negation;
+            let clo, chi = if k1 > 0 then (c1, c2) else (c2, c1) in
+            let l = Lin.neg (Lin.drop a (Constr.lin clo)) in
+            let u = Lin.drop a (Constr.lin chi) in
+            if not (no_other_ex l && no_other_ex u) then raise Inexact_negation;
+            (abs k1, l, u, occs)
+        | _ -> raise Inexact_negation
+      in
+      let windows = List.map window_of (Var.Set.elements exs) in
+      let consumed = List.concat_map (fun (_, _, _, cs) -> cs) windows in
+      let plain = List.filter (fun c -> not (List.memq c consumed)) t.cs in
+      let neg_plain =
+        List.concat_map
+          (fun c -> List.map (fun nc -> make ~n_ex:0 [ nc ]) (Constr.negate c))
+          plain
+      in
+      let neg_windows =
+        List.map
+          (fun (k, l, u, _) ->
+            (* ¬(∃α: l <= k·α <= u) = ∃β: u − k + 1 <= k·β <= l − 1 *)
+            let beta = Var.Ex 0 in
+            let kb = Lin.var ~coef:k beta in
+            make ~n_ex:1
+              [
+                Constr.geq (Lin.sub kb (Lin.add_const (-k + 1) u));
+                Constr.geq (Lin.sub (Lin.add_const (-1) l) kb);
+              ])
+          windows
+      in
+      neg_plain @ neg_windows
+
+(** [implies t c]: does [t] entail the single constraint [c]?
+    [c] must not mention existential variables of [t]. *)
+let implies t c =
+  List.for_all (fun nc -> is_empty (meet t nc)) (negate (make ~n_ex:0 [ c ]))
+
+let constr_has_ex c = Lin.exists_var Var.is_ex (Constr.lin c)
+
+(** [gist t ~given]: drop constraints of [t] entailed by [given] plus the
+    remaining constraints of [t]. Constraints mentioning existentials of [t]
+    are always kept (dropping them safely would require scoped negation). *)
+let gist t ~given =
+  let rec go kept = function
+    | [] -> { t with cs = List.rev kept }
+    | c :: rest ->
+        if constr_has_ex c then go (c :: kept) rest
+        else
+          let ctx = { t with cs = List.rev_append kept rest } in
+          if implies (meet ctx given) c then go kept rest else go (c :: kept) rest
+  in
+  go [] t.cs
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp ?pp_var fmt t =
+  if t.cs = [] then Fmt.string fmt "TRUE"
+  else Fmt.(list ~sep:(any " && ") (Constr.pp ?pp_var)) fmt t.cs
+
+let to_string t = Fmt.str "%a" (pp ?pp_var:None) t

@@ -1,0 +1,90 @@
+(** Atomic constraints over linear terms: [t = 0] or [t >= 0]. *)
+
+type kind = Eq | Geq
+
+type t = { kind : kind; lin : Lin.t }
+
+let eq lin = { kind = Eq; lin }
+let geq lin = { kind = Geq; lin }
+
+(** [a <= b] as a constraint: b - a >= 0. *)
+let le a b = geq (Lin.sub b a)
+
+(** [a = b]. *)
+let equal_terms a b = eq (Lin.sub a b)
+
+let kind c = c.kind
+let lin c = c.lin
+
+let compare a b =
+  match (a.kind, b.kind) with
+  | Eq, Geq -> -1
+  | Geq, Eq -> 1
+  | _ -> Lin.compare a.lin b.lin
+
+let equal a b = compare a b = 0
+
+let mem v c = Lin.mem v c.lin
+let coeff c v = Lin.coeff c.lin v
+
+type norm = Tauto | Contra | Ok of t
+
+(** Canonicalize: divide by the gcd of variable coefficients; for [Geq] the
+    constant is floored (integer tightening), for [Eq] non-divisibility means
+    the constraint (hence the conjunct) is unsatisfiable. Equalities are
+    sign-normalized so the leading coefficient is positive. *)
+let normalize c =
+  if Lin.is_const c.lin then
+    let k = Lin.constant c.lin in
+    match c.kind with
+    | Eq -> if k = 0 then Tauto else Contra
+    | Geq -> if k >= 0 then Tauto else Contra
+  else
+    let g = Lin.coeff_gcd c.lin in
+    let lin =
+      if g <= 1 then c.lin
+      else
+        match c.kind with
+        | Geq ->
+            let scaled =
+              Lin.fold (fun v cf acc -> Lin.add acc (Lin.var ~coef:(cf / g) v)) c.lin Lin.zero
+            in
+            Lin.add_const (Lin.fdiv (Lin.constant c.lin) g) scaled
+        | Eq ->
+            if Lin.constant c.lin mod g <> 0 then Lin.const 1 (* marker: unsat *)
+            else
+              let scaled =
+                Lin.fold (fun v cf acc -> Lin.add acc (Lin.var ~coef:(cf / g) v)) c.lin Lin.zero
+              in
+              Lin.add_const (Lin.constant c.lin / g) scaled
+    in
+    if c.kind = Eq && Lin.is_const lin then Contra
+    else
+      let lin =
+        if c.kind = Eq then
+          (* make the smallest variable's coefficient positive for canonical form *)
+          match Var.Map.min_binding_opt lin.Lin.coeffs with
+          | Some (_, cf) when cf < 0 -> Lin.neg lin
+          | _ -> lin
+        else lin
+      in
+      Ok { c with lin }
+
+let subst v rhs c = { c with lin = Lin.subst v rhs c.lin }
+
+let map_lin f c = { c with lin = f c.lin }
+
+(** Negation of a single constraint, as a disjunction of constraints.
+    [not (t >= 0)] is [-t - 1 >= 0]; [not (t = 0)] is [t - 1 >= 0 \/ -t - 1 >= 0]. *)
+let negate c =
+  match c.kind with
+  | Geq -> [ geq (Lin.add_const (-1) (Lin.neg c.lin)) ]
+  | Eq ->
+      [ geq (Lin.add_const (-1) c.lin); geq (Lin.add_const (-1) (Lin.neg c.lin)) ]
+
+let pp ?pp_var fmt c =
+  match c.kind with
+  | Eq -> Fmt.pf fmt "%a = 0" (Lin.pp ?pp_var) c.lin
+  | Geq -> Fmt.pf fmt "%a >= 0" (Lin.pp ?pp_var) c.lin
+
+let to_string c = Fmt.str "%a" (pp ?pp_var:None) c

@@ -1,0 +1,86 @@
+(** Convex over-approximation by implied constraints.
+
+    [implied_constraints conjs] returns the existential-free constraints
+    drawn from the conjuncts that are entailed by {e every} conjunct — a
+    sound convex over-approximation of the union (it is the tightest hull
+    expressible with the constraints already present, which is what loop
+    bound generation and the §3.3 convexity test need). *)
+
+let implied_constraints ?(syntactic_only = false) ?(context = Conj.true_)
+    (conjs : Conj.t list) : Constr.t list =
+  match conjs with
+  | [] -> []
+  | [ c ] ->
+      (* single conjunct: it is its own hull *)
+      List.filter (fun ct -> not (Conj.constr_has_ex ct)) (Conj.constraints c)
+  | _ ->
+      (* candidate pool: every ex-free constraint of every conjunct, with
+         equalities also contributed as their two inequality halves (an
+         [x = 17] disjunct must be able to supply the bound [x <= 17]) *)
+      let expand c =
+        match Constr.kind c with
+        | Constr.Geq -> [ c ]
+        | Constr.Eq ->
+            [ c; Constr.geq (Constr.lin c); Constr.geq (Lin.neg (Constr.lin c)) ]
+      in
+      let cands =
+        List.concat_map
+          (fun c ->
+            List.concat_map expand
+              (List.filter
+                 (fun ct -> not (Conj.constr_has_ex ct))
+                 (Conj.constraints c)))
+          conjs
+        |> List.sort_uniq Constr.compare
+      in
+      (* fast path: a candidate syntactically present in a conjunct (or
+         dominated by a same-coefficient inequality with a smaller constant)
+         is implied without an Omega query *)
+      let trivially_implied c cand =
+        List.exists
+          (fun ct ->
+            Constr.equal ct cand
+            || (Constr.kind ct = Constr.Eq
+                && (Constr.equal (Constr.geq (Constr.lin ct)) cand
+                    || Constr.equal (Constr.geq (Lin.neg (Constr.lin ct))) cand))
+            || (Constr.kind cand = Constr.Geq && Constr.kind ct = Constr.Geq
+                && Var.Map.equal Int.equal
+                     (Constr.lin ct).Lin.coeffs (Constr.lin cand).Lin.coeffs
+                && Lin.constant (Constr.lin ct) <= Lin.constant (Constr.lin cand)))
+          (Conj.constraints c)
+      in
+      List.filter
+        (fun cand ->
+          List.for_all
+            (fun c ->
+              trivially_implied c cand
+              || ((not syntactic_only)
+                  && Conj.implies (Conj.meet c context) cand))
+            conjs)
+        cands
+
+(** Hull of a relation, as a single-conjunct relation of the same signature.
+    The empty relation hulls to itself. *)
+let hull ?context r =
+  match Rel.conjuncts r with
+  | [] -> r
+  | conjs ->
+      let context =
+        match context with
+        | Some ctx -> (
+            match Rel.conjuncts ctx with [ c ] -> c | _ -> Conj.true_)
+        | None -> Conj.true_
+      in
+      Rel.make ~in_names:(Rel.in_names r) ~out_names:(Rel.out_names r)
+        ~in_ar:(Rel.in_arity r) ~out_ar:(Rel.out_arity r)
+        [ Conj.make ~n_ex:0 (implied_constraints ~context conjs) ]
+
+(** Is the (1-D or n-D) set provably convex? Tests Hull(S) − S = ∅. A [false]
+    answer means "not proved": the §3.3 machinery then falls back to a
+    runtime check, exactly as the paper does. *)
+let is_convex r =
+  match Rel.conjuncts r with
+  | [] -> true
+  | [ c ] when not (List.exists Conj.constr_has_ex (Conj.constraints c)) ->
+      true (* a single existential-free conjunct is its own hull *)
+  | _ -> ( try Rel.is_empty (Rel.diff (hull r) r) with Conj.Inexact_negation -> false)

@@ -1,0 +1,18 @@
+(** Convex over-approximation by implied constraints. *)
+
+val implied_constraints :
+  ?syntactic_only:bool -> ?context:Conj.t -> Conj.t list -> Constr.t list
+(** The existential-free constraints drawn from the conjuncts (equalities
+    also contributed as their two inequality halves) that are entailed by
+    {e every} conjunct — the tightest convex over-approximation expressible
+    with constraints already present. [syntactic_only] skips the Omega
+    entailment queries and keeps only candidates that appear (or are
+    dominated) syntactically in every conjunct — cheaper, possibly looser. *)
+
+val hull : ?context:Rel.t -> Rel.t -> Rel.t
+(** Hull of a relation, as a single-conjunct relation of the same
+    signature. The empty relation hulls to itself. *)
+
+val is_convex : Rel.t -> bool
+(** Provably convex (Hull(S) − S = ∅)? [false] means "not proved": callers
+    fall back to runtime checks or packing, as the paper does. *)

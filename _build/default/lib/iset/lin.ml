@@ -1,0 +1,115 @@
+(** Linear (affine) integer terms: [sum_i c_i * v_i + k].
+
+    Coefficients are native ints; the sets manipulated by the compiler stay
+    far below 2^62. Zero coefficients are never stored. *)
+
+type t = { coeffs : int Var.Map.t; const : int }
+
+let zero = { coeffs = Var.Map.empty; const = 0 }
+
+let const k = { coeffs = Var.Map.empty; const = k }
+
+let var ?(coef = 1) v =
+  if coef = 0 then zero else { coeffs = Var.Map.singleton v coef; const = 0 }
+
+let coeff t v = match Var.Map.find_opt v t.coeffs with Some c -> c | None -> 0
+
+let constant t = t.const
+
+let is_const t = Var.Map.is_empty t.coeffs
+
+let add a b =
+  let coeffs =
+    Var.Map.union (fun _ x y -> if x + y = 0 then None else Some (x + y)) a.coeffs b.coeffs
+  in
+  { coeffs; const = a.const + b.const }
+
+let neg a =
+  { coeffs = Var.Map.map (fun c -> -c) a.coeffs; const = -a.const }
+
+let sub a b = add a (neg b)
+
+let scale k a =
+  if k = 0 then zero
+  else if k = 1 then a
+  else { coeffs = Var.Map.map (fun c -> k * c) a.coeffs; const = k * a.const }
+
+let add_const k a = { a with const = a.const + k }
+
+let of_list pairs k =
+  List.fold_left (fun acc (c, v) -> add acc (var ~coef:c v)) (const k) pairs
+
+(** Remove [v]'s term entirely. *)
+let drop v t = { t with coeffs = Var.Map.remove v t.coeffs }
+
+(** [subst v rhs t] replaces every occurrence of [v] by the term [rhs]. *)
+let subst v rhs t =
+  match Var.Map.find_opt v t.coeffs with
+  | None -> t
+  | Some c -> add (drop v t) (scale c rhs)
+
+let vars t = Var.Map.fold (fun v _ acc -> Var.Set.add v acc) t.coeffs Var.Set.empty
+
+let mem v t = Var.Map.mem v t.coeffs
+
+let fold f t acc = Var.Map.fold f t.coeffs acc
+
+let exists_var p t = Var.Map.exists (fun v _ -> p v) t.coeffs
+
+let map_vars f t =
+  Var.Map.fold (fun v c acc -> add acc (var ~coef:c (f v))) t.coeffs (const t.const)
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(** Gcd of all variable coefficients (0 if constant). *)
+let coeff_gcd t = Var.Map.fold (fun _ c g -> gcd c g) t.coeffs 0
+
+let compare a b =
+  let c = Var.Map.compare Int.compare a.coeffs b.coeffs in
+  if c <> 0 then c else Int.compare a.const b.const
+
+let equal a b = compare a b = 0
+
+(* Euclidean division helpers: floor and ceil for possibly-negative
+   numerators, positive denominators. *)
+let fdiv a b =
+  assert (b > 0);
+  if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+let cdiv a b =
+  assert (b > 0);
+  if a >= 0 then (a + b - 1) / b else -((-a) / b)
+
+(* Positive remainder in [0, b). *)
+let pmod a b =
+  assert (b > 0);
+  let r = a mod b in
+  if r < 0 then r + b else r
+
+(* Symmetric remainder in (-b/2, b/2] used by Omega's equality reduction:
+   a mod' b = a - b * floor(a/b + 1/2). *)
+let smod a b =
+  assert (b > 0);
+  let r = pmod a b in
+  if 2 * r > b then r - b else r
+
+let eval env t =
+  Var.Map.fold (fun v c acc -> acc + (c * env v)) t.coeffs t.const
+
+let pp ?(pp_var = Var.pp) fmt t =
+  let terms = Var.Map.bindings t.coeffs in
+  let pp_term first fmt (v, c) =
+    if c = 1 then Fmt.pf fmt (if first then "%a" else "+%a") pp_var v
+    else if c = -1 then Fmt.pf fmt "-%a" pp_var v
+    else if c >= 0 then Fmt.pf fmt (if first then "%d%a" else "+%d%a") c pp_var v
+    else Fmt.pf fmt "%d%a" c pp_var v
+  in
+  match terms with
+  | [] -> Fmt.int fmt t.const
+  | (v0, c0) :: rest ->
+      pp_term true fmt (v0, c0);
+      List.iter (fun vc -> pp_term false fmt vc) rest;
+      if t.const > 0 then Fmt.pf fmt "+%d" t.const
+      else if t.const < 0 then Fmt.pf fmt "%d" t.const
+
+let to_string t = Fmt.str "%a" (pp ?pp_var:None) t

@@ -1,0 +1,265 @@
+(** Parser for Omega-library-style set/relation notation, used by the test
+    suite, the examples, and the [dhpfc] CLI:
+
+    {v
+      {[i,j] -> [p] : 1 <= i <= n && 25p+1 <= j <= 25p+25 && 0 <= p < 4}
+      {[i] : exists(a: i = 2a && 1 <= i <= n)} union {[i] : i = 0}
+    v}
+
+    Names bound by the tuples become input/output variables; names bound by
+    [exists] become existentials; all other names are symbolic parameters. *)
+
+exception Error of string
+
+type token =
+  | INT of int
+  | IDENT of string
+  | LBRACE | RBRACE | LBRACK | RBRACK | LPAREN | RPAREN
+  | ARROW | COLON | COMMA | AMPAMP | BARBAR
+  | EQ | LE | LT | GE | GT
+  | PLUS | MINUS | STAR
+  | KW_EXISTS | KW_UNION
+  | EOF
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c >= '0' && c <= '9' then begin
+      let j = ref !i in
+      while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do incr j done;
+      push (INT (int_of_string (String.sub s !i (!j - !i))));
+      i := !j
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+    then begin
+      let j = ref !i in
+      let idch c =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9') || c = '_' || c = '$' || c = '\''
+      in
+      while !j < n && idch s.[!j] do incr j done;
+      let w = String.sub s !i (!j - !i) in
+      i := !j;
+      match String.lowercase_ascii w with
+      | "exists" -> push KW_EXISTS
+      | "union" | "or" -> push KW_UNION
+      | "and" -> push AMPAMP
+      | _ -> push (IDENT w)
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub s !i 2 else "" in
+      match two with
+      | "->" -> push ARROW; i := !i + 2
+      | "&&" -> push AMPAMP; i := !i + 2
+      | "||" -> push BARBAR; i := !i + 2
+      | "<=" -> push LE; i := !i + 2
+      | ">=" -> push GE; i := !i + 2
+      | _ -> (
+          (match c with
+          | '{' -> push LBRACE
+          | '}' -> push RBRACE
+          | '[' -> push LBRACK
+          | ']' -> push RBRACK
+          | '(' -> push LPAREN
+          | ')' -> push RPAREN
+          | ':' -> push COLON
+          | ',' -> push COMMA
+          | '=' -> push EQ
+          | '<' -> push LT
+          | '>' -> push GT
+          | '+' -> push PLUS
+          | '-' -> push MINUS
+          | '*' -> push STAR
+          | _ -> raise (Error (Printf.sprintf "unexpected character %c" c)));
+          incr i)
+    end
+  done;
+  push EOF;
+  Array.of_list (List.rev !toks)
+
+type state = {
+  toks : token array;
+  mutable pos : int;
+  mutable env : (string * Var.t) list; (* tuple + exists bindings *)
+  mutable n_ex : int;
+}
+
+let peek st = st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let expect st t what =
+  if peek st = t then advance st else raise (Error ("expected " ^ what))
+
+let ident st =
+  match peek st with
+  | IDENT s -> advance st; s
+  | _ -> raise (Error "expected identifier")
+
+let lookup st name =
+  match List.assoc_opt name st.env with
+  | Some v -> v
+  | None -> Var.Param name
+
+(* expr := term (('+'|'-') term)* ; term := [-] (int ['*'] [ident] | ident) *)
+let rec parse_expr st =
+  let t = parse_term st in
+  parse_expr_rest st t
+
+and parse_expr_rest st acc =
+  match peek st with
+  | PLUS -> advance st; parse_expr_rest st (Lin.add acc (parse_term st))
+  | MINUS -> advance st; parse_expr_rest st (Lin.sub acc (parse_term st))
+  | _ -> acc
+
+and parse_term st =
+  match peek st with
+  | MINUS -> advance st; Lin.neg (parse_term st)
+  | INT k -> (
+      advance st;
+      match peek st with
+      | STAR -> (
+          advance st;
+          match peek st with
+          | IDENT name -> advance st; Lin.var ~coef:k (lookup st name)
+          | INT k2 -> advance st; Lin.const (k * k2)
+          | _ -> raise (Error "expected identifier after *"))
+      | IDENT name -> advance st; Lin.var ~coef:k (lookup st name)
+      | _ -> Lin.const k)
+  | IDENT name -> advance st; Lin.var (lookup st name)
+  | LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st RPAREN ")";
+      e
+  | _ -> raise (Error "expected term")
+
+(* chain := expr (relop expr)+  producing one constraint per adjacent pair *)
+let parse_chain st =
+  let first = parse_expr st in
+  let rec go lhs acc =
+    match peek st with
+    | EQ -> advance st; let rhs = parse_expr st in
+        go rhs (Constr.equal_terms lhs rhs :: acc)
+    | LE -> advance st; let rhs = parse_expr st in
+        go rhs (Constr.le lhs rhs :: acc)
+    | LT -> advance st; let rhs = parse_expr st in
+        go rhs (Constr.le (Lin.add_const 1 lhs) rhs :: acc)
+    | GE -> advance st; let rhs = parse_expr st in
+        go rhs (Constr.le rhs lhs :: acc)
+    | GT -> advance st; let rhs = parse_expr st in
+        go rhs (Constr.le (Lin.add_const 1 rhs) lhs :: acc)
+    | _ -> (lhs, acc)
+  in
+  let _, cs = go first [] in
+  if cs = [] then raise (Error "expected relational operator");
+  cs
+
+(* atom := exists(vars: conj) | chain ; conj := atom (&& atom)* *)
+let rec parse_conj st =
+  let cs = parse_atom st in
+  match peek st with
+  | AMPAMP -> advance st; cs @ parse_conj st
+  | _ -> cs
+
+and parse_atom st =
+  match peek st with
+  | KW_EXISTS ->
+      advance st;
+      expect st LPAREN "(";
+      let rec names acc =
+        let n = ident st in
+        match peek st with
+        | COMMA -> advance st; names (n :: acc)
+        | _ -> List.rev (n :: acc)
+      in
+      let ns = names [] in
+      expect st COLON ":";
+      let saved = st.env in
+      let bound =
+        List.map
+          (fun n ->
+            let v = Var.Ex st.n_ex in
+            st.n_ex <- st.n_ex + 1;
+            (n, v))
+          ns
+      in
+      st.env <- bound @ st.env;
+      let cs = parse_conj st in
+      expect st RPAREN ")";
+      st.env <- saved;
+      cs
+  | LPAREN ->
+      advance st;
+      let cs = parse_conj st in
+      expect st RPAREN ")";
+      cs
+  | _ -> parse_chain st
+
+let parse_tuple st =
+  expect st LBRACK "[";
+  if peek st = RBRACK then begin advance st; [] end
+  else begin
+    let rec go acc =
+      let n = ident st in
+      match peek st with
+      | COMMA -> advance st; go (n :: acc)
+      | RBRACK -> advance st; List.rev (n :: acc)
+      | _ -> raise (Error "expected , or ] in tuple")
+    in
+    go []
+  end
+
+let parse_one_rel st =
+  expect st LBRACE "{";
+  let ins = parse_tuple st in
+  let outs = if peek st = ARROW then begin advance st; parse_tuple st end else [] in
+  let env =
+    List.mapi (fun i n -> (n, Var.In i)) ins
+    @ List.mapi (fun i n -> (n, Var.Out i)) outs
+  in
+  st.env <- env;
+  st.n_ex <- 0;
+  let disjuncts =
+    if peek st = COLON then begin
+      advance st;
+      let rec go acc =
+        st.n_ex <- 0;
+        let cs = parse_conj st in
+        let c = Conj.make ~n_ex:st.n_ex cs in
+        match peek st with
+        | BARBAR | KW_UNION -> advance st; go (c :: acc)
+        | _ -> c :: acc
+      in
+      List.rev (go [])
+    end
+    else [ Conj.true_ ]
+  in
+  expect st RBRACE "}";
+  Rel.make
+    ~in_names:(Array.of_list ins)
+    ~out_names:(Array.of_list outs)
+    ~in_ar:(List.length ins) ~out_ar:(List.length outs) disjuncts
+
+(** Parse a relation or set; multiple brace groups may be joined with
+    [union]. *)
+let rel s =
+  let st = { toks = tokenize s; pos = 0; env = []; n_ex = 0 } in
+  let r = parse_one_rel st in
+  let rec more r =
+    match peek st with
+    | KW_UNION ->
+        advance st;
+        let r2 = parse_one_rel st in
+        more (Rel.union r r2)
+    | EOF -> r
+    | _ -> raise (Error "trailing input after relation")
+  in
+  let r = more r in
+  Rel.simplify r
+
+let set = rel

@@ -1,0 +1,19 @@
+(** Parser for Omega-library-style set/relation notation:
+
+    {v
+      {[i,j] -> [p] : 1 <= i <= n && 25p+1 <= j <= 25p+25 && 0 <= p < 4}
+      {[i] : exists(a : i = 2a && 1 <= i <= n)} union {[i] : i = 0}
+    v}
+
+    Names bound by the bracketed tuples become input/output variables; names
+    bound by [exists(...)] become existentials; every other name is a
+    symbolic parameter. Relational chains ([1 <= i < j <= n]), [&&]/[and],
+    [||]/[or] (disjunction), and [union] between brace groups are accepted. *)
+
+exception Error of string
+
+val rel : string -> Rel.t
+(** Parse a relation (or set). @raise Error on malformed input. *)
+
+val set : string -> Rel.t
+(** Alias of {!rel}. *)

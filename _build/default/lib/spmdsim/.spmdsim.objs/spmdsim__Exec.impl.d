@@ -1,0 +1,1 @@
+lib/spmdsim/exec.ml: Array Dhpf Effect Float Fmt Hashtbl Hpf Iset List Machine Option Printf Queue Serial Spmd String

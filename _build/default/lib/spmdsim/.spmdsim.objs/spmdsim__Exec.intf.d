@@ -1,0 +1,1 @@
+lib/spmdsim/exec.mli: Dhpf Machine

@@ -1,0 +1,1 @@
+lib/spmdsim/machine.ml:

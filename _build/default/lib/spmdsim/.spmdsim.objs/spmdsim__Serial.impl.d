@@ -1,0 +1,1 @@
+lib/spmdsim/serial.ml: Array Ast Float Fmt Hashtbl Hpf Iset List Machine Sema

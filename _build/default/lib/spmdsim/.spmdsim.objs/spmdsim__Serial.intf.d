@@ -1,0 +1,1 @@
+lib/spmdsim/serial.mli: Hpf Machine

@@ -1,0 +1,741 @@
+(** SPMD interpreter: executes the compiler's {!Dhpf.Spmd} programs on a
+    simulated distributed-memory machine.
+
+    Each processor runs as an effect-handler fiber with its own virtual
+    clock; sends are buffered (non-blocking), receives block until the
+    matching message exists, and the scheduler advances whichever processor
+    can make progress. Receive completion time is
+    [max(local clock + recv overhead, message arrival)] with arrival =
+    sender clock at send + alpha + bytes*beta — a LogGP-style model.
+
+    Storage is one table per (processor, array) holding both owned elements
+    and received non-local values; ownership is recomputed from the layout
+    descriptors, so a [Local] access to a non-owned element or a [Checked]
+    read of never-communicated data raises — executing compiled code under
+    the simulator doubles as a correctness check of the compiler. *)
+
+open Dhpf
+
+exception Error of string
+
+let errf fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+type key = { k_event : int; k_src : int list; k_dst : int list }
+
+type payload = (string * int * float) array
+(* (array, encoded index, value) *)
+
+type msg = { m_arrival : float; m_payload : payload; m_contig : bool }
+
+type meta = {
+  mt_bounds : (int * int) list;
+  mt_strides : int array;
+  mt_base : int;
+  mt_layout : Spmd.array_layout option;
+}
+
+type pstate = {
+  pid : int;
+  coords : int array;
+  ienv : (string, int) Hashtbl.t;
+  fenv : (string, float) Hashtbl.t;
+  mutable clock : float;
+}
+
+type sim = {
+  prog : Spmd.program;
+  machine : Machine.t;
+  genv : (string, int) Hashtbl.t;  (** global parameter values *)
+  extents : int array;
+  nprocs : int;
+  procs : pstate array;
+  store : (string, (int, float) Hashtbl.t array) Hashtbl.t;
+  meta : (string, meta) Hashtbl.t;
+  mailbox : (key, msg Queue.t) Hashtbl.t;
+  outbuf : (int * int, (string * int * float) list ref) Hashtbl.t;
+      (** (pid, event) -> elements packed so far *)
+  inplace_events : (int, unit) Hashtbl.t;
+  rect_events : (int, unit) Hashtbl.t;
+  mutable n_msgs : int;
+  mutable n_bytes : int;
+  mutable n_elems_comm : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Startup                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let eval_global sim e =
+  Iset.Codegen.eval_expr
+    (fun s ->
+      match Hashtbl.find_opt sim.genv s with
+      | Some v -> v
+      | None -> errf "unbound parameter %s" s)
+    e
+
+let make ?(machine = Machine.default) ~nprocs ?(params = []) (prog : Spmd.program) : sim
+    =
+  let genv = Hashtbl.create 32 in
+  Hashtbl.replace genv "number_of_processors" nprocs;
+  List.iter (fun (n, v) -> Hashtbl.replace genv n v) params;
+  let bind s =
+    match Hashtbl.find_opt genv s with
+    | Some v -> v
+    | None -> errf "unbound parameter %s (needed at startup)" s
+  in
+  List.iter
+    (fun (pb : Spmd.param_binding) ->
+      match pb.pb_value with
+      | `Given k -> Hashtbl.replace genv pb.pb_name k
+      | `FromEnv ->
+          if not (Hashtbl.mem genv pb.pb_name) then
+            errf "symbolic parameter %s must be supplied" pb.pb_name
+      | `Expr e -> Hashtbl.replace genv pb.pb_name (Hpf.Sema.eval_iexpr ~bind e))
+    prog.params;
+  let sim0_eval e = Iset.Codegen.eval_expr bind e in
+  let extents = Array.of_list (List.map sim0_eval prog.proc_extents) in
+  Array.iteri
+    (fun k e ->
+      if e < 1 then
+        errf "processor grid dimension %d has extent %d with %d processors"
+          (k + 1) e nprocs)
+    extents;
+  let total = Array.fold_left ( * ) 1 extents in
+  if total < 1 then errf "empty processor grid";
+  let meta = Hashtbl.create 16 in
+  List.iter
+    (fun (ad : Spmd.array_decl) ->
+      let bounds = List.map (fun (lo, hi) -> (sim0_eval lo, sim0_eval hi)) ad.ad_bounds in
+      let extentsd = List.map (fun (lo, hi) -> hi - lo + 1) bounds in
+      let n = List.length extentsd in
+      let strides = Array.make n 1 in
+      List.iteri (fun i e -> if i + 1 < n then strides.(i + 1) <- strides.(i) * e) extentsd;
+      let base =
+        List.fold_left2 (fun acc (lo, _) k -> acc + (lo * k)) 0 bounds
+          (Array.to_list strides)
+      in
+      Hashtbl.replace meta ad.ad_name
+        { mt_bounds = bounds; mt_strides = strides; mt_base = base;
+          mt_layout = ad.ad_layout })
+    prog.arrays;
+  let store = Hashtbl.create 16 in
+  List.iter
+    (fun (ad : Spmd.array_decl) ->
+      Hashtbl.replace store ad.ad_name (Array.init total (fun _ -> Hashtbl.create 64)))
+    prog.arrays;
+  let procs =
+    Array.init total (fun pid ->
+        (* column-major linearization: first dimension varies fastest *)
+        let coords = Array.make (Array.length extents) 0 in
+        let rem = ref pid in
+        Array.iteri
+          (fun k e ->
+            coords.(k) <- !rem mod e;
+            rem := !rem / e)
+          extents;
+        let ienv = Hashtbl.create 16 in
+        Array.iteri (fun k c -> Hashtbl.replace ienv (Printf.sprintf "m$%d" (k + 1)) c) coords;
+        List.iteri
+          (fun k (pd : Spmd.proc_dim_rt) ->
+            let vm_name = Printf.sprintf "vm$%d" (k + 1) in
+            match pd.pd_mode with
+            | Spmd.VpIsPhys -> Hashtbl.replace ienv vm_name coords.(k)
+            | Spmd.VpBlockOnePer ->
+                let b = sim0_eval (Option.get pd.pd_bsize) in
+                let tlo = sim0_eval pd.pd_tlo in
+                Hashtbl.replace ienv vm_name ((b * coords.(k)) + tlo)
+            | Spmd.VpTemplateCell -> () (* bound by generated VP loops *))
+          prog.proc_dims;
+        { pid; coords; ienv; fenv = Hashtbl.create 16; clock = 0.0 })
+  in
+  let sim =
+    {
+      prog;
+      machine;
+      genv;
+      extents;
+      nprocs = total;
+      procs;
+      store;
+      meta;
+      mailbox = Hashtbl.create 64;
+      outbuf = Hashtbl.create 16;
+      inplace_events = Hashtbl.create 8;
+      rect_events = Hashtbl.create 8;
+      n_msgs = 0;
+      n_bytes = 0;
+      n_elems_comm = 0;
+    }
+  in
+  List.iter
+    (fun (e : Spmd.event_info) ->
+      if e.ev_inplace then Hashtbl.replace sim.inplace_events e.Spmd.ev_id ();
+      if e.ev_rect then Hashtbl.replace sim.rect_events e.Spmd.ev_id ())
+    prog.events;
+  (* replicated scalars start at zero *)
+  Array.iter
+    (fun p -> List.iter (fun s -> Hashtbl.replace p.fenv s 0.0) prog.scalars)
+    sim.procs;
+  sim
+
+let nprocs sim = sim.nprocs
+
+(* ------------------------------------------------------------------ *)
+(* Ownership and addressing                                            *)
+(* ------------------------------------------------------------------ *)
+
+let meta_of sim name =
+  match Hashtbl.find_opt sim.meta name with
+  | Some m -> m
+  | None -> errf "unknown array %s" name
+
+let encode sim name (idx : int list) =
+  let m = meta_of sim name in
+  let off = ref (-m.mt_base) in
+  List.iteri
+    (fun i x ->
+      let lo, hi = List.nth m.mt_bounds i in
+      if x < lo || x > hi then
+        errf "array %s: index %d outside [%d,%d] (dim %d)" name x lo hi (i + 1);
+      off := !off + (x * m.mt_strides.(i)))
+    idx;
+  !off
+
+(* physical owner coordinate along one processor dimension, or None if the
+   element is replicated along it *)
+let owner_coord sim (dl : Spmd.dim_layout) (idx : int array) : int option =
+  let t =
+    match dl.source with
+    | Spmd.AnyCoord -> None
+    | Spmd.FixedCoord e -> Some (eval_global sim e)
+    | Spmd.FromData { data_dim; coef; off } ->
+        Some ((coef * idx.(data_dim)) + eval_global sim off)
+  in
+  match t with
+  | None -> None
+  | Some t -> (
+      let tlo = eval_global sim dl.tlo in
+      let p = eval_global sim dl.pextent in
+      match dl.fmt with
+      | Spmd.RBlock { bsize } ->
+          let b = eval_global sim bsize in
+          Some (Iset.Lin.fdiv (t - tlo) b)
+      | Spmd.RCyclic -> Some (Iset.Lin.pmod (t - tlo) p)
+      | Spmd.RBlockCyclic k -> Some (Iset.Lin.pmod (Iset.Lin.fdiv (t - tlo) k) p))
+
+let owns sim (p : pstate) name (idx : int list) : bool =
+  let m = meta_of sim name in
+  match m.mt_layout with
+  | None -> true (* replicated array: every processor has a copy *)
+  | Some la ->
+      let idxa = Array.of_list idx in
+      List.for_all2
+        (fun dl c ->
+          match owner_coord sim dl idxa with None -> true | Some o -> o = c)
+        la.Spmd.la_dims
+        (Array.to_list p.coords)
+
+(* the linear pid of the owner (replicated dims resolve to coordinate 0) *)
+let owner_pid sim name (idx : int list) : int =
+  let m = meta_of sim name in
+  match m.mt_layout with
+  | None -> 0
+  | Some la ->
+      let idxa = Array.of_list idx in
+      let coords =
+        List.map
+          (fun dl -> match owner_coord sim dl idxa with None -> 0 | Some o -> o)
+          la.Spmd.la_dims
+      in
+      let pid = ref 0 and stride = ref 1 in
+      List.iteri
+        (fun k c ->
+          pid := !pid + (c * !stride);
+          stride := !stride * sim.extents.(k))
+        coords;
+      !pid
+
+(* VP coordinates -> linear physical pid *)
+let phys_of_vp sim (vp : int list) : int =
+  let pid = ref 0 and stride = ref 1 in
+  List.iteri
+    (fun k v ->
+      let pd = List.nth sim.prog.proc_dims k in
+      let c =
+        match pd.pd_mode with
+        | Spmd.VpIsPhys -> v
+        | Spmd.VpBlockOnePer ->
+            let b = eval_global sim (Option.get pd.pd_bsize) in
+            Iset.Lin.fdiv (v - eval_global sim pd.pd_tlo) b
+        | Spmd.VpTemplateCell ->
+            Iset.Lin.pmod (v - eval_global sim pd.pd_tlo) (eval_global sim pd.pd_extent)
+      in
+      pid := !pid + (c * !stride);
+      stride := !stride * sim.extents.(k))
+    vp;
+  !pid
+
+(* ------------------------------------------------------------------ *)
+(* Effects                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type _ Effect.t +=
+  | ERecv : key -> msg Effect.t
+  | EReduce : (Spmd.reduce_op * float) -> float Effect.t
+  | EReduceArr : (string * Spmd.reduce_op) -> unit Effect.t
+
+(* ------------------------------------------------------------------ *)
+(* Per-processor interpreter                                           *)
+(* ------------------------------------------------------------------ *)
+
+let lookup_int sim p s =
+  match Hashtbl.find_opt p.ienv s with
+  | Some v -> v
+  | None -> (
+      match Hashtbl.find_opt sim.genv s with
+      | Some v -> v
+      | None -> errf "proc %d: unbound integer name %s" p.pid s)
+
+let eval_expr sim p e = Iset.Codegen.eval_expr (lookup_int sim p) e
+let eval_cond sim p c = Iset.Codegen.eval_cond (lookup_int sim p) c
+
+let table sim p name =
+  match Hashtbl.find_opt sim.store name with
+  | Some a -> a.(p.pid)
+  | None -> errf "unknown array %s" name
+
+let load sim p name idx (access : Spmd.access) : float =
+  let enc = encode sim name idx in
+  let tbl = table sim p name in
+  (match access with
+  | Spmd.Checked -> p.clock <- p.clock +. sim.machine.Machine.check_time
+  | _ -> ());
+  match Hashtbl.find_opt tbl enc with
+  | Some v -> v
+  | None ->
+      if owns sim p name idx then 0.0
+      else
+        errf "proc %d: %s access to non-local %s(%s) with no received value"
+          p.pid
+          (match access with
+          | Spmd.Local -> "Local"
+          | Spmd.Overlay -> "Overlay"
+          | Spmd.Checked -> "Checked"
+          | Spmd.Global -> "Global")
+          name
+          (String.concat "," (List.map string_of_int idx))
+
+let store_elem sim p name idx value (access : Spmd.access) : unit =
+  let enc = encode sim name idx in
+  let tbl = table sim p name in
+  (match access with
+  | Spmd.Checked -> p.clock <- p.clock +. sim.machine.Machine.check_time
+  | Spmd.Local ->
+      if not (owns sim p name idx) then
+        errf "proc %d: Local store to non-owned %s(%s)" p.pid name
+          (String.concat "," (List.map string_of_int idx))
+  | _ -> ());
+  Hashtbl.replace tbl enc value
+
+let rec eval_fexpr sim p (e : Spmd.fexpr) : float =
+  match e with
+  | Spmd.FConst x -> x
+  | Spmd.FOfInt ie -> float_of_int (eval_expr sim p ie)
+  | Spmd.FScalar s -> (
+      match Hashtbl.find_opt p.fenv s with
+      | Some v -> v
+      | None -> float_of_int (lookup_int sim p s))
+  | Spmd.FLoad { arr; idx; access } ->
+      p.clock <- p.clock +. sim.machine.Machine.flop_time;
+      load sim p arr (List.map (eval_expr sim p) idx) access
+  | Spmd.FNeg a -> -.eval_fexpr sim p a
+  | Spmd.FBin (op, a, b) ->
+      let x = eval_fexpr sim p a and y = eval_fexpr sim p b in
+      p.clock <- p.clock +. sim.machine.Machine.flop_time;
+      (match op with
+      | Hpf.Ast.Add -> x +. y
+      | Hpf.Ast.Sub -> x -. y
+      | Hpf.Ast.Mul -> x *. y
+      | Hpf.Ast.Div -> x /. y)
+  | Spmd.FIntrin (f, args) ->
+      p.clock <- p.clock +. sim.machine.Machine.flop_time;
+      Serial.intrinsic f (List.map (eval_fexpr sim p) args)
+
+let rec eval_fcond sim p (c : Spmd.fcond) : bool =
+  match c with
+  | Spmd.FCmp (a, op, b) ->
+      let x = eval_fexpr sim p a and y = eval_fexpr sim p b in
+      (match op with
+      | Hpf.Ast.Lt -> x < y
+      | Hpf.Ast.Le -> x <= y
+      | Hpf.Ast.Gt -> x > y
+      | Hpf.Ast.Ge -> x >= y
+      | Hpf.Ast.Eq -> x = y
+      | Hpf.Ast.Ne -> x <> y)
+  | Spmd.FAnd (a, b) -> eval_fcond sim p a && eval_fcond sim p b
+  | Spmd.FOr (a, b) -> eval_fcond sim p a || eval_fcond sim p b
+  | Spmd.FNot a -> not (eval_fcond sim p a)
+
+let my_vp sim p : int list =
+  List.mapi
+    (fun k _ -> lookup_int sim p (Printf.sprintf "vm$%d" (k + 1)))
+    sim.prog.proc_dims
+
+let rec exec_stmt sim p (s : Spmd.stmt) : unit =
+  let m = sim.machine in
+  match s with
+  | Spmd.Comment _ -> ()
+  | Spmd.For { var; lo; hi; step; body } ->
+      let l = eval_expr sim p lo and h = eval_expr sim p hi in
+      let st = eval_expr sim p step in
+      if st <= 0 then errf "proc %d: non-positive loop step for %s" p.pid var;
+      let i = ref l in
+      while !i <= h do
+        Hashtbl.replace p.ienv var !i;
+        p.clock <- p.clock +. m.Machine.loop_time;
+        List.iter (exec_stmt sim p) body;
+        i := !i + st
+      done;
+      Hashtbl.remove p.ienv var
+  | Spmd.If (c, body) ->
+      p.clock <- p.clock +. m.Machine.guard_time;
+      if eval_cond sim p c then List.iter (exec_stmt sim p) body
+  | Spmd.FIf (c, t, e) ->
+      p.clock <- p.clock +. m.Machine.guard_time;
+      if eval_fcond sim p c then List.iter (exec_stmt sim p) t
+      else List.iter (exec_stmt sim p) e
+  | Spmd.SetScalar (name, v) ->
+      let x = eval_fexpr sim p v in
+      p.clock <- p.clock +. m.Machine.flop_time;
+      Hashtbl.replace p.fenv name x
+  | Spmd.Store { arr; idx; value; access } ->
+      let x = eval_fexpr sim p value in
+      p.clock <- p.clock +. m.Machine.flop_time;
+      store_elem sim p arr (List.map (eval_expr sim p) idx) x access
+  | Spmd.Pack { event; arr; idx } ->
+      let idx = List.map (eval_expr sim p) idx in
+      let enc = encode sim arr idx in
+      let tbl = table sim p arr in
+      let v =
+        match Hashtbl.find_opt tbl enc with
+        | Some v -> v
+        | None ->
+            if owns sim p arr idx then 0.0
+            else
+              errf "proc %d: packing non-resident element %s(%s)" p.pid arr
+                (String.concat "," (List.map string_of_int idx))
+      in
+      (* buffer-copy cost is decided at Send time: proved-contiguous and
+         runtime-contiguous transfers go in place *)
+      let key = (p.pid, event) in
+      let buf =
+        match Hashtbl.find_opt sim.outbuf key with
+        | Some b -> b
+        | None ->
+            let b = ref [] in
+            Hashtbl.replace sim.outbuf key b;
+            b
+      in
+      buf := (arr, enc, v) :: !buf
+  | Spmd.Send { event; dest } ->
+      let dest_vp = List.map (eval_expr sim p) dest in
+      let key = (p.pid, event) in
+      let elems =
+        match Hashtbl.find_opt sim.outbuf key with
+        | Some b ->
+            let e = Array.of_list (List.rev !b) in
+            Hashtbl.remove sim.outbuf key;
+            e
+        | None -> [||]
+      in
+      let n = Array.length elems in
+      (* §3.3: transfers proved contiguous at compile time go in place; a
+         rectangular section that was not proved is tested at run time (a
+         handful of predicate evaluations — far cheaper than packing) and
+         goes in place when the test succeeds *)
+      let contig =
+        if Hashtbl.mem sim.inplace_events event then true
+        else if Hashtbl.mem sim.rect_events event && n > 1 then begin
+          p.clock <- p.clock +. (8.0 *. m.Machine.check_time);
+          let ok = ref true in
+          for i = 1 to n - 1 do
+            let _, e0, _ = elems.(i - 1) and _, e1, _ = elems.(i) in
+            if e1 <> e0 + 1 then ok := false
+          done;
+          !ok
+        end
+        else false
+      in
+      if not contig then
+        p.clock <- p.clock +. (float_of_int n *. m.Machine.pack_time);
+      (* a message between two VPs of the same physical processor (cyclic
+         distributions) is a local copy, not a network transfer *)
+      let local = phys_of_vp sim dest_vp = p.pid in
+      if local then begin
+        p.clock <- p.clock +. (float_of_int n *. m.Machine.pack_time)
+      end
+      else begin
+        p.clock <- p.clock +. m.Machine.send_overhead;
+        sim.n_msgs <- sim.n_msgs + 1;
+        sim.n_bytes <- sim.n_bytes + (n * m.Machine.elem_bytes);
+        sim.n_elems_comm <- sim.n_elems_comm + n
+      end;
+      let arrival = if local then p.clock else p.clock +. Machine.msg_time m n in
+      let k = { k_event = event; k_src = my_vp sim p; k_dst = dest_vp } in
+      let q =
+        match Hashtbl.find_opt sim.mailbox k with
+        | Some q -> q
+        | None ->
+            let q = Queue.create () in
+            Hashtbl.replace sim.mailbox k q;
+            q
+      in
+      Queue.add { m_arrival = arrival; m_payload = elems; m_contig = contig } q
+  | Spmd.Recv { event; src } ->
+      let src_vp = List.map (eval_expr sim p) src in
+      let k = { k_event = event; k_src = src_vp; k_dst = my_vp sim p } in
+      let msg = Effect.perform (ERecv k) in
+      p.clock <- Float.max (p.clock +. m.Machine.recv_overhead) msg.m_arrival;
+      ignore event;
+      let n = Array.length msg.m_payload in
+      if not msg.m_contig then
+        p.clock <- p.clock +. (float_of_int n *. m.Machine.unpack_time);
+      Array.iter
+        (fun (arr, enc, v) -> Hashtbl.replace (table sim p arr) enc v)
+        msg.m_payload
+  | Spmd.Reduce { scalar; op } ->
+      if Hashtbl.mem sim.store scalar then
+        (* array reduction: every processor holds partial values; the
+           collective combines them element-wise *)
+        Effect.perform (EReduceArr (scalar, op))
+      else begin
+        let mine =
+          match Hashtbl.find_opt p.fenv scalar with Some v -> v | None -> 0.0
+        in
+        let combined = Effect.perform (EReduce (op, mine)) in
+        Hashtbl.replace p.fenv scalar combined
+      end
+  | Spmd.Call f -> (
+      match List.assoc_opt f sim.prog.subs with
+      | Some body -> List.iter (exec_stmt sim p) body
+      | None -> errf "proc %d: unknown subroutine %s" p.pid f)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type waiting =
+  | WRun  (** not yet started *)
+  | WRecv of key * (msg, unit) Effect.Deep.continuation
+  | WReduce of Spmd.reduce_op * float * (float, unit) Effect.Deep.continuation
+  | WReduceArr of string * Spmd.reduce_op * (unit, unit) Effect.Deep.continuation
+  | WDone
+
+type stats = {
+  s_time : float;  (** simulated execution time: max processor clock *)
+  s_msgs : int;
+  s_bytes : int;
+  s_elems : int;
+  s_proc_times : float array;
+}
+
+let run (sim : sim) : stats =
+  let status = Array.make sim.nprocs WRun in
+  let start p =
+    let open Effect.Deep in
+    match_with
+      (fun () -> List.iter (exec_stmt sim sim.procs.(p)) sim.prog.main)
+      ()
+      {
+        retc = (fun () -> status.(p) <- WDone);
+        exnc = (fun e -> raise e);
+        effc =
+          (fun (type c) (eff : c Effect.t) ->
+            match eff with
+            | ERecv k ->
+                Some
+                  (fun (cont : (c, unit) continuation) ->
+                    status.(p) <- WRecv (k, cont))
+            | EReduce (op, v) ->
+                Some
+                  (fun (cont : (c, unit) continuation) ->
+                    status.(p) <- WReduce (op, v, cont))
+            | EReduceArr (name, op) ->
+                Some
+                  (fun (cont : (c, unit) continuation) ->
+                    status.(p) <- WReduceArr (name, op, cont))
+            | _ -> None);
+      }
+  in
+  for p = 0 to sim.nprocs - 1 do
+    start p
+  done;
+  let is_done = function WDone -> true | _ -> false in
+  let all_done () = Array.for_all is_done status in
+  let progressed = ref true in
+  while (not (all_done ())) && !progressed do
+    progressed := false;
+    (* deliver available messages *)
+    for p = 0 to sim.nprocs - 1 do
+      match status.(p) with
+      | WRecv (k, cont) -> (
+          match Hashtbl.find_opt sim.mailbox k with
+          | Some q when not (Queue.is_empty q) ->
+              let msg = Queue.pop q in
+              progressed := true;
+              status.(p) <- WDone;
+              (* placeholder; handler overwrites on next block *)
+              Effect.Deep.continue cont msg
+          | _ -> ())
+      | _ -> ()
+    done;
+    (* collectives *)
+    if not !progressed then begin
+      let at_arr_reduce =
+        Array.for_all (function WReduceArr _ -> true | _ -> false) status
+        && Array.length status > 0
+      in
+      if at_arr_reduce then begin
+        let name, op, _ =
+          match status.(0) with WReduceArr (n, o, c) -> (n, o, c) | _ -> assert false
+        in
+        let tables = Hashtbl.find sim.store name in
+        (* element-wise combination of every processor's partial values *)
+        let keys = Hashtbl.create 256 in
+        Array.iter
+          (fun tbl -> Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) tbl)
+          tables;
+        let combined = Hashtbl.create (Hashtbl.length keys) in
+        Hashtbl.iter
+          (fun k () ->
+            let acc = ref None in
+            Array.iter
+              (fun tbl ->
+                match Hashtbl.find_opt tbl k with
+                | None -> ()
+                | Some v ->
+                    acc :=
+                      Some
+                        (match (!acc, op) with
+                        | None, _ -> v
+                        | Some a, Spmd.RSum -> a +. v
+                        | Some a, Spmd.RMax -> Float.max a v
+                        | Some a, Spmd.RMin -> Float.min a v))
+              tables;
+            match !acc with Some v -> Hashtbl.replace combined k v | None -> ())
+          keys;
+        Array.iter
+          (fun tbl -> Hashtbl.iter (fun k v -> Hashtbl.replace tbl k v) combined)
+          tables;
+        let nelems = Hashtbl.length combined in
+        let stages =
+          if sim.nprocs <= 1 then 0
+          else int_of_float (ceil (log (float_of_int sim.nprocs) /. log 2.0))
+        in
+        let cost =
+          2.0 *. float_of_int stages *. Machine.msg_time sim.machine nelems
+        in
+        let tmax = Array.fold_left (fun acc p -> Float.max acc p.clock) 0.0 sim.procs in
+        let t_done = tmax +. cost in
+        sim.n_msgs <- sim.n_msgs + (2 * stages * sim.nprocs);
+        sim.n_bytes <-
+          sim.n_bytes + (2 * stages * nelems * sim.machine.Machine.elem_bytes);
+        let conts =
+          Array.mapi
+            (fun pidx st ->
+              match st with WReduceArr (_, _, c) -> Some (pidx, c) | _ -> None)
+            status
+        in
+        Array.iter
+          (function
+            | Some (pidx, cont) ->
+                sim.procs.(pidx).clock <- t_done;
+                status.(pidx) <- WDone;
+                progressed := true;
+                Effect.Deep.continue cont ()
+            | None -> ())
+          conts
+      end;
+      let at_reduce =
+        Array.for_all (function WReduce _ -> true | WDone -> false | _ -> false) status
+        && Array.exists (function WReduce _ -> true | _ -> false) status
+      in
+      if at_reduce then begin
+        let vals =
+          Array.to_list status
+          |> List.filter_map (function WReduce (op, v, _) -> Some (op, v) | _ -> None)
+        in
+        let op = fst (List.hd vals) in
+        let combined =
+          List.fold_left
+            (fun acc (_, v) ->
+              match op with
+              | Spmd.RSum -> acc +. v
+              | Spmd.RMax -> Float.max acc v
+              | Spmd.RMin -> Float.min acc v)
+            (match op with
+            | Spmd.RSum -> 0.0
+            | Spmd.RMax -> Float.neg_infinity
+            | Spmd.RMin -> Float.infinity)
+            vals
+        in
+        let tmax =
+          Array.fold_left (fun acc p -> Float.max acc p.clock) 0.0 sim.procs
+        in
+        let t_done = tmax +. Machine.allreduce_time sim.machine sim.nprocs in
+        let conts =
+          Array.mapi
+            (fun p s -> match s with WReduce (_, _, c) -> Some (p, c) | _ -> None)
+            status
+        in
+        Array.iter
+          (function
+            | Some (p, cont) ->
+                sim.procs.(p).clock <- t_done;
+                status.(p) <- WDone;
+                progressed := true;
+                Effect.Deep.continue cont combined
+            | None -> ())
+          conts
+      end
+    end
+  done;
+  if not (all_done ()) then begin
+    let waits =
+      Array.to_list status
+      |> List.mapi (fun p s ->
+             match s with
+             | WRecv (k, _) ->
+                 Printf.sprintf "proc %d waiting on event %d from vp(%s)" p k.k_event
+                   (String.concat "," (List.map string_of_int k.k_src))
+             | WReduce _ | WReduceArr _ -> Printf.sprintf "proc %d at reduction" p
+             | _ -> "")
+      |> List.filter (fun s -> s <> "")
+    in
+    errf "deadlock: %s" (String.concat "; " waits)
+  end;
+  {
+    s_time = Array.fold_left (fun acc p -> Float.max acc p.clock) 0.0 sim.procs;
+    s_msgs = sim.n_msgs;
+    s_bytes = sim.n_bytes;
+    s_elems = sim.n_elems_comm;
+    s_proc_times = Array.map (fun p -> p.clock) sim.procs;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Result inspection                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Value of an array element after execution, read from its owner. *)
+let get_elem sim name idx =
+  let pid = owner_pid sim name idx in
+  let enc = encode sim name idx in
+  match Hashtbl.find_opt (Hashtbl.find sim.store name).(pid) enc with
+  | Some v -> v
+  | None -> 0.0
+
+(** Scalar value (replicated; read from processor 0). *)
+let get_scalar sim name =
+  match Hashtbl.find_opt sim.procs.(0).fenv name with
+  | Some v -> v
+  | None -> errf "unknown scalar %s" name

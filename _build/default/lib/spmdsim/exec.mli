@@ -1,0 +1,57 @@
+(** SPMD interpreter: executes the compiler's {!Dhpf.Spmd} programs on a
+    simulated distributed-memory machine.
+
+    Each processor runs as an effect-handler fiber with its own virtual
+    clock; sends are buffered (non-blocking), receives block until the
+    matching message exists. Receive completion time is
+    [max(local clock + recv overhead, arrival)] with
+    [arrival = sender clock at send + alpha + bytes*beta] — a LogGP-style
+    model. Scalar and array reductions are synchronizing collectives priced
+    as binary trees.
+
+    Storage is one table per (processor, array) holding both owned elements
+    and received non-local values; ownership is recomputed from the layout
+    descriptors, so a [Local] access to a non-owned element, or a read of
+    never-communicated non-local data, raises {!Error} — executing compiled
+    code under the simulator doubles as a compiler correctness check. *)
+
+exception Error of string
+
+type sim
+
+val make :
+  ?machine:Machine.t ->
+  nprocs:int ->
+  ?params:(string * int) list ->
+  Dhpf.Spmd.program ->
+  sim
+(** Instantiate the machine: evaluate startup parameter bindings (with
+    [number_of_processors() = nprocs]), size the processor grid, compute
+    each processor's [m$k] / [vm$k] coordinates, and allocate storage.
+    [params] binds symbolic program parameters. *)
+
+val nprocs : sim -> int
+(** Actual processor count (the product of the grid extents). *)
+
+val phys_of_vp : sim -> int list -> int
+(** Linear physical processor id owning a virtual-processor coordinate
+    tuple (identity for concrete distributions; block-start / template-cell
+    decoding for the symbolic VP modes of §4). *)
+
+type stats = {
+  s_time : float;  (** simulated execution time: max processor clock *)
+  s_msgs : int;
+  s_bytes : int;
+  s_elems : int;  (** total elements communicated *)
+  s_proc_times : float array;
+}
+
+val run : sim -> stats
+(** Execute the program on every processor to completion.
+    @raise Error on deadlock or an illegal access. *)
+
+val get_elem : sim -> string -> int list -> float
+(** Element value after execution, read from its owning processor. *)
+
+val get_scalar : sim -> string -> float
+(** Replicated scalar value (processor 0's copy). *)

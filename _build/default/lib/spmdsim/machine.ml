@@ -1,0 +1,49 @@
+(** Cost model for the simulated message-passing machine.
+
+    The defaults are loosely calibrated to a mid-1990s MPP of the IBM SP-2
+    class (the paper's testbed): ~100 Mflop/s nodes, tens of microseconds of
+    message latency, tens of MB/s of bandwidth. The absolute numbers do not
+    matter for the reproduction — only the computation/communication ratios
+    that shape Figure 7 — and they are fixed once here, not tuned per
+    benchmark (see EXPERIMENTS.md). *)
+
+type t = {
+  flop_time : float;  (** seconds per floating-point operation *)
+  check_time : float;  (** ownership check on a Checked reference *)
+  guard_time : float;  (** evaluating a generated guard *)
+  loop_time : float;  (** per-iteration loop overhead *)
+  pack_time : float;  (** per element packed into a message buffer *)
+  unpack_time : float;  (** per element unpacked on receipt *)
+  alpha : float;  (** message start-up latency (seconds) *)
+  beta : float;  (** per-byte transfer time (seconds) *)
+  send_overhead : float;  (** CPU time consumed by a send *)
+  recv_overhead : float;  (** CPU time consumed by a receive *)
+  elem_bytes : int;  (** bytes per array element on the wire *)
+}
+
+let sp2 =
+  {
+    flop_time = 10e-9;
+    check_time = 15e-9;
+    guard_time = 5e-9;
+    loop_time = 5e-9;
+    pack_time = 40e-9;
+    unpack_time = 40e-9;
+    alpha = 40e-6;
+    beta = 30e-9;
+    send_overhead = 5e-6;
+    recv_overhead = 5e-6;
+    elem_bytes = 8;
+  }
+
+let default = sp2
+
+(** Cost of an n-element message on the wire. *)
+let msg_time t n = t.alpha +. (float_of_int (n * t.elem_bytes) *. t.beta)
+
+(** Cost of a P-way all-reduce of one scalar (binary-tree up and down). *)
+let allreduce_time t p =
+  if p <= 1 then 0.0
+  else
+    let stages = int_of_float (ceil (log (float_of_int p) /. log 2.0)) in
+    2.0 *. float_of_int stages *. msg_time t 1

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Codegen Fmt Iset List Option Parse Rel String

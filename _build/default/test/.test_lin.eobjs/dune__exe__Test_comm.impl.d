@@ -1,0 +1,1 @@
+test/test_comm.ml: Alcotest Comm Cp Dhpf Hpf Iset Layout List Printf Rel

@@ -1,0 +1,1 @@
+test/test_compile.ml: Alcotest Codes Dhpf Float Hashtbl Hpf List Printf Spmdsim String Unix

@@ -1,0 +1,1 @@
+test/test_conj.ml: Alcotest Conj Constr Iset Lin List Parse Rel Var

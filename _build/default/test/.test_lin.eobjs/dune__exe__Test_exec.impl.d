@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Dhpf Gen Hpf Iset Printf Spmd Spmdsim String

@@ -1,0 +1,1 @@
+test/test_hull.ml: Alcotest Conj Hull Iset List Parse Printf Rel

@@ -1,0 +1,1 @@
+test/test_inplace.ml: Alcotest Dhpf Inplace Iset Parse Printf

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Dhpf Fun Hpf Iset List Option Printf Rel String

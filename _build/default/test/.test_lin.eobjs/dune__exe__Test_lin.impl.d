@@ -1,0 +1,1 @@
+test/test_lin.ml: Alcotest Constr Iset Lin Var

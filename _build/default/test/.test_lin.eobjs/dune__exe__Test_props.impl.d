@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Codegen Conj Constr Iset Lin List QCheck QCheck_alcotest Rel Var

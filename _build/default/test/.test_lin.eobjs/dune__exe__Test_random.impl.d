@@ -1,0 +1,1 @@
+test/test_random.ml: Alcotest Buffer Dhpf Hpf List Printf QCheck QCheck_alcotest Spmdsim String

@@ -1,0 +1,1 @@
+test/test_rel.ml: Alcotest Iset Lin Parse Printf Rel Var

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Codes Dhpf Hashtbl Hpf List Printf Spmdsim

@@ -1,0 +1,1 @@
+test/test_split.ml: Alcotest Cp Dhpf Fun Hpf Iset Layout List Option Printf Rel Split

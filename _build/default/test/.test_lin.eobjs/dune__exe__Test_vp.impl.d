@@ -1,0 +1,1 @@
+test/test_vp.ml: Alcotest Codes Cp Dhpf Hpf Iset Layout List Option Printf Rel Spmdsim Vp

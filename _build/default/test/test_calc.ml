@@ -1,0 +1,108 @@
+(* Tests for the Omega-style calculator. *)
+
+let run script = Iset.Calc.eval_script script
+
+let check_outputs msg script expected =
+  Alcotest.(check (list string)) msg expected (run script)
+
+let test_assign_print () =
+  check_outputs "assign and print"
+    "A := {[i] : 1 <= i <= 3};\nA;"
+    [ "{[i] : i <= 3 && 1 <= i}" ]
+
+let test_ops () =
+  let out =
+    run
+      {|
+A := {[i] : 1 <= i <= 10}
+B := {[i] : 4 <= i <= 20}
+sat (A inter B)
+empty (A inter B)
+A subset {[i] : 0 <= i <= 99}
+(A - B) equal {[i] : 1 <= i <= 3}
+|}
+  in
+  Alcotest.(check (list string)) "results" [ "true"; "false"; "true"; "true" ] out
+
+let test_relations () =
+  let out =
+    run
+      {|
+L := {[p] -> [a] : 4p+1 <= a <= 4p+4 && 0 <= p <= 3}
+domain (L restrictrange {[a] : a = 7})
+sat ((range L) - {[a] : 1 <= a <= 16})
+|}
+  in
+  Alcotest.(check (list string)) "results" [ "{[p] : p = 1}"; "false" ] out
+
+let test_strides () =
+  let out =
+    run
+      {|
+E := {[i] : exists(a : i = 2a) && 0 <= i <= 10}
+O := {[i] : 0 <= i <= 10} - E
+sat (E inter O)
+convex E
+convex {[i] : 0 <= i <= 10}
+|}
+  in
+  Alcotest.(check (list string)) "results" [ "false"; "false"; "true" ] out
+
+let test_codegen () =
+  let out = run "codegen {[i] : exists(a : i = 3a) && 0 <= i <= 9}" in
+  match out with
+  | [ code ] ->
+      Alcotest.(check bool) "is a strided loop" true
+        (String.length code > 0
+        && (let contains hay needle =
+              let nh = String.length hay and nn = String.length needle in
+              let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+              go 0
+            in
+            contains code ", 3"))
+  | _ -> Alcotest.fail "expected one output"
+
+let test_gist_hull () =
+  let out =
+    run
+      {|
+S := {[i] : 1 <= i <= 10 && i >= 0} gist {[i] : 1 <= i}
+S;
+H := hull ({[i] : 1 <= i <= 3} union {[i] : 6 <= i <= 9})
+{[i] : i = 5} subset H
+|}
+  in
+  Alcotest.(check (list string)) "results" [ "{[i] : i <= 10}"; "true" ] out
+
+let test_env_and_comments () =
+  let out = run "# a comment\nA := {[i] : i = 1};\nenv" in
+  Alcotest.(check (list string)) "env lists A" [ "A" ] out
+
+let test_errors () =
+  let expect script =
+    match run script with
+    | exception Iset.Calc.Error _ -> ()
+    | exception Iset.Parse.Error _ -> ()
+    | _ -> Alcotest.fail ("expected error: " ^ script)
+  in
+  expect "B;";
+  expect "A := {[i] : 1 <= i} extra";
+  expect "A := {[i] 1 <= i};";
+  expect "sat";
+  expect "{[i] : 1 <= i <= 2} inter {[i,j] : i = j}"
+
+let () =
+  Alcotest.run "calc"
+    [
+      ( "calculator",
+        [
+          Alcotest.test_case "assign/print" `Quick test_assign_print;
+          Alcotest.test_case "boolean ops" `Quick test_ops;
+          Alcotest.test_case "relations" `Quick test_relations;
+          Alcotest.test_case "strides" `Quick test_strides;
+          Alcotest.test_case "codegen" `Quick test_codegen;
+          Alcotest.test_case "gist/hull" `Quick test_gist_hull;
+          Alcotest.test_case "env/comments" `Quick test_env_and_comments;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+    ]

@@ -1,0 +1,137 @@
+(* Tests for loop-nest code generation: the generated AST must enumerate
+   exactly the tuples of each statement's set, in lexicographic order. *)
+
+open Iset
+
+let enumerate ?(env = fun _ -> failwith "no param") asts =
+  let out = ref [] in
+  Codegen.run ~env
+    ~f:(fun tag binds -> out := (tag, binds) :: !out)
+    asts;
+  List.rev !out
+
+let points_of names enum =
+  List.map
+    (fun (tag, binds) -> (tag, List.map (fun n -> List.assoc n binds) names))
+    enum
+
+(* Brute-force reference: all tuples of [set] within box, via Rel.mem. *)
+let brute ?env set box =
+  let k = Rel.in_arity set in
+  let rec go prefix d acc =
+    if d = k then if Rel.mem_set ?env set (List.rev prefix) then List.rev prefix :: acc else acc
+    else
+      let lo, hi = box in
+      let acc = ref acc in
+      for x = lo to hi do
+        acc := go (x :: prefix) (d + 1) !acc
+      done;
+      !acc
+  in
+  List.rev (go [] 0 [])
+
+let check_enum ?env ?(box = (-2, 12)) msg src =
+  let set = Parse.set src in
+  let names = Rel.in_names set in
+  let asts = Codegen.gen ~names [ { Codegen.tag = 0; dom = set } ] in
+  let got =
+    points_of (Array.to_list names)
+      (enumerate ?env:(Option.map (fun e s -> List.assoc s e) env) asts)
+    |> List.map snd
+  in
+  let env = match env with Some e -> Some e | None -> None in
+  let want = brute ?env set box in
+  Alcotest.(check (list (list int))) msg want got
+
+let test_box () = check_enum "1d box" "{[i] : 1 <= i <= 10}"
+let test_empty () = check_enum "empty" "{[i] : 5 <= i <= 2}"
+
+let test_2d () =
+  check_enum "2d box" "{[i,j] : 1 <= i <= 4 && i <= j <= 5}"
+
+let test_triangular () =
+  check_enum "triangle" "{[i,j] : 1 <= i <= 5 && 1 <= j < i}"
+
+let test_stride () =
+  check_enum "stride 2" "{[i] : exists(a : i = 2a) && 1 <= i <= 10}";
+  check_enum "stride 3 offset" "{[i] : exists(a : i = 3a + 1) && 0 <= i <= 12}"
+
+let test_stride_2d () =
+  check_enum "inner stride depends on outer"
+    "{[i,j] : 1 <= i <= 4 && exists(a : j = 2a + i) && i <= j <= 8}"
+
+let test_union () =
+  check_enum "disjoint union" "{[i] : 1 <= i <= 3} union {[i] : 7 <= i <= 9}";
+  check_enum "overlapping union" "{[i] : 1 <= i <= 5} union {[i] : 4 <= i <= 9}"
+
+let test_union_2d () =
+  check_enum "L-shape"
+    "{[i,j] : 1 <= i <= 2 && 1 <= j <= 6} union {[i,j] : 1 <= i <= 6 && 1 <= j <= 2}"
+
+let test_params () =
+  check_enum ~env:[ ("n", 7) ] "symbolic bound" "{[i] : 1 <= i <= n}";
+  check_enum ~env:[ ("n", 6); ("p", 1) ] "block slice"
+    "{[i] : 3p + 1 <= i <= 3p + 3 && 1 <= i <= n}"
+
+let test_equality_loop () =
+  check_enum "pinned var" "{[i,j] : i = 3 && 1 <= j <= 4}";
+  check_enum "diagonal" "{[i,j] : 1 <= i <= 5 && j = i}"
+
+let test_multi_stmt () =
+  (* two statements sharing a nest: interleaving must preserve source order
+     within an iteration and lexicographic order across iterations *)
+  let s1 = Parse.set "{[i] : 1 <= i <= 4}" in
+  let s2 = Parse.set "{[i] : 3 <= i <= 6}" in
+  let asts =
+    Codegen.gen ~names:[| "i" |]
+      [ { Codegen.tag = 1; dom = s1 }; { Codegen.tag = 2; dom = s2 } ]
+  in
+  let got = List.map (fun (tag, binds) -> (tag, List.assoc "i" binds)) (enumerate asts) in
+  let want =
+    [ (1, 1); (1, 2); (1, 3); (2, 3); (1, 4); (2, 4); (2, 5); (2, 6) ]
+  in
+  Alcotest.(check (list (pair int int))) "interleaved" want got
+
+let test_context () =
+  (* unbounded set, bounds supplied by context *)
+  let s = Parse.set "{[i] : exists(a : i = 2a)}" in
+  let ctx = Parse.set "{[i] : 0 <= i <= 9}" in
+  let asts = Codegen.gen ~context:ctx ~names:[| "i" |] [ { Codegen.tag = 0; dom = s } ] in
+  let got = List.map (fun (_, binds) -> List.assoc "i" binds) (enumerate asts) in
+  Alcotest.(check (list int)) "evens via context" [ 0; 2; 4; 6; 8 ] got
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_pretty () =
+  let s = Parse.set "{[i,j] : 1 <= i <= n && exists(a : j = 2a) && i <= j <= n}" in
+  let asts = Codegen.gen ~names:(Rel.in_names s) [ { Codegen.tag = "S1"; dom = s } ] in
+  let str = Codegen.ast_to_string (fun fmt s -> Fmt.string fmt s) asts in
+  Alcotest.(check bool) "mentions do i" true (contains str "do i");
+  Alcotest.(check bool) "has stride 2" true (contains str ", 2")
+
+let () =
+  Alcotest.run "codegen"
+    [
+      ( "single",
+        [
+          Alcotest.test_case "box" `Quick test_box;
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "2d" `Quick test_2d;
+          Alcotest.test_case "triangular" `Quick test_triangular;
+          Alcotest.test_case "stride" `Quick test_stride;
+          Alcotest.test_case "stride 2d" `Quick test_stride_2d;
+          Alcotest.test_case "equality" `Quick test_equality_loop;
+          Alcotest.test_case "params" `Quick test_params;
+        ] );
+      ( "multi",
+        [
+          Alcotest.test_case "union" `Quick test_union;
+          Alcotest.test_case "union 2d" `Quick test_union_2d;
+          Alcotest.test_case "two stmts" `Quick test_multi_stmt;
+          Alcotest.test_case "context" `Quick test_context;
+          Alcotest.test_case "pretty" `Quick test_pretty;
+        ] );
+    ]

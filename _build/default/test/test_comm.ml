@@ -1,0 +1,190 @@
+(* Communication analysis (Figure 3) tests. The central invariant is
+   send/receive duality: element e is in SendCommMap of processor m towards
+   partner q exactly when e is in RecvCommMap of processor q from partner m.
+   We check it exhaustively on concrete configurations, plus shape facts
+   about the sets (shift stencils move halo rows, owners send, readers
+   receive). *)
+
+open Iset
+open Dhpf
+
+let setup src =
+  let chk = Hpf.Sema.analyze_source src in
+  let ctx = Layout.build chk in
+  (chk, ctx)
+
+let shift_1d =
+  {|
+program t
+  parameter n = 12
+  real a(n), b(n)
+  processors p(3)
+  template tt(n)
+  align a(i) with tt(i)
+  align b(i) with tt(i)
+  distribute tt(block) onto p
+  do i = 2, n
+    b(i) = a(i-1)
+  end do
+end
+|}
+
+(* Build the Figure 3 maps for the single read reference of the program. *)
+let maps_of (chk, ctx) array =
+  let u = Hpf.Ast.main_unit chk.Hpf.Sema.prog in
+  let nest, (lhs, rhs) =
+    match u.body with
+    | [ Hpf.Ast.SDo { var; lo; hi; step; body = [ Hpf.Ast.SAssign { lhs; rhs; _ } ] } ] ->
+        ([ { Cp.lvar = var; llo = lo; lhi = hi; lstep = step } ], (lhs, rhs))
+    | _ -> Alcotest.fail "unexpected program shape"
+  in
+  let iter = Cp.iter_space ctx nest in
+  let cpmap = Cp.cpmap_of_refs ctx nest iter [ lhs ] in
+  let r = List.hd (Cp.refs_of_fexpr rhs) in
+  let rm = Rel.restrict_domain (Cp.refmap ctx nest r) iter in
+  Comm.comm_maps ctx ~kind:`Read ~level_vars:[] ~array [ (cpmap, rm) ]
+
+let test_shift_sets () =
+  let chk, ctx = setup shift_1d in
+  let m = maps_of (chk, ctx) "a" in
+  (* blocks of 4: proc m owns a[4m+1..4m+4]; reading a(i-1) for i in my
+     block needs a(4m) from proc m-1. SendCommMap(m): partner m+1 gets
+     a(4m+4). *)
+  let env vm = [ ("vm$1", vm) ] in
+  (* myid = 1 sends its last element a(8) to partner 2 *)
+  Alcotest.(check bool) "send a(8) to p2" true
+    (Rel.mem ~env:(env 1) m.Comm.send_map ([ 2 ], [ 8 ]));
+  Alcotest.(check bool) "nothing else to p2" false
+    (Rel.mem ~env:(env 1) m.Comm.send_map ([ 2 ], [ 7 ]));
+  Alcotest.(check bool) "nothing to p0" false
+    (Rel.mem ~env:(env 1) m.Comm.send_map ([ 0 ], [ 8 ]));
+  (* myid = 1 receives a(4) from partner 0 *)
+  Alcotest.(check bool) "recv a(4) from p0" true
+    (Rel.mem ~env:(env 1) m.Comm.recv_map ([ 0 ], [ 4 ]));
+  Alcotest.(check bool) "recv only a(4)" false
+    (Rel.mem ~env:(env 1) m.Comm.recv_map ([ 0 ], [ 3 ]));
+  (* non-local data of proc 1 is exactly {a(4)} *)
+  Alcotest.(check bool) "nl data a(4)" true
+    (Rel.mem ~env:(env 1) m.Comm.nl_data ([ 4 ], []));
+  Alcotest.(check bool) "a(5) is local" false
+    (Rel.mem ~env:(env 1) m.Comm.nl_data ([ 5 ], []))
+
+let test_duality () =
+  let chk, ctx = setup shift_1d in
+  let m = maps_of (chk, ctx) "a" in
+  for sender = 0 to 2 do
+    for receiver = 0 to 2 do
+      if sender <> receiver then
+        for e = 1 to 12 do
+          let s =
+            Rel.mem ~env:[ ("vm$1", sender) ] m.Comm.send_map ([ receiver ], [ e ])
+          in
+          let r =
+            Rel.mem ~env:[ ("vm$1", receiver) ] m.Comm.recv_map ([ sender ], [ e ])
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "duality %d->%d elem %d" sender receiver e)
+            s r
+        done
+    done
+  done
+
+(* Vectorization restricted to the enclosing loop variables (CPMap^v):
+   when the communication stays inside a loop, the data set is the single
+   iteration's slice. *)
+let test_fix_outer () =
+  let chk, ctx = setup shift_1d in
+  let u = Hpf.Ast.main_unit chk.Hpf.Sema.prog in
+  let nest, lhs, rhs =
+    match u.body with
+    | [ Hpf.Ast.SDo { var; lo; hi; step; body = [ Hpf.Ast.SAssign { lhs; rhs; _ } ] } ] ->
+        ([ { Cp.lvar = var; llo = lo; lhi = hi; lstep = step } ], lhs, rhs)
+    | _ -> assert false
+  in
+  let iter = Cp.iter_space ctx nest in
+  let cpmap = Cp.cpmap_of_refs ctx nest iter [ lhs ] in
+  let r = List.hd (Cp.refs_of_fexpr rhs) in
+  let rm = Rel.restrict_domain (Cp.refmap ctx nest r) iter in
+  let m = Comm.comm_maps ctx ~kind:`Read ~level_vars:[ "i" ] ~array:"a" [ (cpmap, rm) ] in
+  (* at iteration i=9 (proc 2's first), only a(8) from proc 1 *)
+  let env = [ ("vm$1", 2); ("i", 9) ] in
+  Alcotest.(check bool) "recv a(8) at i=9" true (Rel.mem ~env m.Comm.recv_map ([ 1 ], [ 8 ]));
+  let env = [ ("vm$1", 2); ("i", 10) ] in
+  Alcotest.(check bool) "no recv at i=10" false (Rel.mem ~env m.Comm.recv_map ([ 1 ], [ 8 ]))
+
+(* participation: the iterations where a processor must take part in a
+   communication event placed inside the loop *)
+let test_participation () =
+  let chk, ctx = setup shift_1d in
+  let u = Hpf.Ast.main_unit chk.Hpf.Sema.prog in
+  let nest, lhs, rhs =
+    match u.body with
+    | [ Hpf.Ast.SDo { var; lo; hi; step; body = [ Hpf.Ast.SAssign { lhs; rhs; _ } ] } ] ->
+        ([ { Cp.lvar = var; llo = lo; lhi = hi; lstep = step } ], lhs, rhs)
+    | _ -> assert false
+  in
+  let iter = Cp.iter_space ctx nest in
+  let cpmap = Cp.cpmap_of_refs ctx nest iter [ lhs ] in
+  let r = List.hd (Cp.refs_of_fexpr rhs) in
+  let rm = Rel.restrict_domain (Cp.refmap ctx nest r) iter in
+  let m = Comm.comm_maps ctx ~kind:`Read ~level_vars:[ "i" ] ~array:"a" [ (cpmap, rm) ] in
+  let part = Comm.participation ~level_vars:[ "i" ] m.Comm.send_map in
+  (* proc 1 must participate in sends only at i = 9 (when proc 2 reads a(8)) *)
+  Alcotest.(check bool) "p1 sends at i=9" true
+    (Rel.mem ~env:[ ("vm$1", 1) ] part ([ 9 ], []));
+  Alcotest.(check bool) "p1 idle at i=8" false
+    (Rel.mem ~env:[ ("vm$1", 1) ] part ([ 8 ], []))
+
+(* Coalescing: two shifted references produce one union set covering both
+   halos. *)
+let test_coalesce_union () =
+  let src =
+    {|
+program t
+  parameter n = 12
+  real a(n), b(n)
+  processors p(3)
+  template tt(n)
+  align a(i) with tt(i)
+  align b(i) with tt(i)
+  distribute tt(block) onto p
+  do i = 2, n-1
+    b(i) = a(i-1) + a(i+1)
+  end do
+end
+|}
+  in
+  let chk, ctx = setup src in
+  let u = Hpf.Ast.main_unit chk.Hpf.Sema.prog in
+  let nest, lhs, rhs =
+    match u.body with
+    | [ Hpf.Ast.SDo { var; lo; hi; step; body = [ Hpf.Ast.SAssign { lhs; rhs; _ } ] } ] ->
+        ([ { Cp.lvar = var; llo = lo; lhi = hi; lstep = step } ], lhs, rhs)
+    | _ -> assert false
+  in
+  let iter = Cp.iter_space ctx nest in
+  let cpmap = Cp.cpmap_of_refs ctx nest iter [ lhs ] in
+  let pairs =
+    List.map
+      (fun r -> (cpmap, Rel.restrict_domain (Cp.refmap ctx nest r) iter))
+      (Cp.refs_of_fexpr rhs)
+  in
+  let m = Comm.comm_maps ctx ~kind:`Read ~level_vars:[] ~array:"a" pairs in
+  (* proc 1 receives a(4) from p0 and a(9) from p2 *)
+  let env = [ ("vm$1", 1) ] in
+  Alcotest.(check bool) "left halo" true (Rel.mem ~env m.Comm.recv_map ([ 0 ], [ 4 ]));
+  Alcotest.(check bool) "right halo" true (Rel.mem ~env m.Comm.recv_map ([ 2 ], [ 9 ]));
+  Alcotest.(check bool) "no more" false (Rel.mem ~env m.Comm.recv_map ([ 2 ], [ 10 ]))
+
+let () =
+  Alcotest.run "comm"
+    [
+      ( "figure3",
+        [
+          Alcotest.test_case "shift sets" `Quick test_shift_sets;
+          Alcotest.test_case "send/recv duality" `Quick test_duality;
+          Alcotest.test_case "CPMap^v restriction" `Quick test_fix_outer;
+          Alcotest.test_case "participation" `Quick test_participation;
+          Alcotest.test_case "coalescing" `Quick test_coalesce_union;
+        ] );
+    ]

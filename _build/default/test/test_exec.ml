@@ -1,0 +1,225 @@
+(* Unit tests for the simulated machine itself: ownership arithmetic,
+   message timing, collectives, deadlock detection, and the cost model. *)
+
+open Dhpf
+
+let compile src = Gen.compile (Hpf.Sema.analyze_source src)
+
+let block_1d =
+  {|
+program t
+  parameter n = 16
+  real a(n)
+  processors p(4)
+  template tt(n)
+  align a(i) with tt(i)
+  distribute tt(block) onto p
+  do i = 1, n
+    a(i) = i
+  end do
+end
+|}
+
+let test_ownership_block () =
+  let c = compile block_1d in
+  let sim = Spmdsim.Exec.make ~nprocs:4 c.cprog in
+  let _ = Spmdsim.Exec.run sim in
+  (* blocks of 4: a(5) lives on proc 1 *)
+  Alcotest.(check (float 0.0)) "a(5)" 5.0 (Spmdsim.Exec.get_elem sim "a" [ 5 ]);
+  Alcotest.(check (float 0.0)) "a(16)" 16.0 (Spmdsim.Exec.get_elem sim "a" [ 16 ])
+
+let test_ownership_cyclic () =
+  let src =
+    {|
+program t
+  parameter n = 10
+  real a(n)
+  processors p(3)
+  template tt(n)
+  align a(i) with tt(i)
+  distribute tt(cyclic) onto p
+  do i = 1, n
+    a(i) = 10.0 * i
+  end do
+end
+|}
+  in
+  let c = compile src in
+  let sim = Spmdsim.Exec.make ~nprocs:3 c.cprog in
+  let _ = Spmdsim.Exec.run sim in
+  for i = 1 to 10 do
+    Alcotest.(check (float 0.0))
+      (Printf.sprintf "a(%d)" i)
+      (10.0 *. float_of_int i)
+      (Spmdsim.Exec.get_elem sim "a" [ i ])
+  done
+
+let test_clock_monotone () =
+  (* more iterations => strictly more simulated time *)
+  let t iters =
+    let src =
+      Printf.sprintf
+        {|
+program t
+  parameter n = 64
+  real a(n)
+  real s
+  processors p(2)
+  template tt(n)
+  align a(i) with tt(i)
+  distribute tt(block) onto p
+  do k = 1, %d
+    do i = 1, n
+      a(i) = a(i) + 1.0
+    end do
+  end do
+end
+|}
+        iters
+    in
+    let c = compile src in
+    (Spmdsim.Exec.run (Spmdsim.Exec.make ~nprocs:2 c.cprog)).s_time
+  in
+  let t1 = t 1 and t4 = t 4 in
+  Alcotest.(check bool) "4 iters slower than 1" true (t4 > t1 *. 2.0)
+
+let test_message_cost_visible () =
+  (* a shift adds latency: time with comm exceeds comm-free machine time *)
+  let src =
+    {|
+program t
+  parameter n = 32
+  real a(n), b(n)
+  processors p(4)
+  template tt(n)
+  align a(i) with tt(i)
+  align b(i) with tt(i)
+  distribute tt(block) onto p
+  do i = 1, n
+    a(i) = i
+  end do
+  do i = 2, n
+    b(i) = a(i-1)
+  end do
+end
+|}
+  in
+  let c = compile src in
+  let with_comm = (Spmdsim.Exec.run (Spmdsim.Exec.make ~nprocs:4 c.cprog)).s_time in
+  let free =
+    { Spmdsim.Machine.sp2 with alpha = 0.0; beta = 0.0; send_overhead = 0.0;
+      recv_overhead = 0.0; pack_time = 0.0; unpack_time = 0.0 }
+  in
+  let without =
+    (Spmdsim.Exec.run (Spmdsim.Exec.make ~machine:free ~nprocs:4 c.cprog)).s_time
+  in
+  Alcotest.(check bool) "latency visible" true (with_comm > without +. 30e-6)
+
+let test_allreduce_cost () =
+  Alcotest.(check (float 0.0)) "P=1 free" 0.0 (Spmdsim.Machine.allreduce_time Spmdsim.Machine.sp2 1);
+  let t4 = Spmdsim.Machine.allreduce_time Spmdsim.Machine.sp2 4 in
+  let t16 = Spmdsim.Machine.allreduce_time Spmdsim.Machine.sp2 16 in
+  Alcotest.(check bool) "log growth" true (t16 > t4 && t16 < 3.0 *. t4)
+
+let test_deadlock_detected () =
+  (* a program with a recv and no matching send must be reported *)
+  let c = compile block_1d in
+  let prog = c.cprog in
+  let bogus_recv =
+    Spmd.Recv { event = 99; src = [ Iset.Codegen.EInt 0 ] }
+  in
+  let prog =
+    { prog with Spmd.main = prog.Spmd.main @ [ Spmd.If (Iset.Codegen.CGeq0 (Iset.Codegen.EVar "m$1"), [ bogus_recv ]) ] }
+  in
+  let sim = Spmdsim.Exec.make ~nprocs:4 prog in
+  match Spmdsim.Exec.run sim with
+  | exception Spmdsim.Exec.Error msg ->
+      Alcotest.(check bool) "mentions deadlock" true
+        (String.length msg >= 8 && String.sub msg 0 8 = "deadlock")
+  | _ -> Alcotest.fail "expected deadlock"
+
+let test_param_binding () =
+  let src =
+    {|
+program t
+  parameter n
+  real a(100)
+  processors p(2)
+  template tt(100)
+  align a(i) with tt(i)
+  distribute tt(block) onto p
+  do i = 1, n
+    a(i) = i
+  end do
+end
+|}
+  in
+  let c = compile src in
+  (* n is symbolic: must be supplied *)
+  (match Spmdsim.Exec.make ~nprocs:2 c.cprog with
+  | exception Spmdsim.Exec.Error _ -> ()
+  | sim -> (
+      match Spmdsim.Exec.run sim with
+      | exception Spmdsim.Exec.Error _ -> ()
+      | _ -> Alcotest.fail "expected unbound-parameter error"));
+  let sim = Spmdsim.Exec.make ~nprocs:2 ~params:[ ("n", 7) ] c.cprog in
+  let _ = Spmdsim.Exec.run sim in
+  Alcotest.(check (float 0.0)) "a(7) written" 7.0 (Spmdsim.Exec.get_elem sim "a" [ 7 ]);
+  Alcotest.(check (float 0.0)) "a(8) untouched" 0.0 (Spmdsim.Exec.get_elem sim "a" [ 8 ])
+
+let test_serial_interpreter () =
+  let chk = Hpf.Sema.analyze_source block_1d in
+  let r = Spmdsim.Serial.run chk in
+  Alcotest.(check (float 0.0)) "a(3)" 3.0 (Spmdsim.Serial.get_elem r "a" [ 3 ]);
+  Alcotest.(check bool) "flops counted" true (r.r_flops > 16);
+  Alcotest.(check bool) "time positive" true (r.r_time > 0.0)
+
+let test_serial_subroutines_and_if () =
+  let src =
+    {|
+program t
+  parameter n = 4
+  real a(n)
+  real s
+  processors p(2)
+  template tt(n)
+  align a(i) with tt(i)
+  distribute tt(block) onto p
+  call fill
+  if (a(2) > 1.0) then
+    s = 1.0
+  else
+    s = 2.0
+  end if
+end
+subroutine fill
+  do i = 1, n
+    a(i) = i * 1.5
+  end do
+end
+|}
+  in
+  let chk = Hpf.Sema.analyze_source src in
+  let r = Spmdsim.Serial.run chk in
+  Alcotest.(check (float 1e-9)) "subroutine ran" 6.0 (Spmdsim.Serial.get_elem r "a" [ 4 ]);
+  Alcotest.(check (float 1e-9)) "if took then-branch" 1.0 (Spmdsim.Serial.get_scalar r "s")
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "machine",
+        [
+          Alcotest.test_case "ownership block" `Quick test_ownership_block;
+          Alcotest.test_case "ownership cyclic" `Quick test_ownership_cyclic;
+          Alcotest.test_case "clock monotone" `Quick test_clock_monotone;
+          Alcotest.test_case "message cost" `Quick test_message_cost_visible;
+          Alcotest.test_case "allreduce cost" `Quick test_allreduce_cost;
+          Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+          Alcotest.test_case "parameter binding" `Quick test_param_binding;
+        ] );
+      ( "serial",
+        [
+          Alcotest.test_case "interpreter" `Quick test_serial_interpreter;
+          Alcotest.test_case "subroutines and if" `Quick test_serial_subroutines_and_if;
+        ] );
+    ]

@@ -1,0 +1,105 @@
+(* Tests for convex hulls, gist, and window negation — the pieces behind
+   the §3.3 convexity test and exact set difference. *)
+
+open Iset
+
+let set = Parse.set
+
+let test_hull_union () =
+  let s = set "{[i] : 1 <= i <= 3} union {[i] : 6 <= i <= 9}" in
+  let h = Hull.hull s in
+  Alcotest.(check bool) "gap point in hull" true (Rel.mem_set h [ 5 ]);
+  Alcotest.(check bool) "hull lower" false (Rel.mem_set h [ 0 ]);
+  Alcotest.(check bool) "hull upper" false (Rel.mem_set h [ 10 ]);
+  Alcotest.(check bool) "hull contains set" true (Rel.subset s h)
+
+let test_hull_2d () =
+  let s =
+    set "{[i,j] : 1 <= i <= 2 && 1 <= j <= 5} union {[i,j] : 4 <= i <= 5 && 1 <= j <= 5}"
+  in
+  let h = Hull.hull s in
+  Alcotest.(check bool) "middle band in hull" true (Rel.mem_set h [ 3; 2 ]);
+  Alcotest.(check bool) "outside j" false (Rel.mem_set h [ 3; 7 ])
+
+let test_is_convex () =
+  Alcotest.(check bool) "box" true (Hull.is_convex (set "{[i] : 1 <= i <= 9}"));
+  Alcotest.(check bool) "gap" false
+    (Hull.is_convex (set "{[i] : 1 <= i <= 3} union {[i] : 5 <= i <= 9}"));
+  Alcotest.(check bool) "adjacent pieces are convex" true
+    (Hull.is_convex (set "{[i] : 1 <= i <= 4} union {[i] : 5 <= i <= 9}"));
+  Alcotest.(check bool) "overlapping pieces are convex" true
+    (Hull.is_convex (set "{[i] : 1 <= i <= 6} union {[i] : 4 <= i <= 9}"));
+  Alcotest.(check bool) "stride set is not convex" false
+    (Hull.is_convex (set "{[i] : exists(a : i = 2a) && 0 <= i <= 8}"));
+  (* {2} is convex, but the prover is conservative for stride sets whose
+     hull strictly contains them — "not proved" falls back to a runtime
+     check, exactly like the paper *)
+  Alcotest.(check bool) "singleton stride set: conservatively unproved" false
+    (Hull.is_convex (set "{[i] : exists(a : i = 2a) && 1 <= i <= 2}"))
+
+let test_implied_symbolic () =
+  (* hull over symbolic pieces: common bound n kept, piece bounds dropped *)
+  let s = set "{[i] : 1 <= i <= n && i <= 4} union {[i] : 1 <= i <= n && 5 <= i}" in
+  let h = Hull.hull s in
+  Alcotest.(check bool) "n bound kept" false (Rel.mem ~env:[ ("n", 7) ] h ([ 8 ], []));
+  Alcotest.(check bool) "interior kept" true (Rel.mem ~env:[ ("n", 7) ] h ([ 6 ], []))
+
+let test_syntactic_only () =
+  let conjs s = Rel.conjuncts (set s) in
+  let cs =
+    Hull.implied_constraints ~syntactic_only:true
+      (conjs "{[i] : 1 <= i <= 5 && 0 <= i} union {[i] : 1 <= i <= 3}")
+  in
+  (* i >= 1 appears in both; i <= 5 dominates i <= 3 syntactically *)
+  Alcotest.(check bool) "some constraints found" true (List.length cs >= 2)
+
+(* window negation round trips: not(not(W)) = W on points *)
+let test_window_negation_roundtrip () =
+  let s = set "{[i] : exists(a : i = 3a) && 0 <= i <= 30}" in
+  let box = set "{[i] : 0 <= i <= 30}" in
+  let compl = Rel.diff box s in
+  let back = Rel.diff box compl in
+  for x = 0 to 30 do
+    Alcotest.(check bool)
+      (Printf.sprintf "point %d" x)
+      (Rel.mem_set s [ x ])
+      (Rel.mem_set back [ x ])
+  done
+
+let test_gist_rel () =
+  let s = set "{[i] : 1 <= i <= 10 && 3 <= i && i <= 20}" in
+  let g = Rel.gist s ~given:(set "{[i] : 3 <= i && i <= 10}") in
+  (* all constraints implied by the context vanish *)
+  match Rel.conjuncts g with
+  | [ c ] -> Alcotest.(check int) "no residual constraints" 0 (List.length (Conj.constraints c))
+  | _ -> Alcotest.fail "expected one conjunct"
+
+let test_diff_window_chain () =
+  (* repeated differences exercise window-of-window negation *)
+  let box = set "{[i] : 0 <= i <= 59}" in
+  let m2 = set "{[i] : exists(a : i = 2a) && 0 <= i <= 59}" in
+  let m3 = set "{[i] : exists(a : i = 3a) && 0 <= i <= 59}" in
+  let s = Rel.diff (Rel.diff box m2) m3 in
+  for x = 0 to 59 do
+    let expect = x mod 2 <> 0 && x mod 3 <> 0 in
+    Alcotest.(check bool) (Printf.sprintf "point %d" x) expect (Rel.mem_set s [ x ])
+  done
+
+let () =
+  Alcotest.run "hull"
+    [
+      ( "hull",
+        [
+          Alcotest.test_case "union of intervals" `Quick test_hull_union;
+          Alcotest.test_case "2d bands" `Quick test_hull_2d;
+          Alcotest.test_case "is_convex" `Quick test_is_convex;
+          Alcotest.test_case "symbolic implied" `Quick test_implied_symbolic;
+          Alcotest.test_case "syntactic fast path" `Quick test_syntactic_only;
+        ] );
+      ( "negation",
+        [
+          Alcotest.test_case "window roundtrip" `Quick test_window_negation_roundtrip;
+          Alcotest.test_case "gist" `Quick test_gist_rel;
+          Alcotest.test_case "difference chain" `Quick test_diff_window_chain;
+        ] );
+    ]

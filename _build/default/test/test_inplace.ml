@@ -1,0 +1,88 @@
+(* In-place (contiguous) communication recognition, §3.3. Column-major
+   contiguity: leading dimensions full, one convex dimension, trailing
+   singletons. *)
+
+open Iset
+open Dhpf
+
+let bounds2d n = Parse.set (Printf.sprintf "{[a1,a2] : 1 <= a1 <= %d && 1 <= a2 <= %d}" n n)
+
+let an = 8
+
+let analyze src = Inplace.analyze ~comm_set:(Parse.set src) ~array_bounds:(bounds2d an)
+
+let test_full_column () =
+  (* one full column: dim1 full, dim2 singleton -> contiguous *)
+  let r = analyze "{[a1,a2] : 1 <= a1 <= 8 && a2 = 3}" in
+  Alcotest.(check bool) "contiguous" true r.Inplace.contiguous;
+  Alcotest.(check bool) "rect" true r.rect_section
+
+let test_column_range () =
+  (* several full columns: dim1 full, dim2 convex range -> contiguous *)
+  let r = analyze "{[a1,a2] : 1 <= a1 <= 8 && 3 <= a2 <= 5}" in
+  Alcotest.(check bool) "contiguous" true r.contiguous
+
+let test_partial_column () =
+  (* part of one column: dim1 convex, dim2 singleton -> contiguous *)
+  let r = analyze "{[a1,a2] : 2 <= a1 <= 5 && a2 = 3}" in
+  Alcotest.(check bool) "contiguous" true r.contiguous;
+  Alcotest.(check int) "break at dim 0" 0 r.break_dim
+
+let test_row () =
+  (* one row: dim1 singleton, dim2 range -> NOT contiguous (column-major) *)
+  let r = analyze "{[a1,a2] : a1 = 3 && 2 <= a2 <= 6}" in
+  Alcotest.(check bool) "not contiguous" false r.contiguous;
+  Alcotest.(check bool) "still rectangular" true r.rect_section
+
+let test_sub_block () =
+  (* interior block: neither full leading dim nor trailing singleton *)
+  let r = analyze "{[a1,a2] : 2 <= a1 <= 5 && 2 <= a2 <= 5}" in
+  Alcotest.(check bool) "not contiguous" false r.contiguous;
+  Alcotest.(check bool) "rectangular" true r.rect_section
+
+let test_strided () =
+  (* strided column is not convex: falls back to packing *)
+  let r = analyze "{[a1,a2] : 1 <= a1 <= 8 && exists(q : a1 = 2q) && a2 = 3}" in
+  Alcotest.(check bool) "not contiguous" false r.contiguous
+
+let test_triangle () =
+  (* triangular set is not a product of projections *)
+  let r = analyze "{[a1,a2] : 1 <= a1 <= 8 && a1 <= a2 <= 8}" in
+  Alcotest.(check bool) "not rect" false r.rect_section;
+  Alcotest.(check bool) "not contiguous" false r.contiguous
+
+let test_union_fallback () =
+  (* the paper's restriction: multi-conjunct sets are not analyzed *)
+  let r = analyze "{[a1,a2] : a2 = 1 && 1 <= a1 <= 8} union {[a1,a2] : a2 = 5 && 1 <= a1 <= 8}" in
+  Alcotest.(check bool) "multi-conjunct falls back" false r.contiguous
+
+let test_symbolic () =
+  (* symbolic full-column transfer: contiguity proved for every vm *)
+  let s = Parse.set "{[a1,a2] : 1 <= a1 <= 8 && a2 = vm + 1 && 0 <= vm && vm <= 6}" in
+  let r = Inplace.analyze ~comm_set:s ~array_bounds:(bounds2d an) in
+  Alcotest.(check bool) "symbolic contiguous" true r.contiguous
+
+let test_is_singleton () =
+  Alcotest.(check bool) "point" true (Inplace.is_singleton (Parse.set "{[x] : x = 4}"));
+  Alcotest.(check bool) "range" false
+    (Inplace.is_singleton (Parse.set "{[x] : 1 <= x <= 2}"));
+  Alcotest.(check bool) "symbolic point" true
+    (Inplace.is_singleton (Parse.set "{[x] : x = vm + 2}"))
+
+let () =
+  Alcotest.run "inplace"
+    [
+      ( "contiguity",
+        [
+          Alcotest.test_case "full column" `Quick test_full_column;
+          Alcotest.test_case "column range" `Quick test_column_range;
+          Alcotest.test_case "partial column" `Quick test_partial_column;
+          Alcotest.test_case "row" `Quick test_row;
+          Alcotest.test_case "sub-block" `Quick test_sub_block;
+          Alcotest.test_case "strided" `Quick test_strided;
+          Alcotest.test_case "triangle" `Quick test_triangle;
+          Alcotest.test_case "union fallback" `Quick test_union_fallback;
+          Alcotest.test_case "symbolic" `Quick test_symbolic;
+          Alcotest.test_case "is_singleton" `Quick test_is_singleton;
+        ] );
+    ]

@@ -1,0 +1,235 @@
+(* Layout construction tests: the Layout relations must agree with the
+   runtime ownership descriptors on every element — the set-level and
+   runtime-level views of Figure 2 are cross-checked exhaustively. *)
+
+open Iset
+
+let build src =
+  let chk = Hpf.Sema.analyze_source src in
+  (chk, Dhpf.Layout.build chk)
+
+let block_block =
+  {|
+program t
+  parameter n = 12
+  real a(n,n)
+  processors p(2,3)
+  template tt(n,n)
+  align a(i,j) with tt(i,j)
+  distribute tt(block,block) onto p
+end
+|}
+
+let block_star_shifted =
+  {|
+program t
+  parameter n = 10
+  real a(0:9,10)
+  processors p(2)
+  template tt(12,10)
+  align a(i,j) with tt(i+2,j)
+  distribute tt(block,*) onto p
+end
+|}
+
+let cyclic_cyclic =
+  {|
+program t
+  parameter n = 9
+  real a(n,n)
+  processors p(2,2)
+  template tt(n,n)
+  align a(i,j) with tt(i,j)
+  distribute tt(cyclic,cyclic) onto p
+end
+|}
+
+let blockk =
+  {|
+program t
+  parameter n = 12
+  real a(n)
+  processors p(4)
+  template tt(n)
+  align a(i) with tt(i)
+  distribute tt(block(3)) onto p
+end
+|}
+
+(* Exhaustive agreement between the Layout relation (set view) and the
+   runtime ownership function used by the simulator. *)
+let check_agreement ?(env = []) name src =
+  let chk, ctx = build src in
+  let layout = Option.get (Dhpf.Layout.layout_of ctx "a") in
+  let ai = Option.get (Hpf.Sema.find_array chk.env "a") in
+  (* enumerate physical coordinates and array elements *)
+  let extents =
+    List.map
+      (function
+        | Hpf.Sema.Concrete k -> k
+        | Hpf.Sema.Symbolic _ -> Alcotest.fail "symbolic extent in agreement test")
+      ctx.Dhpf.Layout.proc.pextents
+  in
+  let bind name =
+    match Hpf.Sema.param_value chk.env name with
+    | Some v -> v
+    | None -> Alcotest.fail ("unbound parameter " ^ name)
+  in
+  let bounds =
+    List.map
+      (fun (lo, hi) ->
+        (Hpf.Sema.eval_iexpr ~bind lo, Hpf.Sema.eval_iexpr ~bind hi))
+      ai.adims
+  in
+  let rec coords acc = function
+    | [] -> [ List.rev acc ]
+    | e :: rest -> List.concat_map (fun c -> coords (c :: acc) rest) (List.init e Fun.id)
+  in
+  let rec idxs acc = function
+    | [] -> [ List.rev acc ]
+    | (lo, hi) :: rest ->
+        List.concat_map (fun x -> idxs (x :: acc) rest) (List.init (hi - lo + 1) (fun i -> lo + i))
+  in
+  let n_owned = ref 0 in
+  List.iter
+    (fun vp ->
+      List.iter
+        (fun idx ->
+          let in_layout = Rel.mem ~env layout (vp, idx) in
+          if in_layout then incr n_owned)
+        (idxs [] bounds))
+    (coords [] extents);
+  (* every element owned by at least one processor *)
+  let total = List.fold_left (fun acc (lo, hi) -> acc * (hi - lo + 1)) 1 bounds in
+  Alcotest.(check bool)
+    (name ^ ": every element owned (owned=" ^ string_of_int !n_owned ^ ")")
+    true (!n_owned >= total)
+
+let test_block_block () = check_agreement "block-block" block_block
+let test_block_star () = check_agreement "block-star" block_star_shifted
+let test_cyclic () = check_agreement "cyclic" cyclic_cyclic
+let test_blockk () = check_agreement "block(3)" blockk
+
+(* Unique ownership for non-replicated alignments. *)
+let check_unique name src =
+  let chk, ctx = build src in
+  let layout = Option.get (Dhpf.Layout.layout_of ctx "a") in
+  (* for sample elements, exactly one owner *)
+  let ai = Option.get (Hpf.Sema.find_array chk.env "a") in
+  let bind name =
+    match Hpf.Sema.param_value chk.env name with
+    | Some v -> v
+    | None -> Alcotest.fail ("unbound parameter " ^ name)
+  in
+  let bounds =
+    List.map
+      (fun (lo, hi) ->
+        (Hpf.Sema.eval_iexpr ~bind lo, Hpf.Sema.eval_iexpr ~bind hi))
+      ai.adims
+  in
+  let extents =
+    List.map
+      (function Hpf.Sema.Concrete k -> k | _ -> assert false)
+      ctx.Dhpf.Layout.proc.pextents
+  in
+  let rec coords acc = function
+    | [] -> [ List.rev acc ]
+    | e :: rest -> List.concat_map (fun c -> coords (c :: acc) rest) (List.init e Fun.id)
+  in
+  List.iter
+    (fun idx ->
+      let owners =
+        List.filter (fun vp -> Rel.mem layout (vp, idx)) (coords [] extents)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%s: unique owner of (%s)" name
+           (String.concat "," (List.map string_of_int idx)))
+        1 (List.length owners))
+    [ List.map fst bounds; List.map snd bounds ]
+
+let test_unique_block () = check_unique "block-block" block_block
+let test_unique_cyclic () = check_unique "cyclic" cyclic_cyclic
+
+(* Replicated alignment: b aligned with tt(*,j) on (block,*) means every
+   processor owns every element of b. *)
+let test_replication () =
+  let src =
+    {|
+program t
+  parameter n = 8
+  real a(n,n), b(n)
+  processors p(2)
+  template tt(n,n)
+  align a(i,j) with tt(i,j)
+  align b(j) with tt(*,j)
+  distribute tt(block,*) onto p
+end
+|}
+  in
+  let _, ctx = build src in
+  let layout_b = Option.get (Dhpf.Layout.layout_of ctx "b") in
+  List.iter
+    (fun vp ->
+      Alcotest.(check bool) "replicated element owned everywhere" true
+        (Rel.mem layout_b ([ vp ], [ 3 ])))
+    [ 0; 1 ]
+
+(* The symbolic-block VP layout: vm = B·m + tlo owns [vm, vm+B-1]. *)
+let test_symbolic_block () =
+  let src =
+    {|
+program t
+  parameter n = 20
+  real a(n)
+  processors p(number_of_processors())
+  template tt(n)
+  align a(i) with tt(i)
+  distribute tt(block) onto p
+end
+|}
+  in
+  let _, ctx = build src in
+  let layout = Option.get (Dhpf.Layout.layout_of ctx "a") in
+  (* with P=4, B=5: VP v=6 (proc 1) owns 6..10 *)
+  let env = [ ("p$1", 4); ("b$tt$1", 5) ] in
+  Alcotest.(check bool) "vp 6 owns 6" true (Rel.mem ~env layout ([ 6 ], [ 6 ]));
+  Alcotest.(check bool) "vp 6 owns 10" true (Rel.mem ~env layout ([ 6 ], [ 10 ]));
+  Alcotest.(check bool) "vp 6 not own 11" false (Rel.mem ~env layout ([ 6 ], [ 11 ]));
+  Alcotest.(check bool) "vp 6 not own 5" false (Rel.mem ~env layout ([ 6 ], [ 5 ]))
+
+let test_unsupported () =
+  let src =
+    {|
+program t
+  parameter n = 8
+  real a(n)
+  processors p(number_of_processors())
+  template tt(n)
+  align a(i) with tt(i)
+  distribute tt(cyclic(2)) onto p
+end
+|}
+  in
+  match Dhpf.Layout.build (Hpf.Sema.analyze_source src) with
+  | exception Dhpf.Layout.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected Unsupported for symbolic cyclic(k)"
+
+let () =
+  Alcotest.run "layout"
+    [
+      ( "agreement",
+        [
+          Alcotest.test_case "block,block" `Quick test_block_block;
+          Alcotest.test_case "block,star shifted" `Quick test_block_star;
+          Alcotest.test_case "cyclic,cyclic" `Quick test_cyclic;
+          Alcotest.test_case "block(3)" `Quick test_blockk;
+        ] );
+      ( "ownership",
+        [
+          Alcotest.test_case "unique block" `Quick test_unique_block;
+          Alcotest.test_case "unique cyclic" `Quick test_unique_cyclic;
+          Alcotest.test_case "replication" `Quick test_replication;
+          Alcotest.test_case "symbolic block VP" `Quick test_symbolic_block;
+          Alcotest.test_case "unsupported" `Quick test_unsupported;
+        ] );
+    ]

@@ -1,0 +1,97 @@
+(* Tests for the Omega-notation parser. *)
+
+open Iset
+
+let test_simple () =
+  let s = Parse.set "{[i] : 1 <= i <= 10}" in
+  Alcotest.(check int) "arity" 1 (Rel.in_arity s);
+  Alcotest.(check bool) "mem 5" true (Rel.mem_set s [ 5 ]);
+  Alcotest.(check bool) "mem 11" false (Rel.mem_set s [ 11 ])
+
+let test_relation () =
+  let r = Parse.rel "{[i,j] -> [p,q] : p = i && q = j + 1}" in
+  Alcotest.(check int) "in arity" 2 (Rel.in_arity r);
+  Alcotest.(check int) "out arity" 2 (Rel.out_arity r);
+  Alcotest.(check bool) "mem" true (Rel.mem r ([ 1; 2 ], [ 1; 3 ]))
+
+let test_coefficients () =
+  let s = Parse.set "{[i] : 2i <= 10 && 3*i >= 6}" in
+  Alcotest.(check bool) "mem 2" true (Rel.mem_set s [ 2 ]);
+  Alcotest.(check bool) "mem 5" true (Rel.mem_set s [ 5 ]);
+  Alcotest.(check bool) "mem 6" false (Rel.mem_set s [ 6 ]);
+  Alcotest.(check bool) "mem 1" false (Rel.mem_set s [ 1 ])
+
+let test_negative () =
+  let s = Parse.set "{[i] : -3 <= i && i <= -1}" in
+  Alcotest.(check bool) "mem -2" true (Rel.mem_set s [ -2 ]);
+  Alcotest.(check bool) "mem 0" false (Rel.mem_set s [ 0 ])
+
+let test_chain () =
+  let s = Parse.set "{[i,j] : 1 <= i < j <= 5}" in
+  Alcotest.(check bool) "mem (1,2)" true (Rel.mem_set s [ 1; 2 ]);
+  Alcotest.(check bool) "mem (2,2)" false (Rel.mem_set s [ 2; 2 ]);
+  Alcotest.(check bool) "mem (4,5)" true (Rel.mem_set s [ 4; 5 ])
+
+let test_exists () =
+  let s = Parse.set "{[i] : exists(a : i = 3a + 1) && 0 <= i <= 10}" in
+  List.iter
+    (fun (x, expected) ->
+      Alcotest.(check bool) (Printf.sprintf "mem %d" x) expected (Rel.mem_set s [ x ]))
+    [ (0, false); (1, true); (2, false); (4, true); (7, true); (10, true); (9, false) ]
+
+let test_union_syntax () =
+  let s = Parse.set "{[i] : i = 1} union {[i] : i = 5}" in
+  Alcotest.(check bool) "mem 1" true (Rel.mem_set s [ 1 ]);
+  Alcotest.(check bool) "mem 5" true (Rel.mem_set s [ 5 ]);
+  Alcotest.(check bool) "mem 3" false (Rel.mem_set s [ 3 ]);
+  let s2 = Parse.set "{[i] : i = 1 || i = 5}" in
+  Alcotest.(check bool) "|| same" true (Rel.equal s s2)
+
+let test_params () =
+  let s = Parse.set "{[i] : lb <= i <= ub}" in
+  Alcotest.(check bool) "mem" true (Rel.mem ~env:[ ("lb", 2); ("ub", 4) ] s ([ 3 ], []));
+  Alcotest.(check bool) "not mem" false (Rel.mem ~env:[ ("lb", 2); ("ub", 4) ] s ([ 5 ], []))
+
+let test_errors () =
+  let expect_error s =
+    match Parse.set s with
+    | exception Parse.Error _ -> ()
+    | _ -> Alcotest.fail ("expected parse error for " ^ s)
+  in
+  expect_error "{[i] : }";
+  expect_error "{[i] i = 1}";
+  expect_error "{[i] : i}";
+  expect_error "[i] : i = 1";
+  expect_error "{[i] : i = 1} {[i] : i = 2}"
+
+let test_print_parse_roundtrip () =
+  List.iter
+    (fun src ->
+      let s = Parse.rel src in
+      let s' = Parse.rel (Rel.to_string s) in
+      Alcotest.(check bool) ("roundtrip " ^ src) true (Rel.equal s s'))
+    [
+      "{[i] : 1 <= i <= 10}";
+      "{[i,j] -> [p] : 25p + 1 <= j <= 25p + 25 && 0 <= p <= 3}";
+      "{[i] : exists(a : i = 2a) && 0 <= i <= 20}";
+      "{[i] : i = 1} union {[i] : 5 <= i <= 7}";
+      "{[i] : 1 <= i <= n}";
+    ]
+
+let () =
+  Alcotest.run "parse"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "simple" `Quick test_simple;
+          Alcotest.test_case "relation" `Quick test_relation;
+          Alcotest.test_case "coefficients" `Quick test_coefficients;
+          Alcotest.test_case "negative" `Quick test_negative;
+          Alcotest.test_case "chain" `Quick test_chain;
+          Alcotest.test_case "exists" `Quick test_exists;
+          Alcotest.test_case "union" `Quick test_union_syntax;
+          Alcotest.test_case "params" `Quick test_params;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "roundtrip" `Quick test_print_parse_roundtrip;
+        ] );
+    ]

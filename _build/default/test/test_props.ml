@@ -1,0 +1,219 @@
+(* Property-based tests: the set algebra is compared pointwise against a
+   direct evaluator on randomly generated (bounded) sets, and code
+   generation is compared against brute-force enumeration. *)
+
+open Iset
+
+let box_lo = -6
+let box_hi = 6
+
+(* ------------------------------------------------------------------ *)
+(* Random bounded sets over two variables                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A "ground" constraint we can evaluate directly. *)
+type gc =
+  | Ge of int * int * int (* a*x + b*y + c >= 0 *)
+  | Equ of int * int * int (* a*x + b*y + c = 0 *)
+  | Stride of int * int * int * int (* a*x + b*y + c ≡ 0 (mod k) *)
+
+let eval_gc (x, y) = function
+  | Ge (a, b, c) -> (a * x) + (b * y) + c >= 0
+  | Equ (a, b, c) -> (a * x) + (b * y) + c = 0
+  | Stride (a, b, c, k) -> Lin.pmod ((a * x) + (b * y) + c) k = 0
+
+let conj_of_gcs gcs =
+  let lin a b c = Lin.of_list [ (a, Var.In 0); (b, Var.In 1) ] c in
+  let n_ex = ref 0 in
+  let cs =
+    List.map
+      (function
+        | Ge (a, b, c) -> Constr.geq (lin a b c)
+        | Equ (a, b, c) -> Constr.eq (lin a b c)
+        | Stride (a, b, c, k) ->
+            let e = Var.Ex !n_ex in
+            incr n_ex;
+            Constr.eq (Lin.add (lin a b c) (Lin.var ~coef:k e)))
+      gcs
+  in
+  (* bound both variables inside the box so every set is finite *)
+  let bounds =
+    [
+      Constr.geq (Lin.of_list [ (1, Var.In 0) ] (-box_lo));
+      Constr.geq (Lin.of_list [ (-1, Var.In 0) ] box_hi);
+      Constr.geq (Lin.of_list [ (1, Var.In 1) ] (-box_lo));
+      Constr.geq (Lin.of_list [ (-1, Var.In 1) ] box_hi);
+    ]
+  in
+  Conj.make ~n_ex:!n_ex (cs @ bounds)
+
+let gen_gc =
+  QCheck.Gen.(
+    let coef = int_range (-3) 3 in
+    let cst = int_range (-8) 8 in
+    frequency
+      [
+        (6, map3 (fun a b c -> Ge (a, b, c)) coef coef cst);
+        (1, map3 (fun a b c -> Equ (a, b, c)) coef coef cst);
+        ( 2,
+          map3 (fun a b (c, k) -> Stride (a, b, c, k)) coef coef
+            (pair cst (int_range 2 4)) );
+      ])
+
+let gen_gcs = QCheck.Gen.(list_size (int_range 0 3) gen_gc)
+
+(* a set = 1..2 disjuncts, each a list of ground constraints *)
+let gen_gset = QCheck.Gen.(list_size (int_range 1 2) gen_gcs)
+
+let set_of_gset gset = Rel.set ~ar:2 (List.map conj_of_gcs gset)
+
+let eval_gset gset pt =
+  List.exists (fun gcs -> List.for_all (eval_gc pt) gcs) gset
+
+let in_box (x, y) = x >= box_lo && x <= box_hi && y >= box_lo && y <= box_hi
+
+let arb_gset = QCheck.make ~print:(fun g -> Rel.to_string (set_of_gset g)) gen_gset
+
+let all_points =
+  List.concat_map
+    (fun x -> List.map (fun y -> (x, y)) (List.init (box_hi - box_lo + 1) (fun i -> box_lo + i)))
+    (List.init (box_hi - box_lo + 1) (fun i -> box_lo + i))
+
+let pointwise name f =
+  QCheck.Test.make ~count:60 ~name (QCheck.pair arb_gset arb_gset) f
+
+let prop_mem =
+  QCheck.Test.make ~count:100 ~name:"mem agrees with direct evaluation" arb_gset
+    (fun g ->
+      let s = set_of_gset g in
+      List.for_all
+        (fun pt -> Rel.mem_set s [ fst pt; snd pt ] = eval_gset g pt)
+        all_points)
+
+let prop_union =
+  pointwise "union is pointwise or" (fun (g1, g2) ->
+      let u = Rel.union (set_of_gset g1) (set_of_gset g2) in
+      List.for_all
+        (fun pt ->
+          Rel.mem_set u [ fst pt; snd pt ] = (eval_gset g1 pt || eval_gset g2 pt))
+        all_points)
+
+let prop_inter =
+  pointwise "inter is pointwise and" (fun (g1, g2) ->
+      let u = Rel.inter (set_of_gset g1) (set_of_gset g2) in
+      List.for_all
+        (fun pt ->
+          Rel.mem_set u [ fst pt; snd pt ] = (eval_gset g1 pt && eval_gset g2 pt))
+        all_points)
+
+let prop_diff =
+  pointwise "diff is pointwise and-not" (fun (g1, g2) ->
+      let u = Rel.diff (set_of_gset g1) (set_of_gset g2) in
+      List.for_all
+        (fun pt ->
+          Rel.mem_set u [ fst pt; snd pt ]
+          = (eval_gset g1 pt && not (eval_gset g2 pt)))
+        all_points)
+
+let prop_subset =
+  pointwise "subset agrees with pointwise inclusion" (fun (g1, g2) ->
+      let s1 = set_of_gset g1 and s2 = set_of_gset g2 in
+      Rel.subset s1 s2
+      = List.for_all
+          (fun pt -> (not (eval_gset g1 pt)) || eval_gset g2 pt)
+          all_points)
+
+let prop_empty =
+  QCheck.Test.make ~count:100 ~name:"is_empty agrees with exhaustive search" arb_gset
+    (fun g ->
+      let s = set_of_gset g in
+      Rel.is_empty s = not (List.exists (eval_gset g) all_points))
+
+(* Relations x -> y built from the same machinery, for compose/domain/range *)
+let rel_of_gset gset =
+  let f = function Var.In 1 -> Var.Out 0 | v -> v in
+  let conjs = List.map (fun c -> Conj.map_lin (Lin.map_vars f) (conj_of_gcs c)) gset in
+  Rel.make ~in_ar:1 ~out_ar:1 conjs
+
+let prop_compose =
+  pointwise "compose is relational join" (fun (g1, g2) ->
+      let r = Rel.compose (rel_of_gset g1) (rel_of_gset g2) in
+      List.for_all
+        (fun (x, z) ->
+          let direct =
+            List.exists
+              (fun y ->
+                in_box (x, y) && in_box (y, z) && eval_gset g1 (x, y)
+                && eval_gset g2 (y, z))
+              (List.init (box_hi - box_lo + 1) (fun i -> box_lo + i))
+          in
+          Rel.mem r ([ x ], [ z ]) = direct)
+        all_points)
+
+let prop_domain_range =
+  QCheck.Test.make ~count:60 ~name:"domain/range are projections" arb_gset (fun g ->
+      let r = rel_of_gset g in
+      let dom = Rel.domain r and rng = Rel.range r in
+      let xs = List.init (box_hi - box_lo + 1) (fun i -> box_lo + i) in
+      List.for_all
+        (fun x ->
+          let dx = List.exists (fun y -> eval_gset g (x, y)) xs in
+          let rx = List.exists (fun y -> eval_gset g (y, x)) xs in
+          Rel.mem_set dom [ x ] = dx && Rel.mem_set rng [ x ] = rx)
+        xs)
+
+let prop_codegen =
+  QCheck.Test.make ~count:60 ~name:"codegen enumerates exactly the set" arb_gset
+    (fun g ->
+      let s = set_of_gset g in
+      let asts =
+        try Codegen.gen ~names:[| "x"; "y" |] [ { Codegen.tag = 0; dom = s } ]
+        with Codegen.Unsupported _ -> QCheck.assume_fail ()
+      in
+      let got = ref [] in
+      Codegen.run
+        ~env:(fun v -> failwith v)
+        ~f:(fun _ binds -> got := (List.assoc "x" binds, List.assoc "y" binds) :: !got)
+        asts;
+      let got = List.sort_uniq compare !got in
+      let want = List.filter (eval_gset g) all_points |> List.sort_uniq compare in
+      got = want)
+
+let prop_codegen_order =
+  QCheck.Test.make ~count:60 ~name:"codegen order is lexicographic" arb_gset (fun g ->
+      let s = set_of_gset g in
+      let asts =
+        try Codegen.gen ~names:[| "x"; "y" |] [ { Codegen.tag = 0; dom = s } ]
+        with Codegen.Unsupported _ -> QCheck.assume_fail ()
+      in
+      let got = ref [] in
+      Codegen.run
+        ~env:(fun v -> failwith v)
+        ~f:(fun _ binds -> got := (List.assoc "x" binds, List.assoc "y" binds) :: !got)
+        asts;
+      let l = List.rev !got in
+      (* no duplicates and sorted lexicographically *)
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> compare a b < 0 && sorted rest
+        | _ -> true
+      in
+      sorted l)
+
+let () =
+  Alcotest.run "props"
+    [
+      ( "algebra",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_mem;
+            prop_union;
+            prop_inter;
+            prop_diff;
+            prop_subset;
+            prop_empty;
+            prop_compose;
+            prop_domain_range;
+          ] );
+      ( "codegen",
+        List.map QCheck_alcotest.to_alcotest [ prop_codegen; prop_codegen_order ] );
+    ]

@@ -1,0 +1,178 @@
+(* Unit tests for relation-level operations, including the paper's Figure 2
+   constructions. *)
+
+open Iset
+
+let set = Parse.set
+let rel = Parse.rel
+
+let check_equal msg a b =
+  Alcotest.(check bool)
+    (msg ^ Printf.sprintf " (%s vs %s)" (Rel.to_string a) (Rel.to_string b))
+    true (Rel.equal a b)
+
+let check_mem msg expected s pt =
+  Alcotest.(check bool) msg expected (Rel.mem_set s pt)
+
+let test_union_inter () =
+  let a = set "{[i] : 1 <= i <= 5}" and b = set "{[i] : 4 <= i <= 8}" in
+  check_equal "union" (Rel.union a b) (set "{[i] : 1 <= i <= 8}");
+  check_equal "inter" (Rel.inter a b) (set "{[i] : 4 <= i <= 5}");
+  Alcotest.(check bool) "disjoint inter empty" true
+    (Rel.is_empty (Rel.inter (set "{[i] : 1 <= i <= 2}") (set "{[i] : 5 <= i <= 6}")))
+
+let test_diff () =
+  let a = set "{[i] : 1 <= i <= 10}" and b = set "{[i] : 2 <= i <= 100}" in
+  check_equal "prefix diff" (Rel.diff a b) (set "{[i] : i = 1}");
+  let hole = Rel.diff a (set "{[i] : 4 <= i <= 6}") in
+  check_equal "hole" hole (set "{[i] : 1 <= i <= 3} union {[i] : 7 <= i <= 10}");
+  Alcotest.(check bool) "a - a empty" true (Rel.is_empty (Rel.diff a a))
+
+let test_2d_diff () =
+  (* interior = box minus boundary *)
+  let box = set "{[i,j] : 1 <= i <= 4 && 1 <= j <= 4}" in
+  let west = set "{[i,j] : i = 1 && 1 <= j <= 4}" in
+  let interior = Rel.diff box west in
+  check_mem "(1,2) removed" false interior [ 1; 2 ];
+  check_mem "(2,2) kept" true interior [ 2; 2 ];
+  let count = ref 0 in
+  for x = 1 to 4 do
+    for y = 1 to 4 do
+      if Rel.mem_set interior [ x; y ] then incr count
+    done
+  done;
+  Alcotest.(check int) "12 points" 12 !count
+
+let test_compose () =
+  let r1 = rel "{[i] -> [j] : j = i + 1}" in
+  let r2 = rel "{[j] -> [k] : k = 2j}" in
+  check_equal "compose" (Rel.compose r1 r2) (rel "{[i] -> [k] : k = 2i + 2}");
+  (* composition through a bounded middle *)
+  let r1 = rel "{[i] -> [j] : j = i && 1 <= j <= 5}" in
+  let r2 = rel "{[j] -> [k] : k = j && 3 <= j <= 9}" in
+  check_equal "bounded middle" (Rel.compose r1 r2) (rel "{[i] -> [k] : k = i && 3 <= i <= 5}")
+
+let test_domain_range () =
+  let r = rel "{[i] -> [j] : j = 2i && 1 <= i <= 3}" in
+  check_equal "domain" (Rel.domain r) (set "{[i] : 1 <= i <= 3}");
+  check_equal "range" (Rel.range r)
+    (set "{[j] : exists(a : j = 2a) && 2 <= j <= 6}")
+
+let test_inverse () =
+  let r = rel "{[i] -> [j] : j = i + 5 && 0 <= i <= 9}" in
+  check_equal "inverse" (Rel.inverse r) (rel "{[j] -> [i] : i = j - 5 && 5 <= j <= 14}")
+
+let test_restrict_apply () =
+  let r = rel "{[p] -> [a] : 10p + 1 <= a <= 10p + 10 && 0 <= p <= 3}" in
+  let s = set "{[p] : p = 2}" in
+  check_equal "apply = range of restrict"
+    (Rel.apply r s)
+    (set "{[a] : 21 <= a <= 30}");
+  let rr = Rel.restrict_range r (set "{[a] : 5 <= a <= 15}") in
+  check_equal "restrict_range domain" (Rel.domain rr) (set "{[p] : 0 <= p <= 1}")
+
+let test_apply_point () =
+  let r = rel "{[p] -> [a] : 10p + 1 <= a <= 10p + 10 && 0 <= p <= 3}" in
+  let s = Rel.apply_point r [ Lin.var (Var.Param "m") ] in
+  (* {[a] : 10m+1 <= a <= 10m+10 && 0 <= m <= 3} *)
+  Alcotest.(check bool) "member with m=1" true (Rel.mem ~env:[ ("m", 1) ] s ([ 12 ], []));
+  Alcotest.(check bool) "not member with m=1" false
+    (Rel.mem ~env:[ ("m", 1) ] s ([ 25 ], []))
+
+let test_subset_equal () =
+  let a = set "{[i,j] : 1 <= i <= 3 && 1 <= j <= 3}" in
+  let b = set "{[i,j] : 0 <= i <= 4 && 0 <= j <= 4}" in
+  Alcotest.(check bool) "a subset b" true (Rel.subset a b);
+  Alcotest.(check bool) "b not subset a" false (Rel.subset b a);
+  Alcotest.(check bool) "a = a" true (Rel.equal a a)
+
+let test_flatten () =
+  let r = rel "{[p] -> [a,b] : a = p && b = p + 1 && 0 <= p <= 3}" in
+  let s = Rel.flatten r in
+  Alcotest.(check int) "arity 3" 3 (Rel.in_arity s);
+  check_mem "member" true s [ 2; 2; 3 ];
+  check_mem "not member" false s [ 2; 3; 3 ];
+  let r' = Rel.unflatten ~in_ar:1 s in
+  check_equal "unflatten . flatten" r r'
+
+let test_symbolic () =
+  (* sets parameterized by n stay symbolic through operations *)
+  let a = set "{[i] : 1 <= i <= n}" in
+  let b = set "{[i] : 2 <= i <= n + 1}" in
+  let d = Rel.diff a b in
+  check_equal "symbolic diff" d (set "{[i] : i = 1 && 1 <= n}");
+  Alcotest.(check bool) "mem n=0" false (Rel.mem ~env:[ ("n", 0) ] d ([ 1 ], []));
+  Alcotest.(check bool) "mem n=5" true (Rel.mem ~env:[ ("n", 5) ] d ([ 1 ], []))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2 of the paper: primitive sets and mappings                  *)
+(* ------------------------------------------------------------------ *)
+
+(* real A(0:99,100), B(100,100) ; processors P(4) ; template T(100,100)
+   align A(i,j) with T(i+1,j) ; align B(i,j) with T(star,i)
+   distribute T(star,block) onto P *)
+
+let align_a = rel "{[a1,a2] -> [t1,t2] : t1 = a1 + 1 && t2 = a2 && 0 <= a1 <= 99 && 1 <= a2 <= 100}"
+let align_b = rel "{[b1,b2] -> [t1,t2] : t2 = b1 && 1 <= b1 <= 100 && 1 <= b2 <= 100 && 1 <= t1 <= 100}"
+let dist_t = rel "{[t1,t2] -> [p] : 25p + 1 <= t2 <= 25p + 25 && 0 <= p <= 3 && 1 <= t1 <= 100 && 1 <= t2 <= 100}"
+
+let layout_a = Rel.compose (Rel.inverse dist_t) (Rel.inverse align_a)
+let layout_b = Rel.compose (Rel.inverse dist_t) (Rel.inverse align_b)
+
+let test_figure2_layout_a () =
+  (* paper: Layout_A = {[p] -> [a1,a2] : max(25p,0) <= a1 <= 99 and ... } —
+     A(i,j) lives at T(i+1,j): the BLOCK dimension is t2 = a2. *)
+  let expected =
+    rel
+      "{[p] -> [a1,a2] : 25p + 1 <= a2 <= 25p + 25 && 0 <= a1 <= 99 && 0 <= p <= 3 && 1 <= a2 <= 100}"
+  in
+  check_equal "Layout_A" layout_a expected
+
+let test_figure2_layout_b () =
+  (* B(i,j) at T(star,i): owner determined by b1; replication over t1 collapses *)
+  let expected =
+    rel
+      "{[p] -> [b1,b2] : 25p + 1 <= b1 <= 25p + 25 && 1 <= b1 <= 100 && 1 <= b2 <= 100 && 0 <= p <= 3}"
+  in
+  check_equal "Layout_B" layout_b expected
+
+let test_figure2_cpmap () =
+  (* do i = 1,N ; do j = 2,N+1 ; ON_HOME B(j-1,i):
+     loop = {[l1,l2] : 1 <= l1 <= N && 2 <= l2 <= N+1}
+     CPRef = {[l1,l2] -> [b1,b2] : b2 = l1 && b1 = l2 - 1}
+     CPMap = Layout_B o CPRef^-1 restricted to loop *)
+  let loop = set "{[l1,l2] : 1 <= l1 <= N && 2 <= l2 <= N + 1}" in
+  let cpref = rel "{[l1,l2] -> [b1,b2] : b2 = l1 && b1 = l2 - 1}" in
+  let cpmap = Rel.restrict_range (Rel.compose layout_b (Rel.inverse cpref)) loop in
+  (* paper: {[p] -> [l1,l2] : 1 <= l1 <= min(N,100) &&
+             max(2,25p+2) <= l2 <= min(N+1,101,25p+26)} *)
+  let expected =
+    rel
+      "{[p] -> [l1,l2] : 1 <= l1 <= N && l1 <= 100 && 2 <= l2 && 25p + 2 <= l2 && l2 <= N + 1 && l2 <= 101 && l2 <= 25p + 26 && 0 <= p <= 3}"
+  in
+  check_equal "CPMap" cpmap expected
+
+let () =
+  Alcotest.run "rel"
+    [
+      ( "ops",
+        [
+          Alcotest.test_case "union/inter" `Quick test_union_inter;
+          Alcotest.test_case "diff" `Quick test_diff;
+          Alcotest.test_case "2d diff" `Quick test_2d_diff;
+          Alcotest.test_case "compose" `Quick test_compose;
+          Alcotest.test_case "domain/range" `Quick test_domain_range;
+          Alcotest.test_case "inverse" `Quick test_inverse;
+          Alcotest.test_case "restrict/apply" `Quick test_restrict_apply;
+          Alcotest.test_case "apply_point" `Quick test_apply_point;
+          Alcotest.test_case "subset/equal" `Quick test_subset_equal;
+          Alcotest.test_case "flatten" `Quick test_flatten;
+          Alcotest.test_case "symbolic params" `Quick test_symbolic;
+        ] );
+      ( "figure2",
+        [
+          Alcotest.test_case "Layout_A" `Quick test_figure2_layout_a;
+          Alcotest.test_case "Layout_B" `Quick test_figure2_layout_b;
+          Alcotest.test_case "CPMap" `Quick test_figure2_cpmap;
+        ] );
+    ]

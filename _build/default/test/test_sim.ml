@@ -1,0 +1,232 @@
+(* End-to-end correctness: every benchmark, compiled and executed on the
+   simulated machine, must produce exactly the arrays and scalars the serial
+   reference interpreter produces — for several processor counts. This is
+   the strongest whole-compiler test in the suite. *)
+
+let validate ?(nprocs = 4) name src =
+  let chk = Hpf.Sema.analyze_source src in
+  let compiled = Dhpf.Gen.compile chk in
+  let sref = Spmdsim.Serial.run chk in
+  let sim = Spmdsim.Exec.make ~nprocs compiled.Dhpf.Gen.cprog in
+  let stats = Spmdsim.Exec.run sim in
+  let bad = ref 0 and total = ref 0 in
+  Hashtbl.iter
+    (fun aname (ai : Hpf.Sema.array_info) ->
+      let bounds =
+        List.map
+          (fun (lo, hi) ->
+            ( Spmdsim.Serial.eval_iexpr sref.r_state lo,
+              Spmdsim.Serial.eval_iexpr sref.r_state hi ))
+          ai.adims
+      in
+      let rec go idx = function
+        | [] ->
+            let idx = List.rev idx in
+            incr total;
+            let want = Spmdsim.Serial.get_elem sref aname idx in
+            let got = Spmdsim.Exec.get_elem sim aname idx in
+            if abs_float (want -. got) > 1e-6 *. (abs_float want +. 1.0) then incr bad
+        | (lo, hi) :: rest ->
+            for x = lo to hi do
+              go (x :: idx) rest
+            done
+      in
+      go [] bounds)
+    chk.env.arrays;
+  Alcotest.(check int) (Printf.sprintf "%s@%d: array mismatches" name nprocs) 0 !bad;
+  Alcotest.(check bool) (name ^ ": nonzero checked elements") true (!total > 0);
+  stats
+
+let test_jacobi () =
+  List.iter
+    (fun np ->
+      ignore (validate ~nprocs:np "jacobi" (Codes.jacobi ~n:16 ~iters:2 ~procs:(Codes.Symbolic2 2) ())))
+    [ 2; 4; 8 ]
+
+let test_jacobi_fixed () =
+  ignore (validate ~nprocs:4 "jacobi-fixed" (Codes.jacobi ~n:16 ~iters:2 ~procs:(Codes.Fixed (2, 2)) ()))
+
+let test_tomcatv () =
+  List.iter
+    (fun np ->
+      ignore
+        (validate ~nprocs:np "tomcatv" (Codes.tomcatv ~n:17 ~iters:2 ~procs:(Codes.Symbolic2 1) ())))
+    [ 2; 4 ]
+
+let test_erlebacher () =
+  List.iter
+    (fun np ->
+      ignore
+        (validate ~nprocs:np "erlebacher"
+           (Codes.erlebacher ~n:8 ~iters:1 ~procs:(Codes.Symbolic2 1) ())))
+    [ 2; 4 ]
+
+let test_gauss () =
+  ignore (validate ~nprocs:4 "gauss" (Codes.gauss ~n:8 ~pivot:2 ~procs:(Codes.Fixed (2, 2)) ()))
+
+let test_figure2 () =
+  ignore (validate ~nprocs:4 "figure2" (Codes.figure2 ~nval:20 ()))
+
+let test_sp_like () =
+  ignore
+    (validate ~nprocs:4 "sp_like" (Codes.sp_like ~n:10 ~nsub:8 ~procs:(Codes.Fixed (2, 2)) ()))
+
+(* speedup sanity: on a compute-heavy stencil, more processors must not be
+   slower than one processor by more than the comm overhead allows, and the
+   simulated clock must be positive and monotone in work *)
+let test_speedup_sanity () =
+  let src = Codes.jacobi ~n:64 ~iters:3 ~procs:(Codes.Symbolic2 2) () in
+  let chk = Hpf.Sema.analyze_source src in
+  let compiled = Dhpf.Gen.compile chk in
+  let sref = Spmdsim.Serial.run chk in
+  let t p =
+    let sim = Spmdsim.Exec.make ~nprocs:p compiled.Dhpf.Gen.cprog in
+    (Spmdsim.Exec.run sim).s_time
+  in
+  let t4 = t 4 and t16 = t 16 in
+  Alcotest.(check bool) "positive times" true (t4 > 0.0 && t16 > 0.0);
+  Alcotest.(check bool) "4 procs beat serial on 64x64x3"
+    true (sref.r_time /. t4 > 1.0);
+  Alcotest.(check bool) "16 procs no worse than half of 4-proc speedup" true
+    (sref.r_time /. t16 > 0.5 *. (sref.r_time /. t4))
+
+(* messages actually flow, and the message count matches the halo structure
+   of jacobi on a 2x2 grid: 2 exchange partners per proc (4-pt stencil,
+   no diagonals), both directions, per iteration *)
+let test_message_count () =
+  let stats =
+    validate ~nprocs:4 "jacobi-msgs" (Codes.jacobi ~n:16 ~iters:2 ~procs:(Codes.Fixed (2, 2)) ())
+  in
+  Alcotest.(check int) "msgs = 4 procs x 2 partners x 2 iters" 16 stats.s_msgs
+
+(* reductions combine across processors *)
+let test_reduction_value () =
+  let src = Codes.jacobi ~n:16 ~iters:2 ~procs:(Codes.Fixed (2, 2)) () in
+  let chk = Hpf.Sema.analyze_source src in
+  let compiled = Dhpf.Gen.compile chk in
+  let sref = Spmdsim.Serial.run chk in
+  let sim = Spmdsim.Exec.make ~nprocs:4 compiled.Dhpf.Gen.cprog in
+  let _ = Spmdsim.Exec.run sim in
+  Alcotest.(check (float 1e-9)) "eps matches serial"
+    (Spmdsim.Serial.get_scalar sref "eps")
+    (Spmdsim.Exec.get_scalar sim "eps")
+
+(* missing-communication bugs surface as errors, not silent zeros: running
+   a program whose only comm event is deleted must raise *)
+let test_missing_comm_detected () =
+  let src = Codes.jacobi ~n:16 ~iters:1 ~procs:(Codes.Fixed (2, 2)) () in
+  let chk = Hpf.Sema.analyze_source src in
+  let compiled = Dhpf.Gen.compile chk in
+  (* strip all communication statements from the program *)
+  let rec strip (s : Dhpf.Spmd.stmt) : Dhpf.Spmd.stmt option =
+    match s with
+    | Dhpf.Spmd.Send _ | Dhpf.Spmd.Recv _ | Dhpf.Spmd.Pack _ -> None
+    | Dhpf.Spmd.For f -> Some (Dhpf.Spmd.For { f with body = List.filter_map strip f.body })
+    | Dhpf.Spmd.If (c, b) -> Some (Dhpf.Spmd.If (c, List.filter_map strip b))
+    | Dhpf.Spmd.FIf (c, t, e) ->
+        Some (Dhpf.Spmd.FIf (c, List.filter_map strip t, List.filter_map strip e))
+    | s -> Some s
+  in
+  let prog =
+    { compiled.Dhpf.Gen.cprog with
+      Dhpf.Spmd.main = List.filter_map strip compiled.Dhpf.Gen.cprog.Dhpf.Spmd.main }
+  in
+  let sim = Spmdsim.Exec.make ~nprocs:4 prog in
+  match Spmdsim.Exec.run sim with
+  | exception Spmdsim.Exec.Error _ -> ()
+  | _ -> Alcotest.fail "expected an access error without communication"
+
+(* appended coverage: strided loops, block(k), 3-level nests *)
+
+let strided_src =
+  {|
+program t
+  parameter n = 24
+  real a(n), b(n)
+  processors p(3)
+  template tt(n)
+  align a(i) with tt(i)
+  align b(i) with tt(i)
+  distribute tt(block) onto p
+  do i = 1, n
+    a(i) = i
+    b(i) = 0.0
+  end do
+  do i = 2, n, 3
+    b(i) = a(i-1) + 10.0
+  end do
+end
+|}
+
+let test_strided_loop () = ignore (validate ~nprocs:3 "strided" strided_src)
+
+let blockk_src =
+  {|
+program t
+  parameter n = 12
+  real a(n), b(n)
+  processors p(4)
+  template tt(n)
+  align a(i) with tt(i)
+  align b(i) with tt(i)
+  distribute tt(block(3)) onto p
+  do i = 1, n
+    a(i) = 2*i
+  end do
+  do i = 1, n-1
+    b(i) = a(i+1)
+  end do
+end
+|}
+
+let test_blockk () = ignore (validate ~nprocs:4 "block(k)" blockk_src)
+
+let shifted_align_src =
+  {|
+program t
+  parameter n = 10
+  real a(n), b(n)
+  processors p(2)
+  template tt(0:12)
+  align a(i) with tt(i+2)
+  align b(i) with tt(i)
+  distribute tt(block) onto p
+  do i = 1, n
+    a(i) = 3*i
+  end do
+  do i = 1, n
+    b(i) = a(i) + 0.5
+  end do
+end
+|}
+
+let test_shifted_align () = ignore (validate ~nprocs:2 "shifted align" shifted_align_src)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "end-to-end",
+        [
+          Alcotest.test_case "jacobi 2/4/8 procs" `Quick test_jacobi;
+          Alcotest.test_case "jacobi fixed grid" `Quick test_jacobi_fixed;
+          Alcotest.test_case "tomcatv 2/4 procs" `Quick test_tomcatv;
+          Alcotest.test_case "erlebacher 2/4 procs" `Quick test_erlebacher;
+          Alcotest.test_case "gauss cyclic" `Quick test_gauss;
+          Alcotest.test_case "figure2" `Quick test_figure2;
+          Alcotest.test_case "sp-like multiproc" `Quick test_sp_like;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "strided loop" `Quick test_strided_loop;
+          Alcotest.test_case "block(k)" `Quick test_blockk;
+          Alcotest.test_case "shifted align" `Quick test_shifted_align;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "speedup sanity" `Quick test_speedup_sanity;
+          Alcotest.test_case "message count" `Quick test_message_count;
+          Alcotest.test_case "reduction value" `Quick test_reduction_value;
+          Alcotest.test_case "missing comm detected" `Quick test_missing_comm_detected;
+        ] );
+    ]
+

@@ -1,0 +1,118 @@
+(* Active virtual processor sets (Figure 5), checked against the paper's
+   Gaussian-elimination example: with A(i,j) on (CYCLIC,CYCLIC) and the
+   update loop ON_HOME A(i,j) reading the pivot row,
+     busyVPSet       = {[v1,v2] : PIVOT < v1,v2 <= n}
+     activeSendVPSet = {[v1,v2] : v1 = PIVOT && PIVOT < v2 <= n}
+     activeRecvVPSet = busyVPSet. *)
+
+open Iset
+open Dhpf
+
+let setup () =
+  let src = Codes.gauss ~n:12 ~pivot:3 ~procs:Codes.SymbolicBoth () in
+  let chk = Hpf.Sema.analyze_source src in
+  let ctx = Layout.build chk in
+  let u = Hpf.Ast.main_unit chk.Hpf.Sema.prog in
+  (* second top-level loop nest is the update *)
+  let nest, lhs, rhs =
+    match u.body with
+    | [ _init;
+        Hpf.Ast.SDo
+          { var = v1; lo = lo1; hi = hi1; step = s1;
+            body =
+              [ Hpf.Ast.SDo
+                  { var = v2; lo = lo2; hi = hi2; step = s2;
+                    body = [ Hpf.Ast.SAssign { lhs; rhs; _ } ] } ] } ] ->
+        ( [ { Cp.lvar = v1; llo = lo1; lhi = hi1; lstep = s1 };
+            { Cp.lvar = v2; llo = lo2; lhi = hi2; lstep = s2 } ],
+          lhs, rhs )
+    | _ -> Alcotest.fail "unexpected gauss shape"
+  in
+  let iter = Cp.iter_space ctx nest in
+  let cpmap = Cp.cpmap_of_refs ctx nest iter [ lhs ] in
+  (* the pivot-row reference a(pivot, j) *)
+  let r =
+    (* the pivot-row reference a(pivot, j): first subscript is the pivot
+       parameter, not the loop variable *)
+    List.find
+      (fun (_, idx) ->
+        match idx with
+        | Hpf.Ast.IName s :: _ -> s <> (List.hd nest).Cp.lvar
+        | Hpf.Ast.INum _ :: _ -> true
+        | _ -> false)
+      (Cp.refs_of_fexpr rhs)
+  in
+  let rm = Rel.restrict_domain (Cp.refmap ctx nest r) iter in
+  let layout = Option.get (Layout.layout_of ctx "a") in
+  (ctx, Vp.for_event ctx ~layout ~kind:`Read [ (cpmap, rm) ])
+
+(* n=12, pivot=3 *)
+let test_busy () =
+  let _, a = setup () in
+  (* busy VPs: template cells (v1,v2) with pivot < v1,v2 <= n *)
+  Alcotest.(check bool) "(5,7) busy" true (Rel.mem_set a.Vp.busy [ 5; 7 ]);
+  Alcotest.(check bool) "(4,4) busy" true (Rel.mem_set a.Vp.busy [ 4; 4 ]);
+  Alcotest.(check bool) "(3,5) not busy" false (Rel.mem_set a.Vp.busy [ 3; 5 ]);
+  Alcotest.(check bool) "(5,3) not busy" false (Rel.mem_set a.Vp.busy [ 5; 3 ]);
+  Alcotest.(check bool) "(13,5) out of range" false (Rel.mem_set a.Vp.busy [ 13; 5 ])
+
+let test_active_send () =
+  let _, a = setup () in
+  (* only VPs owning pivot-row elements read remotely send: v1 = pivot = 3 *)
+  Alcotest.(check bool) "(3,5) sends" true (Rel.mem_set a.Vp.active_send [ 3; 5 ]);
+  Alcotest.(check bool) "(3,3) does not send (j > pivot only)" false
+    (Rel.mem_set a.Vp.active_send [ 3; 3 ]);
+  Alcotest.(check bool) "(4,5) does not send" false
+    (Rel.mem_set a.Vp.active_send [ 4; 5 ]);
+  Alcotest.(check bool) "(2,5) does not send" false
+    (Rel.mem_set a.Vp.active_send [ 2; 5 ])
+
+let test_active_recv () =
+  let _, a = setup () in
+  (* all busy VPs receive (they all read the pivot row) *)
+  for v1 = 4 to 6 do
+    for v2 = 4 to 6 do
+      Alcotest.(check bool)
+        (Printf.sprintf "(%d,%d) receives" v1 v2)
+        true
+        (Rel.mem_set a.Vp.active_recv [ v1; v2 ])
+    done
+  done;
+  Alcotest.(check bool) "(3,5) does not receive (sender row)" false
+    (Rel.mem_set a.Vp.active_recv [ 3; 5 ])
+
+let test_recv_equals_busy () =
+  let _, a = setup () in
+  Alcotest.(check bool) "activeRecv = busy" true (Rel.equal a.Vp.active_recv a.Vp.busy)
+
+(* End-to-end: the gauss program must compile and validate under cyclic
+   distributions with a symbolic processor grid. *)
+let test_gauss_runs () =
+  let src = Codes.gauss ~n:8 ~pivot:2 ~procs:Codes.SymbolicBoth () in
+  let chk = Hpf.Sema.analyze_source src in
+  let compiled = Dhpf.Gen.compile chk in
+  let sref = Spmdsim.Serial.run chk in
+  let sim = Spmdsim.Exec.make ~nprocs:4 compiled.cprog in
+  let _ = Spmdsim.Exec.run sim in
+  let bad = ref 0 in
+  for i = 1 to 8 do
+    for j = 1 to 8 do
+      let want = Spmdsim.Serial.get_elem sref "a" [ i; j ] in
+      let got = Spmdsim.Exec.get_elem sim "a" [ i; j ] in
+      if abs_float (want -. got) > 1e-9 then incr bad
+    done
+  done;
+  Alcotest.(check int) "gauss symbolic-cyclic matches serial" 0 !bad
+
+let () =
+  Alcotest.run "vp"
+    [
+      ( "figure5",
+        [
+          Alcotest.test_case "busyVPSet" `Quick test_busy;
+          Alcotest.test_case "activeSendVPSet" `Quick test_active_send;
+          Alcotest.test_case "activeRecvVPSet" `Quick test_active_recv;
+          Alcotest.test_case "recv = busy" `Quick test_recv_equals_busy;
+          Alcotest.test_case "gauss end-to-end" `Quick test_gauss_runs;
+        ] );
+    ]
