@@ -1,0 +1,30 @@
+# Development entry points. `make check` is the tier-1 verification the
+# roadmap requires; `make resilience` runs just the fault-injection suite;
+# `make fuzz` sweeps the benchmarks through the differential resilience
+# harness (serial oracle vs. seeded fault schedules).
+
+DUNE ?= dune
+DHPFC = $(DUNE) exec bin/dhpfc.exe --
+
+.PHONY: all check test resilience fuzz clean
+
+all:
+	$(DUNE) build
+
+check:
+	$(DUNE) build && $(DUNE) runtest
+
+test: check
+
+resilience:
+	$(DUNE) build @resilience
+
+fuzz:
+	$(DHPFC) run jacobi --diff 5
+	$(DHPFC) run tomcatv --diff 5
+	$(DHPFC) run erlebacher --diff 5
+	$(DHPFC) run figure2 --diff 5
+	$(DHPFC) run sp_like --diff 5
+
+clean:
+	$(DUNE) clean

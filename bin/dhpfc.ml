@@ -30,20 +30,47 @@ let load src_arg =
   | Some src -> src
   | None -> read_file src_arg
 
+(* distinct exit codes so scripts can triage failures:
+   2 = parse/lexical, 3 = semantic, 4 = unsupported construct,
+   5 = runtime (simulator error or deadlock) *)
+let exit_parse = 2
+let exit_semantic = 3
+let exit_unsupported = 4
+let exit_runtime = 5
+
 let handle_errors f =
   try f () with
+  | Sys_error msg ->
+      Fmt.epr "error: %s (not a file or built-in benchmark)@." msg;
+      exit exit_parse
   | Hpf.Parser.Error (msg, line) ->
       Fmt.epr "parse error, line %d: %s@." line msg;
-      exit 1
+      exit exit_parse
   | Hpf.Lexer.Error (msg, line) ->
       Fmt.epr "lexical error, line %d: %s@." line msg;
-      exit 1
+      exit exit_parse
+  | Iset.Parse.Error msg ->
+      Fmt.epr "set-expression parse error: %s@." msg;
+      exit exit_parse
+  | Iset.Calc.Error msg ->
+      Fmt.epr "calculator error: %s@." msg;
+      exit exit_parse
   | Hpf.Sema.Error msg ->
       Fmt.epr "semantic error: %s@." msg;
-      exit 1
-  | Dhpf.Gen.Unsupported msg | Dhpf.Layout.Unsupported msg ->
+      exit exit_semantic
+  | Dhpf.Gen.Unsupported msg | Dhpf.Layout.Unsupported msg
+  | Iset.Codegen.Unsupported msg ->
       Fmt.epr "unsupported: %s@." msg;
-      exit 1
+      exit exit_unsupported
+  | Spmdsim.Exec.Error msg ->
+      Fmt.epr "runtime error: %s@." msg;
+      exit exit_runtime
+  | Spmdsim.Serial.Error msg ->
+      Fmt.epr "serial interpreter error: %s@." msg;
+      exit exit_runtime
+  | Spmdsim.Exec.Deadlock d ->
+      Fmt.epr "%a" Spmdsim.Exec.pp_diagnostic d;
+      exit exit_runtime
 
 (* ---- arguments ---- *)
 
@@ -87,6 +114,63 @@ let param_t =
     value
     & opt_all (pair ~sep:'=' string int) []
     & info [ "D"; "param" ] ~docv:"NAME=VALUE" ~doc:"Bind a symbolic program parameter.")
+
+(* ---- fault-injection knobs ---- *)
+
+let faults_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "faults" ] ~docv:"SEED"
+        ~doc:
+          "Enable deterministic fault injection with the given schedule \
+           seed: message delay, reordering, duplicate delivery, \
+           drop-with-retransmit and straggler clock skew. Results are \
+           unchanged; timing and resilience statistics reflect the faults.")
+
+let fault_drop_t =
+  Arg.(
+    value & opt float 0.15
+    & info [ "fault-drop" ] ~docv:"P"
+        ~doc:"Per-transmission drop probability under --faults/--diff.")
+
+let fault_dup_t =
+  Arg.(
+    value & opt float 0.10
+    & info [ "fault-dup" ] ~docv:"P"
+        ~doc:"Duplicate-delivery probability under --faults/--diff.")
+
+let fault_delay_t =
+  Arg.(
+    value & opt float 0.30
+    & info [ "fault-delay" ] ~docv:"P"
+        ~doc:"In-flight delay probability under --faults/--diff.")
+
+let fault_skew_t =
+  Arg.(
+    value & opt float 1.5
+    & info [ "fault-skew" ] ~docv:"F"
+        ~doc:
+          "Straggler clock-skew bound: each processor computes slower by a \
+           factor drawn from [1,F].")
+
+let diff_t =
+  Arg.(
+    value & opt int 0
+    & info [ "diff" ] ~docv:"N"
+        ~doc:
+          "Differential resilience harness: replay the program under N \
+           seeded fault schedules and report the first divergence from the \
+           serial oracle.")
+
+let spec_of ~seed ~drop ~dup ~delay ~skew =
+  {
+    (Spmdsim.Fault.default ~seed) with
+    drop_prob = drop;
+    dup_prob = dup;
+    delay_prob = delay;
+    skew_max = skew;
+  }
 
 (* ---- compile ---- *)
 
@@ -135,25 +219,48 @@ let compile_cmd =
 (* ---- run ---- *)
 
 let run_cmd =
-  let run src nprocs params no_split no_vect no_coal no_inplace =
+  let run src nprocs params no_split no_vect no_coal no_inplace faults_seed
+      drop dup delay skew diff =
     handle_errors @@ fun () ->
     let opts = opts_of ~no_split ~no_vect ~no_coal ~no_inplace in
     let chk = Hpf.Sema.analyze_source (load src) in
-    let compiled = Dhpf.Gen.compile ~opts chk in
-    let serial = Spmdsim.Serial.run chk in
-    let sim = Spmdsim.Exec.make ~nprocs ~params compiled.cprog in
-    let stats = Spmdsim.Exec.run sim in
-    Fmt.pr "serial (T1)     : %10.3f ms  (%d flops)@." (serial.r_time *. 1e3)
-      serial.r_flops;
-    Fmt.pr "spmd on %2d procs: %10.3f ms  (%d msgs, %d KiB)@." (Spmdsim.Exec.nprocs sim)
-      (stats.s_time *. 1e3) stats.s_msgs (stats.s_bytes / 1024);
-    Fmt.pr "speedup         : %10.2f@." (serial.r_time /. stats.s_time)
+    if diff > 0 then begin
+      (* differential resilience sweep: serial oracle vs. N fault seeds *)
+      let spec_of_seed seed = spec_of ~seed ~drop ~dup ~delay ~skew in
+      let seeds = List.init diff (fun i -> i + 1) in
+      let out = Spmdsim.Diffcheck.run ~nprocs ~params ~opts ~spec_of_seed ~seeds chk in
+      Fmt.pr "%a@." Spmdsim.Diffcheck.pp_outcome out;
+      match out with
+      | Spmdsim.Diffcheck.Pass _ -> ()
+      | _ -> exit exit_runtime
+    end
+    else begin
+      let compiled = Dhpf.Gen.compile ~opts chk in
+      let serial = Spmdsim.Serial.run ~params chk in
+      let faults = Option.map (fun seed -> spec_of ~seed ~drop ~dup ~delay ~skew) faults_seed in
+      let sim = Spmdsim.Exec.make ?faults ~nprocs ~params compiled.cprog in
+      let stats = Spmdsim.Exec.run sim in
+      Fmt.pr "serial (T1)     : %10.3f ms  (%d flops)@." (serial.r_time *. 1e3)
+        serial.r_flops;
+      Fmt.pr "spmd on %2d procs: %10.3f ms  (%d msgs, %d KiB)@." (Spmdsim.Exec.nprocs sim)
+        (stats.s_time *. 1e3) stats.s_msgs (stats.s_bytes / 1024);
+      Fmt.pr "speedup         : %10.2f@." (serial.r_time /. stats.s_time);
+      match faults with
+      | None -> ()
+      | Some sp ->
+          Fmt.pr "fault schedule  : %s@." (Spmdsim.Fault.describe sp);
+          Fmt.pr "resilience      : %d retransmits, %d timeouts, %d duplicates \
+                  discarded, peak mailbox %d@."
+            stats.s_retransmits stats.s_timeouts stats.s_dups_delivered
+            stats.s_max_mailbox
+    end
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute on the simulated machine")
     Term.(
       const run $ src_t $ nprocs_t $ param_t $ no_split_t $ no_vect_t $ no_coal_t
-      $ no_inplace_t)
+      $ no_inplace_t $ faults_t $ fault_drop_t $ fault_dup_t $ fault_delay_t
+      $ fault_skew_t $ diff_t)
 
 (* ---- bench (print a built-in source) ---- *)
 
@@ -173,6 +280,7 @@ let bench_cmd =
 
 let omega_cmd =
   let run script =
+    handle_errors @@ fun () ->
     match script with
     | Some path ->
         List.iter print_endline (Iset.Calc.eval_script (read_file path))

@@ -1,0 +1,108 @@
+(* Differential resilience harness: serial oracle vs. SPMD execution under
+   seeded fault schedules. See diffcheck.mli. *)
+
+type divergence = {
+  dv_seed : int option;
+  dv_array : string;
+  dv_index : int list;
+  dv_expected : float;
+  dv_got : float;
+}
+
+type outcome =
+  | Pass of { runs : int }
+  | Diverged of divergence
+  | Crashed of { seed : int option; error : string }
+
+exception Found of divergence
+
+(* relative tolerance, same as the end-to-end suite: floating summation
+   order in reductions is deterministic but may differ from the serial
+   interpreter's association *)
+let close want got = abs_float (want -. got) <= 1e-6 *. (abs_float want +. 1.0)
+
+let compare_run ~seed (chk : Hpf.Sema.checked) (sref : Serial.result) sim =
+  try
+    Hashtbl.iter
+      (fun aname (ai : Hpf.Sema.array_info) ->
+        let bounds =
+          List.map
+            (fun (lo, hi) ->
+              ( Serial.eval_iexpr sref.Serial.r_state lo,
+                Serial.eval_iexpr sref.Serial.r_state hi ))
+            ai.Hpf.Sema.adims
+        in
+        let rec go idx = function
+          | [] ->
+              let idx = List.rev idx in
+              let want = Serial.get_elem sref aname idx in
+              let got = Exec.get_elem sim aname idx in
+              if not (close want got) then
+                raise
+                  (Found
+                     {
+                       dv_seed = seed;
+                       dv_array = aname;
+                       dv_index = idx;
+                       dv_expected = want;
+                       dv_got = got;
+                     })
+          | (lo, hi) :: rest ->
+              for x = lo to hi do
+                go (x :: idx) rest
+              done
+        in
+        go [] bounds)
+      chk.Hpf.Sema.env.Hpf.Sema.arrays;
+    None
+  with Found d -> Some d
+
+let run ?machine ?(nprocs = 4) ?(params = []) ?opts
+    ?(spec_of_seed = fun seed -> Fault.default ~seed) ~seeds
+    (chk : Hpf.Sema.checked) : outcome =
+  let compiled =
+    match opts with
+    | Some opts -> Dhpf.Gen.compile ~opts chk
+    | None -> Dhpf.Gen.compile chk
+  in
+  let sref = Serial.run ?machine ~params chk in
+  let one ?faults seed =
+    match
+      let sim = Exec.make ?machine ?faults ~nprocs ~params compiled.Dhpf.Gen.cprog in
+      let _ = Exec.run sim in
+      compare_run ~seed chk sref sim
+    with
+    | None -> Ok ()
+    | Some d -> Error (Diverged d)
+    | exception Exec.Deadlock d ->
+        Error (Crashed { seed; error = Exec.diagnostic_to_string d })
+    | exception Exec.Error msg -> Error (Crashed { seed; error = msg })
+  in
+  let rec go runs = function
+    | [] -> Pass { runs }
+    | (seed, faults) :: rest -> (
+        match one ?faults seed with
+        | Ok () -> go (runs + 1) rest
+        | Error bad -> bad)
+  in
+  go 0
+    ((None, None)
+    :: List.map (fun s -> (Some s, Some (spec_of_seed s))) seeds)
+
+let pp_outcome fmt = function
+  | Pass { runs } -> Fmt.pf fmt "diffcheck: %d run(s) matched the serial oracle" runs
+  | Diverged d ->
+      Fmt.pf fmt
+        "diffcheck: DIVERGENCE %s(%s): expected %.9g, got %.9g (%s)"
+        d.dv_array
+        (String.concat "," (List.map string_of_int d.dv_index))
+        d.dv_expected d.dv_got
+        (match d.dv_seed with
+        | None -> "fault-free run"
+        | Some s -> Printf.sprintf "fault seed %d" s)
+  | Crashed { seed; error } ->
+      Fmt.pf fmt "diffcheck: CRASH under %s:@.%s"
+        (match seed with
+        | None -> "fault-free run"
+        | Some s -> Printf.sprintf "fault seed %d" s)
+        error

@@ -1,0 +1,44 @@
+(** Differential resilience harness.
+
+    Compiles a checked mini-HPF program, runs the serial oracle
+    ({!Serial}), then executes the SPMD program on the simulated machine —
+    first fault-free, then once per seeded fault schedule — and compares
+    every array element (and declared scalar) against the oracle. The first
+    divergence is reported as a structured result naming the array, the
+    index, both values and the schedule seed that exposed it; a crash or
+    deadlock under a schedule is reported with its seed and diagnostic.
+
+    This is the adversarial extension of the test suite's serial-oracle
+    differential testing: a compiler (or runtime-protocol) bug that only
+    manifests under message drop, duplication, reordering or stragglers is
+    pinned to a reproducible seed. *)
+
+type divergence = {
+  dv_seed : int option;  (** [None]: the fault-free run already diverged *)
+  dv_array : string;
+  dv_index : int list;
+  dv_expected : float;  (** serial-oracle value *)
+  dv_got : float;  (** simulated SPMD value *)
+}
+
+type outcome =
+  | Pass of { runs : int }  (** every run matched the oracle *)
+  | Diverged of divergence
+  | Crashed of { seed : int option; error : string }
+      (** a run raised (deadlock diagnostics are pretty-printed) *)
+
+val run :
+  ?machine:Machine.t ->
+  ?nprocs:int ->
+  ?params:(string * int) list ->
+  ?opts:Dhpf.Gen.options ->
+  ?spec_of_seed:(int -> Fault.spec) ->
+  seeds:int list ->
+  Hpf.Sema.checked ->
+  outcome
+(** [run ~seeds chk] compiles [chk], validates the fault-free execution
+    against the serial oracle, then replays under one fault schedule per
+    seed ([spec_of_seed] defaults to {!Fault.default}). [nprocs] defaults
+    to 4. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

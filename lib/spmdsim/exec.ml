@@ -25,7 +25,15 @@ type key = { k_event : int; k_src : int list; k_dst : int list }
 type payload = (string * int * float) array
 (* (array, encoded index, value) *)
 
-type msg = { m_arrival : float; m_payload : payload; m_contig : bool }
+type msg = {
+  m_seq : int;
+      (* per-channel sequence number: delivery matches the receiver's next
+         expected seq, so in-flight reordering, duplicates and retransmitted
+         drops cannot change which message a Recv consumes *)
+  m_arrival : float;
+  m_payload : payload;
+  m_contig : bool;
+}
 
 type meta = {
   mt_bounds : (int * int) list;
@@ -45,13 +53,19 @@ type pstate = {
 type sim = {
   prog : Spmd.program;
   machine : Machine.t;
+  faults : Fault.spec option;
+  skew : float array;  (** per-processor compute-time multiplier (>= 1) *)
   genv : (string, int) Hashtbl.t;  (** global parameter values *)
   extents : int array;
   nprocs : int;
   procs : pstate array;
   store : (string, (int, float) Hashtbl.t array) Hashtbl.t;
   meta : (string, meta) Hashtbl.t;
-  mailbox : (key, msg Queue.t) Hashtbl.t;
+  mailbox : (key, msg list ref) Hashtbl.t;
+      (** in-flight messages per channel, in transport (possibly reordered)
+          order; delivery matches sequence numbers, not list position *)
+  send_seq : (key, int) Hashtbl.t;
+  recv_seq : (key, int) Hashtbl.t;
   outbuf : (int * int, (string * int * float) list ref) Hashtbl.t;
       (** (pid, event) -> elements packed so far *)
   inplace_events : (int, unit) Hashtbl.t;
@@ -59,6 +73,10 @@ type sim = {
   mutable n_msgs : int;
   mutable n_bytes : int;
   mutable n_elems_comm : int;
+  mutable n_retransmits : int;
+  mutable n_timeouts : int;
+  mutable n_dups_delivered : int;
+  mutable max_mbox_depth : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -73,8 +91,8 @@ let eval_global sim e =
       | None -> errf "unbound parameter %s" s)
     e
 
-let make ?(machine = Machine.default) ~nprocs ?(params = []) (prog : Spmd.program) : sim
-    =
+let make ?(machine = Machine.default) ?faults ~nprocs ?(params = [])
+    (prog : Spmd.program) : sim =
   let genv = Hashtbl.create 32 in
   Hashtbl.replace genv "number_of_processors" nprocs;
   List.iter (fun (n, v) -> Hashtbl.replace genv n v) params;
@@ -148,10 +166,16 @@ let make ?(machine = Machine.default) ~nprocs ?(params = []) (prog : Spmd.progra
           prog.proc_dims;
         { pid; coords; ienv; fenv = Hashtbl.create 16; clock = 0.0 })
   in
+  let skew =
+    Array.init total (fun pid ->
+        match faults with None -> 1.0 | Some sp -> Fault.skew sp ~pid)
+  in
   let sim =
     {
       prog;
       machine;
+      faults;
+      skew;
       genv;
       extents;
       nprocs = total;
@@ -159,12 +183,18 @@ let make ?(machine = Machine.default) ~nprocs ?(params = []) (prog : Spmd.progra
       store;
       meta;
       mailbox = Hashtbl.create 64;
+      send_seq = Hashtbl.create 64;
+      recv_seq = Hashtbl.create 64;
       outbuf = Hashtbl.create 16;
       inplace_events = Hashtbl.create 8;
       rect_events = Hashtbl.create 8;
       n_msgs = 0;
       n_bytes = 0;
       n_elems_comm = 0;
+      n_retransmits = 0;
+      n_timeouts = 0;
+      n_dups_delivered = 0;
+      max_mbox_depth = 0;
     }
   in
   List.iter
@@ -299,6 +329,10 @@ let lookup_int sim p s =
 let eval_expr sim p e = Iset.Codegen.eval_expr (lookup_int sim p) e
 let eval_cond sim p c = Iset.Codegen.eval_cond (lookup_int sim p) c
 
+(* advance a processor's clock by local work, scaled by its straggler
+   multiplier (1.0 on the idealized machine) *)
+let tick sim p dt = p.clock <- p.clock +. (dt *. sim.skew.(p.pid))
+
 let table sim p name =
   match Hashtbl.find_opt sim.store name with
   | Some a -> a.(p.pid)
@@ -308,7 +342,7 @@ let load sim p name idx (access : Spmd.access) : float =
   let enc = encode sim name idx in
   let tbl = table sim p name in
   (match access with
-  | Spmd.Checked -> p.clock <- p.clock +. sim.machine.Machine.check_time
+  | Spmd.Checked -> tick sim p sim.machine.Machine.check_time
   | _ -> ());
   match Hashtbl.find_opt tbl enc with
   | Some v -> v
@@ -329,7 +363,7 @@ let store_elem sim p name idx value (access : Spmd.access) : unit =
   let enc = encode sim name idx in
   let tbl = table sim p name in
   (match access with
-  | Spmd.Checked -> p.clock <- p.clock +. sim.machine.Machine.check_time
+  | Spmd.Checked -> tick sim p sim.machine.Machine.check_time
   | Spmd.Local ->
       if not (owns sim p name idx) then
         errf "proc %d: Local store to non-owned %s(%s)" p.pid name
@@ -346,19 +380,19 @@ let rec eval_fexpr sim p (e : Spmd.fexpr) : float =
       | Some v -> v
       | None -> float_of_int (lookup_int sim p s))
   | Spmd.FLoad { arr; idx; access } ->
-      p.clock <- p.clock +. sim.machine.Machine.flop_time;
+      tick sim p sim.machine.Machine.flop_time;
       load sim p arr (List.map (eval_expr sim p) idx) access
   | Spmd.FNeg a -> -.eval_fexpr sim p a
   | Spmd.FBin (op, a, b) ->
       let x = eval_fexpr sim p a and y = eval_fexpr sim p b in
-      p.clock <- p.clock +. sim.machine.Machine.flop_time;
+      tick sim p sim.machine.Machine.flop_time;
       (match op with
       | Hpf.Ast.Add -> x +. y
       | Hpf.Ast.Sub -> x -. y
       | Hpf.Ast.Mul -> x *. y
       | Hpf.Ast.Div -> x /. y)
   | Spmd.FIntrin (f, args) ->
-      p.clock <- p.clock +. sim.machine.Machine.flop_time;
+      tick sim p sim.machine.Machine.flop_time;
       Serial.intrinsic f (List.map (eval_fexpr sim p) args)
 
 let rec eval_fcond sim p (c : Spmd.fcond) : bool =
@@ -392,25 +426,25 @@ let rec exec_stmt sim p (s : Spmd.stmt) : unit =
       let i = ref l in
       while !i <= h do
         Hashtbl.replace p.ienv var !i;
-        p.clock <- p.clock +. m.Machine.loop_time;
+        tick sim p m.Machine.loop_time;
         List.iter (exec_stmt sim p) body;
         i := !i + st
       done;
       Hashtbl.remove p.ienv var
   | Spmd.If (c, body) ->
-      p.clock <- p.clock +. m.Machine.guard_time;
+      tick sim p m.Machine.guard_time;
       if eval_cond sim p c then List.iter (exec_stmt sim p) body
   | Spmd.FIf (c, t, e) ->
-      p.clock <- p.clock +. m.Machine.guard_time;
+      tick sim p m.Machine.guard_time;
       if eval_fcond sim p c then List.iter (exec_stmt sim p) t
       else List.iter (exec_stmt sim p) e
   | Spmd.SetScalar (name, v) ->
       let x = eval_fexpr sim p v in
-      p.clock <- p.clock +. m.Machine.flop_time;
+      tick sim p m.Machine.flop_time;
       Hashtbl.replace p.fenv name x
   | Spmd.Store { arr; idx; value; access } ->
       let x = eval_fexpr sim p value in
-      p.clock <- p.clock +. m.Machine.flop_time;
+      tick sim p m.Machine.flop_time;
       store_elem sim p arr (List.map (eval_expr sim p) idx) x access
   | Spmd.Pack { event; arr; idx } ->
       let idx = List.map (eval_expr sim p) idx in
@@ -456,7 +490,7 @@ let rec exec_stmt sim p (s : Spmd.stmt) : unit =
       let contig =
         if Hashtbl.mem sim.inplace_events event then true
         else if Hashtbl.mem sim.rect_events event && n > 1 then begin
-          p.clock <- p.clock +. (8.0 *. m.Machine.check_time);
+          tick sim p (8.0 *. m.Machine.check_time);
           let ok = ref true in
           for i = 1 to n - 1 do
             let _, e0, _ = elems.(i - 1) and _, e1, _ = elems.(i) in
@@ -467,39 +501,75 @@ let rec exec_stmt sim p (s : Spmd.stmt) : unit =
         else false
       in
       if not contig then
-        p.clock <- p.clock +. (float_of_int n *. m.Machine.pack_time);
+        tick sim p (float_of_int n *. m.Machine.pack_time);
       (* a message between two VPs of the same physical processor (cyclic
          distributions) is a local copy, not a network transfer *)
       let local = phys_of_vp sim dest_vp = p.pid in
       if local then begin
-        p.clock <- p.clock +. (float_of_int n *. m.Machine.pack_time)
+        tick sim p (float_of_int n *. m.Machine.pack_time)
       end
       else begin
-        p.clock <- p.clock +. m.Machine.send_overhead;
+        tick sim p m.Machine.send_overhead;
         sim.n_msgs <- sim.n_msgs + 1;
         sim.n_bytes <- sim.n_bytes + (n * m.Machine.elem_bytes);
         sim.n_elems_comm <- sim.n_elems_comm + n
       end;
-      let arrival = if local then p.clock else p.clock +. Machine.msg_time m n in
       let k = { k_event = event; k_src = my_vp sim p; k_dst = dest_vp } in
+      let seq =
+        let s = Option.value (Hashtbl.find_opt sim.send_seq k) ~default:0 in
+        Hashtbl.replace sim.send_seq k (s + 1);
+        s
+      in
+      let dst_pid = phys_of_vp sim dest_vp in
+      let plan =
+        match sim.faults with
+        | Some sp when not local ->
+            Fault.plan sp ~event ~src:p.pid ~dst:dst_pid ~seq
+        | _ -> Fault.no_faults
+      in
+      (* dropped transmissions: the sender's retransmission timer fires
+         (with exponential backoff) and the message is re-sent, costing CPU
+         and delaying the arrival — the payload that finally arrives is the
+         same, so results are unaffected *)
+      if plan.Fault.mp_drops > 0 then begin
+        sim.n_timeouts <- sim.n_timeouts + plan.Fault.mp_drops;
+        sim.n_retransmits <- sim.n_retransmits + plan.Fault.mp_drops;
+        tick sim p (float_of_int plan.Fault.mp_drops *. m.Machine.retry_overhead)
+      end;
+      let wire = Machine.msg_time m n in
+      let arrival =
+        if local then p.clock
+        else
+          p.clock +. wire
+          +. Machine.retransmit_wait m plan.Fault.mp_drops
+          +. (plan.Fault.mp_delay *. wire)
+      in
       let q =
         match Hashtbl.find_opt sim.mailbox k with
         | Some q -> q
         | None ->
-            let q = Queue.create () in
+            let q = ref [] in
             Hashtbl.replace sim.mailbox k q;
             q
       in
-      Queue.add { m_arrival = arrival; m_payload = elems; m_contig = contig } q
+      let msg = { m_seq = seq; m_arrival = arrival; m_payload = elems; m_contig = contig } in
+      (* transport order: a reordered message jumps ahead of traffic already
+         in flight on its channel; delivery still matches sequence numbers *)
+      if plan.Fault.mp_reorder then q := msg :: !q else q := !q @ [ msg ];
+      if plan.Fault.mp_dup then
+        q := !q @ [ { msg with m_arrival = arrival +. wire } ];
+      let depth = List.length !q in
+      if depth > sim.max_mbox_depth then sim.max_mbox_depth <- depth
   | Spmd.Recv { event; src } ->
       let src_vp = List.map (eval_expr sim p) src in
       let k = { k_event = event; k_src = src_vp; k_dst = my_vp sim p } in
       let msg = Effect.perform (ERecv k) in
-      p.clock <- Float.max (p.clock +. m.Machine.recv_overhead) msg.m_arrival;
+      tick sim p m.Machine.recv_overhead;
+      p.clock <- Float.max p.clock msg.m_arrival;
       ignore event;
       let n = Array.length msg.m_payload in
       if not msg.m_contig then
-        p.clock <- p.clock +. (float_of_int n *. m.Machine.unpack_time);
+        tick sim p (float_of_int n *. m.Machine.unpack_time);
       Array.iter
         (fun (arr, enc, v) -> Hashtbl.replace (table sim p arr) enc v)
         msg.m_payload
@@ -537,7 +607,107 @@ type stats = {
   s_bytes : int;
   s_elems : int;
   s_proc_times : float array;
+  s_retransmits : int;  (** dropped transmissions re-sent after a timeout *)
+  s_timeouts : int;  (** retransmission timers fired *)
+  s_dups_delivered : int;  (** duplicate copies detected and discarded *)
+  s_max_mailbox : int;  (** peak in-flight depth of any one channel *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Deadlock diagnostics                                                *)
+(* ------------------------------------------------------------------ *)
+
+type wait_reason =
+  | WaitRecv of {
+      wr_event : int;
+      wr_src_vp : int list;
+      wr_src_pid : int;  (** physical processor the wait is on *)
+      wr_expected_seq : int;
+      wr_queued : int;  (** undeliverable messages sitting on the channel *)
+    }
+  | WaitReduce  (** blocked in a replicated-scalar collective *)
+  | WaitReduceArr of string  (** blocked in an array-reduction collective *)
+
+type proc_wait = { w_pid : int; w_clock : float; w_reason : wait_reason }
+
+type diagnostic = {
+  dg_waiting : proc_wait list;  (** every stuck processor, by pid *)
+  dg_cycle : int list;
+      (** pids forming a wait-for cycle (first element repeats conceptually);
+          [] when the stall is not cyclic (e.g. a missing send) *)
+  dg_undelivered : (int * int list * int list * int) list;
+      (** (event, src vp, dst vp, queued count) for nonempty channels *)
+  dg_max_mailbox : int;
+}
+
+exception Deadlock of diagnostic
+
+let pp_vp fmt vp =
+  Fmt.pf fmt "(%s)" (String.concat "," (List.map string_of_int vp))
+
+let pp_diagnostic fmt (d : diagnostic) =
+  Fmt.pf fmt "deadlock: %d processor(s) stuck@." (List.length d.dg_waiting);
+  List.iter
+    (fun w ->
+      match w.w_reason with
+      | WaitRecv r ->
+          Fmt.pf fmt
+            "  proc %d [t=%.3e]: recv event %d from vp%a (pid %d), expecting \
+             seq %d, %d undeliverable queued@."
+            w.w_pid w.w_clock r.wr_event pp_vp r.wr_src_vp r.wr_src_pid
+            r.wr_expected_seq r.wr_queued
+      | WaitReduce ->
+          Fmt.pf fmt "  proc %d [t=%.3e]: blocked in scalar reduction@."
+            w.w_pid w.w_clock
+      | WaitReduceArr a ->
+          Fmt.pf fmt "  proc %d [t=%.3e]: blocked in array reduction of %s@."
+            w.w_pid w.w_clock a)
+    d.dg_waiting;
+  (match d.dg_cycle with
+  | [] -> Fmt.pf fmt "  no wait-for cycle: a send is missing entirely@."
+  | c ->
+      Fmt.pf fmt "  wait-for cycle: %s -> %s@."
+        (String.concat " -> " (List.map string_of_int c))
+        (string_of_int (List.hd c)));
+  List.iter
+    (fun (ev, src, dst, n) ->
+      Fmt.pf fmt "  undelivered: event %d vp%a -> vp%a, %d message(s)@." ev
+        pp_vp src pp_vp dst n)
+    d.dg_undelivered;
+  if d.dg_max_mailbox > 0 then
+    Fmt.pf fmt "  peak mailbox depth: %d@." d.dg_max_mailbox
+
+let diagnostic_to_string d = Fmt.str "%a" pp_diagnostic d
+
+(* shortest-path-free cycle finding: DFS over the wait-for edges; small
+   graphs, recursion depth bounded by nprocs *)
+let find_cycle (succ : int -> int list) (nodes : int list) : int list =
+  let state = Hashtbl.create 16 in
+  (* 0 = on stack, 1 = done *)
+  let cycle = ref [] in
+  let rec dfs path n =
+    match Hashtbl.find_opt state n with
+    | Some _ -> ()
+    | None ->
+        Hashtbl.replace state n 0;
+        List.iter
+          (fun s ->
+            if !cycle = [] then
+              match Hashtbl.find_opt state s with
+              | Some 0 ->
+                  (* found: unwind the path back to s *)
+                  let rec take = function
+                    | [] -> []
+                    | x :: rest -> if x = s then [ x ] else x :: take rest
+                  in
+                  cycle := List.rev (take (n :: path))
+              | Some _ -> ()
+              | None -> dfs (n :: path) s)
+          (succ n);
+        Hashtbl.replace state n 1
+  in
+  List.iter (fun n -> if !cycle = [] then dfs [] n) nodes;
+  !cycle
 
 let run (sim : sim) : stats =
   let status = Array.make sim.nprocs WRun in
@@ -575,17 +745,40 @@ let run (sim : sim) : stats =
   let progressed = ref true in
   while (not (all_done ())) && !progressed do
     progressed := false;
-    (* deliver available messages *)
+    (* deliver available messages: the transport may hold duplicates and
+       reordered traffic, so delivery matches the next expected sequence
+       number per channel — stale (already-delivered) copies are discarded
+       and counted, out-of-order messages wait in flight *)
     for p = 0 to sim.nprocs - 1 do
       match status.(p) with
       | WRecv (k, cont) -> (
           match Hashtbl.find_opt sim.mailbox k with
-          | Some q when not (Queue.is_empty q) ->
-              let msg = Queue.pop q in
-              progressed := true;
-              status.(p) <- WDone;
-              (* placeholder; handler overwrites on next block *)
-              Effect.Deep.continue cont msg
+          | Some q when !q <> [] -> (
+              let expected =
+                Option.value (Hashtbl.find_opt sim.recv_seq k) ~default:0
+              in
+              let stale, live =
+                List.partition (fun m -> m.m_seq < expected) !q
+              in
+              if stale <> [] then begin
+                sim.n_dups_delivered <- sim.n_dups_delivered + List.length stale;
+                q := live
+              end;
+              let rec take acc = function
+                | [] -> None
+                | m :: rest ->
+                    if m.m_seq = expected then Some (m, List.rev_append acc rest)
+                    else take (m :: acc) rest
+              in
+              match take [] live with
+              | Some (msg, rest) ->
+                  q := rest;
+                  Hashtbl.replace sim.recv_seq k (expected + 1);
+                  progressed := true;
+                  status.(p) <- WDone;
+                  (* placeholder; handler overwrites on next block *)
+                  Effect.Deep.continue cont msg
+              | None -> ())
           | _ -> ())
       | _ -> ()
     done;
@@ -701,18 +894,70 @@ let run (sim : sim) : stats =
     end
   done;
   if not (all_done ()) then begin
-    let waits =
+    (* structured diagnosis: who waits on whom, with event ids, sequence
+       numbers, simulated clocks and channel depths; extract a wait-for
+       cycle when one exists *)
+    let waiting =
       Array.to_list status
       |> List.mapi (fun p s ->
+             let w reason =
+               Some { w_pid = p; w_clock = sim.procs.(p).clock; w_reason = reason }
+             in
              match s with
              | WRecv (k, _) ->
-                 Printf.sprintf "proc %d waiting on event %d from vp(%s)" p k.k_event
-                   (String.concat "," (List.map string_of_int k.k_src))
-             | WReduce _ | WReduceArr _ -> Printf.sprintf "proc %d at reduction" p
-             | _ -> "")
-      |> List.filter (fun s -> s <> "")
+                 let queued =
+                   match Hashtbl.find_opt sim.mailbox k with
+                   | Some q -> List.length !q
+                   | None -> 0
+                 in
+                 w
+                   (WaitRecv
+                      {
+                        wr_event = k.k_event;
+                        wr_src_vp = k.k_src;
+                        wr_src_pid = phys_of_vp sim k.k_src;
+                        wr_expected_seq =
+                          Option.value (Hashtbl.find_opt sim.recv_seq k) ~default:0;
+                        wr_queued = queued;
+                      })
+             | WReduce _ -> w WaitReduce
+             | WReduceArr (name, _, _) -> w (WaitReduceArr name)
+             | WRun | WDone -> None)
+      |> List.filter_map Fun.id
     in
-    errf "deadlock: %s" (String.concat "; " waits)
+    let stuck = List.map (fun w -> w.w_pid) waiting in
+    let succ p =
+      match List.find_opt (fun w -> w.w_pid = p) waiting with
+      | Some { w_reason = WaitRecv r; _ } ->
+          if List.mem r.wr_src_pid stuck then [ r.wr_src_pid ] else []
+      | Some { w_reason = WaitReduce | WaitReduceArr _; _ } ->
+          (* a collective waits on every processor that has not reached it *)
+          List.filter
+            (fun p' ->
+              p' <> p
+              &&
+              match List.find_opt (fun w -> w.w_pid = p') waiting with
+              | Some { w_reason = WaitRecv _; _ } -> true
+              | _ -> false)
+            stuck
+      | _ -> []
+    in
+    let undelivered =
+      Hashtbl.fold
+        (fun k q acc ->
+          if !q = [] then acc
+          else (k.k_event, k.k_src, k.k_dst, List.length !q) :: acc)
+        sim.mailbox []
+      |> List.sort compare
+    in
+    raise
+      (Deadlock
+         {
+           dg_waiting = waiting;
+           dg_cycle = find_cycle succ stuck;
+           dg_undelivered = undelivered;
+           dg_max_mailbox = sim.max_mbox_depth;
+         })
   end;
   {
     s_time = Array.fold_left (fun acc p -> Float.max acc p.clock) 0.0 sim.procs;
@@ -720,6 +965,10 @@ let run (sim : sim) : stats =
     s_bytes = sim.n_bytes;
     s_elems = sim.n_elems_comm;
     s_proc_times = Array.map (fun p -> p.clock) sim.procs;
+    s_retransmits = sim.n_retransmits;
+    s_timeouts = sim.n_timeouts;
+    s_dups_delivered = sim.n_dups_delivered;
+    s_max_mailbox = sim.max_mbox_depth;
   }
 
 (* ------------------------------------------------------------------ *)

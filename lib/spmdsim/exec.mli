@@ -21,6 +21,7 @@ type sim
 
 val make :
   ?machine:Machine.t ->
+  ?faults:Fault.spec ->
   nprocs:int ->
   ?params:(string * int) list ->
   Dhpf.Spmd.program ->
@@ -28,7 +29,15 @@ val make :
 (** Instantiate the machine: evaluate startup parameter bindings (with
     [number_of_processors() = nprocs]), size the processor grid, compute
     each processor's [m$k] / [vm$k] coordinates, and allocate storage.
-    [params] binds symbolic program parameters. *)
+    [params] binds symbolic program parameters.
+
+    [faults] injects a deterministic adversarial transport (see {!Fault}):
+    message delay, in-flight reordering, duplicate delivery, bounded
+    drop-with-retransmit (priced by the {!Machine.t} timeout/retry/backoff
+    fields) and per-processor straggler clock skew. Delivery matches
+    per-channel sequence numbers, so computed values are identical to the
+    fault-free run — only timing, retransmission and duplicate statistics
+    change. *)
 
 val nprocs : sim -> int
 (** Actual processor count (the product of the grid extents). *)
@@ -44,11 +53,50 @@ type stats = {
   s_bytes : int;
   s_elems : int;  (** total elements communicated *)
   s_proc_times : float array;
+  s_retransmits : int;  (** dropped transmissions re-sent after a timeout *)
+  s_timeouts : int;  (** retransmission timers fired *)
+  s_dups_delivered : int;  (** duplicate copies detected and discarded *)
+  s_max_mailbox : int;  (** peak in-flight depth of any one channel *)
 }
+
+(** {1 Deadlock diagnostics}
+
+    When the scheduler can make no progress, {!run} raises {!Deadlock} with
+    a structured diagnosis instead of a flat string: every stuck processor
+    with its simulated clock and what it waits on (event id, source VP and
+    physical pid, next expected sequence number, undeliverable channel
+    depth), the extracted wait-for cycle when one exists, and the channels
+    still holding undelivered messages. *)
+
+type wait_reason =
+  | WaitRecv of {
+      wr_event : int;
+      wr_src_vp : int list;
+      wr_src_pid : int;
+      wr_expected_seq : int;
+      wr_queued : int;
+    }
+  | WaitReduce
+  | WaitReduceArr of string
+
+type proc_wait = { w_pid : int; w_clock : float; w_reason : wait_reason }
+
+type diagnostic = {
+  dg_waiting : proc_wait list;
+  dg_cycle : int list;
+  dg_undelivered : (int * int list * int list * int) list;
+  dg_max_mailbox : int;
+}
+
+exception Deadlock of diagnostic
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+val diagnostic_to_string : diagnostic -> string
 
 val run : sim -> stats
 (** Execute the program on every processor to completion.
-    @raise Error on deadlock or an illegal access. *)
+    @raise Deadlock when no processor can make progress.
+    @raise Error on an illegal access or unbound name. *)
 
 val get_elem : sim -> string -> int list -> float
 (** Element value after execution, read from its owning processor. *)

@@ -1,0 +1,117 @@
+(* Deterministic fault schedules. Decisions are pure hashes of
+   (seed, message identity, decision kind), not draws from a stateful PRNG,
+   so they are independent of the order the scheduler happens to evaluate
+   them in — the property the determinism tests pin down. *)
+
+type spec = {
+  seed : int;
+  drop_prob : float;
+  max_retries : int;
+  dup_prob : float;
+  delay_prob : float;
+  delay_factor : float;
+  reorder_prob : float;
+  skew_max : float;
+}
+
+let none =
+  {
+    seed = 0;
+    drop_prob = 0.0;
+    max_retries = 0;
+    dup_prob = 0.0;
+    delay_prob = 0.0;
+    delay_factor = 0.0;
+    reorder_prob = 0.0;
+    skew_max = 1.0;
+  }
+
+let default ~seed =
+  {
+    seed;
+    drop_prob = 0.15;
+    max_retries = 4;
+    dup_prob = 0.10;
+    delay_prob = 0.30;
+    delay_factor = 4.0;
+    reorder_prob = 0.25;
+    skew_max = 1.5;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Hashing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* splitmix64 finalizer: a cheap, well-mixed 64-bit avalanche *)
+let mix (z : int64) : int64 =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  Int64.logxor z (Int64.shift_right_logical z 33)
+
+let hash_keys spec (keys : int list) : int64 =
+  List.fold_left
+    (fun acc k -> mix (Int64.add (Int64.mul acc 0x9e3779b97f4a7c15L) (Int64.of_int k)))
+    (mix (Int64.add 0x2545f4914f6cdd1dL (Int64.of_int spec.seed)))
+    keys
+
+(* uniform in [0,1) from the top 53 bits *)
+let u01 (h : int64) : float =
+  Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
+
+(* decision-kind salts keep draws for one message independent *)
+let salt_drop = 1
+let salt_dup = 2
+let salt_delay = 3
+let salt_reorder = 4
+let salt_skew = 5
+
+let draw spec ~salt keys = u01 (hash_keys spec (salt :: keys))
+
+(* ------------------------------------------------------------------ *)
+(* Plans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type msg_plan = {
+  mp_drops : int;
+  mp_dup : bool;
+  mp_delay : float;
+  mp_reorder : bool;
+}
+
+let no_faults = { mp_drops = 0; mp_dup = false; mp_delay = 0.0; mp_reorder = false }
+
+let plan spec ~event ~src ~dst ~seq =
+  let keys = [ event; src; dst; seq ] in
+  let drops =
+    if spec.drop_prob <= 0.0 then 0
+    else begin
+      (* each transmission attempt is dropped independently, bounded by
+         max_retries so every message is eventually delivered *)
+      let k = ref 0 in
+      while
+        !k < spec.max_retries
+        && draw spec ~salt:salt_drop (!k :: keys) < spec.drop_prob
+      do
+        incr k
+      done;
+      !k
+    end
+  in
+  let dup = draw spec ~salt:salt_dup keys < spec.dup_prob in
+  let delay =
+    if draw spec ~salt:salt_delay keys < spec.delay_prob then
+      spec.delay_factor *. draw spec ~salt:salt_delay (0 :: keys)
+    else 0.0
+  in
+  let reorder = draw spec ~salt:salt_reorder keys < spec.reorder_prob in
+  { mp_drops = drops; mp_dup = dup; mp_delay = delay; mp_reorder = reorder }
+
+let skew spec ~pid =
+  if spec.skew_max <= 1.0 then 1.0
+  else 1.0 +. ((spec.skew_max -. 1.0) *. draw spec ~salt:salt_skew [ pid ])
+
+let describe spec =
+  Printf.sprintf
+    "seed=%d drop=%.2f(max %d retries) dup=%.2f delay=%.2fx%.1f reorder=%.2f skew<=%.2f"
+    spec.seed spec.drop_prob spec.max_retries spec.dup_prob spec.delay_prob
+    spec.delay_factor spec.reorder_prob spec.skew_max

@@ -1,0 +1,55 @@
+(** Deterministic, seed-driven fault schedules for the SPMD simulator.
+
+    A {!spec} describes an adversarial transport and machine: messages may
+    be delayed, reordered in flight, delivered twice, or dropped (and
+    retransmitted after a timeout, priced by the {!Machine.t} retry
+    fields), and each processor computes under a fixed straggler clock-skew
+    multiplier. Every decision is a pure hash of the seed and the message's
+    stable identity (event id, sender, receiver, per-channel sequence
+    number) — not of a mutable PRNG stream — so a schedule is reproducible
+    from its seed regardless of scheduler interleaving, and two runs with
+    the same seed make byte-identical decisions. *)
+
+type spec = {
+  seed : int;
+  drop_prob : float;  (** probability a transmission attempt is dropped *)
+  max_retries : int;  (** bound on consecutive drops of one message *)
+  dup_prob : float;  (** probability a message is delivered twice *)
+  delay_prob : float;  (** probability a message is delayed in flight *)
+  delay_factor : float;
+      (** maximum extra in-flight latency, as a multiple of the message's
+          wire time *)
+  reorder_prob : float;
+      (** probability a message jumps ahead of earlier undelivered traffic
+          on the same channel *)
+  skew_max : float;
+      (** straggler model: each processor's compute-time multiplier is
+          drawn from [1, skew_max]; 1.0 disables skew *)
+}
+
+val none : spec
+(** All probabilities zero, no skew: the idealized machine. *)
+
+val default : seed:int -> spec
+(** A moderately hostile schedule (drops, duplicates, delays, reordering
+    and stragglers all enabled) keyed to [seed]. *)
+
+type msg_plan = {
+  mp_drops : int;  (** transmissions dropped before the one that arrives *)
+  mp_dup : bool;  (** a second copy of the message is delivered *)
+  mp_delay : float;  (** extra wire-time multiplier in [0, delay_factor) *)
+  mp_reorder : bool;  (** message jumps the channel queue *)
+}
+
+val no_faults : msg_plan
+
+val plan : spec -> event:int -> src:int -> dst:int -> seq:int -> msg_plan
+(** The faults scheduled for one message, identified by its communication
+    event, physical sender and receiver pids, and per-channel sequence
+    number. Pure: same spec and identity always give the same plan. *)
+
+val skew : spec -> pid:int -> float
+(** Clock-skew multiplier (>= 1.0) for one processor. *)
+
+val describe : spec -> string
+(** One-line human-readable summary of the schedule parameters. *)

@@ -19,6 +19,13 @@ type t = {
   send_overhead : float;  (** CPU time consumed by a send *)
   recv_overhead : float;  (** CPU time consumed by a receive *)
   elem_bytes : int;  (** bytes per array element on the wire *)
+  timeout : float;
+      (** retransmission timer: how long a sender waits before concluding a
+          transmission was dropped (fault injection only) *)
+  retry_overhead : float;  (** CPU time consumed by one retransmission *)
+  backoff : float;
+      (** exponential backoff: the k-th consecutive retransmission of one
+          message waits [timeout * backoff^k] *)
 }
 
 let sp2 =
@@ -34,6 +41,9 @@ let sp2 =
     send_overhead = 5e-6;
     recv_overhead = 5e-6;
     elem_bytes = 8;
+    timeout = 500e-6;
+    retry_overhead = 5e-6;
+    backoff = 2.0;
   }
 
 let default = sp2
@@ -47,3 +57,12 @@ let allreduce_time t p =
   else
     let stages = int_of_float (ceil (log (float_of_int p) /. log 2.0)) in
     2.0 *. float_of_int stages *. msg_time t 1
+
+(** Total sender-side wait for [k] consecutive dropped transmissions of one
+    message: the timeout fires after each drop, with exponential backoff. *)
+let retransmit_wait t k =
+  let w = ref 0.0 in
+  for i = 0 to k - 1 do
+    w := !w +. (t.timeout *. (t.backoff ** float_of_int i))
+  done;
+  !w

@@ -122,7 +122,8 @@ let test_allreduce_cost () =
   Alcotest.(check bool) "log growth" true (t16 > t4 && t16 < 3.0 *. t4)
 
 let test_deadlock_detected () =
-  (* a program with a recv and no matching send must be reported *)
+  (* a program with a recv and no matching send must be reported with a
+     structured diagnostic naming the waiting processors and event *)
   let c = compile block_1d in
   let prog = c.cprog in
   let bogus_recv =
@@ -133,8 +134,19 @@ let test_deadlock_detected () =
   in
   let sim = Spmdsim.Exec.make ~nprocs:4 prog in
   match Spmdsim.Exec.run sim with
-  | exception Spmdsim.Exec.Error msg ->
-      Alcotest.(check bool) "mentions deadlock" true
+  | exception Spmdsim.Exec.Deadlock d ->
+      Alcotest.(check int) "all four procs stuck" 4 (List.length d.dg_waiting);
+      List.iter
+        (fun (w : Spmdsim.Exec.proc_wait) ->
+          match w.w_reason with
+          | Spmdsim.Exec.WaitRecv r ->
+              Alcotest.(check int) "waiting on event 99" 99 r.wr_event
+          | _ -> Alcotest.fail "expected a recv wait")
+        d.dg_waiting;
+      (* proc 0 waits on vp(0) — itself — a self-cycle; 1..3 dangle off it *)
+      Alcotest.(check (list int)) "self-cycle on proc 0" [ 0 ] d.dg_cycle;
+      let msg = Spmdsim.Exec.diagnostic_to_string d in
+      Alcotest.(check bool) "pretty-printer mentions deadlock" true
         (String.length msg >= 8 && String.sub msg 0 8 = "deadlock")
   | _ -> Alcotest.fail "expected deadlock"
 

@@ -163,10 +163,32 @@ let prop_differential_ablated =
             opts_list
       | exception Hpf.Sema.Error _ -> QCheck.assume_fail ())
 
+(* the same random programs must also survive adversarial fault schedules:
+   drop+retransmit, duplicates, reordering and stragglers, three seeds each,
+   all matching the serial oracle through the differential harness *)
+let prop_differential_faulted =
+  QCheck.Test.make ~count:15
+    ~name:"fault-injected executions match the serial oracle" arb_spec
+    (fun spec ->
+      let src = src_of_spec spec in
+      match Hpf.Sema.analyze_source src with
+      | chk -> (
+          match Spmdsim.Diffcheck.run ~seeds:[ 1; 2; 3 ] chk with
+          | Spmdsim.Diffcheck.Pass _ -> true
+          | out ->
+              QCheck.Test.fail_reportf "%a" Spmdsim.Diffcheck.pp_outcome out
+          | exception Dhpf.Gen.Unsupported _ -> QCheck.assume_fail ()
+          | exception Dhpf.Layout.Unsupported _ -> QCheck.assume_fail ())
+      | exception Hpf.Sema.Error _ -> QCheck.assume_fail ())
+
 let () =
   Alcotest.run "random"
     [
       ( "differential",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_differential; prop_differential_ablated ] );
+          [
+            prop_differential;
+            prop_differential_ablated;
+            prop_differential_faulted;
+          ] );
     ]
