@@ -6,13 +6,22 @@
 DUNE ?= dune
 DHPFC = $(DUNE) exec bin/dhpfc.exe --
 
-.PHONY: all check test resilience fuzz clean
+.PHONY: all check test resilience fuzz bench bench-smoke clean
 
 all:
 	$(DUNE) build
 
 check:
-	$(DUNE) build && $(DUNE) runtest
+	$(DUNE) build && $(DUNE) runtest && $(MAKE) bench-smoke
+
+# Fast Table-1 subset with the bench's JSON emitter; fails if the
+# integer-set caches record zero hits (i.e. the memoization layer is
+# accidentally disabled or dead).
+bench-smoke:
+	$(DUNE) exec bench/main.exe -- smoke
+
+bench:
+	$(DUNE) exec bench/main.exe -- json
 
 test: check
 

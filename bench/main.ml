@@ -24,11 +24,47 @@ let section title =
 let compile_timed src =
   let ph = Dhpf.Phase.global in
   Dhpf.Phase.reset ph;
+  Iset.Stats.reset ();
+  Iset.Cache.clear_all ();
   let chk = Hpf.Sema.analyze_source src in
   let t0 = Unix.gettimeofday () in
   let compiled = Dhpf.Gen.compile ~phase:ph chk in
   let total = Unix.gettimeofday () -. t0 in
-  (compiled, total, ph)
+  (compiled, total, ph, Iset.Stats.report ())
+
+let table1_apps ?(smoke = false) () =
+  if smoke then
+    [
+      ("SP-sym-small", Codes.sp_like ~n:12 ~nsub:8 ~procs:(Codes.Symbolic2 2) ());
+      ("T-sym-small", Codes.tomcatv ~n:65 ~iters:1 ~procs:(Codes.Symbolic2 1) ());
+    ]
+  else
+    [
+      ("SP-4", Codes.sp_like ~n:24 ~nsub:30 ~procs:(Codes.Fixed (2, 2)) ());
+      ("SP-sym", Codes.sp_like ~n:24 ~nsub:30 ~procs:(Codes.Symbolic2 2) ());
+      ("T-sym", Codes.tomcatv ~n:257 ~iters:3 ~procs:(Codes.Symbolic2 1) ());
+    ]
+
+(* The cache counters shown alongside Table 1 (time and cache behaviour per
+   row, as the perf-trajectory tracking wants). *)
+let cache_keys =
+  [
+    "sat lookups";
+    "sat hits";
+    "sat pre-filter kills";
+    "simplify lookups";
+    "simplify hits";
+    "gist lookups";
+    "gist hits";
+    "implies lookups";
+    "implies hits";
+    "subset lookups";
+    "subset hits";
+    "cache evictions";
+    "interned conjuncts";
+    "interned constraints";
+    "interned terms";
+  ]
 
 let table1 () =
   section "Table 1: Breakdown of compilation time";
@@ -36,13 +72,7 @@ let table1 () =
     "(paper: SP-4 1145s, SP-sym 1073s, T-sym 28s on a 250MHz UltraSparc;@.\
     \ the row structure and the SP-sym ~ SP-4 relationship are the@.\
     \ reproduction targets, not 1998 absolute times)@.@.";
-  let apps =
-    [
-      ("SP-4", Codes.sp_like ~n:24 ~nsub:30 ~procs:(Codes.Fixed (2, 2)) ());
-      ("SP-sym", Codes.sp_like ~n:24 ~nsub:30 ~procs:(Codes.Symbolic2 2) ());
-      ("T-sym", Codes.tomcatv ~n:257 ~iters:3 ~procs:(Codes.Symbolic2 1) ());
-    ]
-  in
+  let apps = table1_apps () in
   let rows =
     [
       ("interprocedural analysis", [ "interprocedural analysis" ]);
@@ -63,32 +93,44 @@ let table1 () =
   let results =
     List.map
       (fun (name, src) ->
-        let _, total, ph = compile_timed src in
+        let _, total, ph, stats = compile_timed src in
         ( name,
           total,
           List.map
             (fun (_, ls) ->
               List.fold_left (fun acc l -> acc +. Dhpf.Phase.total ph l) 0.0 ls)
-            rows ))
+            rows,
+          stats ))
       apps
   in
   Fmt.pr "%-50s" "application";
-  List.iter (fun (n, _, _) -> Fmt.pr "%10s" n) results;
+  List.iter (fun (n, _, _, _) -> Fmt.pr "%10s" n) results;
   Fmt.pr "@.";
   Fmt.pr "%-50s" "total compilation wall-clock time";
-  List.iter (fun (_, t, _) -> Fmt.pr "%9.2fs" t) results;
+  List.iter (fun (_, t, _, _) -> Fmt.pr "%9.2fs" t) results;
   Fmt.pr "@.";
   List.iteri
     (fun i (label, _) ->
       Fmt.pr "%-50s" label;
       List.iter
-        (fun (_, total, vals) ->
+        (fun (_, total, vals, _) ->
           Fmt.pr "%9.1f%%" (100.0 *. List.nth vals i /. Float.max total 1e-9))
         results;
       Fmt.pr "@.")
     rows;
+  Fmt.pr "@.integer-set cache behaviour (%s):@."
+    (if Iset.Cache.enabled () then "enabled" else "disabled");
+  List.iter
+    (fun key ->
+      Fmt.pr "%-50s" key;
+      List.iter
+        (fun (_, _, _, stats) ->
+          Fmt.pr "%10d" (try List.assoc key stats with Not_found -> 0))
+        results;
+      Fmt.pr "@.")
+    cache_keys;
   match results with
-  | [ (_, t4, _); (_, tsym, _); _ ] ->
+  | [ (_, t4, _, _); (_, tsym, _, _); _ ] ->
       Fmt.pr "@.SP-sym / SP-4 compile-time ratio: %.2f (paper: 0.94)@." (tsym /. t4)
   | _ -> ()
 
@@ -251,6 +293,96 @@ let set_micro () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable output: `-- json` (full Table 1) and `-- smoke`     *)
+(* (fast subset + cache-hit assertion, for `make bench-smoke`)          *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Compile the Table-1 applications and emit one JSON document with per-app
+   wall-clock, per-phase seconds, and the cache counters — the format the
+   checked-in BENCH_compile.json baseline uses to track the perf
+   trajectory. *)
+let bench_json ~smoke () =
+  let apps = table1_apps ~smoke () in
+  let results =
+    List.map
+      (fun (name, src) ->
+        let _, total, ph, stats = compile_timed src in
+        let phases =
+          List.map (fun l -> (l, Dhpf.Phase.total ph l)) (Dhpf.Phase.labels ph)
+        in
+        (name, total, phases, stats))
+      apps
+  in
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "{\n";
+  pf "  \"schema\": \"dhpf-bench-compile/1\",\n";
+  pf "  \"mode\": \"%s\",\n" (if smoke then "smoke" else "full");
+  pf "  \"cache_enabled\": %b,\n" (Iset.Cache.enabled ());
+  pf "  \"apps\": [\n";
+  List.iteri
+    (fun i (name, total, phases, stats) ->
+      pf "    {\n";
+      pf "      \"name\": \"%s\",\n" (json_escape name);
+      pf "      \"total_s\": %.6f,\n" total;
+      pf "      \"phases_s\": {\n";
+      List.iteri
+        (fun j (l, s) ->
+          pf "        \"%s\": %.6f%s\n" (json_escape l) s
+            (if j + 1 < List.length phases then "," else ""))
+        phases;
+      pf "      },\n";
+      pf "      \"cache\": {\n";
+      let n = List.length stats in
+      List.iteri
+        (fun j (k, v) ->
+          pf "        \"%s\": %d%s\n" (json_escape k) v
+            (if j + 1 < n then "," else ""))
+        stats;
+      pf "      }\n";
+      pf "    }%s\n" (if i + 1 < List.length results then "," else ""))
+    results;
+  pf "  ]\n";
+  pf "}\n";
+  print_string (Buffer.contents buf);
+  results
+
+let json () = ignore (bench_json ~smoke:false ())
+
+(* Smoke mode backs `make bench-smoke` in the tier-1 check flow: a fast
+   Table-1 subset, JSON on stdout, and a hard failure if the memoization
+   layer shows no hits (i.e. the caches silently stopped working). *)
+let smoke () =
+  let results = bench_json ~smoke:true () in
+  if Iset.Cache.enabled () then begin
+    let hits_of (_, _, _, stats) =
+      List.fold_left
+        (fun acc key -> acc + (try List.assoc key stats with Not_found -> 0))
+        0
+        [ "sat hits"; "simplify hits"; "gist hits"; "implies hits"; "subset hits" ]
+    in
+    let total_hits = List.fold_left (fun acc r -> acc + hits_of r) 0 results in
+    if total_hits = 0 then begin
+      Fmt.epr "bench smoke: FAILED — zero cache hits across the smoke apps@.";
+      exit 1
+    end;
+    Fmt.epr "bench smoke: ok (%d cache hits)@." total_hits
+  end
+  else Fmt.epr "bench smoke: ok (caches disabled via DHPF_ISET_CACHE)@."
 
 let () =
   let all =
@@ -263,15 +395,21 @@ let () =
       ("micro", set_micro);
     ]
   in
-  let want =
-    match Array.to_list Sys.argv with
-    | _ :: args when args <> [] -> args
-    | _ -> List.map fst all
-  in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name all with
-      | Some f -> f ()
-      | None -> Fmt.epr "unknown section %s@." name)
-    want;
-  Fmt.pr "@.done.@."
+  (* json/smoke are machine-readable modes, kept out of the default
+     every-section run so stdout stays a single JSON document *)
+  let special = [ ("json", json); ("smoke", smoke) ] in
+  match Array.to_list Sys.argv with
+  | _ :: args when List.for_all (fun a -> List.mem_assoc a special) args && args <> []
+    ->
+      List.iter (fun a -> (List.assoc a special) ()) args
+  | argv ->
+      let want =
+        match argv with _ :: args when args <> [] -> args | _ -> List.map fst all
+      in
+      List.iter
+        (fun name ->
+          match List.assoc_opt name all with
+          | Some f -> f ()
+          | None -> Fmt.epr "unknown section %s@." name)
+        want;
+      Fmt.pr "@.done.@."

@@ -179,6 +179,7 @@ let compile_cmd =
     handle_errors @@ fun () ->
     let opts = opts_of ~no_split ~no_vect ~no_coal ~no_inplace in
     Dhpf.Phase.reset Dhpf.Phase.global;
+    Iset.Stats.reset ();
     let chk = Hpf.Sema.analyze_source (load src) in
     let compiled = Dhpf.Gen.compile ~opts chk in
     if show_sets then
@@ -203,7 +204,10 @@ let compile_cmd =
       Fmt.pr "total compilation time: %.3f s@." (Dhpf.Phase.elapsed ph);
       List.iter
         (fun l -> Fmt.pr "  %-32s %8.3f s@." l (Dhpf.Phase.total ph l))
-        (Dhpf.Phase.labels ph)
+        (Dhpf.Phase.labels ph);
+      Fmt.pr "integer-set engine caches (%s):@."
+        (if Iset.Cache.enabled () then "enabled" else "disabled");
+      Fmt.pr "%a" Iset.Stats.pp ()
     end;
     if not (show_sets || show_spmd || report) then
       Fmt.pr "compiled: %d communication events, %d statements@."

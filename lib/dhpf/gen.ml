@@ -1274,10 +1274,19 @@ and try_split g ~outer loop_node ~sends ~recvs : Spmd.stmt list option =
                 Phase.time g.phase "loop bounds reduction" @@ fun () ->
                 Codegen.gen ~order:`Any ~context ~names:(Rel.in_names bound) items
               in
-              Spmd.Comment (Printf.sprintf "%s section" what)
-              :: ast_to_stmts
-                   ~leaf:(fun ai -> emit_assign g ~access_of ai)
-                   ~for_hook:no_hook asts
+              let stmts =
+                Spmd.Comment (Printf.sprintf "%s section" what)
+                :: ast_to_stmts
+                     ~leaf:(fun ai -> emit_assign g ~access_of ai)
+                     ~for_hook:no_hook asts
+              in
+              (* cyclic (template-cell) dims bind vm$k only through generated
+                 VP loops; at top level each section needs its own wrapping,
+                 exactly like the unsplit nest in emit_node (the comm
+                 sends/recvs between sections wrap themselves) *)
+              if outer = [] && has_cyclic_vps g then
+                wrap_vp g ~active:(busy_of g loop_node) stmts
+              else stmts
             end
           in
           Some

@@ -1,0 +1,71 @@
+(** Global configuration for the memoization layer: a single on/off switch
+    (runtime-togglable, [DHPF_ISET_CACHE=off] in the environment disables it
+    at startup), a shared capacity bound, and a registry of clear hooks so
+    every memo/intern table can be flushed together.
+
+    Eviction policy is clear-on-full: when a table reaches the capacity it is
+    emptied wholesale. Interned ids are {e never} reused across clears (the
+    id counters are monotone), so memo entries keyed by ids from a previous
+    epoch simply become unreachable — no invalidation protocol is needed. *)
+
+let enabled_ref =
+  ref
+    (match Sys.getenv_opt "DHPF_ISET_CACHE" with
+    | Some ("0" | "off" | "false" | "no") -> false
+    | _ -> true)
+
+let capacity_ref = ref 65536
+
+let clear_hooks : (unit -> unit) list ref = ref []
+
+let register_clear f = clear_hooks := f :: !clear_hooks
+
+let clear_all () = List.iter (fun f -> f ()) !clear_hooks
+
+let enabled () = !enabled_ref
+
+let set_enabled b =
+  enabled_ref := b;
+  clear_all ()
+
+let capacity () = !capacity_ref
+
+let set_capacity n =
+  capacity_ref := max 4 n;
+  clear_all ()
+
+(** Bounded memo table over an arbitrary key; registers its own clear hook
+    and a size gauge. *)
+module Memo (K : Hashtbl.HashedType) = struct
+  module T = Hashtbl.Make (K)
+
+  type 'v t = { tbl : 'v T.t; lookups : Stats.counter; hits : Stats.counter }
+
+  let create name ~lookups ~hits =
+    let tbl = T.create 256 in
+    register_clear (fun () -> T.reset tbl);
+    Stats.register_gauge (name ^ " cache size") (fun () -> T.length tbl);
+    { tbl; lookups; hits }
+
+  let length m = T.length m.tbl
+
+  (** [find_or_add m k f]: memoized [f ()]. With caching disabled this is
+      just [f ()] — no lookup, no insertion, no counter traffic. *)
+  let find_or_add m k f =
+    if not (enabled ()) then f ()
+    else begin
+      Stats.bump m.lookups;
+      match T.find_opt m.tbl k with
+      | Some v ->
+          Stats.bump m.hits;
+          v
+      | None ->
+          let v = f () in
+          if T.length m.tbl >= !capacity_ref then begin
+            T.reset m.tbl;
+            Stats.bump Stats.evictions
+          end;
+          T.replace m.tbl k v;
+          v
+    end
+end

@@ -63,6 +63,31 @@ let compact_ex t =
   { n_ex = List.length used; cs = List.map (Constr.map_lin (Lin.map_vars f)) t.cs }
 
 (* ------------------------------------------------------------------ *)
+(* Hash-consing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let equal a b = a == b || (a.n_ex = b.n_ex && List.equal Constr.equal a.cs b.cs)
+
+let hash t =
+  List.fold_left (fun acc c -> (acc * 31) + Constr.hash c) (t.n_ex + 1) t.cs
+  land max_int
+
+module Tbl = Hcons.Make (struct
+  type nonrec t = t
+  let equal = equal
+  let hash = hash
+end) ()
+
+let () = Tbl.register_gauge "interned conjuncts"
+
+(* Interning a conjunct interns its constraints (and their terms), so equal
+   conjuncts share the whole subtree and the physical-equality fast paths in
+   [Constr.equal] / [Lin.compare] fire on every later comparison. *)
+let intern_pair t = Tbl.intern { t with cs = List.map Constr.intern t.cs }
+let intern t = fst (intern_pair t)
+let id t = snd (intern_pair t)
+
+(* ------------------------------------------------------------------ *)
 (* Normalization                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -463,7 +488,7 @@ let reduce_stride_coeffs t =
   in
   ({ t with cs }, !progress)
 
-let simplify t =
+let simplify_raw t =
   try
     let rec fix t n =
       if n > 12 then Some t
@@ -482,6 +507,33 @@ let simplify t =
     in
     fix t 0
   with Unsat -> None
+
+module IntMemo = Cache.Memo (struct
+  type t = int
+  let equal = Int.equal
+  let hash x = x
+end)
+
+module PairMemo = Cache.Memo (struct
+  type t = int * int
+  let equal (a, b) (a', b') = a = a' && b = b'
+  let hash = Hashtbl.hash
+end)
+
+let simplify_memo : t option IntMemo.t =
+  IntMemo.create "simplify" ~lookups:Stats.simplify_lookups
+    ~hits:Stats.simplify_hits
+
+(* Simplification is a pure function of the structure, so memoizing on the
+   interned id returns exactly what recomputation would. The cached result
+   is interned too: every caller of a repeated conjunct gets the same
+   physically-shared simplified form. *)
+let simplify t =
+  if not (Cache.enabled ()) then simplify_raw t
+  else
+    let rep, key = intern_pair t in
+    IntMemo.find_or_add simplify_memo key (fun () ->
+        Option.map intern (simplify_raw rep))
 
 (* ------------------------------------------------------------------ *)
 (* Omega satisfiability test                                           *)
@@ -581,7 +633,73 @@ let rec omega_sat ~fuel t =
                         try_i 0)
                       lowers)))
 
-let sat t = omega_sat ~fuel:300 (all_existential t)
+let sat_raw t = omega_sat ~fuel:300 (all_existential t)
+
+(* Cheap unsatisfiability pre-filter, run before the Omega machinery spins
+   up: constant violations, gcd non-divisibility of equalities, and
+   single-variable interval contradictions. Sound: [true] means the conjunct
+   is definitely empty. *)
+let trivially_unsat t =
+  let exception Kill in
+  try
+    let (_ : (int * int) Var.Map.t) =
+      List.fold_left
+        (fun ivals c ->
+          let lin = Constr.lin c in
+          if Lin.is_const lin then begin
+            let k = Lin.constant lin in
+            (match Constr.kind c with
+            | Constr.Eq -> if k <> 0 then raise Kill
+            | Constr.Geq -> if k < 0 then raise Kill);
+            ivals
+          end
+          else begin
+            (match Constr.kind c with
+            | Constr.Eq ->
+                let g = Lin.coeff_gcd lin in
+                if g > 1 && Lin.constant lin mod g <> 0 then raise Kill
+            | Constr.Geq -> ());
+            match Var.Map.bindings lin.Lin.coeffs with
+            | [ (v, a) ] ->
+                let k = Lin.constant lin in
+                let lo, hi =
+                  match Var.Map.find_opt v ivals with
+                  | Some b -> b
+                  | None -> (min_int, max_int)
+                in
+                let lo, hi =
+                  match Constr.kind c with
+                  | Constr.Geq ->
+                      (* a·v + k >= 0 *)
+                      if a > 0 then (max lo (Lin.cdiv (-k) a), hi)
+                      else (lo, min hi (Lin.fdiv k (-a)))
+                  | Constr.Eq ->
+                      if k mod a <> 0 then raise Kill
+                      else
+                        let x = -k / a in
+                        (max lo x, min hi x)
+                in
+                if lo > hi then raise Kill;
+                Var.Map.add v (lo, hi) ivals
+            | _ -> ivals
+          end)
+        Var.Map.empty t.cs
+    in
+    false
+  with Kill -> true
+
+let sat_memo : bool IntMemo.t =
+  IntMemo.create "sat" ~lookups:Stats.sat_lookups ~hits:Stats.sat_hits
+
+let sat t =
+  if trivially_unsat t then begin
+    Stats.bump Stats.sat_prefilter_kills;
+    false
+  end
+  else if not (Cache.enabled ()) then sat_raw t
+  else
+    let rep, key = intern_pair t in
+    IntMemo.find_or_add sat_memo key (fun () -> sat_raw rep)
 
 let is_empty t = not (sat t)
 
@@ -654,15 +772,25 @@ let negate t =
 
 (** [implies t c]: does [t] entail the single constraint [c]?
     [c] must not mention existential variables of [t]. *)
-let implies t c =
+let implies_raw t c =
   List.for_all (fun nc -> is_empty (meet t nc)) (negate (make ~n_ex:0 [ c ]))
+
+let implies_memo : bool PairMemo.t =
+  PairMemo.create "implies" ~lookups:Stats.implies_lookups
+    ~hits:Stats.implies_hits
+
+let implies t c =
+  if not (Cache.enabled ()) then implies_raw t c
+  else
+    PairMemo.find_or_add implies_memo (id t, Constr.id c) (fun () ->
+        implies_raw t c)
 
 let constr_has_ex c = Lin.exists_var Var.is_ex (Constr.lin c)
 
 (** [gist t ~given]: drop constraints of [t] entailed by [given] plus the
     remaining constraints of [t]. Constraints mentioning existentials of [t]
     are always kept (dropping them safely would require scoped negation). *)
-let gist t ~given =
+let gist_raw t ~given =
   let rec go kept = function
     | [] -> { t with cs = List.rev kept }
     | c :: rest ->
@@ -672,6 +800,15 @@ let gist t ~given =
           if implies (meet ctx given) c then go kept rest else go (c :: kept) rest
   in
   go [] t.cs
+
+let gist_memo : t PairMemo.t =
+  PairMemo.create "gist" ~lookups:Stats.gist_lookups ~hits:Stats.gist_hits
+
+let gist t ~given =
+  if not (Cache.enabled ()) then gist_raw t ~given
+  else
+    PairMemo.find_or_add gist_memo (id t, id given) (fun () ->
+        gist_raw t ~given)
 
 (* ------------------------------------------------------------------ *)
 (* Printing                                                            *)

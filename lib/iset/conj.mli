@@ -30,6 +30,24 @@ val vars : t -> Var.Set.t
 val mem_var : Var.t -> t -> bool
 val constr_has_ex : Constr.t -> bool
 
+val equal : t -> t -> bool
+(** Structural equality (same existential count, same constraint list), with
+    a physical-equality fast path. *)
+
+val hash : t -> int
+
+val intern : t -> t
+(** Canonical physically-shared representative; interns the constraints and
+    terms too. *)
+
+val id : t -> int
+(** Stable interned id (see {!Hcons}); never reused across evictions. *)
+
+val trivially_unsat : t -> bool
+(** Cheap sound unsatisfiability pre-filter (constant violations, equality
+    gcd tests, single-variable interval contradictions); [true] means the
+    conjunct is definitely empty, [false] means "don't know". *)
+
 val shift_ex : int -> t -> t
 (** Shift every existential id; used to rename conjuncts apart. *)
 
@@ -44,12 +62,14 @@ val simplify : t -> t option
 (** Normalize constraints, propagate equalities, eliminate existentials
     where exact (unit substitution, modulus reduction, exact FME, gcd
     merging, stride-coefficient reduction), and tighten inequality pairs.
-    [None] means the conjunct was detected unsatisfiable. *)
+    [None] means the conjunct was detected unsatisfiable. Memoized on the
+    interned id (see {!Cache}). *)
 
 val sat : t -> bool
 (** The full Omega test, treating every variable (tuple, parameter,
     existential) as existentially quantified: is the conjunct satisfiable
-    for {e some} assignment? Exact. *)
+    for {e some} assignment? Exact. Guarded by {!trivially_unsat} and
+    memoized on the interned id (see {!Cache}). *)
 
 val is_empty : t -> bool
 

@@ -17,12 +17,29 @@ let kind c = c.kind
 let lin c = c.lin
 
 let compare a b =
-  match (a.kind, b.kind) with
-  | Eq, Geq -> -1
-  | Geq, Eq -> 1
-  | _ -> Lin.compare a.lin b.lin
+  if a == b then 0
+  else
+    match (a.kind, b.kind) with
+    | Eq, Geq -> -1
+    | Geq, Eq -> 1
+    | _ -> Lin.compare a.lin b.lin
 
-let equal a b = compare a b = 0
+let equal a b = a == b || compare a b = 0
+
+let hash c = (Lin.hash c.lin * 2) + (match c.kind with Eq -> 0 | Geq -> 1)
+
+module Tbl = Hcons.Make (struct
+  type nonrec t = t
+  let equal = equal
+  let hash = hash
+end) ()
+
+let () = Tbl.register_gauge "interned constraints"
+
+(* Interning a constraint also interns its term, so structurally equal
+   constraints share their whole subtree and compare by pointer. *)
+let intern c = fst (Tbl.intern { c with lin = Lin.intern c.lin })
+let id c = snd (Tbl.intern { c with lin = Lin.intern c.lin })
 
 let mem v c = Lin.mem v c.lin
 let coeff c v = Lin.coeff c.lin v

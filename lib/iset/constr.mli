@@ -20,6 +20,14 @@ val kind : t -> kind
 val lin : t -> Lin.t
 val compare : t -> t -> int
 val equal : t -> t -> bool
+val hash : t -> int
+
+val intern : t -> t
+(** Canonical representative; also interns the underlying term. *)
+
+val id : t -> int
+(** Stable interned id; never reused across cache evictions. *)
+
 val mem : Var.t -> t -> bool
 val coeff : t -> Var.t -> int
 

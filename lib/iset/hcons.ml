@@ -1,0 +1,35 @@
+(** Hash-consing (interning) tables.
+
+    [intern] maps a value to a canonical physically-shared representative
+    plus a stable small integer id. Ids are monotone and never reused, even
+    across clear-on-full evictions: after a clear, re-interned values get
+    fresh ids, so memo tables keyed by ids need no invalidation — entries
+    holding retired ids can never be matched again. *)
+
+module Make (H : Hashtbl.HashedType) () = struct
+  module T = Hashtbl.Make (H)
+
+  let tbl : (H.t * int) T.t = T.create 1024
+  let next_id = ref 0
+
+  let () = Cache.register_clear (fun () -> T.reset tbl)
+
+  let size () = T.length tbl
+
+  let register_gauge name = Stats.register_gauge name size
+
+  let intern x =
+    match T.find_opt tbl x with
+    | Some rep -> rep
+    | None ->
+        let id = !next_id in
+        incr next_id;
+        if T.length tbl >= Cache.capacity () then begin
+          T.reset tbl;
+          Stats.bump Stats.evictions
+        end;
+        T.replace tbl x (x, id);
+        (x, id)
+
+  let id x = snd (intern x)
+end

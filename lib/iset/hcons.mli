@@ -1,0 +1,18 @@
+(** Hash-consing (interning) tables with stable, never-reused integer ids.
+
+    The generative functor creates one bounded table (clear-on-full, bound
+    shared via {!Cache.capacity}) whose clear hook is registered with
+    {!Cache}. Ids are monotone across clears, which makes id-keyed memo
+    tables invalidation-free. *)
+
+module Make (H : Hashtbl.HashedType) () : sig
+  val intern : H.t -> H.t * int
+  (** Canonical representative and stable id; the first interning of a value
+      makes it the representative. *)
+
+  val id : H.t -> int
+
+  val size : unit -> int
+  val register_gauge : string -> unit
+  (** Publish the live node count under the given name in {!Stats}. *)
+end

@@ -65,10 +65,30 @@ let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
 let coeff_gcd t = Var.Map.fold (fun _ c g -> gcd c g) t.coeffs 0
 
 let compare a b =
-  let c = Var.Map.compare Int.compare a.coeffs b.coeffs in
-  if c <> 0 then c else Int.compare a.const b.const
+  if a == b then 0
+  else
+    let c = Var.Map.compare Int.compare a.coeffs b.coeffs in
+    if c <> 0 then c else Int.compare a.const b.const
 
-let equal a b = compare a b = 0
+let equal a b = a == b || compare a b = 0
+
+(* Deterministic: Var.Map folds in canonical key order. *)
+let hash t =
+  Var.Map.fold
+    (fun v c acc -> (((acc * 31) + Var.hash v) * 31) + c)
+    t.coeffs
+    ((t.const * 17) + 11)
+  land max_int
+
+module Tbl = Hcons.Make (struct
+  type nonrec t = t
+  let equal = equal
+  let hash = hash
+end) ()
+
+let () = Tbl.register_gauge "interned terms"
+let intern t = fst (Tbl.intern t)
+let id t = snd (Tbl.intern t)
 
 (* Euclidean division helpers: floor and ceil for possibly-negative
    numerators, positive denominators. *)

@@ -44,7 +44,17 @@ val coeff_gcd : t -> int
 (** Gcd of all variable coefficients (0 if the term is constant). *)
 
 val compare : t -> t -> int
+(** Physical equality is used as a fast path: interned terms compare in
+    O(1). *)
+
 val equal : t -> t -> bool
+val hash : t -> int
+
+val intern : t -> t
+(** Canonical physically-shared representative (see {!Hcons}). *)
+
+val id : t -> int
+(** Stable interned id; never reused across cache evictions. *)
 
 val fdiv : int -> int -> int
 (** Floor division; the divisor must be positive. *)

@@ -262,9 +262,28 @@ let apply_point r lins =
 (* Predicates                                                          *)
 (* ------------------------------------------------------------------ *)
 
+module SubsetMemo = Cache.Memo (struct
+  (* (in_ar, out_ar, conj ids of a, conj ids of b); names are cosmetic and
+     deliberately excluded — subset is a property of the point sets only *)
+  type t = int * int * int list * int list
+
+  let equal (a, b, xs, ys) (a', b', xs', ys') =
+    a = a' && b = b' && List.equal Int.equal xs xs' && List.equal Int.equal ys ys'
+
+  let hash = Hashtbl.hash
+end)
+
+let subset_memo : bool SubsetMemo.t =
+  SubsetMemo.create "subset" ~lookups:Stats.subset_lookups
+    ~hits:Stats.subset_hits
+
 let subset a b =
   check_sig "subset" a b;
-  is_empty (diff a b)
+  if not (Cache.enabled ()) then is_empty (diff a b)
+  else
+    SubsetMemo.find_or_add subset_memo
+      (a.in_ar, a.out_ar, List.map Conj.id a.conjs, List.map Conj.id b.conjs)
+      (fun () -> is_empty (diff a b))
 
 let equal a b = subset a b && subset b a
 

@@ -1,0 +1,51 @@
+(** Counters for the hash-consing / memoization layer.
+
+    Counters are monotone within a measurement window; {!reset} starts a new
+    window (cache contents are untouched — hits after a reset still count).
+    Gauges report live state (interned-node counts, cache sizes) and are
+    registered by the owning table at creation time. *)
+
+type counter = { c_name : string; mutable c_count : int }
+
+let counters : counter list ref = ref []
+
+let counter name =
+  let c = { c_name = name; c_count = 0 } in
+  counters := c :: !counters;
+  c
+
+let bump c = c.c_count <- c.c_count + 1
+
+let gauges : (string * (unit -> int)) list ref = ref []
+
+let register_gauge name f = gauges := (name, f) :: !gauges
+
+(* -- the counters of the iset engine, in reporting order -- *)
+
+let sat_lookups = counter "sat lookups"
+let sat_hits = counter "sat hits"
+let sat_prefilter_kills = counter "sat pre-filter kills"
+let simplify_lookups = counter "simplify lookups"
+let simplify_hits = counter "simplify hits"
+let gist_lookups = counter "gist lookups"
+let gist_hits = counter "gist hits"
+let implies_lookups = counter "implies lookups"
+let implies_hits = counter "implies hits"
+let subset_lookups = counter "subset lookups"
+let subset_hits = counter "subset hits"
+let evictions = counter "cache evictions"
+
+let reset () = List.iter (fun c -> c.c_count <- 0) !counters
+
+let report () =
+  List.rev_map (fun c -> (c.c_name, c.c_count)) !counters
+  @ List.rev_map (fun (n, f) -> (n, f ())) !gauges
+
+let hit_rate ~lookups ~hits =
+  if lookups.c_count = 0 then 0.0
+  else float_of_int hits.c_count /. float_of_int lookups.c_count
+
+let count c = c.c_count
+
+let pp fmt () =
+  List.iter (fun (n, v) -> Fmt.pf fmt "  %-28s %10d@." n v) (report ())

@@ -1,0 +1,41 @@
+(** Counters and gauges for the hash-consing / memoization layer of the
+    integer-set engine, surfaced by [dhpfc compile --report] and the
+    benchmark harness (Table-1 rows show both time and cache behaviour). *)
+
+type counter
+
+val counter : string -> counter
+(** Create and register a named counter. *)
+
+val bump : counter -> unit
+val count : counter -> int
+
+val register_gauge : string -> (unit -> int) -> unit
+(** Register a live-state gauge (interned-node count, cache size). *)
+
+(** {1 The engine's counters} *)
+
+val sat_lookups : counter
+val sat_hits : counter
+val sat_prefilter_kills : counter
+val simplify_lookups : counter
+val simplify_hits : counter
+val gist_lookups : counter
+val gist_hits : counter
+val implies_lookups : counter
+val implies_hits : counter
+val subset_lookups : counter
+val subset_hits : counter
+val evictions : counter
+
+(** {1 Reporting} *)
+
+val reset : unit -> unit
+(** Zero every counter (cache contents are untouched). *)
+
+val report : unit -> (string * int) list
+(** All counters (in registration order) followed by all gauges. *)
+
+val hit_rate : lookups:counter -> hits:counter -> float
+
+val pp : Format.formatter -> unit -> unit

@@ -21,6 +21,12 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
+let hash = function
+  | In i -> (i * 4) + 0
+  | Out i -> (i * 4) + 1
+  | Param s -> (Hashtbl.hash s * 4) + 2
+  | Ex i -> (i * 4) + 3
+
 let is_ex = function Ex _ -> true | _ -> false
 let is_param = function Param _ -> true | _ -> false
 let is_tuple = function In _ | Out _ -> true | _ -> false

@@ -11,6 +11,7 @@ type t = In of int | Out of int | Param of string | Ex of int
 
 val compare : t -> t -> int
 val equal : t -> t -> bool
+val hash : t -> int
 
 val is_ex : t -> bool
 val is_param : t -> bool

@@ -1,0 +1,205 @@
+(* Correctness of the hash-consing / memoization layer of lib/iset:
+
+   - differential QCheck properties asserting that memoized and
+     cache-disabled runs agree on sat / simplify / subset / equal / gist for
+     random sets (including the repeated-query path, where the second call
+     is served from the cache);
+   - soundness of the trivially_unsat pre-filter against the full Omega
+     test;
+   - the eviction bound: every intern/memo table stays within the
+     configured capacity, with monotone (never reused) interned ids. *)
+
+open Iset
+
+(* ------------------------------------------------------------------ *)
+(* Generators: small random conjuncts and sets, cheap for the Omega     *)
+(* test but rich enough to hit strides, windows and empty sets          *)
+(* ------------------------------------------------------------------ *)
+
+let var_gen =
+  QCheck.Gen.oneofl
+    [ Var.In 0; Var.In 1; Var.Param "n"; Var.Param "m"; Var.Ex 0; Var.Ex 1 ]
+
+let lin_gen =
+  QCheck.Gen.(
+    map2
+      (fun pairs k -> Lin.of_list pairs k)
+      (list_size (int_range 0 3) (pair (int_range (-4) 4) var_gen))
+      (int_range (-12) 12))
+
+let constr_gen =
+  QCheck.Gen.(
+    map2 (fun eq lin -> if eq then Constr.eq lin else Constr.geq lin) bool lin_gen)
+
+let conj_gen =
+  QCheck.Gen.(
+    map (fun cs -> Conj.make ~n_ex:2 cs) (list_size (int_range 1 5) constr_gen))
+
+let rel_gen =
+  QCheck.Gen.(map (fun conjs -> Rel.set ~ar:2 conjs) (list_size (int_range 0 2) conj_gen))
+
+let conj_print c = Conj.to_string c
+let arb_conj = QCheck.make ~print:conj_print conj_gen
+let arb_conj2 = QCheck.make ~print:(fun (a, b) -> conj_print a ^ " | " ^ conj_print b)
+    QCheck.Gen.(pair conj_gen conj_gen)
+let arb_rel2 =
+  QCheck.make
+    ~print:(fun (a, b) -> Rel.to_string a ^ " | " ^ Rel.to_string b)
+    QCheck.Gen.(pair rel_gen rel_gen)
+
+(* Evaluate [f] with caches off, then twice with caches on (cold, then
+   cached); every observable outcome — value or exception constructor —
+   must agree. *)
+let three_ways f =
+  let observe g = try Ok (g ()) with Conj.Inexact_negation -> Error `Inexact in
+  Cache.set_enabled false;
+  let plain = observe f in
+  Cache.set_enabled true;
+  let cold = observe f in
+  let warm = observe f in
+  (plain, cold, warm)
+
+let agree eq (plain, cold, warm) =
+  let same a b =
+    match (a, b) with
+    | Ok x, Ok y -> eq x y
+    | Error `Inexact, Error `Inexact -> true
+    | _ -> false
+  in
+  same plain cold && same plain warm
+
+(* ------------------------------------------------------------------ *)
+(* Differential properties                                              *)
+(* ------------------------------------------------------------------ *)
+
+let prop_sat =
+  QCheck.Test.make ~count:300 ~name:"memoized sat = cache-disabled sat" arb_conj
+    (fun c -> agree ( = ) (three_ways (fun () -> Conj.sat c)))
+
+let prop_simplify =
+  QCheck.Test.make ~count:300 ~name:"memoized simplify = cache-disabled simplify"
+    arb_conj (fun c ->
+      agree
+        (fun a b ->
+          Option.equal Conj.equal a b
+          && Option.equal String.equal
+               (Option.map Conj.to_string a)
+               (Option.map Conj.to_string b))
+        (three_ways (fun () -> Conj.simplify c)))
+
+let prop_gist =
+  QCheck.Test.make ~count:200 ~name:"memoized gist = cache-disabled gist"
+    arb_conj2 (fun (c, given) ->
+      agree Conj.equal (three_ways (fun () -> Conj.gist c ~given)))
+
+let prop_subset =
+  QCheck.Test.make ~count:150 ~name:"memoized subset = cache-disabled subset"
+    arb_rel2 (fun (a, b) ->
+      agree ( = ) (three_ways (fun () -> Rel.subset a b)))
+
+let prop_equal =
+  QCheck.Test.make ~count:100 ~name:"memoized equal = cache-disabled equal"
+    arb_rel2 (fun (a, b) ->
+      agree ( = ) (three_ways (fun () -> Rel.equal a b)))
+
+let prop_prefilter_sound =
+  QCheck.Test.make ~count:500
+    ~name:"trivially_unsat implies Omega-unsat (pre-filter soundness)" arb_conj
+    (fun c -> (not (Conj.trivially_unsat c)) || not (Conj.sat c))
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests: hit accounting, eviction bound, id stability             *)
+(* ------------------------------------------------------------------ *)
+
+let mk_interval lo hi =
+  Conj.make ~n_ex:0
+    [
+      Constr.geq (Lin.of_list [ (1, Var.In 0) ] (-lo));
+      Constr.geq (Lin.of_list [ (-1, Var.In 0) ] hi);
+    ]
+
+let test_hits_recorded () =
+  Cache.set_enabled true;
+  Stats.reset ();
+  let c = mk_interval 1 10 in
+  let r1 = Conj.sat c in
+  (* a structurally equal but physically distinct conjunct must hit *)
+  let r2 = Conj.sat (mk_interval 1 10) in
+  Alcotest.(check bool) "same answer" r1 r2;
+  Alcotest.(check bool) "second query hits" true (Stats.count Stats.sat_hits >= 1)
+
+let test_interned_ids_stable () =
+  Cache.set_enabled true;
+  let c = mk_interval 2 5 in
+  let id1 = Conj.id c in
+  let id2 = Conj.id (mk_interval 2 5) in
+  Alcotest.(check int) "equal conjuncts share an id" id1 id2;
+  Alcotest.(check bool) "representative is shared physically" true
+    (Conj.intern c == Conj.intern (mk_interval 2 5))
+
+let test_eviction_bound () =
+  let cap = 32 in
+  Cache.set_capacity cap;
+  (* far more distinct queries than the capacity *)
+  for i = 1 to 40 * cap do
+    ignore (Conj.sat (mk_interval 1 i))
+  done;
+  List.iter
+    (fun (name, v) ->
+      let is_size =
+        List.exists
+          (fun suffix ->
+            String.length name >= String.length suffix
+            && String.sub name
+                 (String.length name - String.length suffix)
+                 (String.length suffix)
+               = suffix)
+          [ "cache size" ]
+        || String.length name >= 8 && String.sub name 0 8 = "interned"
+      in
+      if is_size then
+        Alcotest.(check bool)
+          (Printf.sprintf "%s (= %d) within capacity %d" name v cap)
+          true (v <= cap))
+    (Stats.report ());
+  Alcotest.(check bool) "clear-on-full evictions occurred" true
+    (Stats.count Stats.evictions > 0);
+  (* ids keep growing across evictions: no reuse, so no stale hits *)
+  let idA = Conj.id (mk_interval 1 1) in
+  Cache.clear_all ();
+  let idB = Conj.id (mk_interval 1 1) in
+  Alcotest.(check bool) "ids are never reused after a clear" true (idB > idA);
+  Cache.set_capacity 65536
+
+let test_disabled_is_transparent () =
+  Cache.set_enabled false;
+  Stats.reset ();
+  let c = mk_interval 1 4 in
+  ignore (Conj.sat c);
+  ignore (Conj.sat c);
+  Alcotest.(check int) "no lookups recorded when disabled" 0
+    (Stats.count Stats.sat_lookups);
+  Cache.set_enabled true
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "differential",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_sat;
+            prop_simplify;
+            prop_gist;
+            prop_subset;
+            prop_equal;
+            prop_prefilter_sound;
+          ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "hits recorded" `Quick test_hits_recorded;
+          Alcotest.test_case "interned ids stable" `Quick test_interned_ids_stable;
+          Alcotest.test_case "eviction bound" `Quick test_eviction_bound;
+          Alcotest.test_case "disabled mode transparent" `Quick
+            test_disabled_is_transparent;
+        ] );
+    ]

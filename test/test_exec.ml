@@ -179,6 +179,24 @@ end
   Alcotest.(check (float 0.0)) "a(7) written" 7.0 (Spmdsim.Exec.get_elem sim "a" [ 7 ]);
   Alcotest.(check (float 0.0)) "a(8) untouched" 0.0 (Spmdsim.Exec.get_elem sim "a" [ 8 ])
 
+(* Regression: the gauss builtin uses a (cyclic,cyclic) distribution whose
+   split compute sections reference the vm$k virtual-processor coordinates;
+   they must be wrapped in VP loops like the unsplit path (previously failed
+   at runtime with "unbound integer name vm$2"). *)
+let test_gauss_cyclic_split_sections () =
+  let chk = Hpf.Sema.analyze_source (Codes.gauss ()) in
+  let c = Gen.compile chk in
+  let serial = Spmdsim.Serial.run chk in
+  let sim = Spmdsim.Exec.make ~nprocs:4 c.cprog in
+  let _ = Spmdsim.Exec.run sim in
+  for i = 1 to 12 do
+    for j = 1 to 12 do
+      let want = Spmdsim.Serial.get_elem serial "a" [ i; j ] in
+      let got = Spmdsim.Exec.get_elem sim "a" [ i; j ] in
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "a(%d,%d)" i j) want got
+    done
+  done
+
 let test_serial_interpreter () =
   let chk = Hpf.Sema.analyze_source block_1d in
   let r = Spmdsim.Serial.run chk in
@@ -228,6 +246,8 @@ let () =
           Alcotest.test_case "allreduce cost" `Quick test_allreduce_cost;
           Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
           Alcotest.test_case "parameter binding" `Quick test_param_binding;
+          Alcotest.test_case "gauss cyclic split sections" `Quick
+            test_gauss_cyclic_split_sections;
         ] );
       ( "serial",
         [
