@@ -6,13 +6,13 @@
 DUNE ?= dune
 DHPFC = $(DUNE) exec bin/dhpfc.exe --
 
-.PHONY: all check test resilience fuzz bench bench-smoke clean
+.PHONY: all check test resilience fuzz bench bench-smoke bench-run bench-run-smoke clean
 
 all:
 	$(DUNE) build
 
 check:
-	$(DUNE) build && $(DUNE) runtest && $(MAKE) bench-smoke
+	$(DUNE) build && $(DUNE) runtest && $(MAKE) bench-smoke && $(MAKE) bench-run-smoke
 
 # Fast Table-1 subset with the bench's JSON emitter; fails if the
 # integer-set caches record zero hits (i.e. the memoization layer is
@@ -22,6 +22,15 @@ bench-smoke:
 
 bench:
 	$(DUNE) exec bench/main.exe -- json
+
+# Fast Figure-7 runtime subset: runs each workload under both execution
+# engines, fails if their counters disagree or if the closure engine is
+# not faster than the interpreter.
+bench-run-smoke:
+	$(DUNE) exec bench/main.exe -- run-smoke
+
+bench-run:
+	$(DUNE) exec bench/main.exe -- run-json
 
 test: check
 

@@ -363,6 +363,127 @@ let bench_json ~smoke () =
 
 let json () = ignore (bench_json ~smoke:false ())
 
+(* ------------------------------------------------------------------ *)
+(* Runtime benchmark: `-- run-json` / `-- run-smoke` (BENCH_run.json)   *)
+(* ------------------------------------------------------------------ *)
+
+(* The Figure-7 workloads timed end to end (Exec.make + Exec.run, i.e.
+   including the closure engine's lowering pass) under both engines. The
+   engines must agree exactly on the transport counters — a cheap standing
+   differential check here; the bit-identical element comparison lives in
+   the test suite's engine-differential property. *)
+let run_workloads ?(smoke = false) () =
+  if smoke then
+    [
+      ("JACOBI-96", Codes.jacobi ~n:96 ~iters:3 ~procs:(Codes.Symbolic2 2) (), 4);
+      ("TOMCATV-65", Codes.tomcatv ~n:65 ~iters:2 ~procs:(Codes.Symbolic2 1) (), 4);
+    ]
+  else
+    [
+      ("TOMCATV-129", Codes.tomcatv ~n:129 ~iters:3 ~procs:(Codes.Symbolic2 1) (), 8);
+      ("TOMCATV-257", Codes.tomcatv ~n:257 ~iters:3 ~procs:(Codes.Symbolic2 1) (), 8);
+      ("ERLEBACHER-40", Codes.erlebacher ~n:40 ~iters:2 ~procs:(Codes.Symbolic2 1) (), 4);
+      ("JACOBI-384", Codes.jacobi ~n:384 ~iters:4 ~procs:(Codes.Symbolic2 2) (), 8);
+    ]
+
+type run_row = {
+  rr_name : string;
+  rr_nprocs : int;
+  rr_interp_s : float;
+  rr_closure_s : float;
+  rr_stats : Spmdsim.Exec.stats;
+  rr_counters_equal : bool;
+}
+
+let time_engine engine prog nprocs =
+  let t0 = Unix.gettimeofday () in
+  let sim = Spmdsim.Exec.make ~engine ~nprocs prog in
+  let stats = Spmdsim.Exec.run sim in
+  (Unix.gettimeofday () -. t0, stats)
+
+let bench_run_json ~smoke () =
+  let rows =
+    List.map
+      (fun (name, src, nprocs) ->
+        let chk = Hpf.Sema.analyze_source src in
+        let compiled = Dhpf.Gen.compile chk in
+        let ti, si = time_engine `Interp compiled.Dhpf.Gen.cprog nprocs in
+        let tc, sc = time_engine `Closure compiled.Dhpf.Gen.cprog nprocs in
+        let eq =
+          si.Spmdsim.Exec.s_msgs = sc.Spmdsim.Exec.s_msgs
+          && si.s_bytes = sc.s_bytes && si.s_elems = sc.s_elems
+          && si.s_retransmits = sc.s_retransmits
+          && si.s_time = sc.s_time
+        in
+        {
+          rr_name = name;
+          rr_nprocs = nprocs;
+          rr_interp_s = ti;
+          rr_closure_s = tc;
+          rr_stats = sc;
+          rr_counters_equal = eq;
+        })
+      (run_workloads ~smoke ())
+  in
+  let buf = Buffer.create 2048 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "{\n";
+  pf "  \"schema\": \"dhpf-bench-run/1\",\n";
+  pf "  \"mode\": \"%s\",\n" (if smoke then "smoke" else "full");
+  pf "  \"workloads\": [\n";
+  List.iteri
+    (fun i r ->
+      pf "    {\n";
+      pf "      \"name\": \"%s\",\n" (json_escape r.rr_name);
+      pf "      \"nprocs\": %d,\n" r.rr_nprocs;
+      pf "      \"interp_wall_s\": %.6f,\n" r.rr_interp_s;
+      pf "      \"closure_wall_s\": %.6f,\n" r.rr_closure_s;
+      pf "      \"speedup\": %.2f,\n" (r.rr_interp_s /. r.rr_closure_s);
+      pf "      \"counters_equal\": %b,\n" r.rr_counters_equal;
+      pf "      \"sim\": {\n";
+      pf "        \"time_s\": %.9f,\n" r.rr_stats.Spmdsim.Exec.s_time;
+      pf "        \"msgs\": %d,\n" r.rr_stats.s_msgs;
+      pf "        \"bytes\": %d,\n" r.rr_stats.s_bytes;
+      pf "        \"elems\": %d\n" r.rr_stats.s_elems;
+      pf "      }\n";
+      pf "    }%s\n" (if i + 1 < List.length rows then "," else ""))
+    rows;
+  pf "  ]\n";
+  pf "}\n";
+  print_string (Buffer.contents buf);
+  rows
+
+let run_json () = ignore (bench_run_json ~smoke:false ())
+
+(* Backs `make bench-run-smoke` in the tier-1 check flow: the closure
+   engine must beat the interpreter on every smoke workload, with identical
+   transport counters — otherwise the staged engine (or its cost-model
+   parity) has regressed. *)
+let run_smoke () =
+  let rows = bench_run_json ~smoke:true () in
+  let bad_counters = List.filter (fun r -> not r.rr_counters_equal) rows in
+  let slow = List.filter (fun r -> r.rr_closure_s >= r.rr_interp_s) rows in
+  List.iter
+    (fun r ->
+      Fmt.epr "bench run-smoke: %s: engines disagree on counters/clocks@."
+        r.rr_name)
+    bad_counters;
+  List.iter
+    (fun r ->
+      Fmt.epr
+        "bench run-smoke: %s: closure engine not faster (%.3fs vs %.3fs interp)@."
+        r.rr_name r.rr_closure_s r.rr_interp_s)
+    slow;
+  if bad_counters <> [] || slow <> [] then begin
+    Fmt.epr "bench run-smoke: FAILED@.";
+    exit 1
+  end;
+  List.iter
+    (fun r ->
+      Fmt.epr "bench run-smoke: %s ok (%.2fx)@." r.rr_name
+        (r.rr_interp_s /. r.rr_closure_s))
+    rows
+
 (* Smoke mode backs `make bench-smoke` in the tier-1 check flow: a fast
    Table-1 subset, JSON on stdout, and a hard failure if the memoization
    layer shows no hits (i.e. the caches silently stopped working). *)
@@ -397,7 +518,14 @@ let () =
   in
   (* json/smoke are machine-readable modes, kept out of the default
      every-section run so stdout stays a single JSON document *)
-  let special = [ ("json", json); ("smoke", smoke) ] in
+  let special =
+    [
+      ("json", json);
+      ("smoke", smoke);
+      ("run-json", run_json);
+      ("run-smoke", run_smoke);
+    ]
+  in
   match Array.to_list Sys.argv with
   | _ :: args when List.for_all (fun a -> List.mem_assoc a special) args && args <> []
     ->

@@ -115,6 +115,18 @@ let param_t =
     & opt_all (pair ~sep:'=' string int) []
     & info [ "D"; "param" ] ~docv:"NAME=VALUE" ~doc:"Bind a symbolic program parameter.")
 
+let engine_t =
+  Arg.(
+    value
+    & opt (enum [ ("closure", `Closure); ("interp", `Interp) ]) `Closure
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "SPMD execution engine: $(b,closure) (the default; the program is \
+           lowered once to OCaml closures over dense per-processor storage) \
+           or $(b,interp) (the tree-walking interpreter kept as the \
+           differential oracle). Both produce bit-identical results and \
+           identical message statistics.")
+
 (* ---- fault-injection knobs ---- *)
 
 let faults_t =
@@ -162,6 +174,16 @@ let diff_t =
           "Differential resilience harness: replay the program under N \
            seeded fault schedules and report the first divergence from the \
            serial oracle.")
+
+let diff_engines_t =
+  Arg.(
+    value & opt int 0
+    & info [ "diff-engines" ] ~docv:"N"
+        ~doc:
+          "Engine-differential harness: run the closure engine against the \
+           interpreter — fault-free plus N seeded fault schedules — and \
+           report the first deviation from bit-identical values, clocks \
+           and message counters.")
 
 let spec_of ~seed ~drop ~dup ~delay ~skew =
   {
@@ -223,8 +245,8 @@ let compile_cmd =
 (* ---- run ---- *)
 
 let run_cmd =
-  let run src nprocs params no_split no_vect no_coal no_inplace faults_seed
-      drop dup delay skew diff =
+  let run src nprocs params engine no_split no_vect no_coal no_inplace
+      faults_seed drop dup delay skew diff diff_engines =
     handle_errors @@ fun () ->
     let opts = opts_of ~no_split ~no_vect ~no_coal ~no_inplace in
     let chk = Hpf.Sema.analyze_source (load src) in
@@ -232,7 +254,23 @@ let run_cmd =
       (* differential resilience sweep: serial oracle vs. N fault seeds *)
       let spec_of_seed seed = spec_of ~seed ~drop ~dup ~delay ~skew in
       let seeds = List.init diff (fun i -> i + 1) in
-      let out = Spmdsim.Diffcheck.run ~nprocs ~params ~opts ~spec_of_seed ~seeds chk in
+      let out =
+        Spmdsim.Diffcheck.run ~engine ~nprocs ~params ~opts ~spec_of_seed
+          ~seeds chk
+      in
+      Fmt.pr "%a@." Spmdsim.Diffcheck.pp_outcome out;
+      match out with
+      | Spmdsim.Diffcheck.Pass _ -> ()
+      | _ -> exit exit_runtime
+    end
+    else if diff_engines > 0 then begin
+      (* engine-differential sweep: closure engine vs. interpreter *)
+      let spec_of_seed seed = spec_of ~seed ~drop ~dup ~delay ~skew in
+      let seeds = List.init diff_engines (fun i -> i + 1) in
+      let out =
+        Spmdsim.Diffcheck.engines ~nprocs ~params ~opts ~spec_of_seed ~seeds
+          chk
+      in
       Fmt.pr "%a@." Spmdsim.Diffcheck.pp_outcome out;
       match out with
       | Spmdsim.Diffcheck.Pass _ -> ()
@@ -242,7 +280,7 @@ let run_cmd =
       let compiled = Dhpf.Gen.compile ~opts chk in
       let serial = Spmdsim.Serial.run ~params chk in
       let faults = Option.map (fun seed -> spec_of ~seed ~drop ~dup ~delay ~skew) faults_seed in
-      let sim = Spmdsim.Exec.make ?faults ~nprocs ~params compiled.cprog in
+      let sim = Spmdsim.Exec.make ~engine ?faults ~nprocs ~params compiled.cprog in
       let stats = Spmdsim.Exec.run sim in
       Fmt.pr "serial (T1)     : %10.3f ms  (%d flops)@." (serial.r_time *. 1e3)
         serial.r_flops;
@@ -262,9 +300,9 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute on the simulated machine")
     Term.(
-      const run $ src_t $ nprocs_t $ param_t $ no_split_t $ no_vect_t $ no_coal_t
-      $ no_inplace_t $ faults_t $ fault_drop_t $ fault_dup_t $ fault_delay_t
-      $ fault_skew_t $ diff_t)
+      const run $ src_t $ nprocs_t $ param_t $ engine_t $ no_split_t $ no_vect_t
+      $ no_coal_t $ no_inplace_t $ faults_t $ fault_drop_t $ fault_dup_t
+      $ fault_delay_t $ fault_skew_t $ diff_t $ diff_engines_t)
 
 (* ---- bench (print a built-in source) ---- *)
 

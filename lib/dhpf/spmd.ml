@@ -153,6 +153,44 @@ type program = {
 }
 
 (* ------------------------------------------------------------------ *)
+(* Traversal                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Apply [f] to [s] and every statement nested inside it, pre-order. *)
+let rec iter_stmt f (s : stmt) : unit =
+  f s;
+  match s with
+  | For { body; _ } -> List.iter (iter_stmt f) body
+  | If (_, body) -> List.iter (iter_stmt f) body
+  | FIf (_, t, e) ->
+      List.iter (iter_stmt f) t;
+      List.iter (iter_stmt f) e
+  | Store _ | SetScalar _ | Pack _ | Send _ | Recv _ | Reduce _ | Call _
+  | Comment _ ->
+      ()
+
+let iter_stmts f body = List.iter (iter_stmt f) body
+
+(** Apply [f] to every statement of [main] and of every subroutine. *)
+let iter_program f (p : program) : unit =
+  iter_stmts f p.main;
+  List.iter (fun (_, body) -> iter_stmts f body) p.subs
+
+(** Names assigned by [SetScalar] anywhere in the program (targets may lie
+    outside the declared [scalars] list; the runtime must still give them a
+    storage cell). *)
+let assigned_scalars (p : program) : string list =
+  let seen = Hashtbl.create 16 in
+  iter_program
+    (function
+      | SetScalar (name, _) | Reduce { scalar = name; _ } ->
+          Hashtbl.replace seen name ()
+      | _ -> ())
+    p;
+  Hashtbl.fold (fun name () acc -> name :: acc) seen []
+  |> List.sort String.compare
+
+(* ------------------------------------------------------------------ *)
 (* Pretty-printing (Fortran-like, for the examples and the CLI)        *)
 (* ------------------------------------------------------------------ *)
 

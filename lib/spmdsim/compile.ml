@@ -1,0 +1,1098 @@
+(* Closure-compiling SPMD execution engine (the default behind
+   [Exec.make ~engine:`Closure]).
+
+   The interpreter in {!Exec} re-matches the [Spmd] AST and resolves every
+   name through [Hashtbl.find_opt] on every loop iteration, and keeps every
+   array element in a per-processor [(int, float) Hashtbl.t]. This engine
+   removes both costs with a one-time lowering pass per program:
+
+   - every [stmt]/[fexpr]/[expr] tree becomes an OCaml closure over a small
+     per-processor state record, with integer names (loop variables, [m$k],
+     [vm$k]) resolved to slots of an [int array] and replicated scalars to
+     slots of a [float array] once, at compile time; global parameters fold
+     into compile-time constants (so most loop bounds and strides are
+     literals inside the closures);
+   - each processor's owned section of a distributed array is a dense
+     [float array] block, addressed through per-dimension ownership tables
+     built at setup from the layout descriptors — exact for block, cyclic
+     and block-cyclic distributions under any alignment stride — with a
+     small side hashtable only for received non-local (halo) values.
+
+   The transport and scheduler are {!Runtime}'s, shared verbatim with the
+   interpreter, and clock charges are issued in exactly the interpreter's
+   order, so a closure-engine run produces bit-identical element values,
+   clocks and message/byte/retransmit counters (the engine-differential
+   property in the test suite asserts this, including under faults).
+
+   Two deliberate semantic notes, both confined to error paths that the
+   compiler never emits: a slot read of a loop variable after its loop
+   exits sees the final value instead of the interpreter's unbound-name
+   error, and arrays named in [Reduce] statements keep the sparse
+   (hashtable) representation so the element-wise collective combines
+   exactly the elements some processor has written — dense zero-initialized
+   blocks could not distinguish "written 0.0" from "never written", which
+   would change max/min reductions and the collective's priced element
+   count. *)
+
+open Dhpf
+
+let errf = Runtime.errf
+
+(* ------------------------------------------------------------------ *)
+(* Per-processor storage                                                *)
+(* ------------------------------------------------------------------ *)
+
+type store = {
+  st_am : Runtime.ameta;
+  st_owned : bool;
+      (* false: a FixedCoord layout dimension excludes this processor from
+         holding any owned block *)
+  st_dmaps : int array array;
+      (* per data dimension: (x - lo_d) -> local index, or -1 if this
+         processor does not own that coordinate *)
+  st_lstride : int array;  (* per data dimension: stride into st_data *)
+  st_data : float array;  (* dense owned block; [||] if sparse or unowned *)
+  st_side : (int, float) Hashtbl.t;
+      (* non-local values (received halos), keyed by global linear index;
+         for sparse (reduction-target) arrays, all values live here *)
+}
+
+let st_sparse st = st.st_data == [||] && st.st_owned
+
+(* decode a global linear index into the dense slot, or -1 if not owned *)
+let slot_of_enc (st : store) (enc : int) : int =
+  if not st.st_owned || st.st_data == [||] then -1
+  else begin
+    let ext = st.st_am.Runtime.am_ext in
+    let nd = Array.length ext in
+    let slot = ref 0 and rem = ref enc and ok = ref true in
+    for d = 0 to nd - 1 do
+      let u = !rem mod ext.(d) in
+      rem := !rem / ext.(d);
+      let l = st.st_dmaps.(d).(u) in
+      if l < 0 then ok := false else slot := !slot + (l * st.st_lstride.(d))
+    done;
+    if !ok then !slot else -1
+  end
+
+let put_enc (st : store) enc v =
+  let s = slot_of_enc st enc in
+  if s >= 0 then st.st_data.(s) <- v else Hashtbl.replace st.st_side enc v
+
+let get_enc (st : store) enc =
+  let s = slot_of_enc st enc in
+  if s >= 0 then st.st_data.(s)
+  else match Hashtbl.find_opt st.st_side enc with Some v -> v | None -> 0.0
+
+(* does this processor own the element at decoded coordinates? (used on the
+   slow paths of sparse arrays, where there is no dense block to consult) *)
+let owns_enc (st : store) enc =
+  st.st_owned
+  &&
+  let ext = st.st_am.Runtime.am_ext in
+  let nd = Array.length ext in
+  let rem = ref enc and ok = ref true in
+  for d = 0 to nd - 1 do
+    let u = !rem mod ext.(d) in
+    rem := !rem / ext.(d);
+    if st.st_dmaps.(d).(u) < 0 then ok := false
+  done;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* Per-processor runtime state                                          *)
+(* ------------------------------------------------------------------ *)
+
+type rt = {
+  r_pid : int;
+  r_int : int array;  (* integer slots: loop vars, m$k, vm$k *)
+  r_fval : float array;  (* replicated-scalar slots *)
+  r_fvalid : bool array;
+      (* mirrors the interpreter's fenv membership: a slot is readable as a
+         scalar only after initialization (declared) or first assignment *)
+  r_stores : store array;  (* indexed by array id *)
+  r_packbufs : Runtime.packbuf array;  (* indexed by event id *)
+  mutable r_clock : float;
+  r_skew : float;
+  r_scratch : int array;  (* index scratch for arrays of rank > 3 *)
+}
+
+let tick rt dt = rt.r_clock <- rt.r_clock +. (dt *. rt.r_skew)
+
+(* ------------------------------------------------------------------ *)
+(* Compilation context                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type cint = rt -> int
+type cfloat = rt -> float
+type cstmt = rt -> unit
+
+(* integer values: constants fold at compile time (global parameters are
+   fixed before lowering, so bounds like [n - 1] become literals) *)
+type cival = KConst of int | KDyn of cint
+
+type ctx = {
+  x_prog : Spmd.program;
+  x_genv : (string, int) Hashtbl.t;
+  x_machine : Machine.t;
+  x_tr : Runtime.transport;
+  x_extents : int array;
+  x_islots : (string, int) Hashtbl.t;
+  mutable x_nint : int;
+  x_fslots : (string, int) Hashtbl.t;
+  mutable x_nfloat : int;
+  x_arrays : (string, int) Hashtbl.t;  (* array name -> store id *)
+  x_ameta : Runtime.ameta array;  (* by store id *)
+  x_inplace : (int, unit) Hashtbl.t;
+  x_rect : (int, unit) Hashtbl.t;
+  x_subs : (string, cstmt Lazy.t) Hashtbl.t;
+  x_vm_slots : int array;  (* slot of vm$k per processor dimension *)
+  x_phys_of_vp : int list -> int;
+}
+
+let islot ctx name =
+  match Hashtbl.find_opt ctx.x_islots name with
+  | Some s -> s
+  | None ->
+      let s = ctx.x_nint in
+      ctx.x_nint <- s + 1;
+      Hashtbl.replace ctx.x_islots name s;
+      s
+
+let fslot ctx name =
+  match Hashtbl.find_opt ctx.x_fslots name with
+  | Some s -> s
+  | None ->
+      let s = ctx.x_nfloat in
+      ctx.x_nfloat <- s + 1;
+      Hashtbl.replace ctx.x_fslots name s;
+      s
+
+(* ------------------------------------------------------------------ *)
+(* Integer expressions                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let force = function KConst k -> fun _ -> k | KDyn f -> f
+
+let rec cexpr ctx (e : Spmd.expr) : cival =
+  let open Iset.Codegen in
+  match e with
+  | EInt k -> KConst k
+  | EVar s -> (
+      match Hashtbl.find_opt ctx.x_islots s with
+      | Some slot -> KDyn (fun rt -> rt.r_int.(slot))
+      | None -> (
+          match Hashtbl.find_opt ctx.x_genv s with
+          | Some v -> KConst v
+          | None ->
+              KDyn (fun rt -> errf "proc %d: unbound integer name %s" rt.r_pid s)))
+  | EAdd (a, b) -> (
+      match (cexpr ctx a, cexpr ctx b) with
+      | KConst x, KConst y -> KConst (x + y)
+      | KConst x, KDyn g -> KDyn (fun rt -> x + g rt)
+      | KDyn f, KConst y -> KDyn (fun rt -> f rt + y)
+      | KDyn f, KDyn g -> KDyn (fun rt -> f rt + g rt))
+  | ESub (a, b) -> (
+      match (cexpr ctx a, cexpr ctx b) with
+      | KConst x, KConst y -> KConst (x - y)
+      | KConst x, KDyn g -> KDyn (fun rt -> x - g rt)
+      | KDyn f, KConst y -> KDyn (fun rt -> f rt - y)
+      | KDyn f, KDyn g -> KDyn (fun rt -> f rt - g rt))
+  | EMul (k, a) -> (
+      match cexpr ctx a with
+      | KConst x -> KConst (k * x)
+      | KDyn f -> KDyn (fun rt -> k * f rt))
+  | EFloorDiv (a, k) -> (
+      match cexpr ctx a with
+      | KConst x -> KConst (Iset.Lin.fdiv x k)
+      | KDyn f -> KDyn (fun rt -> Iset.Lin.fdiv (f rt) k))
+  | ECeilDiv (a, k) -> (
+      match cexpr ctx a with
+      | KConst x -> KConst (Iset.Lin.cdiv x k)
+      | KDyn f -> KDyn (fun rt -> Iset.Lin.cdiv (f rt) k))
+  | EMax es ->
+      let cs = List.map (cexpr ctx) es in
+      if List.for_all (function KConst _ -> true | _ -> false) cs then
+        KConst
+          (List.fold_left
+             (fun m c -> match c with KConst k -> max m k | _ -> m)
+             min_int cs)
+      else
+        let fs = Array.of_list (List.map force cs) in
+        KDyn
+          (fun rt ->
+            let m = ref min_int in
+            Array.iter (fun f -> m := max !m (f rt)) fs;
+            !m)
+  | EMin es ->
+      let cs = List.map (cexpr ctx) es in
+      if List.for_all (function KConst _ -> true | _ -> false) cs then
+        KConst
+          (List.fold_left
+             (fun m c -> match c with KConst k -> min m k | _ -> m)
+             max_int cs)
+      else
+        let fs = Array.of_list (List.map force cs) in
+        KDyn
+          (fun rt ->
+            let m = ref max_int in
+            Array.iter (fun f -> m := min !m (f rt)) fs;
+            !m)
+  | EAlignUp (e, target, k) -> (
+      match (cexpr ctx e, cexpr ctx target, cexpr ctx k) with
+      | KConst x, KConst t, KConst k -> KConst (x + Iset.Lin.pmod (t - x) k)
+      | ce, ct, ck ->
+          let fe = force ce and ft = force ct and fk = force ck in
+          KDyn
+            (fun rt ->
+              let x = fe rt in
+              x + Iset.Lin.pmod (ft rt - x) (fk rt)))
+
+let cexpr_f ctx e = force (cexpr ctx e)
+
+let rec ccond ctx (c : Spmd.cond) : rt -> bool =
+  let open Iset.Codegen in
+  match c with
+  | CTrue -> fun _ -> true
+  | CGeq0 e -> (
+      match cexpr ctx e with
+      | KConst k ->
+          let b = k >= 0 in
+          fun _ -> b
+      | KDyn f -> fun rt -> f rt >= 0)
+  | CEq0 e -> (
+      match cexpr ctx e with
+      | KConst k ->
+          let b = k = 0 in
+          fun _ -> b
+      | KDyn f -> fun rt -> f rt = 0)
+  | CDivides (k, e) -> (
+      match cexpr ctx e with
+      | KConst x ->
+          let b = Iset.Lin.pmod x k = 0 in
+          fun _ -> b
+      | KDyn f -> fun rt -> Iset.Lin.pmod (f rt) k = 0)
+  | CAnd cs ->
+      let fs = List.map (ccond ctx) cs in
+      fun rt -> List.for_all (fun f -> f rt) fs
+  | COr cs ->
+      let fs = List.map (ccond ctx) cs in
+      fun rt -> List.exists (fun f -> f rt) fs
+  | CNot c ->
+      let f = ccond ctx c in
+      fun rt -> not (f rt)
+
+(* ------------------------------------------------------------------ *)
+(* Element addressing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let access_name = function
+  | Spmd.Local -> "Local"
+  | Spmd.Overlay -> "Overlay"
+  | Spmd.Checked -> "Checked"
+  | Spmd.Global -> "Global"
+
+let bounds_fail (am : Runtime.ameta) d x =
+  let lo, hi = am.Runtime.am_bounds.(d) in
+  errf "array %s: index %d outside [%d,%d] (dim %d)" am.Runtime.am_name x lo hi
+    (d + 1)
+
+(* One compiled access site: evaluates the subscripts, bounds-checks them in
+   dimension order (matching the interpreter's [encode]), and produces the
+   dense slot (or -1) and the global linear index. Ranks 1-3 are specialized
+   to keep subscript values in registers; higher ranks use the per-processor
+   scratch buffer (subscript expressions are integer-only, so an access
+   cannot re-enter another access mid-computation). *)
+type addr = { a_slot : int; a_enc : int }
+
+let caddr ctx aid (idx : Spmd.expr list) : rt -> addr =
+  let am = ctx.x_ameta.(aid) in
+  let nd = Array.length am.Runtime.am_ext in
+  if List.length idx <> nd then
+    errf "array %s: %d subscripts for rank %d" am.Runtime.am_name
+      (List.length idx) nd;
+  let cidx = Array.of_list (List.map (cexpr_f ctx) idx) in
+  let lo d = fst am.Runtime.am_bounds.(d) in
+  let ext = am.Runtime.am_ext and str = am.Runtime.am_strides in
+  let check d x =
+    let u = x - lo d in
+    if u < 0 || u >= ext.(d) then bounds_fail am d x;
+    u
+  in
+  match nd with
+  | 1 ->
+      let i0 = cidx.(0) and lo0 = lo 0 and e0 = ext.(0) in
+      fun rt ->
+        let x0 = i0 rt in
+        let u0 = x0 - lo0 in
+        if u0 < 0 || u0 >= e0 then bounds_fail am 0 x0;
+        let st = rt.r_stores.(aid) in
+        let slot = if st.st_owned then st.st_dmaps.(0).(u0) else -1 in
+        { a_slot = (if st.st_data == [||] then -1 else slot); a_enc = u0 }
+  | 2 ->
+      let i0 = cidx.(0) and i1 = cidx.(1) in
+      let lo0 = lo 0 and lo1 = lo 1 in
+      let e0 = ext.(0) and e1 = ext.(1) in
+      let s1 = str.(1) in
+      fun rt ->
+        let x0 = i0 rt in
+        let x1 = i1 rt in
+        let u0 = x0 - lo0 in
+        if u0 < 0 || u0 >= e0 then bounds_fail am 0 x0;
+        let u1 = x1 - lo1 in
+        if u1 < 0 || u1 >= e1 then bounds_fail am 1 x1;
+        let st = rt.r_stores.(aid) in
+        let slot =
+          if st.st_owned && st.st_data != [||] then begin
+            let l0 = st.st_dmaps.(0).(u0) and l1 = st.st_dmaps.(1).(u1) in
+            if l0 >= 0 && l1 >= 0 then l0 + (l1 * st.st_lstride.(1)) else -1
+          end
+          else -1
+        in
+        { a_slot = slot; a_enc = u0 + (u1 * s1) }
+  | 3 ->
+      let i0 = cidx.(0) and i1 = cidx.(1) and i2 = cidx.(2) in
+      let lo0 = lo 0 and lo1 = lo 1 and lo2 = lo 2 in
+      let e0 = ext.(0) and e1 = ext.(1) and e2 = ext.(2) in
+      let s1 = str.(1) and s2 = str.(2) in
+      fun rt ->
+        let x0 = i0 rt in
+        let x1 = i1 rt in
+        let x2 = i2 rt in
+        let u0 = x0 - lo0 in
+        if u0 < 0 || u0 >= e0 then bounds_fail am 0 x0;
+        let u1 = x1 - lo1 in
+        if u1 < 0 || u1 >= e1 then bounds_fail am 1 x1;
+        let u2 = x2 - lo2 in
+        if u2 < 0 || u2 >= e2 then bounds_fail am 2 x2;
+        let st = rt.r_stores.(aid) in
+        let slot =
+          if st.st_owned && st.st_data != [||] then begin
+            let l0 = st.st_dmaps.(0).(u0)
+            and l1 = st.st_dmaps.(1).(u1)
+            and l2 = st.st_dmaps.(2).(u2) in
+            if l0 >= 0 && l1 >= 0 && l2 >= 0 then
+              l0 + (l1 * st.st_lstride.(1)) + (l2 * st.st_lstride.(2))
+            else -1
+          end
+          else -1
+        in
+        { a_slot = slot; a_enc = u0 + (u1 * s1) + (u2 * s2) }
+  | _ ->
+      fun rt ->
+        let u = rt.r_scratch in
+        for d = 0 to nd - 1 do
+          u.(d) <- check d (cidx.(d) rt)
+        done;
+        let st = rt.r_stores.(aid) in
+        let enc = ref 0 in
+        for d = 0 to nd - 1 do
+          enc := !enc + (u.(d) * str.(d))
+        done;
+        let slot =
+          if st.st_owned && st.st_data != [||] then begin
+            let s = ref 0 and ok = ref true in
+            for d = 0 to nd - 1 do
+              let l = st.st_dmaps.(d).(u.(d)) in
+              if l < 0 then ok := false else s := !s + (l * st.st_lstride.(d))
+            done;
+            if !ok then !s else -1
+          end
+          else -1
+        in
+        { a_slot = slot; a_enc = !enc }
+
+(* pretty-print the subscripts of an access for an error message (cold) *)
+let idx_string (am : Runtime.ameta) enc =
+  let nd = Array.length am.Runtime.am_ext in
+  let parts = ref [] and rem = ref enc in
+  for d = 0 to nd - 1 do
+    let u = !rem mod am.Runtime.am_ext.(d) in
+    rem := !rem / am.Runtime.am_ext.(d);
+    parts := string_of_int (u + fst am.Runtime.am_bounds.(d)) :: !parts
+  done;
+  String.concat "," (List.rev !parts)
+
+(* ------------------------------------------------------------------ *)
+(* Float expressions                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec cfexpr ctx (e : Spmd.fexpr) : cfloat =
+  let m = ctx.x_machine in
+  match e with
+  | Spmd.FConst x -> fun _ -> x
+  | Spmd.FOfInt ie -> (
+      match cexpr ctx ie with
+      | KConst k ->
+          let x = float_of_int k in
+          fun _ -> x
+      | KDyn f -> fun rt -> float_of_int (f rt))
+  | Spmd.FScalar s -> (
+      let fallback =
+        (* the interpreter falls back to the integer environment when a name
+           is absent from fenv (e.g. FScalar wrapping a loop variable) *)
+        match Hashtbl.find_opt ctx.x_islots s with
+        | Some slot -> fun rt -> float_of_int rt.r_int.(slot)
+        | None -> (
+            match Hashtbl.find_opt ctx.x_genv s with
+            | Some v ->
+                let x = float_of_int v in
+                fun _ -> x
+            | None ->
+                fun rt -> errf "proc %d: unbound integer name %s" rt.r_pid s)
+      in
+      match Hashtbl.find_opt ctx.x_fslots s with
+      | Some slot ->
+          fun rt -> if rt.r_fvalid.(slot) then rt.r_fval.(slot) else fallback rt
+      | None -> fallback)
+  | Spmd.FLoad { arr; idx; access } -> (
+      let aid =
+        match Hashtbl.find_opt ctx.x_arrays arr with
+        | Some a -> a
+        | None -> errf "unknown array %s" arr
+      in
+      let am = ctx.x_ameta.(aid) in
+      let addr = caddr ctx aid idx in
+      let flop = m.Machine.flop_time in
+      let checked = access = Spmd.Checked in
+      let check = m.Machine.check_time in
+      let aname = access_name access in
+      let miss rt (a : addr) =
+        let st = rt.r_stores.(aid) in
+        match Hashtbl.find_opt st.st_side a.a_enc with
+        | Some v -> v
+        | None ->
+            if st_sparse st && owns_enc st a.a_enc then 0.0
+            else
+              errf "proc %d: %s access to non-local %s(%s) with no received value"
+                rt.r_pid aname am.Runtime.am_name (idx_string am a.a_enc)
+      in
+      if checked then fun rt ->
+        tick rt flop;
+        let a = addr rt in
+        tick rt check;
+        if a.a_slot >= 0 then rt.r_stores.(aid).st_data.(a.a_slot)
+        else miss rt a
+      else fun rt ->
+        tick rt flop;
+        let a = addr rt in
+        if a.a_slot >= 0 then rt.r_stores.(aid).st_data.(a.a_slot)
+        else miss rt a)
+  | Spmd.FNeg a ->
+      let f = cfexpr ctx a in
+      fun rt -> -.f rt
+  | Spmd.FBin (op, a, b) -> (
+      let fa = cfexpr ctx a and fb = cfexpr ctx b in
+      let flop = m.Machine.flop_time in
+      match op with
+      | Hpf.Ast.Add ->
+          fun rt ->
+            let x = fa rt in
+            let y = fb rt in
+            tick rt flop;
+            x +. y
+      | Hpf.Ast.Sub ->
+          fun rt ->
+            let x = fa rt in
+            let y = fb rt in
+            tick rt flop;
+            x -. y
+      | Hpf.Ast.Mul ->
+          fun rt ->
+            let x = fa rt in
+            let y = fb rt in
+            tick rt flop;
+            x *. y
+      | Hpf.Ast.Div ->
+          fun rt ->
+            let x = fa rt in
+            let y = fb rt in
+            tick rt flop;
+            x /. y)
+  | Spmd.FIntrin (f, args) ->
+      let cargs = List.map (cfexpr ctx) args in
+      let flop = m.Machine.flop_time in
+      fun rt ->
+        tick rt flop;
+        Serial.intrinsic f (List.map (fun g -> g rt) cargs)
+
+let rec cfcond ctx (c : Spmd.fcond) : rt -> bool =
+  match c with
+  | Spmd.FCmp (a, op, b) -> (
+      let fa = cfexpr ctx a and fb = cfexpr ctx b in
+      match op with
+      | Hpf.Ast.Lt ->
+          fun rt ->
+            let x = fa rt in
+            let y = fb rt in
+            x < y
+      | Hpf.Ast.Le ->
+          fun rt ->
+            let x = fa rt in
+            let y = fb rt in
+            x <= y
+      | Hpf.Ast.Gt ->
+          fun rt ->
+            let x = fa rt in
+            let y = fb rt in
+            x > y
+      | Hpf.Ast.Ge ->
+          fun rt ->
+            let x = fa rt in
+            let y = fb rt in
+            x >= y
+      | Hpf.Ast.Eq ->
+          fun rt ->
+            let x = fa rt in
+            let y = fb rt in
+            x = y
+      | Hpf.Ast.Ne ->
+          fun rt ->
+            let x = fa rt in
+            let y = fb rt in
+            x <> y)
+  | Spmd.FAnd (a, b) ->
+      let ca = cfcond ctx a and cb = cfcond ctx b in
+      fun rt -> ca rt && cb rt
+  | Spmd.FOr (a, b) ->
+      let ca = cfcond ctx a and cb = cfcond ctx b in
+      fun rt -> ca rt || cb rt
+  | Spmd.FNot a ->
+      let ca = cfcond ctx a in
+      fun rt -> not (ca rt)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let seq (fs : cstmt list) : cstmt =
+  match fs with
+  | [] -> fun _ -> ()
+  | [ a ] -> a
+  | [ a; b ] ->
+      fun rt ->
+        a rt;
+        b rt
+  | [ a; b; c ] ->
+      fun rt ->
+        a rt;
+        b rt;
+        c rt
+  | l ->
+      let a = Array.of_list l in
+      fun rt -> Array.iter (fun f -> f rt) a
+
+let my_vp ctx : rt -> int list =
+  let slots = ctx.x_vm_slots in
+  fun rt -> Array.to_list (Array.map (fun s -> rt.r_int.(s)) slots)
+
+let rec cstmt ctx (s : Spmd.stmt) : cstmt =
+  let m = ctx.x_machine in
+  match s with
+  | Spmd.Comment _ -> fun _ -> ()
+  | Spmd.For { var; lo; hi; step; body } -> (
+      let clo = cexpr ctx lo and chi = cexpr ctx hi in
+      let cst = cexpr ctx step in
+      let slot = islot ctx var in
+      let cbody = cstmts ctx body in
+      let loopt = m.Machine.loop_time in
+      match cst with
+      | KConst 1 ->
+          let flo = force clo and fhi = force chi in
+          fun rt ->
+            let h = fhi rt in
+            let i = ref (flo rt) in
+            while !i <= h do
+              rt.r_int.(slot) <- !i;
+              tick rt loopt;
+              cbody rt;
+              incr i
+            done
+      | _ ->
+          let flo = force clo and fhi = force chi and fst = force cst in
+          fun rt ->
+            let l = flo rt and h = fhi rt in
+            let st = fst rt in
+            if st <= 0 then
+              errf "proc %d: non-positive loop step for %s" rt.r_pid var;
+            let i = ref l in
+            while !i <= h do
+              rt.r_int.(slot) <- !i;
+              tick rt loopt;
+              cbody rt;
+              i := !i + st
+            done)
+  | Spmd.If (c, body) ->
+      let cc = ccond ctx c in
+      let cbody = cstmts ctx body in
+      let guard = m.Machine.guard_time in
+      fun rt ->
+        tick rt guard;
+        if cc rt then cbody rt
+  | Spmd.FIf (c, t, e) ->
+      let cc = cfcond ctx c in
+      let ct = cstmts ctx t and ce = cstmts ctx e in
+      let guard = m.Machine.guard_time in
+      fun rt ->
+        tick rt guard;
+        if cc rt then ct rt else ce rt
+  | Spmd.SetScalar (name, v) ->
+      let cv = cfexpr ctx v in
+      let slot = fslot ctx name in
+      let flop = m.Machine.flop_time in
+      fun rt ->
+        let x = cv rt in
+        tick rt flop;
+        rt.r_fval.(slot) <- x;
+        rt.r_fvalid.(slot) <- true
+  | Spmd.Store { arr; idx; value; access } -> (
+      let aid =
+        match Hashtbl.find_opt ctx.x_arrays arr with
+        | Some a -> a
+        | None -> errf "unknown array %s" arr
+      in
+      let am = ctx.x_ameta.(aid) in
+      let addr = caddr ctx aid idx in
+      let cv = cfexpr ctx value in
+      let flop = m.Machine.flop_time in
+      let put rt (a : addr) x =
+        if a.a_slot >= 0 then rt.r_stores.(aid).st_data.(a.a_slot) <- x
+        else Hashtbl.replace rt.r_stores.(aid).st_side a.a_enc x
+      in
+      match access with
+      | Spmd.Checked ->
+          let check = m.Machine.check_time in
+          fun rt ->
+            let x = cv rt in
+            tick rt flop;
+            let a = addr rt in
+            tick rt check;
+            put rt a x
+      | Spmd.Local ->
+          fun rt ->
+            let x = cv rt in
+            tick rt flop;
+            let a = addr rt in
+            let st = rt.r_stores.(aid) in
+            let owned =
+              if st_sparse st then owns_enc st a.a_enc else a.a_slot >= 0
+            in
+            if not owned then
+              errf "proc %d: Local store to non-owned %s(%s)" rt.r_pid
+                am.Runtime.am_name (idx_string am a.a_enc);
+            put rt a x
+      | Spmd.Overlay | Spmd.Global ->
+          fun rt ->
+            let x = cv rt in
+            tick rt flop;
+            let a = addr rt in
+            put rt a x)
+  | Spmd.Pack { event; arr; idx } ->
+      let aid =
+        match Hashtbl.find_opt ctx.x_arrays arr with
+        | Some a -> a
+        | None -> errf "unknown array %s" arr
+      in
+      let am = ctx.x_ameta.(aid) in
+      let addr = caddr ctx aid idx in
+      fun rt ->
+        let a = addr rt in
+        let v =
+          if a.a_slot >= 0 then rt.r_stores.(aid).st_data.(a.a_slot)
+          else
+            let st = rt.r_stores.(aid) in
+            match Hashtbl.find_opt st.st_side a.a_enc with
+            | Some v -> v
+            | None ->
+                if st_sparse st && owns_enc st a.a_enc then 0.0
+                else
+                  errf "proc %d: packing non-resident element %s(%s)" rt.r_pid
+                    am.Runtime.am_name (idx_string am a.a_enc)
+        in
+        Runtime.packbuf_push rt.r_packbufs.(event) ~arr a.a_enc v
+  | Spmd.Send { event; dest } ->
+      let cdest = List.map (cexpr_f ctx) dest in
+      let inplace = Hashtbl.mem ctx.x_inplace event in
+      let rect = Hashtbl.mem ctx.x_rect event in
+      let myvp = my_vp ctx in
+      let pvp = ctx.x_phys_of_vp in
+      let tr = ctx.x_tr in
+      fun rt ->
+        let dest_vp = List.map (fun f -> f rt) cdest in
+        let pl = Runtime.packbuf_flush rt.r_packbufs.(event) in
+        Runtime.send tr
+          ~tick:(fun dt -> tick rt dt)
+          ~get_clock:(fun () -> rt.r_clock)
+          ~pid:rt.r_pid ~dst_pid:(pvp dest_vp) ~event ~src_vp:(myvp rt)
+          ~dst_vp:dest_vp ~inplace ~rect pl
+  | Spmd.Recv { event; src } ->
+      let csrc = List.map (cexpr_f ctx) src in
+      let myvp = my_vp ctx in
+      let arrays = ctx.x_arrays in
+      let recv_o = m.Machine.recv_overhead in
+      let unpack = m.Machine.unpack_time in
+      fun rt ->
+        let src_vp = List.map (fun f -> f rt) csrc in
+        let k =
+          { Runtime.k_event = event; k_src = src_vp; k_dst = myvp rt }
+        in
+        let msg = Effect.perform (Runtime.ERecv k) in
+        tick rt recv_o;
+        rt.r_clock <- Float.max rt.r_clock msg.Runtime.m_arrival;
+        let pl = msg.Runtime.m_payload in
+        let n = Array.length pl.Runtime.pl_idx in
+        if not msg.Runtime.m_contig then tick rt (float_of_int n *. unpack);
+        if n > 0 then begin
+          let st =
+            match Hashtbl.find_opt arrays pl.Runtime.pl_arr with
+            | Some aid -> rt.r_stores.(aid)
+            | None -> errf "unknown array %s" pl.Runtime.pl_arr
+          in
+          for i = 0 to n - 1 do
+            put_enc st pl.Runtime.pl_idx.(i) pl.Runtime.pl_val.(i)
+          done
+        end
+  | Spmd.Reduce { scalar; op } ->
+      if Hashtbl.mem ctx.x_arrays scalar then fun _ ->
+        Effect.perform (Runtime.EReduceArr (scalar, op))
+      else
+        let slot = fslot ctx scalar in
+        fun rt ->
+          let mine = if rt.r_fvalid.(slot) then rt.r_fval.(slot) else 0.0 in
+          let combined = Effect.perform (Runtime.EReduce (op, mine)) in
+          rt.r_fval.(slot) <- combined;
+          rt.r_fvalid.(slot) <- true
+  | Spmd.Call f ->
+      let sub =
+        match Hashtbl.find_opt ctx.x_subs f with
+        | Some l -> l
+        | None -> lazy (fun rt -> errf "proc %d: unknown subroutine %s" rt.r_pid f)
+      in
+      fun rt -> (Lazy.force sub) rt
+
+and cstmts ctx body = seq (List.map (cstmt ctx) body)
+
+(* ------------------------------------------------------------------ *)
+(* Setup: dense storage construction                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* arrays named in Reduce statements keep the sparse representation (see
+   the header comment) *)
+let reduce_targets (prog : Spmd.program) =
+  let tbl = Hashtbl.create 8 in
+  Spmd.iter_program
+    (function
+      | Spmd.Reduce { scalar; _ } -> Hashtbl.replace tbl scalar ()
+      | _ -> ())
+    prog;
+  tbl
+
+(* build one processor's storage for one array: evaluate the ownership
+   formula of every layout dimension over the full extent of its data
+   dimension once, tabulating (global coordinate -> local index | -1) *)
+let build_store ~geval ~(su : Runtime.setup) ~sparse pid
+    (am : Runtime.ameta) (layout : Spmd.array_layout option) : store =
+  let nd = Array.length am.Runtime.am_ext in
+  let owned_dim = Array.init nd (fun d -> Array.make am.Runtime.am_ext.(d) true) in
+  let owned = ref true in
+  (match layout with
+  | None -> ()
+  | Some la ->
+      List.iteri
+        (fun k (dl : Spmd.dim_layout) ->
+          let c = su.Runtime.su_coords.(pid).(k) in
+          match dl.Spmd.source with
+          | Spmd.AnyCoord -> ()
+          | Spmd.FixedCoord e -> if geval e <> c then owned := false
+          | Spmd.FromData { data_dim; _ } ->
+              let lo = fst am.Runtime.am_bounds.(data_dim) in
+              let scratch = Array.make nd 0 in
+              for u = 0 to am.Runtime.am_ext.(data_dim) - 1 do
+                scratch.(data_dim) <- lo + u;
+                match Runtime.owner_coord ~eval:geval dl scratch with
+                | None -> ()
+                | Some o ->
+                    if o <> c then owned_dim.(data_dim).(u) <- false
+              done)
+        la.Spmd.la_dims);
+  let dmaps =
+    Array.init nd (fun d ->
+        let next = ref 0 in
+        Array.map
+          (fun own ->
+            if own then begin
+              let l = !next in
+              incr next;
+              l
+            end
+            else -1)
+          owned_dim.(d))
+  in
+  let nown = Array.map (fun od -> Array.fold_left (fun n b -> if b then n + 1 else n) 0 od) owned_dim in
+  let lstride = Array.make nd 1 in
+  for d = 1 to nd - 1 do
+    lstride.(d) <- lstride.(d - 1) * nown.(d - 1)
+  done;
+  let size = Array.fold_left ( * ) 1 nown in
+  let data =
+    if sparse || not !owned || size = 0 then [||] else Array.make size 0.0
+  in
+  {
+    st_am = am;
+    st_owned = !owned;
+    st_dmaps = dmaps;
+    st_lstride = lstride;
+    st_data = data;
+    st_side = Hashtbl.create 16;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The compiled simulation                                              *)
+(* ------------------------------------------------------------------ *)
+
+type csim = {
+  c_prog : Spmd.program;
+  c_su : Runtime.setup;
+  c_tr : Runtime.transport;
+  c_rts : rt array;
+  c_main : cstmt;
+  c_arrays : (string, int) Hashtbl.t;
+  c_ameta : Runtime.ameta array;
+  c_layouts : Spmd.array_layout option array;
+  c_fslots : (string, int) Hashtbl.t;
+  mutable c_ran : bool;
+}
+
+let make ?(machine = Machine.default) ?faults ~nprocs ?(params = [])
+    (prog : Spmd.program) : csim =
+  let su = Runtime.setup ?faults ~nprocs ~params prog in
+  let geval e = Runtime.eval_genv su.Runtime.su_genv e in
+  let tr = Runtime.transport_make ~machine ~faults in
+  let arrays = Hashtbl.create 16 in
+  List.iteri (fun i (ad : Spmd.array_decl) -> Hashtbl.replace arrays ad.Spmd.ad_name i)
+    prog.Spmd.arrays;
+  let ameta =
+    Array.of_list
+      (List.map (fun ad -> Runtime.ameta ~eval:geval ad) prog.Spmd.arrays)
+  in
+  let layouts =
+    Array.of_list (List.map (fun (ad : Spmd.array_decl) -> ad.Spmd.ad_layout) prog.Spmd.arrays)
+  in
+  let inplace = Hashtbl.create 8 and rect = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Spmd.event_info) ->
+      if e.Spmd.ev_inplace then Hashtbl.replace inplace e.Spmd.ev_id ();
+      if e.Spmd.ev_rect then Hashtbl.replace rect e.Spmd.ev_id ())
+    prog.Spmd.events;
+  let phys_of_vp = Runtime.phys_of_vp ~eval:geval prog ~extents:su.Runtime.su_extents in
+  let ctx =
+    {
+      x_prog = prog;
+      x_genv = su.Runtime.su_genv;
+      x_machine = machine;
+      x_tr = tr;
+      x_extents = su.Runtime.su_extents;
+      x_islots = Hashtbl.create 32;
+      x_nint = 0;
+      x_fslots = Hashtbl.create 16;
+      x_nfloat = 0;
+      x_arrays = arrays;
+      x_ameta = ameta;
+      x_inplace = inplace;
+      x_rect = rect;
+      x_subs = Hashtbl.create 8;
+      x_vm_slots = [||];
+      x_phys_of_vp = phys_of_vp;
+    }
+  in
+  (* pre-allocate coordinate and scalar slots so every compiled reference
+     resolves to the same cell the startup code fills *)
+  let ndim = List.length prog.Spmd.proc_dims in
+  let m_slots = Array.init ndim (fun k -> islot ctx (Printf.sprintf "m$%d" (k + 1))) in
+  let vm_slots = Array.init ndim (fun k -> islot ctx (Printf.sprintf "vm$%d" (k + 1))) in
+  let ctx = { ctx with x_vm_slots = vm_slots } in
+  List.iter (fun s -> ignore (fslot ctx s)) prog.Spmd.scalars;
+  let declared = Hashtbl.copy ctx.x_fslots in
+  List.iter
+    (fun s -> if not (Hashtbl.mem arrays s) then ignore (fslot ctx s))
+    (Spmd.assigned_scalars prog);
+  (* lower subroutines through memoized lazies (so mutually recursive
+     calls reference each other by name) and then the main program *)
+  List.iter
+    (fun (name, body) ->
+      Hashtbl.replace ctx.x_subs name (lazy (cstmts ctx body)))
+    prog.Spmd.subs;
+  let c_main = cstmts ctx prog.Spmd.main in
+  (* force every subroutine body now: compiling one may allocate new
+     integer/scalar slots, and the per-processor slot arrays below are
+     sized once — a body first compiled mid-run would index past them.
+     (A Call closure forces the lazy at invocation, not here, so mutual
+     recursion still terminates.) *)
+  List.iter
+    (fun (name, _) ->
+      ignore (Lazy.force (Hashtbl.find ctx.x_subs name) : cstmt))
+    prog.Spmd.subs;
+  (* per-processor state, sized by the final slot counts *)
+  let sparse = reduce_targets prog in
+  let max_rank =
+    Array.fold_left (fun n am -> max n (Array.length am.Runtime.am_ext)) 1 ameta
+  in
+  let n_events =
+    let n = ref 0 in
+    List.iter (fun (e : Spmd.event_info) -> n := max !n (e.Spmd.ev_id + 1)) prog.Spmd.events;
+    Spmd.iter_program
+      (function
+        | Spmd.Pack { event; _ } | Spmd.Send { event; _ } | Spmd.Recv { event; _ } ->
+            n := max !n (event + 1)
+        | _ -> ())
+      prog;
+    !n
+  in
+  let rts =
+    Array.init su.Runtime.su_total (fun pid ->
+        let r_int = Array.make (max ctx.x_nint 1) 0 in
+        Array.iteri (fun k s -> r_int.(s) <- su.Runtime.su_coords.(pid).(k)) m_slots;
+        List.iter (fun (k, v) -> r_int.(vm_slots.(k)) <- v) su.Runtime.su_vm0.(pid);
+        let r_fval = Array.make (max ctx.x_nfloat 1) 0.0 in
+        let r_fvalid = Array.make (max ctx.x_nfloat 1) false in
+        (* declared replicated scalars start initialized at zero, matching
+           the interpreter's fenv pre-population *)
+        Hashtbl.iter (fun _ s -> r_fvalid.(s) <- true) declared;
+        let stores =
+          Array.init (Array.length ameta) (fun aid ->
+              build_store ~geval ~su
+                ~sparse:(Hashtbl.mem sparse ameta.(aid).Runtime.am_name)
+                pid ameta.(aid) layouts.(aid))
+        in
+        {
+          r_pid = pid;
+          r_int;
+          r_fval;
+          r_fvalid;
+          r_stores = stores;
+          r_packbufs = Array.init (max n_events 1) (fun _ -> Runtime.packbuf_create ());
+          r_clock = 0.0;
+          r_skew = su.Runtime.su_skew.(pid);
+          r_scratch = Array.make max_rank 0;
+        })
+  in
+  {
+    c_prog = prog;
+    c_su = su;
+    c_tr = tr;
+    c_rts = rts;
+    c_main;
+    c_arrays = arrays;
+    c_ameta = ameta;
+    c_layouts = layouts;
+    c_fslots = ctx.x_fslots;
+    c_ran = false;
+  }
+
+let nprocs cs = cs.c_su.Runtime.su_total
+
+let phys_of_vp cs vp =
+  Runtime.phys_of_vp
+    ~eval:(Runtime.eval_genv cs.c_su.Runtime.su_genv)
+    cs.c_prog ~extents:cs.c_su.Runtime.su_extents vp
+
+(* element-wise array reduction over the (sparse) side tables: combine the
+   values present on some processor, in pid order, and write the result
+   back everywhere — the same algorithm, element set and combination order
+   as the interpreter's collective *)
+let reduce_arr cs name (op : Spmd.reduce_op) : int =
+  let aid =
+    match Hashtbl.find_opt cs.c_arrays name with
+    | Some a -> a
+    | None -> errf "unknown array %s" name
+  in
+  let tables = Array.map (fun rt -> rt.r_stores.(aid).st_side) cs.c_rts in
+  let keys = Hashtbl.create 256 in
+  Array.iter
+    (fun tbl -> Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) tbl)
+    tables;
+  let combined = Hashtbl.create (Hashtbl.length keys) in
+  Hashtbl.iter
+    (fun k () ->
+      let acc = ref None in
+      Array.iter
+        (fun tbl ->
+          match Hashtbl.find_opt tbl k with
+          | None -> ()
+          | Some v ->
+              acc :=
+                Some
+                  (match (!acc, op) with
+                  | None, _ -> v
+                  | Some a, Spmd.RSum -> a +. v
+                  | Some a, Spmd.RMax -> Float.max a v
+                  | Some a, Spmd.RMin -> Float.min a v))
+        tables;
+      match !acc with Some v -> Hashtbl.replace combined k v | None -> ())
+    keys;
+  Array.iter
+    (fun tbl -> Hashtbl.iter (fun k v -> Hashtbl.replace tbl k v) combined)
+    tables;
+  Hashtbl.length combined
+
+let run (cs : csim) : Runtime.stats =
+  if cs.c_ran then
+    errf "simulation already executed: Exec.run consumed this sim (build a fresh one with Exec.make)";
+  cs.c_ran <- true;
+  Runtime.sched_run
+    {
+      Runtime.h_nprocs = Array.length cs.c_rts;
+      h_tr = cs.c_tr;
+      h_clock = (fun p -> cs.c_rts.(p).r_clock);
+      h_set_clock = (fun p t -> cs.c_rts.(p).r_clock <- t);
+      h_body = (fun p -> cs.c_main cs.c_rts.(p));
+      h_reduce_arr = reduce_arr cs;
+      h_phys_of_vp = phys_of_vp cs;
+    };
+  Runtime.stats_of cs.c_tr
+    ~proc_times:(Array.map (fun rt -> rt.r_clock) cs.c_rts)
+
+(* ------------------------------------------------------------------ *)
+(* Result inspection                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* the linear pid of the owner (replicated dims resolve to coordinate 0) *)
+let owner_pid cs name (idx : int list) : int =
+  let aid =
+    match Hashtbl.find_opt cs.c_arrays name with
+    | Some a -> a
+    | None -> errf "unknown array %s" name
+  in
+  let geval = Runtime.eval_genv cs.c_su.Runtime.su_genv in
+  match cs.c_layouts.(aid) with
+  | None -> 0
+  | Some la ->
+      let idxa = Array.of_list idx in
+      let coords =
+        List.map
+          (fun dl ->
+            match Runtime.owner_coord ~eval:geval dl idxa with
+            | None -> 0
+            | Some o -> o)
+          la.Spmd.la_dims
+      in
+      let pid = ref 0 and stride = ref 1 in
+      List.iteri
+        (fun k c ->
+          pid := !pid + (c * !stride);
+          stride := !stride * cs.c_su.Runtime.su_extents.(k))
+        coords;
+      !pid
+
+(** Value of an array element after execution, read from its owner. *)
+let get_elem cs name idx =
+  let pid = owner_pid cs name idx in
+  let aid = Hashtbl.find cs.c_arrays name in
+  let enc = Runtime.encode cs.c_ameta.(aid) idx in
+  get_enc cs.c_rts.(pid).r_stores.(aid) enc
+
+(** Scalar value (replicated; read from processor 0). *)
+let get_scalar cs name =
+  match Hashtbl.find_opt cs.c_fslots name with
+  | Some slot when cs.c_rts.(0).r_fvalid.(slot) -> cs.c_rts.(0).r_fval.(slot)
+  | _ -> errf "unknown scalar %s" name

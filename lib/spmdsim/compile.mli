@@ -1,0 +1,43 @@
+(** Closure-compiling SPMD execution engine — the default engine behind
+    {!Exec.make}.
+
+    A one-time lowering pass turns each [Spmd.stmt]/[fexpr]/[expr] tree into
+    an OCaml closure over a compact per-processor state record: integer
+    names resolve to [int array] slots, replicated scalars to [float array]
+    slots, and global parameters fold into compile-time constants, so the
+    per-iteration cost is a closure call instead of an AST match with
+    hashtable lookups. Each processor's owned section of a distributed
+    array is a dense [float array] block addressed through per-dimension
+    ownership tables (exact for block, cyclic and block-cyclic layouts
+    under any alignment), with a side hashtable only for received non-local
+    values; arrays that are array-reduction targets keep the sparse
+    representation so collective semantics match the interpreter exactly.
+
+    The transport and scheduler are shared with the interpreter via
+    {!Runtime}, and clock charges follow the interpreter's order, so runs
+    are bit-identical in element values, clocks and counters — the
+    interpreter remains the differential oracle ({!Diffcheck.engines}). *)
+
+type csim
+
+val make :
+  ?machine:Machine.t ->
+  ?faults:Fault.spec ->
+  nprocs:int ->
+  ?params:(string * int) list ->
+  Dhpf.Spmd.program ->
+  csim
+(** Compile the program to closures and build per-processor dense storage.
+    Parameters are as in {!Exec.make}. *)
+
+val nprocs : csim -> int
+val phys_of_vp : csim -> int list -> int
+
+val run : csim -> Runtime.stats
+(** Execute to completion.
+    @raise Runtime.Deadlock when no processor can make progress.
+    @raise Runtime.Error on an illegal access, unbound name, or when the
+    sim was already run (each sim is single-use). *)
+
+val get_elem : csim -> string -> int list -> float
+val get_scalar : csim -> string -> float

@@ -57,7 +57,7 @@ let compare_run ~seed (chk : Hpf.Sema.checked) (sref : Serial.result) sim =
     None
   with Found d -> Some d
 
-let run ?machine ?(nprocs = 4) ?(params = []) ?opts
+let run ?engine ?machine ?(nprocs = 4) ?(params = []) ?opts
     ?(spec_of_seed = fun seed -> Fault.default ~seed) ~seeds
     (chk : Hpf.Sema.checked) : outcome =
   let compiled =
@@ -68,12 +68,152 @@ let run ?machine ?(nprocs = 4) ?(params = []) ?opts
   let sref = Serial.run ?machine ~params chk in
   let one ?faults seed =
     match
-      let sim = Exec.make ?machine ?faults ~nprocs ~params compiled.Dhpf.Gen.cprog in
+      let sim =
+        Exec.make ?engine ?machine ?faults ~nprocs ~params
+          compiled.Dhpf.Gen.cprog
+      in
       let _ = Exec.run sim in
       compare_run ~seed chk sref sim
     with
     | None -> Ok ()
     | Some d -> Error (Diverged d)
+    | exception Exec.Deadlock d ->
+        Error (Crashed { seed; error = Exec.diagnostic_to_string d })
+    | exception Exec.Error msg -> Error (Crashed { seed; error = msg })
+  in
+  let rec go runs = function
+    | [] -> Pass { runs }
+    | (seed, faults) :: rest -> (
+        match one ?faults seed with
+        | Ok () -> go (runs + 1) rest
+        | Error bad -> bad)
+  in
+  go 0
+    ((None, None)
+    :: List.map (fun s -> (Some s, Some (spec_of_seed s))) seeds)
+
+(* ------------------------------------------------------------------ *)
+(* Engine-differential mode: closure engine vs. tree-walking           *)
+(* interpreter on the same program, seed and fault schedule.           *)
+(* ------------------------------------------------------------------ *)
+
+(* Unlike the serial comparison above — which tolerates reassociated
+   floating summation — the two engines share the transport and charge
+   clock time in the same order, so the contract here is exact:
+   bit-identical element values and scalars, bit-identical simulated
+   clocks, and identical message/byte/element/retransmit counters. *)
+let bit_equal a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let compare_engines ~seed bounds scalars si sc =
+  try
+    List.iter
+      (fun (aname, dims) ->
+        let rec go idx = function
+          | [] ->
+              let idx = List.rev idx in
+              let want = Exec.get_elem si aname idx in
+              let got = Exec.get_elem sc aname idx in
+              if not (bit_equal want got) then
+                raise
+                  (Found
+                     {
+                       dv_seed = seed;
+                       dv_array = aname;
+                       dv_index = idx;
+                       dv_expected = want;
+                       dv_got = got;
+                     })
+          | (lo, hi) :: rest ->
+              for x = lo to hi do
+                go (x :: idx) rest
+              done
+        in
+        go [] dims)
+      bounds;
+    List.iter
+      (fun name ->
+        match (Exec.get_scalar si name, Exec.get_scalar sc name) with
+        | want, got ->
+            if not (bit_equal want got) then
+              raise
+                (Found
+                   {
+                     dv_seed = seed;
+                     dv_array = name;
+                     dv_index = [];
+                     dv_expected = want;
+                     dv_got = got;
+                   })
+        (* a scalar the program declares but never assigns is absent from
+           both engines' environments *)
+        | exception Exec.Error _ -> ())
+      scalars;
+    None
+  with Found d -> Some d
+
+let engines ?machine ?(nprocs = 4) ?(params = []) ?opts
+    ?(spec_of_seed = fun seed -> Fault.default ~seed) ~seeds
+    (chk : Hpf.Sema.checked) : outcome =
+  let compiled =
+    match opts with
+    | Some opts -> Dhpf.Gen.compile ~opts chk
+    | None -> Dhpf.Gen.compile chk
+  in
+  let cprog = compiled.Dhpf.Gen.cprog in
+  (* array extents, evaluated over the startup parameter environment *)
+  let su = Runtime.setup ~nprocs ~params cprog in
+  let geval = Runtime.eval_genv su.Runtime.su_genv in
+  let bounds =
+    List.map
+      (fun (ad : Dhpf.Spmd.array_decl) ->
+        ( ad.Dhpf.Spmd.ad_name,
+          List.map (fun (lo, hi) -> (geval lo, geval hi)) ad.ad_bounds ))
+      cprog.Dhpf.Spmd.arrays
+  in
+  let one ?faults seed =
+    match
+      let si = Exec.make ~engine:`Interp ?machine ?faults ~nprocs ~params cprog in
+      let sc = Exec.make ~engine:`Closure ?machine ?faults ~nprocs ~params cprog in
+      let sti = Exec.run si in
+      let stc = Exec.run sc in
+      let counters =
+        [
+          ("time", sti.Exec.s_time, stc.Exec.s_time);
+          ("msgs", float_of_int sti.s_msgs, float_of_int stc.s_msgs);
+          ("bytes", float_of_int sti.s_bytes, float_of_int stc.s_bytes);
+          ("elems", float_of_int sti.s_elems, float_of_int stc.s_elems);
+          ( "retransmits",
+            float_of_int sti.s_retransmits,
+            float_of_int stc.s_retransmits );
+          ("timeouts", float_of_int sti.s_timeouts, float_of_int stc.s_timeouts);
+          ( "dups_delivered",
+            float_of_int sti.s_dups_delivered,
+            float_of_int stc.s_dups_delivered );
+          ( "max_mailbox",
+            float_of_int sti.s_max_mailbox,
+            float_of_int stc.s_max_mailbox );
+        ]
+      in
+      match List.find_opt (fun (_, a, b) -> not (bit_equal a b)) counters with
+      | Some (field, a, b) ->
+          Some
+            (Crashed
+               {
+                 seed;
+                 error =
+                   Printf.sprintf
+                     "engine counter mismatch: %s interp=%.17g closure=%.17g"
+                     field a b;
+               })
+      | None -> (
+          match
+            compare_engines ~seed bounds cprog.Dhpf.Spmd.scalars si sc
+          with
+          | Some d -> Some (Diverged d)
+          | None -> None)
+    with
+    | None -> Ok ()
+    | Some bad -> Error bad
     | exception Exec.Deadlock d ->
         Error (Crashed { seed; error = Exec.diagnostic_to_string d })
     | exception Exec.Error msg -> Error (Crashed { seed; error = msg })

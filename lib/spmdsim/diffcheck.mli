@@ -28,6 +28,7 @@ type outcome =
       (** a run raised (deadlock diagnostics are pretty-printed) *)
 
 val run :
+  ?engine:Exec.engine ->
   ?machine:Machine.t ->
   ?nprocs:int ->
   ?params:(string * int) list ->
@@ -39,6 +40,26 @@ val run :
 (** [run ~seeds chk] compiles [chk], validates the fault-free execution
     against the serial oracle, then replays under one fault schedule per
     seed ([spec_of_seed] defaults to {!Fault.default}). [nprocs] defaults
-    to 4. *)
+    to 4; [engine] selects the SPMD executor (default [`Closure]). *)
+
+val engines :
+  ?machine:Machine.t ->
+  ?nprocs:int ->
+  ?params:(string * int) list ->
+  ?opts:Dhpf.Gen.options ->
+  ?spec_of_seed:(int -> Fault.spec) ->
+  seeds:int list ->
+  Hpf.Sema.checked ->
+  outcome
+(** Engine-differential mode: run the closure engine and the tree-walking
+    interpreter on the same program — fault-free first, then under one
+    fault schedule per seed, both engines seeing the identical schedule —
+    and require them to agree {e exactly}: bit-identical array elements
+    and scalars, bit-identical simulated clocks, and identical
+    message/byte/element/retransmit/duplicate counters. Any counter
+    mismatch is reported as [Crashed] naming the field and both values; a
+    value mismatch as [Diverged] ([dv_expected] is the interpreter's
+    value, [dv_got] the closure engine's). This is the executable form of
+    the engines' equivalence contract (see {!Exec.make}). *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,5 +1,13 @@
-(** SPMD interpreter: executes the compiler's {!Dhpf.Spmd} programs on a
-    simulated distributed-memory machine.
+(** SPMD execution facade: runs the compiler's {!Dhpf.Spmd} programs on a
+    simulated distributed-memory machine, through one of two engines.
+
+    [`Closure] (the default, {!Compile}) lowers the program once into OCaml
+    closures with slot-resolved environments and dense per-processor array
+    blocks. [`Interp] is the original tree-walking interpreter, kept as the
+    differential oracle: both engines share {!Runtime}'s transport and
+    scheduler and charge clock time in the same order, so they produce
+    bit-identical element values and identical message/byte/retransmit
+    counters (asserted by the engine-differential property tests).
 
     Each processor runs as an effect-handler fiber with its own virtual
     clock; sends are buffered (non-blocking), receives block until the
@@ -8,39 +16,30 @@
     [max(local clock + recv overhead, message arrival)] with arrival =
     sender clock at send + alpha + bytes*beta — a LogGP-style model.
 
-    Storage is one table per (processor, array) holding both owned elements
-    and received non-local values; ownership is recomputed from the layout
-    descriptors, so a [Local] access to a non-owned element or a [Checked]
-    read of never-communicated data raises — executing compiled code under
-    the simulator doubles as a correctness check of the compiler. *)
+    In the interpreter, storage is one table per (processor, array) holding
+    both owned elements and received non-local values; ownership is
+    recomputed from the layout descriptors, so a [Local] access to a
+    non-owned element or a [Checked] read of never-communicated data raises
+    — executing compiled code under the simulator doubles as a correctness
+    check of the compiler. *)
 
 open Dhpf
 
-exception Error of string
+exception Error = Runtime.Error
 
-let errf fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+let errf fmt = Runtime.errf fmt
 
-type key = { k_event : int; k_src : int list; k_dst : int list }
-
-type payload = (string * int * float) array
-(* (array, encoded index, value) *)
-
-type msg = {
-  m_seq : int;
-      (* per-channel sequence number: delivery matches the receiver's next
-         expected seq, so in-flight reordering, duplicates and retransmitted
-         drops cannot change which message a Recv consumes *)
-  m_arrival : float;
-  m_payload : payload;
-  m_contig : bool;
-}
+(* ------------------------------------------------------------------ *)
+(* Interpreter state                                                    *)
+(* ------------------------------------------------------------------ *)
 
 type meta = {
-  mt_bounds : (int * int) list;
-  mt_strides : int array;
-  mt_base : int;
+  ma : Runtime.ameta;
   mt_layout : Spmd.array_layout option;
+  mt_tables : (int, float) Hashtbl.t array;  (** per-pid element tables *)
 }
+(* metadata and storage resolve through ONE hashtable lookup per access
+   (they used to be two parallel tables, looked up separately per element) *)
 
 type pstate = {
   pid : int;
@@ -50,151 +49,71 @@ type pstate = {
   mutable clock : float;
 }
 
-type sim = {
+type isim = {
   prog : Spmd.program;
   machine : Machine.t;
-  faults : Fault.spec option;
   skew : float array;  (** per-processor compute-time multiplier (>= 1) *)
   genv : (string, int) Hashtbl.t;  (** global parameter values *)
   extents : int array;
-  nprocs : int;
+  inprocs : int;
   procs : pstate array;
-  store : (string, (int, float) Hashtbl.t array) Hashtbl.t;
   meta : (string, meta) Hashtbl.t;
-  mailbox : (key, msg list ref) Hashtbl.t;
-      (** in-flight messages per channel, in transport (possibly reordered)
-          order; delivery matches sequence numbers, not list position *)
-  send_seq : (key, int) Hashtbl.t;
-  recv_seq : (key, int) Hashtbl.t;
-  outbuf : (int * int, (string * int * float) list ref) Hashtbl.t;
+  tr : Runtime.transport;
+  outbuf : (int * int, Runtime.packbuf) Hashtbl.t;
       (** (pid, event) -> elements packed so far *)
   inplace_events : (int, unit) Hashtbl.t;
   rect_events : (int, unit) Hashtbl.t;
-  mutable n_msgs : int;
-  mutable n_bytes : int;
-  mutable n_elems_comm : int;
-  mutable n_retransmits : int;
-  mutable n_timeouts : int;
-  mutable n_dups_delivered : int;
-  mutable max_mbox_depth : int;
+  mutable iran : bool;
 }
 
 (* ------------------------------------------------------------------ *)
 (* Startup                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let eval_global sim e =
-  Iset.Codegen.eval_expr
-    (fun s ->
-      match Hashtbl.find_opt sim.genv s with
-      | Some v -> v
-      | None -> errf "unbound parameter %s" s)
-    e
+let eval_global sim e = Runtime.eval_genv sim.genv e
 
-let make ?(machine = Machine.default) ?faults ~nprocs ?(params = [])
-    (prog : Spmd.program) : sim =
-  let genv = Hashtbl.create 32 in
-  Hashtbl.replace genv "number_of_processors" nprocs;
-  List.iter (fun (n, v) -> Hashtbl.replace genv n v) params;
-  let bind s =
-    match Hashtbl.find_opt genv s with
-    | Some v -> v
-    | None -> errf "unbound parameter %s (needed at startup)" s
-  in
-  List.iter
-    (fun (pb : Spmd.param_binding) ->
-      match pb.pb_value with
-      | `Given k -> Hashtbl.replace genv pb.pb_name k
-      | `FromEnv ->
-          if not (Hashtbl.mem genv pb.pb_name) then
-            errf "symbolic parameter %s must be supplied" pb.pb_name
-      | `Expr e -> Hashtbl.replace genv pb.pb_name (Hpf.Sema.eval_iexpr ~bind e))
-    prog.params;
-  let sim0_eval e = Iset.Codegen.eval_expr bind e in
-  let extents = Array.of_list (List.map sim0_eval prog.proc_extents) in
-  Array.iteri
-    (fun k e ->
-      if e < 1 then
-        errf "processor grid dimension %d has extent %d with %d processors"
-          (k + 1) e nprocs)
-    extents;
-  let total = Array.fold_left ( * ) 1 extents in
-  if total < 1 then errf "empty processor grid";
+let make_interp ?(machine = Machine.default) ?faults ~nprocs ?(params = [])
+    (prog : Spmd.program) : isim =
+  let su = Runtime.setup ?faults ~nprocs ~params prog in
+  let geval = Runtime.eval_genv su.Runtime.su_genv in
   let meta = Hashtbl.create 16 in
   List.iter
     (fun (ad : Spmd.array_decl) ->
-      let bounds = List.map (fun (lo, hi) -> (sim0_eval lo, sim0_eval hi)) ad.ad_bounds in
-      let extentsd = List.map (fun (lo, hi) -> hi - lo + 1) bounds in
-      let n = List.length extentsd in
-      let strides = Array.make n 1 in
-      List.iteri (fun i e -> if i + 1 < n then strides.(i + 1) <- strides.(i) * e) extentsd;
-      let base =
-        List.fold_left2 (fun acc (lo, _) k -> acc + (lo * k)) 0 bounds
-          (Array.to_list strides)
-      in
       Hashtbl.replace meta ad.ad_name
-        { mt_bounds = bounds; mt_strides = strides; mt_base = base;
-          mt_layout = ad.ad_layout })
-    prog.arrays;
-  let store = Hashtbl.create 16 in
-  List.iter
-    (fun (ad : Spmd.array_decl) ->
-      Hashtbl.replace store ad.ad_name (Array.init total (fun _ -> Hashtbl.create 64)))
+        {
+          ma = Runtime.ameta ~eval:geval ad;
+          mt_layout = ad.ad_layout;
+          mt_tables = Array.init su.Runtime.su_total (fun _ -> Hashtbl.create 64);
+        })
     prog.arrays;
   let procs =
-    Array.init total (fun pid ->
-        (* column-major linearization: first dimension varies fastest *)
-        let coords = Array.make (Array.length extents) 0 in
-        let rem = ref pid in
-        Array.iteri
-          (fun k e ->
-            coords.(k) <- !rem mod e;
-            rem := !rem / e)
-          extents;
+    Array.init su.Runtime.su_total (fun pid ->
+        let coords = su.Runtime.su_coords.(pid) in
         let ienv = Hashtbl.create 16 in
-        Array.iteri (fun k c -> Hashtbl.replace ienv (Printf.sprintf "m$%d" (k + 1)) c) coords;
-        List.iteri
-          (fun k (pd : Spmd.proc_dim_rt) ->
-            let vm_name = Printf.sprintf "vm$%d" (k + 1) in
-            match pd.pd_mode with
-            | Spmd.VpIsPhys -> Hashtbl.replace ienv vm_name coords.(k)
-            | Spmd.VpBlockOnePer ->
-                let b = sim0_eval (Option.get pd.pd_bsize) in
-                let tlo = sim0_eval pd.pd_tlo in
-                Hashtbl.replace ienv vm_name ((b * coords.(k)) + tlo)
-            | Spmd.VpTemplateCell -> () (* bound by generated VP loops *))
-          prog.proc_dims;
+        Array.iteri
+          (fun k c -> Hashtbl.replace ienv (Printf.sprintf "m$%d" (k + 1)) c)
+          coords;
+        List.iter
+          (fun (k, v) ->
+            Hashtbl.replace ienv (Printf.sprintf "vm$%d" (k + 1)) v)
+          su.Runtime.su_vm0.(pid);
         { pid; coords; ienv; fenv = Hashtbl.create 16; clock = 0.0 })
-  in
-  let skew =
-    Array.init total (fun pid ->
-        match faults with None -> 1.0 | Some sp -> Fault.skew sp ~pid)
   in
   let sim =
     {
       prog;
       machine;
-      faults;
-      skew;
-      genv;
-      extents;
-      nprocs = total;
+      skew = su.Runtime.su_skew;
+      genv = su.Runtime.su_genv;
+      extents = su.Runtime.su_extents;
+      inprocs = su.Runtime.su_total;
       procs;
-      store;
       meta;
-      mailbox = Hashtbl.create 64;
-      send_seq = Hashtbl.create 64;
-      recv_seq = Hashtbl.create 64;
+      tr = Runtime.transport_make ~machine ~faults;
       outbuf = Hashtbl.create 16;
       inplace_events = Hashtbl.create 8;
       rect_events = Hashtbl.create 8;
-      n_msgs = 0;
-      n_bytes = 0;
-      n_elems_comm = 0;
-      n_retransmits = 0;
-      n_timeouts = 0;
-      n_dups_delivered = 0;
-      max_mbox_depth = 0;
+      iran = false;
     }
   in
   List.iter
@@ -208,8 +127,6 @@ let make ?(machine = Machine.default) ?faults ~nprocs ?(params = [])
     sim.procs;
   sim
 
-let nprocs sim = sim.nprocs
-
 (* ------------------------------------------------------------------ *)
 (* Ownership and addressing                                            *)
 (* ------------------------------------------------------------------ *)
@@ -219,62 +136,31 @@ let meta_of sim name =
   | Some m -> m
   | None -> errf "unknown array %s" name
 
-let encode sim name (idx : int list) =
-  let m = meta_of sim name in
-  let off = ref (-m.mt_base) in
-  List.iteri
-    (fun i x ->
-      let lo, hi = List.nth m.mt_bounds i in
-      if x < lo || x > hi then
-        errf "array %s: index %d outside [%d,%d] (dim %d)" name x lo hi (i + 1);
-      off := !off + (x * m.mt_strides.(i)))
-    idx;
-  !off
-
-(* physical owner coordinate along one processor dimension, or None if the
-   element is replicated along it *)
-let owner_coord sim (dl : Spmd.dim_layout) (idx : int array) : int option =
-  let t =
-    match dl.source with
-    | Spmd.AnyCoord -> None
-    | Spmd.FixedCoord e -> Some (eval_global sim e)
-    | Spmd.FromData { data_dim; coef; off } ->
-        Some ((coef * idx.(data_dim)) + eval_global sim off)
-  in
-  match t with
-  | None -> None
-  | Some t -> (
-      let tlo = eval_global sim dl.tlo in
-      let p = eval_global sim dl.pextent in
-      match dl.fmt with
-      | Spmd.RBlock { bsize } ->
-          let b = eval_global sim bsize in
-          Some (Iset.Lin.fdiv (t - tlo) b)
-      | Spmd.RCyclic -> Some (Iset.Lin.pmod (t - tlo) p)
-      | Spmd.RBlockCyclic k -> Some (Iset.Lin.pmod (Iset.Lin.fdiv (t - tlo) k) p))
-
-let owns sim (p : pstate) name (idx : int list) : bool =
-  let m = meta_of sim name in
-  match m.mt_layout with
+let owns sim (p : pstate) (mt : meta) (idx : int list) : bool =
+  match mt.mt_layout with
   | None -> true (* replicated array: every processor has a copy *)
   | Some la ->
       let idxa = Array.of_list idx in
       List.for_all2
         (fun dl c ->
-          match owner_coord sim dl idxa with None -> true | Some o -> o = c)
+          match Runtime.owner_coord ~eval:(eval_global sim) dl idxa with
+          | None -> true
+          | Some o -> o = c)
         la.Spmd.la_dims
         (Array.to_list p.coords)
 
 (* the linear pid of the owner (replicated dims resolve to coordinate 0) *)
-let owner_pid sim name (idx : int list) : int =
-  let m = meta_of sim name in
-  match m.mt_layout with
+let owner_pid sim (mt : meta) (idx : int list) : int =
+  match mt.mt_layout with
   | None -> 0
   | Some la ->
       let idxa = Array.of_list idx in
       let coords =
         List.map
-          (fun dl -> match owner_coord sim dl idxa with None -> 0 | Some o -> o)
+          (fun dl ->
+            match Runtime.owner_coord ~eval:(eval_global sim) dl idxa with
+            | None -> 0
+            | Some o -> o)
           la.Spmd.la_dims
       in
       let pid = ref 0 and stride = ref 1 in
@@ -286,33 +172,8 @@ let owner_pid sim name (idx : int list) : int =
       !pid
 
 (* VP coordinates -> linear physical pid *)
-let phys_of_vp sim (vp : int list) : int =
-  let pid = ref 0 and stride = ref 1 in
-  List.iteri
-    (fun k v ->
-      let pd = List.nth sim.prog.proc_dims k in
-      let c =
-        match pd.pd_mode with
-        | Spmd.VpIsPhys -> v
-        | Spmd.VpBlockOnePer ->
-            let b = eval_global sim (Option.get pd.pd_bsize) in
-            Iset.Lin.fdiv (v - eval_global sim pd.pd_tlo) b
-        | Spmd.VpTemplateCell ->
-            Iset.Lin.pmod (v - eval_global sim pd.pd_tlo) (eval_global sim pd.pd_extent)
-      in
-      pid := !pid + (c * !stride);
-      stride := !stride * sim.extents.(k))
-    vp;
-  !pid
-
-(* ------------------------------------------------------------------ *)
-(* Effects                                                             *)
-(* ------------------------------------------------------------------ *)
-
-type _ Effect.t +=
-  | ERecv : key -> msg Effect.t
-  | EReduce : (Spmd.reduce_op * float) -> float Effect.t
-  | EReduceArr : (string * Spmd.reduce_op) -> unit Effect.t
+let phys_of_vp_i sim (vp : int list) : int =
+  Runtime.phys_of_vp ~eval:(eval_global sim) sim.prog ~extents:sim.extents vp
 
 (* ------------------------------------------------------------------ *)
 (* Per-processor interpreter                                           *)
@@ -333,21 +194,15 @@ let eval_cond sim p c = Iset.Codegen.eval_cond (lookup_int sim p) c
    multiplier (1.0 on the idealized machine) *)
 let tick sim p dt = p.clock <- p.clock +. (dt *. sim.skew.(p.pid))
 
-let table sim p name =
-  match Hashtbl.find_opt sim.store name with
-  | Some a -> a.(p.pid)
-  | None -> errf "unknown array %s" name
-
-let load sim p name idx (access : Spmd.access) : float =
-  let enc = encode sim name idx in
-  let tbl = table sim p name in
+let load sim p (mt : meta) idx (access : Spmd.access) : float =
+  let enc = Runtime.encode mt.ma idx in
   (match access with
   | Spmd.Checked -> tick sim p sim.machine.Machine.check_time
   | _ -> ());
-  match Hashtbl.find_opt tbl enc with
+  match Hashtbl.find_opt mt.mt_tables.(p.pid) enc with
   | Some v -> v
   | None ->
-      if owns sim p name idx then 0.0
+      if owns sim p mt idx then 0.0
       else
         errf "proc %d: %s access to non-local %s(%s) with no received value"
           p.pid
@@ -356,20 +211,20 @@ let load sim p name idx (access : Spmd.access) : float =
           | Spmd.Overlay -> "Overlay"
           | Spmd.Checked -> "Checked"
           | Spmd.Global -> "Global")
-          name
+          mt.ma.Runtime.am_name
           (String.concat "," (List.map string_of_int idx))
 
-let store_elem sim p name idx value (access : Spmd.access) : unit =
-  let enc = encode sim name idx in
-  let tbl = table sim p name in
+let store_elem sim p (mt : meta) idx value (access : Spmd.access) : unit =
+  let enc = Runtime.encode mt.ma idx in
   (match access with
   | Spmd.Checked -> tick sim p sim.machine.Machine.check_time
   | Spmd.Local ->
-      if not (owns sim p name idx) then
-        errf "proc %d: Local store to non-owned %s(%s)" p.pid name
+      if not (owns sim p mt idx) then
+        errf "proc %d: Local store to non-owned %s(%s)" p.pid
+          mt.ma.Runtime.am_name
           (String.concat "," (List.map string_of_int idx))
   | _ -> ());
-  Hashtbl.replace tbl enc value
+  Hashtbl.replace mt.mt_tables.(p.pid) enc value
 
 let rec eval_fexpr sim p (e : Spmd.fexpr) : float =
   match e with
@@ -381,10 +236,11 @@ let rec eval_fexpr sim p (e : Spmd.fexpr) : float =
       | None -> float_of_int (lookup_int sim p s))
   | Spmd.FLoad { arr; idx; access } ->
       tick sim p sim.machine.Machine.flop_time;
-      load sim p arr (List.map (eval_expr sim p) idx) access
+      load sim p (meta_of sim arr) (List.map (eval_expr sim p) idx) access
   | Spmd.FNeg a -> -.eval_fexpr sim p a
   | Spmd.FBin (op, a, b) ->
-      let x = eval_fexpr sim p a and y = eval_fexpr sim p b in
+      let x = eval_fexpr sim p a in
+      let y = eval_fexpr sim p b in
       tick sim p sim.machine.Machine.flop_time;
       (match op with
       | Hpf.Ast.Add -> x +. y
@@ -398,7 +254,8 @@ let rec eval_fexpr sim p (e : Spmd.fexpr) : float =
 let rec eval_fcond sim p (c : Spmd.fcond) : bool =
   match c with
   | Spmd.FCmp (a, op, b) ->
-      let x = eval_fexpr sim p a and y = eval_fexpr sim p b in
+      let x = eval_fexpr sim p a in
+      let y = eval_fexpr sim p b in
       (match op with
       | Hpf.Ast.Lt -> x < y
       | Hpf.Ast.Le -> x <= y
@@ -445,16 +302,17 @@ let rec exec_stmt sim p (s : Spmd.stmt) : unit =
   | Spmd.Store { arr; idx; value; access } ->
       let x = eval_fexpr sim p value in
       tick sim p m.Machine.flop_time;
-      store_elem sim p arr (List.map (eval_expr sim p) idx) x access
+      store_elem sim p (meta_of sim arr) (List.map (eval_expr sim p) idx) x
+        access
   | Spmd.Pack { event; arr; idx } ->
+      let mt = meta_of sim arr in
       let idx = List.map (eval_expr sim p) idx in
-      let enc = encode sim arr idx in
-      let tbl = table sim p arr in
+      let enc = Runtime.encode mt.ma idx in
       let v =
-        match Hashtbl.find_opt tbl enc with
+        match Hashtbl.find_opt mt.mt_tables.(p.pid) enc with
         | Some v -> v
         | None ->
-            if owns sim p arr idx then 0.0
+            if owns sim p mt idx then 0.0
             else
               errf "proc %d: packing non-resident element %s(%s)" p.pid arr
                 (String.concat "," (List.map string_of_int idx))
@@ -466,123 +324,56 @@ let rec exec_stmt sim p (s : Spmd.stmt) : unit =
         match Hashtbl.find_opt sim.outbuf key with
         | Some b -> b
         | None ->
-            let b = ref [] in
+            let b = Runtime.packbuf_create () in
             Hashtbl.replace sim.outbuf key b;
             b
       in
-      buf := (arr, enc, v) :: !buf
+      Runtime.packbuf_push buf ~arr enc v
   | Spmd.Send { event; dest } ->
       let dest_vp = List.map (eval_expr sim p) dest in
-      let key = (p.pid, event) in
-      let elems =
-        match Hashtbl.find_opt sim.outbuf key with
-        | Some b ->
-            let e = Array.of_list (List.rev !b) in
-            Hashtbl.remove sim.outbuf key;
-            e
-        | None -> [||]
+      let pl =
+        match Hashtbl.find_opt sim.outbuf (p.pid, event) with
+        | Some b -> Runtime.packbuf_flush b
+        | None -> Runtime.empty_payload
       in
-      let n = Array.length elems in
-      (* §3.3: transfers proved contiguous at compile time go in place; a
-         rectangular section that was not proved is tested at run time (a
-         handful of predicate evaluations — far cheaper than packing) and
-         goes in place when the test succeeds *)
-      let contig =
-        if Hashtbl.mem sim.inplace_events event then true
-        else if Hashtbl.mem sim.rect_events event && n > 1 then begin
-          tick sim p (8.0 *. m.Machine.check_time);
-          let ok = ref true in
-          for i = 1 to n - 1 do
-            let _, e0, _ = elems.(i - 1) and _, e1, _ = elems.(i) in
-            if e1 <> e0 + 1 then ok := false
-          done;
-          !ok
-        end
-        else false
-      in
-      if not contig then
-        tick sim p (float_of_int n *. m.Machine.pack_time);
-      (* a message between two VPs of the same physical processor (cyclic
-         distributions) is a local copy, not a network transfer *)
-      let local = phys_of_vp sim dest_vp = p.pid in
-      if local then begin
-        tick sim p (float_of_int n *. m.Machine.pack_time)
-      end
-      else begin
-        tick sim p m.Machine.send_overhead;
-        sim.n_msgs <- sim.n_msgs + 1;
-        sim.n_bytes <- sim.n_bytes + (n * m.Machine.elem_bytes);
-        sim.n_elems_comm <- sim.n_elems_comm + n
-      end;
-      let k = { k_event = event; k_src = my_vp sim p; k_dst = dest_vp } in
-      let seq =
-        let s = Option.value (Hashtbl.find_opt sim.send_seq k) ~default:0 in
-        Hashtbl.replace sim.send_seq k (s + 1);
-        s
-      in
-      let dst_pid = phys_of_vp sim dest_vp in
-      let plan =
-        match sim.faults with
-        | Some sp when not local ->
-            Fault.plan sp ~event ~src:p.pid ~dst:dst_pid ~seq
-        | _ -> Fault.no_faults
-      in
-      (* dropped transmissions: the sender's retransmission timer fires
-         (with exponential backoff) and the message is re-sent, costing CPU
-         and delaying the arrival — the payload that finally arrives is the
-         same, so results are unaffected *)
-      if plan.Fault.mp_drops > 0 then begin
-        sim.n_timeouts <- sim.n_timeouts + plan.Fault.mp_drops;
-        sim.n_retransmits <- sim.n_retransmits + plan.Fault.mp_drops;
-        tick sim p (float_of_int plan.Fault.mp_drops *. m.Machine.retry_overhead)
-      end;
-      let wire = Machine.msg_time m n in
-      let arrival =
-        if local then p.clock
-        else
-          p.clock +. wire
-          +. Machine.retransmit_wait m plan.Fault.mp_drops
-          +. (plan.Fault.mp_delay *. wire)
-      in
-      let q =
-        match Hashtbl.find_opt sim.mailbox k with
-        | Some q -> q
-        | None ->
-            let q = ref [] in
-            Hashtbl.replace sim.mailbox k q;
-            q
-      in
-      let msg = { m_seq = seq; m_arrival = arrival; m_payload = elems; m_contig = contig } in
-      (* transport order: a reordered message jumps ahead of traffic already
-         in flight on its channel; delivery still matches sequence numbers *)
-      if plan.Fault.mp_reorder then q := msg :: !q else q := !q @ [ msg ];
-      if plan.Fault.mp_dup then
-        q := !q @ [ { msg with m_arrival = arrival +. wire } ];
-      let depth = List.length !q in
-      if depth > sim.max_mbox_depth then sim.max_mbox_depth <- depth
+      Runtime.send sim.tr
+        ~tick:(fun dt -> tick sim p dt)
+        ~get_clock:(fun () -> p.clock)
+        ~pid:p.pid
+        ~dst_pid:(phys_of_vp_i sim dest_vp)
+        ~event ~src_vp:(my_vp sim p) ~dst_vp:dest_vp
+        ~inplace:(Hashtbl.mem sim.inplace_events event)
+        ~rect:(Hashtbl.mem sim.rect_events event)
+        pl
   | Spmd.Recv { event; src } ->
       let src_vp = List.map (eval_expr sim p) src in
-      let k = { k_event = event; k_src = src_vp; k_dst = my_vp sim p } in
-      let msg = Effect.perform (ERecv k) in
+      let k =
+        { Runtime.k_event = event; k_src = src_vp; k_dst = my_vp sim p }
+      in
+      let msg = Effect.perform (Runtime.ERecv k) in
       tick sim p m.Machine.recv_overhead;
-      p.clock <- Float.max p.clock msg.m_arrival;
-      ignore event;
-      let n = Array.length msg.m_payload in
-      if not msg.m_contig then
+      p.clock <- Float.max p.clock msg.Runtime.m_arrival;
+      let pl = msg.Runtime.m_payload in
+      let n = Array.length pl.Runtime.pl_idx in
+      if not msg.Runtime.m_contig then
         tick sim p (float_of_int n *. m.Machine.unpack_time);
-      Array.iter
-        (fun (arr, enc, v) -> Hashtbl.replace (table sim p arr) enc v)
-        msg.m_payload
+      if n > 0 then begin
+        (* resolve the destination table once per message, not per element *)
+        let tbl = (meta_of sim pl.Runtime.pl_arr).mt_tables.(p.pid) in
+        for i = 0 to n - 1 do
+          Hashtbl.replace tbl pl.Runtime.pl_idx.(i) pl.Runtime.pl_val.(i)
+        done
+      end
   | Spmd.Reduce { scalar; op } ->
-      if Hashtbl.mem sim.store scalar then
+      if Hashtbl.mem sim.meta scalar then
         (* array reduction: every processor holds partial values; the
            collective combines them element-wise *)
-        Effect.perform (EReduceArr (scalar, op))
+        Effect.perform (Runtime.EReduceArr (scalar, op))
       else begin
         let mine =
           match Hashtbl.find_opt p.fenv scalar with Some v -> v | None -> 0.0
         in
-        let combined = Effect.perform (EReduce (op, mine)) in
+        let combined = Effect.perform (Runtime.EReduce (op, mine)) in
         Hashtbl.replace p.fenv scalar combined
       end
   | Spmd.Call f -> (
@@ -591,400 +382,146 @@ let rec exec_stmt sim p (s : Spmd.stmt) : unit =
       | None -> errf "proc %d: unknown subroutine %s" p.pid f)
 
 (* ------------------------------------------------------------------ *)
-(* Scheduler                                                           *)
+(* Interpreter collectives and scheduling                              *)
 (* ------------------------------------------------------------------ *)
 
-type waiting =
-  | WRun  (** not yet started *)
-  | WRecv of key * (msg, unit) Effect.Deep.continuation
-  | WReduce of Spmd.reduce_op * float * (float, unit) Effect.Deep.continuation
-  | WReduceArr of string * Spmd.reduce_op * (unit, unit) Effect.Deep.continuation
-  | WDone
+(* element-wise combination of every processor's partial values *)
+let reduce_arr_interp sim name (op : Spmd.reduce_op) : int =
+  let tables = (meta_of sim name).mt_tables in
+  let keys = Hashtbl.create 256 in
+  Array.iter
+    (fun tbl -> Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) tbl)
+    tables;
+  let combined = Hashtbl.create (Hashtbl.length keys) in
+  Hashtbl.iter
+    (fun k () ->
+      let acc = ref None in
+      Array.iter
+        (fun tbl ->
+          match Hashtbl.find_opt tbl k with
+          | None -> ()
+          | Some v ->
+              acc :=
+                Some
+                  (match (!acc, op) with
+                  | None, _ -> v
+                  | Some a, Spmd.RSum -> a +. v
+                  | Some a, Spmd.RMax -> Float.max a v
+                  | Some a, Spmd.RMin -> Float.min a v))
+        tables;
+      match !acc with Some v -> Hashtbl.replace combined k v | None -> ())
+    keys;
+  Array.iter
+    (fun tbl -> Hashtbl.iter (fun k v -> Hashtbl.replace tbl k v) combined)
+    tables;
+  Hashtbl.length combined
 
-type stats = {
-  s_time : float;  (** simulated execution time: max processor clock *)
+let run_interp (sim : isim) : Runtime.stats =
+  if sim.iran then
+    errf "simulation already executed: Exec.run consumed this sim (build a fresh one with Exec.make)";
+  sim.iran <- true;
+  Runtime.sched_run
+    {
+      Runtime.h_nprocs = sim.inprocs;
+      h_tr = sim.tr;
+      h_clock = (fun p -> sim.procs.(p).clock);
+      h_set_clock = (fun p t -> sim.procs.(p).clock <- t);
+      h_body =
+        (fun p -> List.iter (exec_stmt sim sim.procs.(p)) sim.prog.main);
+      h_reduce_arr = reduce_arr_interp sim;
+      h_phys_of_vp = phys_of_vp_i sim;
+    };
+  Runtime.stats_of sim.tr
+    ~proc_times:(Array.map (fun p -> p.clock) sim.procs)
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter result inspection                                       *)
+(* ------------------------------------------------------------------ *)
+
+let get_elem_interp sim name idx =
+  let mt = meta_of sim name in
+  let pid = owner_pid sim mt idx in
+  let enc = Runtime.encode mt.ma idx in
+  match Hashtbl.find_opt mt.mt_tables.(pid) enc with
+  | Some v -> v
+  | None -> 0.0
+
+let get_scalar_interp sim name =
+  match Hashtbl.find_opt sim.procs.(0).fenv name with
+  | Some v -> v
+  | None -> errf "unknown scalar %s" name
+
+(* ------------------------------------------------------------------ *)
+(* Public facade                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type engine = [ `Closure | `Interp ]
+
+type sim = SClosure of Compile.csim | SInterp of isim
+
+let make ?(engine = `Closure) ?machine ?faults ~nprocs ?params
+    (prog : Spmd.program) : sim =
+  match engine with
+  | `Closure -> SClosure (Compile.make ?machine ?faults ~nprocs ?params prog)
+  | `Interp -> SInterp (make_interp ?machine ?faults ~nprocs ?params prog)
+
+let nprocs = function
+  | SClosure cs -> Compile.nprocs cs
+  | SInterp s -> s.inprocs
+
+let phys_of_vp = function
+  | SClosure cs -> Compile.phys_of_vp cs
+  | SInterp s -> phys_of_vp_i s
+
+type stats = Runtime.stats = {
+  s_time : float;
   s_msgs : int;
   s_bytes : int;
   s_elems : int;
   s_proc_times : float array;
-  s_retransmits : int;  (** dropped transmissions re-sent after a timeout *)
-  s_timeouts : int;  (** retransmission timers fired *)
-  s_dups_delivered : int;  (** duplicate copies detected and discarded *)
-  s_max_mailbox : int;  (** peak in-flight depth of any one channel *)
+  s_retransmits : int;
+  s_timeouts : int;
+  s_dups_delivered : int;
+  s_max_mailbox : int;
 }
 
-(* ------------------------------------------------------------------ *)
-(* Deadlock diagnostics                                                *)
-(* ------------------------------------------------------------------ *)
-
-type wait_reason =
+type wait_reason = Runtime.wait_reason =
   | WaitRecv of {
       wr_event : int;
       wr_src_vp : int list;
-      wr_src_pid : int;  (** physical processor the wait is on *)
+      wr_src_pid : int;
       wr_expected_seq : int;
-      wr_queued : int;  (** undeliverable messages sitting on the channel *)
+      wr_queued : int;
     }
-  | WaitReduce  (** blocked in a replicated-scalar collective *)
-  | WaitReduceArr of string  (** blocked in an array-reduction collective *)
+  | WaitReduce
+  | WaitReduceArr of string
 
-type proc_wait = { w_pid : int; w_clock : float; w_reason : wait_reason }
+type proc_wait = Runtime.proc_wait = {
+  w_pid : int;
+  w_clock : float;
+  w_reason : wait_reason;
+}
 
-type diagnostic = {
-  dg_waiting : proc_wait list;  (** every stuck processor, by pid *)
+type diagnostic = Runtime.diagnostic = {
+  dg_waiting : proc_wait list;
   dg_cycle : int list;
-      (** pids forming a wait-for cycle (first element repeats conceptually);
-          [] when the stall is not cyclic (e.g. a missing send) *)
   dg_undelivered : (int * int list * int list * int) list;
-      (** (event, src vp, dst vp, queued count) for nonempty channels *)
   dg_max_mailbox : int;
 }
 
-exception Deadlock of diagnostic
+exception Deadlock = Runtime.Deadlock
 
-let pp_vp fmt vp =
-  Fmt.pf fmt "(%s)" (String.concat "," (List.map string_of_int vp))
+let pp_diagnostic = Runtime.pp_diagnostic
+let diagnostic_to_string = Runtime.diagnostic_to_string
 
-let pp_diagnostic fmt (d : diagnostic) =
-  Fmt.pf fmt "deadlock: %d processor(s) stuck@." (List.length d.dg_waiting);
-  List.iter
-    (fun w ->
-      match w.w_reason with
-      | WaitRecv r ->
-          Fmt.pf fmt
-            "  proc %d [t=%.3e]: recv event %d from vp%a (pid %d), expecting \
-             seq %d, %d undeliverable queued@."
-            w.w_pid w.w_clock r.wr_event pp_vp r.wr_src_vp r.wr_src_pid
-            r.wr_expected_seq r.wr_queued
-      | WaitReduce ->
-          Fmt.pf fmt "  proc %d [t=%.3e]: blocked in scalar reduction@."
-            w.w_pid w.w_clock
-      | WaitReduceArr a ->
-          Fmt.pf fmt "  proc %d [t=%.3e]: blocked in array reduction of %s@."
-            w.w_pid w.w_clock a)
-    d.dg_waiting;
-  (match d.dg_cycle with
-  | [] -> Fmt.pf fmt "  no wait-for cycle: a send is missing entirely@."
-  | c ->
-      Fmt.pf fmt "  wait-for cycle: %s -> %s@."
-        (String.concat " -> " (List.map string_of_int c))
-        (string_of_int (List.hd c)));
-  List.iter
-    (fun (ev, src, dst, n) ->
-      Fmt.pf fmt "  undelivered: event %d vp%a -> vp%a, %d message(s)@." ev
-        pp_vp src pp_vp dst n)
-    d.dg_undelivered;
-  if d.dg_max_mailbox > 0 then
-    Fmt.pf fmt "  peak mailbox depth: %d@." d.dg_max_mailbox
+let run = function
+  | SClosure cs -> Compile.run cs
+  | SInterp s -> run_interp s
 
-let diagnostic_to_string d = Fmt.str "%a" pp_diagnostic d
+let get_elem = function
+  | SClosure cs -> Compile.get_elem cs
+  | SInterp s -> get_elem_interp s
 
-(* shortest-path-free cycle finding: DFS over the wait-for edges; small
-   graphs, recursion depth bounded by nprocs *)
-let find_cycle (succ : int -> int list) (nodes : int list) : int list =
-  let state = Hashtbl.create 16 in
-  (* 0 = on stack, 1 = done *)
-  let cycle = ref [] in
-  let rec dfs path n =
-    match Hashtbl.find_opt state n with
-    | Some _ -> ()
-    | None ->
-        Hashtbl.replace state n 0;
-        List.iter
-          (fun s ->
-            if !cycle = [] then
-              match Hashtbl.find_opt state s with
-              | Some 0 ->
-                  (* found: unwind the path back to s *)
-                  let rec take = function
-                    | [] -> []
-                    | x :: rest -> if x = s then [ x ] else x :: take rest
-                  in
-                  cycle := List.rev (take (n :: path))
-              | Some _ -> ()
-              | None -> dfs (n :: path) s)
-          (succ n);
-        Hashtbl.replace state n 1
-  in
-  List.iter (fun n -> if !cycle = [] then dfs [] n) nodes;
-  !cycle
-
-let run (sim : sim) : stats =
-  let status = Array.make sim.nprocs WRun in
-  let start p =
-    let open Effect.Deep in
-    match_with
-      (fun () -> List.iter (exec_stmt sim sim.procs.(p)) sim.prog.main)
-      ()
-      {
-        retc = (fun () -> status.(p) <- WDone);
-        exnc = (fun e -> raise e);
-        effc =
-          (fun (type c) (eff : c Effect.t) ->
-            match eff with
-            | ERecv k ->
-                Some
-                  (fun (cont : (c, unit) continuation) ->
-                    status.(p) <- WRecv (k, cont))
-            | EReduce (op, v) ->
-                Some
-                  (fun (cont : (c, unit) continuation) ->
-                    status.(p) <- WReduce (op, v, cont))
-            | EReduceArr (name, op) ->
-                Some
-                  (fun (cont : (c, unit) continuation) ->
-                    status.(p) <- WReduceArr (name, op, cont))
-            | _ -> None);
-      }
-  in
-  for p = 0 to sim.nprocs - 1 do
-    start p
-  done;
-  let is_done = function WDone -> true | _ -> false in
-  let all_done () = Array.for_all is_done status in
-  let progressed = ref true in
-  while (not (all_done ())) && !progressed do
-    progressed := false;
-    (* deliver available messages: the transport may hold duplicates and
-       reordered traffic, so delivery matches the next expected sequence
-       number per channel — stale (already-delivered) copies are discarded
-       and counted, out-of-order messages wait in flight *)
-    for p = 0 to sim.nprocs - 1 do
-      match status.(p) with
-      | WRecv (k, cont) -> (
-          match Hashtbl.find_opt sim.mailbox k with
-          | Some q when !q <> [] -> (
-              let expected =
-                Option.value (Hashtbl.find_opt sim.recv_seq k) ~default:0
-              in
-              let stale, live =
-                List.partition (fun m -> m.m_seq < expected) !q
-              in
-              if stale <> [] then begin
-                sim.n_dups_delivered <- sim.n_dups_delivered + List.length stale;
-                q := live
-              end;
-              let rec take acc = function
-                | [] -> None
-                | m :: rest ->
-                    if m.m_seq = expected then Some (m, List.rev_append acc rest)
-                    else take (m :: acc) rest
-              in
-              match take [] live with
-              | Some (msg, rest) ->
-                  q := rest;
-                  Hashtbl.replace sim.recv_seq k (expected + 1);
-                  progressed := true;
-                  status.(p) <- WDone;
-                  (* placeholder; handler overwrites on next block *)
-                  Effect.Deep.continue cont msg
-              | None -> ())
-          | _ -> ())
-      | _ -> ()
-    done;
-    (* collectives *)
-    if not !progressed then begin
-      let at_arr_reduce =
-        Array.for_all (function WReduceArr _ -> true | _ -> false) status
-        && Array.length status > 0
-      in
-      if at_arr_reduce then begin
-        let name, op, _ =
-          match status.(0) with WReduceArr (n, o, c) -> (n, o, c) | _ -> assert false
-        in
-        let tables = Hashtbl.find sim.store name in
-        (* element-wise combination of every processor's partial values *)
-        let keys = Hashtbl.create 256 in
-        Array.iter
-          (fun tbl -> Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) tbl)
-          tables;
-        let combined = Hashtbl.create (Hashtbl.length keys) in
-        Hashtbl.iter
-          (fun k () ->
-            let acc = ref None in
-            Array.iter
-              (fun tbl ->
-                match Hashtbl.find_opt tbl k with
-                | None -> ()
-                | Some v ->
-                    acc :=
-                      Some
-                        (match (!acc, op) with
-                        | None, _ -> v
-                        | Some a, Spmd.RSum -> a +. v
-                        | Some a, Spmd.RMax -> Float.max a v
-                        | Some a, Spmd.RMin -> Float.min a v))
-              tables;
-            match !acc with Some v -> Hashtbl.replace combined k v | None -> ())
-          keys;
-        Array.iter
-          (fun tbl -> Hashtbl.iter (fun k v -> Hashtbl.replace tbl k v) combined)
-          tables;
-        let nelems = Hashtbl.length combined in
-        let stages =
-          if sim.nprocs <= 1 then 0
-          else int_of_float (ceil (log (float_of_int sim.nprocs) /. log 2.0))
-        in
-        let cost =
-          2.0 *. float_of_int stages *. Machine.msg_time sim.machine nelems
-        in
-        let tmax = Array.fold_left (fun acc p -> Float.max acc p.clock) 0.0 sim.procs in
-        let t_done = tmax +. cost in
-        sim.n_msgs <- sim.n_msgs + (2 * stages * sim.nprocs);
-        sim.n_bytes <-
-          sim.n_bytes + (2 * stages * nelems * sim.machine.Machine.elem_bytes);
-        let conts =
-          Array.mapi
-            (fun pidx st ->
-              match st with WReduceArr (_, _, c) -> Some (pidx, c) | _ -> None)
-            status
-        in
-        Array.iter
-          (function
-            | Some (pidx, cont) ->
-                sim.procs.(pidx).clock <- t_done;
-                status.(pidx) <- WDone;
-                progressed := true;
-                Effect.Deep.continue cont ()
-            | None -> ())
-          conts
-      end;
-      let at_reduce =
-        Array.for_all (function WReduce _ -> true | WDone -> false | _ -> false) status
-        && Array.exists (function WReduce _ -> true | _ -> false) status
-      in
-      if at_reduce then begin
-        let vals =
-          Array.to_list status
-          |> List.filter_map (function WReduce (op, v, _) -> Some (op, v) | _ -> None)
-        in
-        let op = fst (List.hd vals) in
-        let combined =
-          List.fold_left
-            (fun acc (_, v) ->
-              match op with
-              | Spmd.RSum -> acc +. v
-              | Spmd.RMax -> Float.max acc v
-              | Spmd.RMin -> Float.min acc v)
-            (match op with
-            | Spmd.RSum -> 0.0
-            | Spmd.RMax -> Float.neg_infinity
-            | Spmd.RMin -> Float.infinity)
-            vals
-        in
-        let tmax =
-          Array.fold_left (fun acc p -> Float.max acc p.clock) 0.0 sim.procs
-        in
-        let t_done = tmax +. Machine.allreduce_time sim.machine sim.nprocs in
-        let conts =
-          Array.mapi
-            (fun p s -> match s with WReduce (_, _, c) -> Some (p, c) | _ -> None)
-            status
-        in
-        Array.iter
-          (function
-            | Some (p, cont) ->
-                sim.procs.(p).clock <- t_done;
-                status.(p) <- WDone;
-                progressed := true;
-                Effect.Deep.continue cont combined
-            | None -> ())
-          conts
-      end
-    end
-  done;
-  if not (all_done ()) then begin
-    (* structured diagnosis: who waits on whom, with event ids, sequence
-       numbers, simulated clocks and channel depths; extract a wait-for
-       cycle when one exists *)
-    let waiting =
-      Array.to_list status
-      |> List.mapi (fun p s ->
-             let w reason =
-               Some { w_pid = p; w_clock = sim.procs.(p).clock; w_reason = reason }
-             in
-             match s with
-             | WRecv (k, _) ->
-                 let queued =
-                   match Hashtbl.find_opt sim.mailbox k with
-                   | Some q -> List.length !q
-                   | None -> 0
-                 in
-                 w
-                   (WaitRecv
-                      {
-                        wr_event = k.k_event;
-                        wr_src_vp = k.k_src;
-                        wr_src_pid = phys_of_vp sim k.k_src;
-                        wr_expected_seq =
-                          Option.value (Hashtbl.find_opt sim.recv_seq k) ~default:0;
-                        wr_queued = queued;
-                      })
-             | WReduce _ -> w WaitReduce
-             | WReduceArr (name, _, _) -> w (WaitReduceArr name)
-             | WRun | WDone -> None)
-      |> List.filter_map Fun.id
-    in
-    let stuck = List.map (fun w -> w.w_pid) waiting in
-    let succ p =
-      match List.find_opt (fun w -> w.w_pid = p) waiting with
-      | Some { w_reason = WaitRecv r; _ } ->
-          if List.mem r.wr_src_pid stuck then [ r.wr_src_pid ] else []
-      | Some { w_reason = WaitReduce | WaitReduceArr _; _ } ->
-          (* a collective waits on every processor that has not reached it *)
-          List.filter
-            (fun p' ->
-              p' <> p
-              &&
-              match List.find_opt (fun w -> w.w_pid = p') waiting with
-              | Some { w_reason = WaitRecv _; _ } -> true
-              | _ -> false)
-            stuck
-      | _ -> []
-    in
-    let undelivered =
-      Hashtbl.fold
-        (fun k q acc ->
-          if !q = [] then acc
-          else (k.k_event, k.k_src, k.k_dst, List.length !q) :: acc)
-        sim.mailbox []
-      |> List.sort compare
-    in
-    raise
-      (Deadlock
-         {
-           dg_waiting = waiting;
-           dg_cycle = find_cycle succ stuck;
-           dg_undelivered = undelivered;
-           dg_max_mailbox = sim.max_mbox_depth;
-         })
-  end;
-  {
-    s_time = Array.fold_left (fun acc p -> Float.max acc p.clock) 0.0 sim.procs;
-    s_msgs = sim.n_msgs;
-    s_bytes = sim.n_bytes;
-    s_elems = sim.n_elems_comm;
-    s_proc_times = Array.map (fun p -> p.clock) sim.procs;
-    s_retransmits = sim.n_retransmits;
-    s_timeouts = sim.n_timeouts;
-    s_dups_delivered = sim.n_dups_delivered;
-    s_max_mailbox = sim.max_mbox_depth;
-  }
-
-(* ------------------------------------------------------------------ *)
-(* Result inspection                                                   *)
-(* ------------------------------------------------------------------ *)
-
-(** Value of an array element after execution, read from its owner. *)
-let get_elem sim name idx =
-  let pid = owner_pid sim name idx in
-  let enc = encode sim name idx in
-  match Hashtbl.find_opt (Hashtbl.find sim.store name).(pid) enc with
-  | Some v -> v
-  | None -> 0.0
-
-(** Scalar value (replicated; read from processor 0). *)
-let get_scalar sim name =
-  match Hashtbl.find_opt sim.procs.(0).fenv name with
-  | Some v -> v
-  | None -> errf "unknown scalar %s" name
+let get_scalar = function
+  | SClosure cs -> Compile.get_scalar cs
+  | SInterp s -> get_scalar_interp s

@@ -1,5 +1,18 @@
-(** SPMD interpreter: executes the compiler's {!Dhpf.Spmd} programs on a
-    simulated distributed-memory machine.
+(** SPMD execution facade: runs the compiler's {!Dhpf.Spmd} programs on a
+    simulated distributed-memory machine through one of two engines.
+
+    [`Closure] (the default, {!Compile}) lowers the program once into OCaml
+    closures — integer names resolved to array slots, global parameters
+    folded to constants — and stores each processor's owned array section
+    in a dense [float array] block, so per-iteration cost is a closure call
+    instead of an AST match with hashtable lookups. [`Interp] is the
+    original tree-walking interpreter, kept as the differential oracle.
+
+    Both engines share {!Runtime}'s transport and scheduler and charge
+    clock time in the same order: runs are bit-identical in element values
+    and identical in message/byte/retransmit counters (the
+    engine-differential property in the test suite asserts this, including
+    under fault injection).
 
     Each processor runs as an effect-handler fiber with its own virtual
     clock; sends are buffered (non-blocking), receives block until the
@@ -9,17 +22,19 @@
     model. Scalar and array reductions are synchronizing collectives priced
     as binary trees.
 
-    Storage is one table per (processor, array) holding both owned elements
-    and received non-local values; ownership is recomputed from the layout
-    descriptors, so a [Local] access to a non-owned element, or a read of
-    never-communicated non-local data, raises {!Error} — executing compiled
-    code under the simulator doubles as a compiler correctness check. *)
+    Ownership is recomputed from the layout descriptors, so a [Local]
+    access to a non-owned element, or a read of never-communicated
+    non-local data, raises {!Error} — executing compiled code under the
+    simulator doubles as a compiler correctness check. *)
 
 exception Error of string
+
+type engine = [ `Closure | `Interp ]
 
 type sim
 
 val make :
+  ?engine:engine ->
   ?machine:Machine.t ->
   ?faults:Fault.spec ->
   nprocs:int ->
@@ -29,7 +44,8 @@ val make :
 (** Instantiate the machine: evaluate startup parameter bindings (with
     [number_of_processors() = nprocs]), size the processor grid, compute
     each processor's [m$k] / [vm$k] coordinates, and allocate storage.
-    [params] binds symbolic program parameters.
+    [params] binds symbolic program parameters. [engine] selects the
+    executor (default [`Closure]; [`Interp] is the oracle).
 
     [faults] injects a deterministic adversarial transport (see {!Fault}):
     message delay, in-flight reordering, duplicate delivery, bounded
@@ -47,7 +63,7 @@ val phys_of_vp : sim -> int list -> int
     tuple (identity for concrete distributions; block-start / template-cell
     decoding for the symbolic VP modes of §4). *)
 
-type stats = {
+type stats = Runtime.stats = {
   s_time : float;  (** simulated execution time: max processor clock *)
   s_msgs : int;
   s_bytes : int;
@@ -68,7 +84,7 @@ type stats = {
     depth), the extracted wait-for cycle when one exists, and the channels
     still holding undelivered messages. *)
 
-type wait_reason =
+type wait_reason = Runtime.wait_reason =
   | WaitRecv of {
       wr_event : int;
       wr_src_vp : int list;
@@ -79,9 +95,13 @@ type wait_reason =
   | WaitReduce
   | WaitReduceArr of string
 
-type proc_wait = { w_pid : int; w_clock : float; w_reason : wait_reason }
+type proc_wait = Runtime.proc_wait = {
+  w_pid : int;
+  w_clock : float;
+  w_reason : wait_reason;
+}
 
-type diagnostic = {
+type diagnostic = Runtime.diagnostic = {
   dg_waiting : proc_wait list;
   dg_cycle : int list;
   dg_undelivered : (int * int list * int list * int) list;
@@ -94,9 +114,11 @@ val pp_diagnostic : Format.formatter -> diagnostic -> unit
 val diagnostic_to_string : diagnostic -> string
 
 val run : sim -> stats
-(** Execute the program on every processor to completion.
+(** Execute the program on every processor to completion. Each sim is
+    single-use: running it a second time would start from stale clocks,
+    sequence numbers and array contents, so a second call raises {!Error}.
     @raise Deadlock when no processor can make progress.
-    @raise Error on an illegal access or unbound name. *)
+    @raise Error on an illegal access, unbound name, or re-run. *)
 
 val get_elem : sim -> string -> int list -> float
 (** Element value after execution, read from its owning processor. *)

@@ -1,0 +1,769 @@
+(* Shared runtime substrate for the two SPMD execution engines (the
+   tree-walking interpreter in {!Exec} and the closure-compiled engine in
+   {!Compile}): startup parameter binding, array metadata, the packed
+   message transport with per-channel sequence matching and fault
+   injection, the effect-based scheduler with its collectives, and the
+   structured deadlock diagnostics.
+
+   Keeping the transport and scheduler here — used verbatim by both
+   engines — is what makes the engine-differential guarantee structural:
+   message counters, retransmit accounting and delivery order cannot
+   diverge between engines, because there is only one implementation. *)
+
+open Dhpf
+
+exception Error of string
+
+let errf fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Startup: parameter binding, processor grid, per-proc coordinates     *)
+(* ------------------------------------------------------------------ *)
+
+type setup = {
+  su_genv : (string, int) Hashtbl.t;  (** global parameter values *)
+  su_extents : int array;  (** processor grid extents *)
+  su_total : int;  (** total processors: product of extents *)
+  su_coords : int array array;  (** per-pid grid coordinates (m$k) *)
+  su_vm0 : (int * int) list array;
+      (** per-pid initial VP coordinates: (proc-dim index, vm$k value) for
+          the modes bound at startup; template-cell VPs are loop-bound *)
+  su_skew : float array;  (** per-processor straggler multiplier (>= 1) *)
+}
+
+let eval_genv genv e =
+  Iset.Codegen.eval_expr
+    (fun s ->
+      match Hashtbl.find_opt genv s with
+      | Some v -> v
+      | None -> errf "unbound parameter %s" s)
+    e
+
+let setup ?faults ~nprocs ~params (prog : Spmd.program) : setup =
+  let genv = Hashtbl.create 32 in
+  Hashtbl.replace genv "number_of_processors" nprocs;
+  List.iter (fun (n, v) -> Hashtbl.replace genv n v) params;
+  let bind s =
+    match Hashtbl.find_opt genv s with
+    | Some v -> v
+    | None -> errf "unbound parameter %s (needed at startup)" s
+  in
+  List.iter
+    (fun (pb : Spmd.param_binding) ->
+      match pb.pb_value with
+      | `Given k -> Hashtbl.replace genv pb.pb_name k
+      | `FromEnv ->
+          if not (Hashtbl.mem genv pb.pb_name) then
+            errf "symbolic parameter %s must be supplied" pb.pb_name
+      | `Expr e -> Hashtbl.replace genv pb.pb_name (Hpf.Sema.eval_iexpr ~bind e))
+    prog.params;
+  let ev e = eval_genv genv e in
+  let extents = Array.of_list (List.map ev prog.proc_extents) in
+  Array.iteri
+    (fun k e ->
+      if e < 1 then
+        errf "processor grid dimension %d has extent %d with %d processors"
+          (k + 1) e nprocs)
+    extents;
+  let total = Array.fold_left ( * ) 1 extents in
+  if total < 1 then errf "empty processor grid";
+  let coords =
+    Array.init total (fun pid ->
+        (* column-major linearization: first dimension varies fastest *)
+        let c = Array.make (Array.length extents) 0 in
+        let rem = ref pid in
+        Array.iteri
+          (fun k e ->
+            c.(k) <- !rem mod e;
+            rem := !rem / e)
+          extents;
+        c)
+  in
+  let vm0 =
+    Array.init total (fun pid ->
+        List.concat
+          (List.mapi
+             (fun k (pd : Spmd.proc_dim_rt) ->
+               match pd.pd_mode with
+               | Spmd.VpIsPhys -> [ (k, coords.(pid).(k)) ]
+               | Spmd.VpBlockOnePer ->
+                   let b = ev (Option.get pd.pd_bsize) in
+                   let tlo = ev pd.pd_tlo in
+                   [ (k, (b * coords.(pid).(k)) + tlo) ]
+               | Spmd.VpTemplateCell -> [] (* bound by generated VP loops *))
+             prog.proc_dims))
+  in
+  let skew =
+    Array.init total (fun pid ->
+        match faults with None -> 1.0 | Some sp -> Fault.skew sp ~pid)
+  in
+  { su_genv = genv; su_extents = extents; su_total = total;
+    su_coords = coords; su_vm0 = vm0; su_skew = skew }
+
+(* ------------------------------------------------------------------ *)
+(* Array metadata: bounds, strides, linear encoding                     *)
+(* ------------------------------------------------------------------ *)
+
+type ameta = {
+  am_name : string;
+  am_bounds : (int * int) array;  (** per-dim [lo, hi] *)
+  am_ext : int array;  (** per-dim extent *)
+  am_strides : int array;  (** column-major strides (dim 0 fastest) *)
+  am_base : int;  (** sum of lo_d * stride_d, subtracted by the encoding *)
+}
+
+let ameta ~eval (ad : Spmd.array_decl) : ameta =
+  let bounds =
+    Array.of_list (List.map (fun (lo, hi) -> (eval lo, eval hi)) ad.ad_bounds)
+  in
+  let n = Array.length bounds in
+  let ext = Array.map (fun (lo, hi) -> hi - lo + 1) bounds in
+  let strides = Array.make n 1 in
+  for i = 1 to n - 1 do
+    strides.(i) <- strides.(i - 1) * ext.(i - 1)
+  done;
+  let base = ref 0 in
+  Array.iteri (fun i (lo, _) -> base := !base + (lo * strides.(i))) bounds;
+  { am_name = ad.ad_name; am_bounds = bounds; am_ext = ext; am_strides = strides;
+    am_base = !base }
+
+(** Global linear index of [idx], bounds-checked. *)
+let encode (m : ameta) (idx : int list) : int =
+  let off = ref (-m.am_base) in
+  List.iteri
+    (fun i x ->
+      let lo, hi = m.am_bounds.(i) in
+      if x < lo || x > hi then
+        errf "array %s: index %d outside [%d,%d] (dim %d)" m.am_name x lo hi
+          (i + 1);
+      off := !off + (x * m.am_strides.(i)))
+    idx;
+  !off
+
+(* ------------------------------------------------------------------ *)
+(* Ownership and VP mapping (shared formulas; engines differ only in     *)
+(* whether they evaluate them per access or tabulate them at setup)      *)
+(* ------------------------------------------------------------------ *)
+
+(* physical owner coordinate along one processor dimension, or None if the
+   element is replicated along it *)
+let owner_coord ~eval (dl : Spmd.dim_layout) (idx : int array) : int option =
+  let t =
+    match dl.Spmd.source with
+    | Spmd.AnyCoord -> None
+    | Spmd.FixedCoord e -> Some (eval e)
+    | Spmd.FromData { data_dim; coef; off } ->
+        Some ((coef * idx.(data_dim)) + eval off)
+  in
+  match t with
+  | None -> None
+  | Some t -> (
+      let tlo = eval dl.Spmd.tlo in
+      let p = eval dl.Spmd.pextent in
+      match dl.Spmd.fmt with
+      | Spmd.RBlock { bsize } ->
+          let b = eval bsize in
+          Some (Iset.Lin.fdiv (t - tlo) b)
+      | Spmd.RCyclic -> Some (Iset.Lin.pmod (t - tlo) p)
+      | Spmd.RBlockCyclic k -> Some (Iset.Lin.pmod (Iset.Lin.fdiv (t - tlo) k) p))
+
+(* VP coordinates -> linear physical pid *)
+let phys_of_vp ~eval (prog : Spmd.program) ~extents (vp : int list) : int =
+  let pid = ref 0 and stride = ref 1 in
+  List.iteri
+    (fun k v ->
+      let pd = List.nth prog.Spmd.proc_dims k in
+      let c =
+        match pd.Spmd.pd_mode with
+        | Spmd.VpIsPhys -> v
+        | Spmd.VpBlockOnePer ->
+            let b = eval (Option.get pd.Spmd.pd_bsize) in
+            Iset.Lin.fdiv (v - eval pd.Spmd.pd_tlo) b
+        | Spmd.VpTemplateCell ->
+            Iset.Lin.pmod (v - eval pd.Spmd.pd_tlo) (eval pd.Spmd.pd_extent)
+      in
+      pid := !pid + (c * !stride);
+      stride := !stride * extents.(k))
+    vp;
+  !pid
+
+(* ------------------------------------------------------------------ *)
+(* Packed message payloads and buffers                                  *)
+(* ------------------------------------------------------------------ *)
+
+type payload = {
+  pl_arr : string;  (** destination array; "" for an empty message *)
+  pl_idx : int array;  (** global linear (encoded) element indices *)
+  pl_val : float array;
+}
+(** Flat packed payload: parallel (index, value) arrays for one array, the
+    wire format of both engines (the interpreter's former
+    [(string * int * float) list] representation allocated three words of
+    boxing per element and forced a per-element string compare on unpack). *)
+
+let empty_payload = { pl_arr = ""; pl_idx = [||]; pl_val = [||] }
+
+type packbuf = {
+  mutable pb_arr : string;
+  mutable pb_idx : int array;
+  mutable pb_val : float array;
+  mutable pb_len : int;
+}
+(** Growable send-side staging buffer, reused across messages of one
+    (processor, event) channel so steady-state packing does not allocate. *)
+
+let packbuf_create () =
+  { pb_arr = ""; pb_idx = Array.make 16 0; pb_val = Array.make 16 0.0; pb_len = 0 }
+
+let packbuf_push (b : packbuf) ~arr enc v =
+  if b.pb_len = 0 then b.pb_arr <- arr
+  else if b.pb_arr <> arr then
+    errf "message buffer mixes arrays %s and %s in one event" b.pb_arr arr;
+  let cap = Array.length b.pb_idx in
+  if b.pb_len = cap then begin
+    let idx' = Array.make (2 * cap) 0 and val' = Array.make (2 * cap) 0.0 in
+    Array.blit b.pb_idx 0 idx' 0 cap;
+    Array.blit b.pb_val 0 val' 0 cap;
+    b.pb_idx <- idx';
+    b.pb_val <- val'
+  end;
+  b.pb_idx.(b.pb_len) <- enc;
+  b.pb_val.(b.pb_len) <- v;
+  b.pb_len <- b.pb_len + 1
+
+(** Snapshot the staged elements as an immutable payload and reset. *)
+let packbuf_flush (b : packbuf) : payload =
+  if b.pb_len = 0 then empty_payload
+  else begin
+    let pl =
+      { pl_arr = b.pb_arr;
+        pl_idx = Array.sub b.pb_idx 0 b.pb_len;
+        pl_val = Array.sub b.pb_val 0 b.pb_len }
+    in
+    b.pb_len <- 0;
+    pl
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Transport: channels, sequence numbers, fault plans, counters         *)
+(* ------------------------------------------------------------------ *)
+
+type key = { k_event : int; k_src : int list; k_dst : int list }
+
+type msg = {
+  m_seq : int;
+      (* per-channel sequence number: delivery matches the receiver's next
+         expected seq, so in-flight reordering, duplicates and retransmitted
+         drops cannot change which message a Recv consumes *)
+  m_arrival : float;
+  m_payload : payload;
+  m_contig : bool;
+}
+
+type counters = {
+  mutable n_msgs : int;
+  mutable n_bytes : int;
+  mutable n_elems : int;
+  mutable n_retransmits : int;
+  mutable n_timeouts : int;
+  mutable n_dups : int;
+  mutable n_max_mbox : int;
+}
+
+type transport = {
+  tr_machine : Machine.t;
+  tr_faults : Fault.spec option;
+  tr_mailbox : (key, msg list ref) Hashtbl.t;
+      (** in-flight messages per channel, in transport (possibly reordered)
+          order; delivery matches sequence numbers, not list position *)
+  tr_send_seq : (key, int) Hashtbl.t;
+  tr_recv_seq : (key, int) Hashtbl.t;
+  tr_c : counters;
+}
+
+let transport_make ~machine ~faults =
+  {
+    tr_machine = machine;
+    tr_faults = faults;
+    tr_mailbox = Hashtbl.create 64;
+    tr_send_seq = Hashtbl.create 64;
+    tr_recv_seq = Hashtbl.create 64;
+    tr_c =
+      { n_msgs = 0; n_bytes = 0; n_elems = 0; n_retransmits = 0;
+        n_timeouts = 0; n_dups = 0; n_max_mbox = 0 };
+  }
+
+(** Complete a send: decide contiguity (§3.3 compile-time proof or runtime
+    check), charge packing / send CPU, apply the deterministic fault plan
+    (drops with retransmit pricing, delay, duplication, reordering), and
+    enqueue on the channel. [tick] charges CPU time to the sending
+    processor; [get_clock] reads its clock after those charges. *)
+let send tr ~tick ~get_clock ~pid ~dst_pid ~event ~src_vp ~dst_vp ~inplace
+    ~rect (pl : payload) : unit =
+  let m = tr.tr_machine in
+  let n = Array.length pl.pl_idx in
+  (* §3.3: transfers proved contiguous at compile time go in place; a
+     rectangular section that was not proved is tested at run time (a
+     handful of predicate evaluations — far cheaper than packing) and
+     goes in place when the test succeeds *)
+  let contig =
+    if inplace then true
+    else if rect && n > 1 then begin
+      tick (8.0 *. m.Machine.check_time);
+      let ok = ref true in
+      for i = 1 to n - 1 do
+        if pl.pl_idx.(i) <> pl.pl_idx.(i - 1) + 1 then ok := false
+      done;
+      !ok
+    end
+    else false
+  in
+  if not contig then tick (float_of_int n *. m.Machine.pack_time);
+  (* a message between two VPs of the same physical processor (cyclic
+     distributions) is a local copy, not a network transfer *)
+  let local = dst_pid = pid in
+  if local then tick (float_of_int n *. m.Machine.pack_time)
+  else begin
+    tick m.Machine.send_overhead;
+    tr.tr_c.n_msgs <- tr.tr_c.n_msgs + 1;
+    tr.tr_c.n_bytes <- tr.tr_c.n_bytes + (n * m.Machine.elem_bytes);
+    tr.tr_c.n_elems <- tr.tr_c.n_elems + n
+  end;
+  let k = { k_event = event; k_src = src_vp; k_dst = dst_vp } in
+  let seq =
+    let s = Option.value (Hashtbl.find_opt tr.tr_send_seq k) ~default:0 in
+    Hashtbl.replace tr.tr_send_seq k (s + 1);
+    s
+  in
+  let plan =
+    match tr.tr_faults with
+    | Some sp when not local -> Fault.plan sp ~event ~src:pid ~dst:dst_pid ~seq
+    | _ -> Fault.no_faults
+  in
+  (* dropped transmissions: the sender's retransmission timer fires (with
+     exponential backoff) and the message is re-sent, costing CPU and
+     delaying the arrival — the payload that finally arrives is the same,
+     so results are unaffected *)
+  if plan.Fault.mp_drops > 0 then begin
+    tr.tr_c.n_timeouts <- tr.tr_c.n_timeouts + plan.Fault.mp_drops;
+    tr.tr_c.n_retransmits <- tr.tr_c.n_retransmits + plan.Fault.mp_drops;
+    tick (float_of_int plan.Fault.mp_drops *. m.Machine.retry_overhead)
+  end;
+  let wire = Machine.msg_time m n in
+  let arrival =
+    if local then get_clock ()
+    else
+      get_clock () +. wire
+      +. Machine.retransmit_wait m plan.Fault.mp_drops
+      +. (plan.Fault.mp_delay *. wire)
+  in
+  let q =
+    match Hashtbl.find_opt tr.tr_mailbox k with
+    | Some q -> q
+    | None ->
+        let q = ref [] in
+        Hashtbl.replace tr.tr_mailbox k q;
+        q
+  in
+  let msg = { m_seq = seq; m_arrival = arrival; m_payload = pl; m_contig = contig } in
+  (* transport order: a reordered message jumps ahead of traffic already in
+     flight on its channel; delivery still matches sequence numbers *)
+  if plan.Fault.mp_reorder then q := msg :: !q else q := !q @ [ msg ];
+  if plan.Fault.mp_dup then q := !q @ [ { msg with m_arrival = arrival +. wire } ];
+  let depth = List.length !q in
+  if depth > tr.tr_c.n_max_mbox then tr.tr_c.n_max_mbox <- depth
+
+(* ------------------------------------------------------------------ *)
+(* Effects: how a processor blocks                                      *)
+(* ------------------------------------------------------------------ *)
+
+type _ Effect.t +=
+  | ERecv : key -> msg Effect.t
+  | EReduce : (Spmd.reduce_op * float) -> float Effect.t
+  | EReduceArr : (string * Spmd.reduce_op) -> unit Effect.t
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  s_time : float;  (** simulated execution time: max processor clock *)
+  s_msgs : int;
+  s_bytes : int;
+  s_elems : int;
+  s_proc_times : float array;
+  s_retransmits : int;  (** dropped transmissions re-sent after a timeout *)
+  s_timeouts : int;  (** retransmission timers fired *)
+  s_dups_delivered : int;  (** duplicate copies detected and discarded *)
+  s_max_mailbox : int;  (** peak in-flight depth of any one channel *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Deadlock diagnostics                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type wait_reason =
+  | WaitRecv of {
+      wr_event : int;
+      wr_src_vp : int list;
+      wr_src_pid : int;  (** physical processor the wait is on *)
+      wr_expected_seq : int;
+      wr_queued : int;  (** undeliverable messages sitting on the channel *)
+    }
+  | WaitReduce  (** blocked in a replicated-scalar collective *)
+  | WaitReduceArr of string  (** blocked in an array-reduction collective *)
+
+type proc_wait = { w_pid : int; w_clock : float; w_reason : wait_reason }
+
+type diagnostic = {
+  dg_waiting : proc_wait list;  (** every stuck processor, by pid *)
+  dg_cycle : int list;
+      (** pids forming a wait-for cycle (first element repeats conceptually);
+          [] when the stall is not cyclic (e.g. a missing send) *)
+  dg_undelivered : (int * int list * int list * int) list;
+      (** (event, src vp, dst vp, queued count) for nonempty channels *)
+  dg_max_mailbox : int;
+}
+
+exception Deadlock of diagnostic
+
+let pp_vp fmt vp =
+  Fmt.pf fmt "(%s)" (String.concat "," (List.map string_of_int vp))
+
+let pp_diagnostic fmt (d : diagnostic) =
+  Fmt.pf fmt "deadlock: %d processor(s) stuck@." (List.length d.dg_waiting);
+  List.iter
+    (fun w ->
+      match w.w_reason with
+      | WaitRecv r ->
+          Fmt.pf fmt
+            "  proc %d [t=%.3e]: recv event %d from vp%a (pid %d), expecting \
+             seq %d, %d undeliverable queued@."
+            w.w_pid w.w_clock r.wr_event pp_vp r.wr_src_vp r.wr_src_pid
+            r.wr_expected_seq r.wr_queued
+      | WaitReduce ->
+          Fmt.pf fmt "  proc %d [t=%.3e]: blocked in scalar reduction@."
+            w.w_pid w.w_clock
+      | WaitReduceArr a ->
+          Fmt.pf fmt "  proc %d [t=%.3e]: blocked in array reduction of %s@."
+            w.w_pid w.w_clock a)
+    d.dg_waiting;
+  (match d.dg_cycle with
+  | [] -> Fmt.pf fmt "  no wait-for cycle: a send is missing entirely@."
+  | c ->
+      Fmt.pf fmt "  wait-for cycle: %s -> %s@."
+        (String.concat " -> " (List.map string_of_int c))
+        (string_of_int (List.hd c)));
+  List.iter
+    (fun (ev, src, dst, n) ->
+      Fmt.pf fmt "  undelivered: event %d vp%a -> vp%a, %d message(s)@." ev
+        pp_vp src pp_vp dst n)
+    d.dg_undelivered;
+  if d.dg_max_mailbox > 0 then
+    Fmt.pf fmt "  peak mailbox depth: %d@." d.dg_max_mailbox
+
+let diagnostic_to_string d = Fmt.str "%a" pp_diagnostic d
+
+(* shortest-path-free cycle finding: DFS over the wait-for edges; small
+   graphs, recursion depth bounded by nprocs *)
+let find_cycle (succ : int -> int list) (nodes : int list) : int list =
+  let state = Hashtbl.create 16 in
+  (* 0 = on stack, 1 = done *)
+  let cycle = ref [] in
+  let rec dfs path n =
+    match Hashtbl.find_opt state n with
+    | Some _ -> ()
+    | None ->
+        Hashtbl.replace state n 0;
+        List.iter
+          (fun s ->
+            if !cycle = [] then
+              match Hashtbl.find_opt state s with
+              | Some 0 ->
+                  (* found: unwind the path back to s *)
+                  let rec take = function
+                    | [] -> []
+                    | x :: rest -> if x = s then [ x ] else x :: take rest
+                  in
+                  cycle := List.rev (take (n :: path))
+              | Some _ -> ()
+              | None -> dfs (n :: path) s)
+          (succ n);
+        Hashtbl.replace state n 1
+  in
+  List.iter (fun n -> if !cycle = [] then dfs [] n) nodes;
+  !cycle
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type hooks = {
+  h_nprocs : int;
+  h_tr : transport;
+  h_clock : int -> float;  (** read processor clock *)
+  h_set_clock : int -> float -> unit;
+  h_body : int -> unit;  (** run processor [p]'s node program to completion *)
+  h_reduce_arr : string -> Spmd.reduce_op -> int;
+      (** combine every processor's partial values of the named array
+          element-wise and write the result back everywhere; returns the
+          number of distinct elements combined (for pricing) *)
+  h_phys_of_vp : int list -> int;
+}
+
+type waiting =
+  | WRun  (** not yet started *)
+  | WRecv of key * (msg, unit) Effect.Deep.continuation
+  | WReduce of Spmd.reduce_op * float * (float, unit) Effect.Deep.continuation
+  | WReduceArr of string * Spmd.reduce_op * (unit, unit) Effect.Deep.continuation
+  | WDone
+
+let sched_run (h : hooks) : unit =
+  let tr = h.h_tr in
+  let machine = tr.tr_machine in
+  let nprocs = h.h_nprocs in
+  let status = Array.make nprocs WRun in
+  let start p =
+    let open Effect.Deep in
+    match_with
+      (fun () -> h.h_body p)
+      ()
+      {
+        retc = (fun () -> status.(p) <- WDone);
+        exnc = (fun e -> raise e);
+        effc =
+          (fun (type c) (eff : c Effect.t) ->
+            match eff with
+            | ERecv k ->
+                Some
+                  (fun (cont : (c, unit) continuation) ->
+                    status.(p) <- WRecv (k, cont))
+            | EReduce (op, v) ->
+                Some
+                  (fun (cont : (c, unit) continuation) ->
+                    status.(p) <- WReduce (op, v, cont))
+            | EReduceArr (name, op) ->
+                Some
+                  (fun (cont : (c, unit) continuation) ->
+                    status.(p) <- WReduceArr (name, op, cont))
+            | _ -> None);
+      }
+  in
+  for p = 0 to nprocs - 1 do
+    start p
+  done;
+  let is_done = function WDone -> true | _ -> false in
+  let all_done () = Array.for_all is_done status in
+  let max_clock () =
+    let t = ref 0.0 in
+    for p = 0 to nprocs - 1 do
+      t := Float.max !t (h.h_clock p)
+    done;
+    !t
+  in
+  let progressed = ref true in
+  while (not (all_done ())) && !progressed do
+    progressed := false;
+    (* deliver available messages: the transport may hold duplicates and
+       reordered traffic, so delivery matches the next expected sequence
+       number per channel — stale (already-delivered) copies are discarded
+       and counted, out-of-order messages wait in flight *)
+    for p = 0 to nprocs - 1 do
+      match status.(p) with
+      | WRecv (k, cont) -> (
+          match Hashtbl.find_opt tr.tr_mailbox k with
+          | Some q when !q <> [] -> (
+              let expected =
+                Option.value (Hashtbl.find_opt tr.tr_recv_seq k) ~default:0
+              in
+              let stale, live =
+                List.partition (fun m -> m.m_seq < expected) !q
+              in
+              if stale <> [] then begin
+                tr.tr_c.n_dups <- tr.tr_c.n_dups + List.length stale;
+                q := live
+              end;
+              let rec take acc = function
+                | [] -> None
+                | m :: rest ->
+                    if m.m_seq = expected then Some (m, List.rev_append acc rest)
+                    else take (m :: acc) rest
+              in
+              match take [] live with
+              | Some (msg, rest) ->
+                  q := rest;
+                  Hashtbl.replace tr.tr_recv_seq k (expected + 1);
+                  progressed := true;
+                  status.(p) <- WDone;
+                  (* placeholder; handler overwrites on next block *)
+                  Effect.Deep.continue cont msg
+              | None -> ())
+          | _ -> ())
+      | _ -> ()
+    done;
+    (* collectives *)
+    if not !progressed then begin
+      let at_arr_reduce =
+        Array.for_all (function WReduceArr _ -> true | _ -> false) status
+        && Array.length status > 0
+      in
+      if at_arr_reduce then begin
+        let name, op, _ =
+          match status.(0) with
+          | WReduceArr (n, o, c) -> (n, o, c)
+          | _ -> assert false
+        in
+        let nelems = h.h_reduce_arr name op in
+        let stages =
+          if nprocs <= 1 then 0
+          else int_of_float (ceil (log (float_of_int nprocs) /. log 2.0))
+        in
+        let cost = 2.0 *. float_of_int stages *. Machine.msg_time machine nelems in
+        let t_done = max_clock () +. cost in
+        tr.tr_c.n_msgs <- tr.tr_c.n_msgs + (2 * stages * nprocs);
+        tr.tr_c.n_bytes <-
+          tr.tr_c.n_bytes + (2 * stages * nelems * machine.Machine.elem_bytes);
+        let conts =
+          Array.mapi
+            (fun pidx st ->
+              match st with WReduceArr (_, _, c) -> Some (pidx, c) | _ -> None)
+            status
+        in
+        Array.iter
+          (function
+            | Some (pidx, cont) ->
+                h.h_set_clock pidx t_done;
+                status.(pidx) <- WDone;
+                progressed := true;
+                Effect.Deep.continue cont ()
+            | None -> ())
+          conts
+      end;
+      let at_reduce =
+        Array.for_all
+          (function WReduce _ -> true | WDone -> false | _ -> false)
+          status
+        && Array.exists (function WReduce _ -> true | _ -> false) status
+      in
+      if at_reduce then begin
+        let vals =
+          Array.to_list status
+          |> List.filter_map (function
+               | WReduce (op, v, _) -> Some (op, v)
+               | _ -> None)
+        in
+        let op = fst (List.hd vals) in
+        let combined =
+          List.fold_left
+            (fun acc (_, v) ->
+              match op with
+              | Spmd.RSum -> acc +. v
+              | Spmd.RMax -> Float.max acc v
+              | Spmd.RMin -> Float.min acc v)
+            (match op with
+            | Spmd.RSum -> 0.0
+            | Spmd.RMax -> Float.neg_infinity
+            | Spmd.RMin -> Float.infinity)
+            vals
+        in
+        let t_done = max_clock () +. Machine.allreduce_time machine nprocs in
+        let conts =
+          Array.mapi
+            (fun p s -> match s with WReduce (_, _, c) -> Some (p, c) | _ -> None)
+            status
+        in
+        Array.iter
+          (function
+            | Some (p, cont) ->
+                h.h_set_clock p t_done;
+                status.(p) <- WDone;
+                progressed := true;
+                Effect.Deep.continue cont combined
+            | None -> ())
+          conts
+      end
+    end
+  done;
+  if not (all_done ()) then begin
+    (* structured diagnosis: who waits on whom, with event ids, sequence
+       numbers, simulated clocks and channel depths; extract a wait-for
+       cycle when one exists *)
+    let waiting =
+      Array.to_list status
+      |> List.mapi (fun p s ->
+             let w reason =
+               Some { w_pid = p; w_clock = h.h_clock p; w_reason = reason }
+             in
+             match s with
+             | WRecv (k, _) ->
+                 let queued =
+                   match Hashtbl.find_opt tr.tr_mailbox k with
+                   | Some q -> List.length !q
+                   | None -> 0
+                 in
+                 w
+                   (WaitRecv
+                      {
+                        wr_event = k.k_event;
+                        wr_src_vp = k.k_src;
+                        wr_src_pid = h.h_phys_of_vp k.k_src;
+                        wr_expected_seq =
+                          Option.value
+                            (Hashtbl.find_opt tr.tr_recv_seq k)
+                            ~default:0;
+                        wr_queued = queued;
+                      })
+             | WReduce _ -> w WaitReduce
+             | WReduceArr (name, _, _) -> w (WaitReduceArr name)
+             | WRun | WDone -> None)
+      |> List.filter_map Fun.id
+    in
+    let stuck = List.map (fun w -> w.w_pid) waiting in
+    let succ p =
+      match List.find_opt (fun w -> w.w_pid = p) waiting with
+      | Some { w_reason = WaitRecv r; _ } ->
+          if List.mem r.wr_src_pid stuck then [ r.wr_src_pid ] else []
+      | Some { w_reason = WaitReduce | WaitReduceArr _; _ } ->
+          (* a collective waits on every processor that has not reached it *)
+          List.filter
+            (fun p' ->
+              p' <> p
+              &&
+              match List.find_opt (fun w -> w.w_pid = p') waiting with
+              | Some { w_reason = WaitRecv _; _ } -> true
+              | _ -> false)
+            stuck
+      | _ -> []
+    in
+    let undelivered =
+      Hashtbl.fold
+        (fun k q acc ->
+          if !q = [] then acc
+          else (k.k_event, k.k_src, k.k_dst, List.length !q) :: acc)
+        tr.tr_mailbox []
+      |> List.sort compare
+    in
+    raise
+      (Deadlock
+         {
+           dg_waiting = waiting;
+           dg_cycle = find_cycle succ stuck;
+           dg_undelivered = undelivered;
+           dg_max_mailbox = tr.tr_c.n_max_mbox;
+         })
+  end
+
+(** Assemble the final statistics from the transport counters and the
+    per-processor clocks. *)
+let stats_of tr ~proc_times : stats =
+  {
+    s_time = Array.fold_left Float.max 0.0 proc_times;
+    s_msgs = tr.tr_c.n_msgs;
+    s_bytes = tr.tr_c.n_bytes;
+    s_elems = tr.tr_c.n_elems;
+    s_proc_times = proc_times;
+    s_retransmits = tr.tr_c.n_retransmits;
+    s_timeouts = tr.tr_c.n_timeouts;
+    s_dups_delivered = tr.tr_c.n_dups;
+    s_max_mailbox = tr.tr_c.n_max_mbox;
+  }

@@ -1,0 +1,205 @@
+(** Shared runtime substrate for the two SPMD execution engines: the
+    tree-walking interpreter ({!Exec} with [`Interp]) and the
+    closure-compiling engine ({!Compile}, the default [`Closure]).
+
+    The transport (packed payloads, per-channel sequence numbers, fault
+    plans, message/byte/retransmit counters) and the scheduler (message
+    delivery, scalar and array collectives, deadlock diagnosis) live here
+    and are used verbatim by both engines, so the engine-differential
+    guarantee — identical counters, identical delivery order — is
+    structural rather than re-implemented twice. *)
+
+open Dhpf
+
+exception Error of string
+
+val errf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Error} with a formatted message. *)
+
+(** {1 Startup} *)
+
+type setup = {
+  su_genv : (string, int) Hashtbl.t;  (** global parameter values *)
+  su_extents : int array;  (** processor grid extents *)
+  su_total : int;  (** total processors: product of extents *)
+  su_coords : int array array;  (** per-pid grid coordinates (m$k) *)
+  su_vm0 : (int * int) list array;
+      (** per-pid startup VP coordinates: (proc-dim index, vm$k value);
+          template-cell VPs are bound by generated loops instead *)
+  su_skew : float array;  (** per-processor straggler multiplier (>= 1) *)
+}
+
+val setup :
+  ?faults:Fault.spec ->
+  nprocs:int ->
+  params:(string * int) list ->
+  Spmd.program ->
+  setup
+(** Evaluate startup parameter bindings (with
+    [number_of_processors() = nprocs]), size the processor grid and compute
+    each processor's coordinates and clock skew. *)
+
+val eval_genv : (string, int) Hashtbl.t -> Spmd.expr -> int
+(** Evaluate an expression over global parameters only. *)
+
+(** {1 Ownership and VP mapping} *)
+
+val owner_coord :
+  eval:(Spmd.expr -> int) -> Spmd.dim_layout -> int array -> int option
+(** Physical owner coordinate of an element along one processor dimension,
+    or [None] when the element is replicated along it. *)
+
+val phys_of_vp :
+  eval:(Spmd.expr -> int) -> Spmd.program -> extents:int array -> int list -> int
+(** Linear physical pid owning a virtual-processor coordinate tuple. *)
+
+(** {1 Array metadata} *)
+
+type ameta = {
+  am_name : string;
+  am_bounds : (int * int) array;
+  am_ext : int array;
+  am_strides : int array;  (** column-major strides (dim 0 fastest) *)
+  am_base : int;
+}
+
+val ameta : eval:(Spmd.expr -> int) -> Spmd.array_decl -> ameta
+
+val encode : ameta -> int list -> int
+(** Global linear index, bounds-checked ([Error] outside the declaration). *)
+
+(** {1 Packed payloads} *)
+
+type payload = {
+  pl_arr : string;  (** destination array; [""] for an empty message *)
+  pl_idx : int array;  (** global linear element indices *)
+  pl_val : float array;
+}
+
+val empty_payload : payload
+
+type packbuf
+
+val packbuf_create : unit -> packbuf
+val packbuf_push : packbuf -> arr:string -> int -> float -> unit
+val packbuf_flush : packbuf -> payload
+
+(** {1 Transport} *)
+
+type key = { k_event : int; k_src : int list; k_dst : int list }
+
+type msg = {
+  m_seq : int;
+  m_arrival : float;
+  m_payload : payload;
+  m_contig : bool;
+}
+
+type counters = {
+  mutable n_msgs : int;
+  mutable n_bytes : int;
+  mutable n_elems : int;
+  mutable n_retransmits : int;
+  mutable n_timeouts : int;
+  mutable n_dups : int;
+  mutable n_max_mbox : int;
+}
+
+type transport = {
+  tr_machine : Machine.t;
+  tr_faults : Fault.spec option;
+  tr_mailbox : (key, msg list ref) Hashtbl.t;
+  tr_send_seq : (key, int) Hashtbl.t;
+  tr_recv_seq : (key, int) Hashtbl.t;
+  tr_c : counters;
+}
+
+val transport_make : machine:Machine.t -> faults:Fault.spec option -> transport
+
+val send :
+  transport ->
+  tick:(float -> unit) ->
+  get_clock:(unit -> float) ->
+  pid:int ->
+  dst_pid:int ->
+  event:int ->
+  src_vp:int list ->
+  dst_vp:int list ->
+  inplace:bool ->
+  rect:bool ->
+  payload ->
+  unit
+(** Complete a send: contiguity decision (§3.3), packing/send CPU charges
+    via [tick], fault plan application (drops priced as retransmissions,
+    delay, duplication, reordering) and enqueue. Both engines call this, so
+    counter and timing semantics cannot diverge. *)
+
+(** {1 Effects} *)
+
+type _ Effect.t +=
+  | ERecv : key -> msg Effect.t
+  | EReduce : (Spmd.reduce_op * float) -> float Effect.t
+  | EReduceArr : (string * Spmd.reduce_op) -> unit Effect.t
+
+(** {1 Statistics} *)
+
+type stats = {
+  s_time : float;
+  s_msgs : int;
+  s_bytes : int;
+  s_elems : int;
+  s_proc_times : float array;
+  s_retransmits : int;
+  s_timeouts : int;
+  s_dups_delivered : int;
+  s_max_mailbox : int;
+}
+
+val stats_of : transport -> proc_times:float array -> stats
+
+(** {1 Deadlock diagnostics} *)
+
+type wait_reason =
+  | WaitRecv of {
+      wr_event : int;
+      wr_src_vp : int list;
+      wr_src_pid : int;
+      wr_expected_seq : int;
+      wr_queued : int;
+    }
+  | WaitReduce
+  | WaitReduceArr of string
+
+type proc_wait = { w_pid : int; w_clock : float; w_reason : wait_reason }
+
+type diagnostic = {
+  dg_waiting : proc_wait list;
+  dg_cycle : int list;
+  dg_undelivered : (int * int list * int list * int) list;
+  dg_max_mailbox : int;
+}
+
+exception Deadlock of diagnostic
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+val diagnostic_to_string : diagnostic -> string
+val find_cycle : (int -> int list) -> int list -> int list
+
+(** {1 Scheduler} *)
+
+type hooks = {
+  h_nprocs : int;
+  h_tr : transport;
+  h_clock : int -> float;
+  h_set_clock : int -> float -> unit;
+  h_body : int -> unit;
+  h_reduce_arr : string -> Spmd.reduce_op -> int;
+      (** element-wise combine of every processor's partial values, result
+          written back everywhere; returns the element count (for pricing) *)
+  h_phys_of_vp : int list -> int;
+}
+
+val sched_run : hooks -> unit
+(** Drive every processor fiber to completion: deliver sequence-matched
+    messages, execute collectives, and raise {!Deadlock} with a structured
+    diagnosis when no progress is possible. *)

@@ -197,6 +197,46 @@ let test_gauss_cyclic_split_sections () =
     done
   done
 
+(* Each sim is single-use: running it again would start from stale clocks,
+   sequence numbers and array contents. Both engines must refuse. *)
+let test_double_run_guard () =
+  List.iter
+    (fun engine ->
+      let c = compile block_1d in
+      let sim = Spmdsim.Exec.make ~engine ~nprocs:4 c.cprog in
+      let _ = Spmdsim.Exec.run sim in
+      match Spmdsim.Exec.run sim with
+      | exception Spmdsim.Exec.Error msg ->
+          let contains hay needle =
+            let nh = String.length hay and nn = String.length needle in
+            let rec go i =
+              i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+            in
+            go 0
+          in
+          Alcotest.(check bool) "error names the re-run" true
+            (contains msg "already")
+      | _ -> Alcotest.fail "expected Error on second run")
+    [ `Closure; `Interp ]
+
+(* The interpreter is kept as the differential oracle for the closure
+   engine: same program, same machine, same ownership answers. *)
+let test_ownership_interp_engine () =
+  let c = compile block_1d in
+  let sim = Spmdsim.Exec.make ~engine:`Interp ~nprocs:4 c.cprog in
+  let _ = Spmdsim.Exec.run sim in
+  Alcotest.(check (float 0.0)) "a(5)" 5.0 (Spmdsim.Exec.get_elem sim "a" [ 5 ]);
+  Alcotest.(check (float 0.0)) "a(16)" 16.0 (Spmdsim.Exec.get_elem sim "a" [ 16 ])
+
+(* gauss exercises (cyclic,cyclic) with split VP sections, scalar state and
+   subroutine calls; the engines must agree bit-for-bit, fault-free and
+   under a seeded fault schedule. *)
+let test_engines_agree_gauss () =
+  let chk = Hpf.Sema.analyze_source (Codes.gauss ()) in
+  match Spmdsim.Diffcheck.engines ~nprocs:4 ~seeds:[ 7 ] chk with
+  | Spmdsim.Diffcheck.Pass { runs } -> Alcotest.(check int) "runs" 2 runs
+  | out -> Alcotest.failf "%a" Spmdsim.Diffcheck.pp_outcome out
+
 let test_serial_interpreter () =
   let chk = Hpf.Sema.analyze_source block_1d in
   let r = Spmdsim.Serial.run chk in
@@ -234,6 +274,102 @@ end
   Alcotest.(check (float 1e-9)) "subroutine ran" 6.0 (Spmdsim.Serial.get_elem r "a" [ 4 ]);
   Alcotest.(check (float 1e-9)) "if took then-branch" 1.0 (Spmdsim.Serial.get_scalar r "s")
 
+(* ---- engine-differential property ----
+
+   Random small stencil programs (random distributions, alignments and
+   shift patterns, as in test_random.ml) validated through
+   Diffcheck.engines: the closure engine and the tree-walking interpreter
+   must produce bit-identical element values and scalars, bit-identical
+   simulated clocks, and identical message/byte/retransmit counters —
+   fault-free and under two seeded fault schedules (drop+retransmit,
+   duplication, reordering, stragglers). *)
+
+type ed_spec = {
+  ed_dist : int;  (* index into ed_dists *)
+  ed_align_a : int;  (* index into ed_aligns *)
+  ed_align_b : int;
+  ed_stmts : ((string * (int * int)) * (string * (int * int)) list) list;
+      (* (lhs array, lhs shift), rhs refs (array, shifts) *)
+}
+
+let ed_dists =
+  [|
+    ("processors p(2)", "distribute t(block,*) onto p");
+    ("processors p(2)", "distribute t(*,block) onto p");
+    ("processors p(2,2)", "distribute t(block,block) onto p");
+    ("processors p(2)", "distribute t(cyclic,*) onto p");
+    ("processors p(2,2)", "distribute t(cyclic,cyclic) onto p");
+  |]
+
+let ed_align name = function
+  | 0 -> Printf.sprintf "align %s(i,j) with t(i,j)" name
+  | 1 -> Printf.sprintf "align %s(i,j) with t(i+1,j)" name
+  | _ -> Printf.sprintf "align %s(i,j) with t(j,i)" name
+
+let ed_n = 8
+
+let ed_src spec =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let procs, dist = ed_dists.(spec.ed_dist) in
+  pf "program enginediff\n";
+  pf "  parameter n = %d\n" ed_n;
+  pf "  real a(n,n), b(n,n)\n";
+  pf "  %s\n" procs;
+  pf "  template t(n+1,n+1)\n";
+  pf "  %s\n" (ed_align "a" spec.ed_align_a);
+  pf "  %s\n" (ed_align "b" spec.ed_align_b);
+  pf "  %s\n" dist;
+  pf "  do i = 1, n\n    do j = 1, n\n";
+  pf "      a(i,j) = i + 2*j + mod(i*j, 5)\n";
+  pf "      b(i,j) = 2*i - j + mod(i+j, 3)\n";
+  pf "    end do\n  end do\n";
+  List.iter
+    (fun ((lhs, (li, lj)), refs) ->
+      let sub (di, dj) =
+        let f v d = if d = 0 then v else Printf.sprintf "%s%+d" v d in
+        Printf.sprintf "%s,%s" (f "i" di) (f "j" dj)
+      in
+      pf "  do i = 2, n-1\n    do j = 2, n-1\n";
+      let rhs =
+        String.concat " + "
+          (List.map (fun (arr, d) -> Printf.sprintf "0.5*%s(%s)" arr (sub d)) refs)
+      in
+      pf "      %s(%s) = %s + 1.0\n" lhs (sub (li, lj)) rhs;
+      pf "    end do\n  end do\n")
+    spec.ed_stmts;
+  pf "end\n";
+  Buffer.contents buf
+
+let ed_gen =
+  QCheck.Gen.(
+    let shift = int_range (-1) 1 in
+    let ref_ = pair (oneofl [ "a"; "b" ]) (pair shift shift) in
+    let stmt =
+      pair (pair (oneofl [ "a"; "b" ]) (pair shift shift))
+        (list_size (int_range 1 2) ref_)
+    in
+    map
+      (fun (dist, (aa, ab), stmts) ->
+        { ed_dist = dist; ed_align_a = aa; ed_align_b = ab; ed_stmts = stmts })
+      (triple (int_range 0 4)
+         (pair (int_range 0 2) (int_range 0 2))
+         (list_size (int_range 1 2) stmt)))
+
+let prop_engines_differential =
+  QCheck.Test.make ~count:25
+    ~name:"closure engine bit-identical to the interpreter (incl. faults)"
+    (QCheck.make ~print:ed_src ed_gen)
+    (fun spec ->
+      match Hpf.Sema.analyze_source (ed_src spec) with
+      | chk -> (
+          match Spmdsim.Diffcheck.engines ~nprocs:4 ~seeds:[ 1; 2 ] chk with
+          | Spmdsim.Diffcheck.Pass _ -> true
+          | out -> QCheck.Test.fail_reportf "%a" Spmdsim.Diffcheck.pp_outcome out
+          | exception Dhpf.Gen.Unsupported _ -> QCheck.assume_fail ()
+          | exception Dhpf.Layout.Unsupported _ -> QCheck.assume_fail ())
+      | exception Hpf.Sema.Error _ -> QCheck.assume_fail ())
+
 let () =
   Alcotest.run "exec"
     [
@@ -248,6 +384,15 @@ let () =
           Alcotest.test_case "parameter binding" `Quick test_param_binding;
           Alcotest.test_case "gauss cyclic split sections" `Quick
             test_gauss_cyclic_split_sections;
+        ] );
+      ( "engines",
+        [
+          Alcotest.test_case "double-run guard" `Quick test_double_run_guard;
+          Alcotest.test_case "interp engine ownership" `Quick
+            test_ownership_interp_engine;
+          Alcotest.test_case "engines agree on gauss" `Quick
+            test_engines_agree_gauss;
+          QCheck_alcotest.to_alcotest prop_engines_differential;
         ] );
       ( "serial",
         [
