@@ -6,7 +6,7 @@
 DUNE ?= dune
 DHPFC = $(DUNE) exec bin/dhpfc.exe --
 
-.PHONY: all check test resilience fuzz bench bench-smoke bench-run bench-run-smoke clean
+.PHONY: all check test resilience fuzz bench bench-smoke bench-run bench-run-smoke fmt fmt-check clean
 
 all:
 	$(DUNE) build
@@ -33,6 +33,22 @@ bench-run:
 	$(DUNE) exec bench/main.exe -- run-json
 
 test: check
+
+# Formatting is pinned by .ocamlformat and enforced in CI; both targets
+# degrade to a no-op warning when ocamlformat is not installed locally.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  $(DUNE) fmt; \
+	else \
+	  echo "ocamlformat not installed; skipping fmt"; \
+	fi
+
+fmt-check:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  $(DUNE) build @fmt; \
+	else \
+	  echo "ocamlformat not installed; skipping fmt-check"; \
+	fi
 
 resilience:
 	$(DUNE) build @resilience

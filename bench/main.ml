@@ -389,6 +389,8 @@ let run_workloads ?(smoke = false) () =
 type run_row = {
   rr_name : string;
   rr_nprocs : int;
+  rr_compile_s : float;
+  rr_phases : (string * float) list;  (* per-phase compile breakdown *)
   rr_interp_s : float;
   rr_closure_s : float;
   rr_stats : Spmdsim.Exec.stats;
@@ -406,7 +408,17 @@ let bench_run_json ~smoke () =
     List.map
       (fun (name, src, nprocs) ->
         let chk = Hpf.Sema.analyze_source src in
+        (* fresh measurement window per workload: phase totals and cache
+           counters are process-global (see Iset.Stats) *)
+        let ph = Dhpf.Phase.global in
+        Dhpf.Phase.reset ph;
+        Iset.Stats.reset ();
+        let ct0 = Unix.gettimeofday () in
         let compiled = Dhpf.Gen.compile chk in
+        let compile_s = Unix.gettimeofday () -. ct0 in
+        let phases =
+          List.map (fun l -> (l, Dhpf.Phase.total ph l)) (Dhpf.Phase.labels ph)
+        in
         let ti, si = time_engine `Interp compiled.Dhpf.Gen.cprog nprocs in
         let tc, sc = time_engine `Closure compiled.Dhpf.Gen.cprog nprocs in
         let eq =
@@ -418,6 +430,8 @@ let bench_run_json ~smoke () =
         {
           rr_name = name;
           rr_nprocs = nprocs;
+          rr_compile_s = compile_s;
+          rr_phases = phases;
           rr_interp_s = ti;
           rr_closure_s = tc;
           rr_stats = sc;
@@ -428,7 +442,7 @@ let bench_run_json ~smoke () =
   let buf = Buffer.create 2048 in
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   pf "{\n";
-  pf "  \"schema\": \"dhpf-bench-run/1\",\n";
+  pf "  \"schema\": \"dhpf-bench-run/2\",\n";
   pf "  \"mode\": \"%s\",\n" (if smoke then "smoke" else "full");
   pf "  \"workloads\": [\n";
   List.iteri
@@ -436,6 +450,14 @@ let bench_run_json ~smoke () =
       pf "    {\n";
       pf "      \"name\": \"%s\",\n" (json_escape r.rr_name);
       pf "      \"nprocs\": %d,\n" r.rr_nprocs;
+      pf "      \"compile_wall_s\": %.6f,\n" r.rr_compile_s;
+      pf "      \"compile_phases_s\": {\n";
+      List.iteri
+        (fun j (l, s) ->
+          pf "        \"%s\": %.6f%s\n" (json_escape l) s
+            (if j + 1 < List.length r.rr_phases then "," else ""))
+        r.rr_phases;
+      pf "      },\n";
       pf "      \"interp_wall_s\": %.6f,\n" r.rr_interp_s;
       pf "      \"closure_wall_s\": %.6f,\n" r.rr_closure_s;
       pf "      \"speedup\": %.2f,\n" (r.rr_interp_s /. r.rr_closure_s);

@@ -72,6 +72,46 @@ let handle_errors f =
       Fmt.epr "%a" Spmdsim.Exec.pp_diagnostic d;
       exit exit_runtime
 
+(* ---- tracing ---- *)
+
+(* --trace FILE (or DHPF_TRACE=FILE in the environment, handled by
+   Obs.init_env in main): record a Chrome trace-event timeline of the
+   compile and/or the simulated run, plus a plain-text span summary on
+   stderr. *)
+let trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON timeline to $(docv) (loadable \
+           in Perfetto or chrome://tracing): compiler phases with \
+           integer-set cache snapshots, and one lane per simulated \
+           processor with compute/comm spans and send$(b,->)recv flow \
+           arrows. A span summary table is printed to stderr.")
+
+let trace_begin = function
+  | None -> ()
+  | Some _ ->
+      Obs.enable ();
+      Obs.set_process_name ~pid:0 "dhpf compiler";
+      Obs.set_thread_name ~pid:0 ~tid:0 "main"
+
+let trace_finish = function
+  | None -> ()
+  | Some path ->
+      Obs.write path;
+      Fmt.epr "%s" (Obs.summary ());
+      Fmt.epr "trace: %d events -> %s@." (Obs.events_count ()) path
+
+(* every subcommand entry starts a fresh measurement window: phase totals
+   and integer-set cache counters are process-global and would otherwise
+   leak across multiple compiles in one process (cache *contents* survive
+   deliberately — only the counters are windowed) *)
+let fresh_window () =
+  Dhpf.Phase.reset Dhpf.Phase.global;
+  Iset.Stats.reset ()
+
 (* ---- arguments ---- *)
 
 let src_t =
@@ -197,13 +237,19 @@ let spec_of ~seed ~drop ~dup ~delay ~skew =
 (* ---- compile ---- *)
 
 let compile_cmd =
-  let run src show_sets show_spmd report no_split no_vect no_coal no_inplace =
+  let run src show_sets show_spmd report no_split no_vect no_coal no_inplace
+      trace =
     handle_errors @@ fun () ->
     let opts = opts_of ~no_split ~no_vect ~no_coal ~no_inplace in
-    Dhpf.Phase.reset Dhpf.Phase.global;
-    Iset.Stats.reset ();
-    let chk = Hpf.Sema.analyze_source (load src) in
+    fresh_window ();
+    trace_begin trace;
+    let ph = Dhpf.Phase.global in
+    let chk =
+      Dhpf.Phase.time ph "parse and semantic analysis" (fun () ->
+          Hpf.Sema.analyze_source (load src))
+    in
     let compiled = Dhpf.Gen.compile ~opts chk in
+    trace_finish trace;
     if show_sets then
       List.iter
         (fun (e : Dhpf.Gen.event) ->
@@ -240,16 +286,21 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Compile a mini-HPF program")
     Term.(
       const run $ src_t $ show_sets_t $ show_spmd_t $ report_t $ no_split_t
-      $ no_vect_t $ no_coal_t $ no_inplace_t)
+      $ no_vect_t $ no_coal_t $ no_inplace_t $ trace_t)
 
 (* ---- run ---- *)
 
 let run_cmd =
   let run src nprocs params engine no_split no_vect no_coal no_inplace
-      faults_seed drop dup delay skew diff diff_engines =
+      faults_seed drop dup delay skew diff diff_engines trace =
     handle_errors @@ fun () ->
     let opts = opts_of ~no_split ~no_vect ~no_coal ~no_inplace in
-    let chk = Hpf.Sema.analyze_source (load src) in
+    fresh_window ();
+    trace_begin trace;
+    let chk =
+      Dhpf.Phase.time Dhpf.Phase.global "parse and semantic analysis"
+        (fun () -> Hpf.Sema.analyze_source (load src))
+    in
     if diff > 0 then begin
       (* differential resilience sweep: serial oracle vs. N fault seeds *)
       let spec_of_seed seed = spec_of ~seed ~drop ~dup ~delay ~skew in
@@ -287,22 +338,23 @@ let run_cmd =
       Fmt.pr "spmd on %2d procs: %10.3f ms  (%d msgs, %d KiB)@." (Spmdsim.Exec.nprocs sim)
         (stats.s_time *. 1e3) stats.s_msgs (stats.s_bytes / 1024);
       Fmt.pr "speedup         : %10.2f@." (serial.r_time /. stats.s_time);
-      match faults with
+      (match faults with
       | None -> ()
       | Some sp ->
           Fmt.pr "fault schedule  : %s@." (Spmdsim.Fault.describe sp);
           Fmt.pr "resilience      : %d retransmits, %d timeouts, %d duplicates \
                   discarded, peak mailbox %d@."
             stats.s_retransmits stats.s_timeouts stats.s_dups_delivered
-            stats.s_max_mailbox
-    end
+            stats.s_max_mailbox)
+    end;
+    trace_finish trace
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute on the simulated machine")
     Term.(
       const run $ src_t $ nprocs_t $ param_t $ engine_t $ no_split_t $ no_vect_t
       $ no_coal_t $ no_inplace_t $ faults_t $ fault_drop_t $ fault_dup_t
-      $ fault_delay_t $ fault_skew_t $ diff_t $ diff_engines_t)
+      $ fault_delay_t $ fault_skew_t $ diff_t $ diff_engines_t $ trace_t)
 
 (* ---- bench (print a built-in source) ---- *)
 
@@ -349,6 +401,12 @@ let omega_cmd =
     (Cmd.info "omega" ~doc:"Interactive integer-set calculator (Omega-calculator style)")
     Term.(const run $ script_t)
 
+let version = "1.1.0"
+
 let () =
-  let info = Cmd.info "dhpfc" ~version:"1.0" ~doc:"dHPF-reproduction data-parallel compiler" in
+  Obs.init_env ();
+  let info =
+    Cmd.info "dhpfc" ~version
+      ~doc:"dHPF-reproduction data-parallel compiler"
+  in
   exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; bench_cmd; omega_cmd ]))

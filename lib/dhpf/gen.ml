@@ -1313,7 +1313,7 @@ let compile ?(opts = default_options) ?(phase = Phase.global)
     (chk : Hpf.Sema.checked) : compiled =
   Hashtbl.reset comm_reads_tbl;
   Hashtbl.reset comm_write_tbl;
-  let ctx = Layout.build chk in
+  let ctx = Phase.time phase "layout construction" (fun () -> Layout.build chk) in
   let g = { ctx; opts; events = []; next_event = 0; phase } in
   (* interprocedural analysis: call-graph sanity (calls resolve, no
      recursion) and global layout visibility *)

@@ -21,16 +21,39 @@ let add t label dt =
   Hashtbl.replace t.totals label (cur +. dt)
 
 (** Time [f], attributing the elapsed time to [label]. Re-entrant: nested
-    timings of the same label are not double counted. *)
+    timings of the same label are not double counted (and re-entry emits no
+    trace span either, matching the accounting). Outermost phases attach a
+    snapshot of the integer-set cache counters to their span, so a Chrome
+    trace of a compile carries the cache behaviour of each top-level pass. *)
 let time t label f =
   if List.exists (fun (l, _) -> l = label) t.stack then f ()
   else begin
     let start = Unix.gettimeofday () in
+    let outermost = t.stack = [] in
     t.stack <- (label, start) :: t.stack;
+    let traced = Obs.enabled () in
+    let ts = if traced then Obs.now_us () else 0.0 in
     Fun.protect
       ~finally:(fun () ->
         t.stack <- List.tl t.stack;
-        add t label (Unix.gettimeofday () -. start))
+        add t label (Unix.gettimeofday () -. start);
+        if traced then begin
+          let dur = Obs.now_us () -. ts in
+          let args =
+            if outermost then
+              List.map (fun (n, v) -> (n, Obs.Int v)) (Iset.Stats.report ())
+            else []
+          in
+          Obs.complete ~pid:0 ~tid:0 ~ts ~dur ~cat:"phase" ~args label;
+          if outermost then
+            Obs.counter "iset cache hits"
+              [ ("sat", float_of_int (Iset.Stats.count Iset.Stats.sat_hits));
+                ( "simplify",
+                  float_of_int (Iset.Stats.count Iset.Stats.simplify_hits) );
+                ("gist", float_of_int (Iset.Stats.count Iset.Stats.gist_hits));
+                ( "subset",
+                  float_of_int (Iset.Stats.count Iset.Stats.subset_hits) ) ]
+        end)
       f
   end
 

@@ -524,16 +524,34 @@ let simplify_memo : t option IntMemo.t =
   IntMemo.create "simplify" ~lookups:Stats.simplify_lookups
     ~hits:Stats.simplify_hits
 
+(* Tracing policy: spans are emitted only around the raw slow paths — the
+   actual Omega-test / simplification work on a cache miss — so the
+   memoized hit path stays span-free and traces show where set-operation
+   time is really spent. Each span snapshots its operation's lookup/hit
+   counters as arguments. *)
+let traced name ~lookups ~hits f =
+  if Obs.enabled () then
+    Obs.span ~cat:"iset"
+      ~args:(fun () ->
+        [ ("lookups", Obs.Int (Stats.count lookups));
+          ("hits", Obs.Int (Stats.count hits)) ])
+      name f
+  else f ()
+
 (* Simplification is a pure function of the structure, so memoizing on the
    interned id returns exactly what recomputation would. The cached result
    is interned too: every caller of a repeated conjunct gets the same
    physically-shared simplified form. *)
 let simplify t =
-  if not (Cache.enabled ()) then simplify_raw t
+  let slow t =
+    traced "simplify" ~lookups:Stats.simplify_lookups
+      ~hits:Stats.simplify_hits (fun () -> simplify_raw t)
+  in
+  if not (Cache.enabled ()) then slow t
   else
     let rep, key = intern_pair t in
     IntMemo.find_or_add simplify_memo key (fun () ->
-        Option.map intern (simplify_raw rep))
+        Option.map intern (slow rep))
 
 (* ------------------------------------------------------------------ *)
 (* Omega satisfiability test                                           *)
@@ -692,14 +710,18 @@ let sat_memo : bool IntMemo.t =
   IntMemo.create "sat" ~lookups:Stats.sat_lookups ~hits:Stats.sat_hits
 
 let sat t =
+  let slow t =
+    traced "sat" ~lookups:Stats.sat_lookups ~hits:Stats.sat_hits (fun () ->
+        sat_raw t)
+  in
   if trivially_unsat t then begin
     Stats.bump Stats.sat_prefilter_kills;
     false
   end
-  else if not (Cache.enabled ()) then sat_raw t
+  else if not (Cache.enabled ()) then slow t
   else
     let rep, key = intern_pair t in
-    IntMemo.find_or_add sat_memo key (fun () -> sat_raw rep)
+    IntMemo.find_or_add sat_memo key (fun () -> slow rep)
 
 let is_empty t = not (sat t)
 
@@ -805,10 +827,12 @@ let gist_memo : t PairMemo.t =
   PairMemo.create "gist" ~lookups:Stats.gist_lookups ~hits:Stats.gist_hits
 
 let gist t ~given =
-  if not (Cache.enabled ()) then gist_raw t ~given
-  else
-    PairMemo.find_or_add gist_memo (id t, id given) (fun () ->
+  let slow () =
+    traced "gist" ~lookups:Stats.gist_lookups ~hits:Stats.gist_hits (fun () ->
         gist_raw t ~given)
+  in
+  if not (Cache.enabled ()) then slow ()
+  else PairMemo.find_or_add gist_memo (id t, id given) slow
 
 (* ------------------------------------------------------------------ *)
 (* Printing                                                            *)

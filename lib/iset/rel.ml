@@ -279,11 +279,23 @@ let subset_memo : bool SubsetMemo.t =
 
 let subset a b =
   check_sig "subset" a b;
-  if not (Cache.enabled ()) then is_empty (diff a b)
+  (* miss-only span, mirroring the Conj operations: the memoized hit path
+     stays span-free (see the tracing-policy note in conj.ml) *)
+  let slow () =
+    if Obs.enabled () then
+      Obs.span ~cat:"iset"
+        ~args:(fun () ->
+          [ ("lookups", Obs.Int (Stats.count Stats.subset_lookups));
+            ("hits", Obs.Int (Stats.count Stats.subset_hits)) ])
+        "subset"
+        (fun () -> is_empty (diff a b))
+    else is_empty (diff a b)
+  in
+  if not (Cache.enabled ()) then slow ()
   else
     SubsetMemo.find_or_add subset_memo
       (a.in_ar, a.out_ar, List.map Conj.id a.conjs, List.map Conj.id b.conjs)
-      (fun () -> is_empty (diff a b))
+      slow
 
 let equal a b = subset a b && subset b a
 

@@ -1,0 +1,278 @@
+(* Structured tracing substrate. Design constraints, in order:
+   (1) the disabled path is one boolean read — the simulator's send/recv
+       hot paths check [enabled ()] and allocate nothing when it is false;
+   (2) tracing never writes simulated state — simulator events carry
+       explicit timestamps read from the virtual clocks, so traced and
+       untraced runs are bit-identical;
+   (3) no dependencies beyond [unix] (for the wall clock), and a
+       hand-rolled JSON writer rather than a JSON library. *)
+
+type arg = Str of string | Int of int | Float of float | Bool of bool
+
+type phase = X | I | C | FlowStart | FlowEnd | Meta of string
+
+type event = {
+  e_ph : phase;
+  e_name : string;
+  e_cat : string;
+  e_pid : int;
+  e_tid : int;
+  e_ts : float;
+  e_dur : float;
+  e_id : int;
+  e_args : (string * arg) list;
+}
+
+(* growable buffer: a reversed list is fine for the event volumes the
+   compiler and simulator produce (tens of thousands), and keeps the
+   disabled path free of array bookkeeping *)
+let on = ref false
+let buf : event list ref = ref []
+let n = ref 0
+let epoch = ref 0.0
+let flow_ctr = ref 0
+
+let enabled () = !on
+
+let enable () =
+  if not !on then begin
+    on := true;
+    if !epoch = 0.0 then epoch := Unix.gettimeofday ()
+  end
+
+let disable () = on := false
+
+let reset () =
+  buf := [];
+  n := 0;
+  flow_ctr := 0;
+  epoch := if !on then Unix.gettimeofday () else 0.0
+
+let now_us () = (Unix.gettimeofday () -. !epoch) *. 1e6
+let epoch_wall () = !epoch
+
+let push e =
+  buf := e :: !buf;
+  incr n
+
+let ev ?(cat = "") ?(args = []) ~ph ~pid ~tid ~ts ?(dur = 0.0) ?(id = 0) name =
+  push
+    { e_ph = ph; e_name = name; e_cat = cat; e_pid = pid; e_tid = tid;
+      e_ts = ts; e_dur = dur; e_id = id; e_args = args }
+
+(* ------------------------------------------------------------------ *)
+(* Real-time events (compiler side): pid 0, tid 0                      *)
+(* ------------------------------------------------------------------ *)
+
+let span ?cat ?args name f =
+  if not !on then f ()
+  else begin
+    let t0 = now_us () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = now_us () in
+        let args = match args with None -> [] | Some g -> g () in
+        ev ?cat ~args ~ph:X ~pid:0 ~tid:0 ~ts:t0 ~dur:(t1 -. t0) name)
+      f
+  end
+
+let instant ?cat ?args name =
+  if !on then ev ?cat ?args ~ph:I ~pid:0 ~tid:0 ~ts:(now_us ()) name
+
+let counter name series =
+  if !on then
+    ev ~ph:C ~pid:0 ~tid:0 ~ts:(now_us ())
+      ~args:(List.map (fun (s, v) -> (s, Float v)) series)
+      name
+
+(* ------------------------------------------------------------------ *)
+(* Explicit-timestamp events (simulator side)                          *)
+(* ------------------------------------------------------------------ *)
+
+let complete ~pid ~tid ~ts ~dur ?cat ?args name =
+  if !on then ev ?cat ?args ~ph:X ~pid ~tid ~ts ~dur name
+
+let instant_at ~pid ~tid ~ts ?cat ?args name =
+  if !on then ev ?cat ?args ~ph:I ~pid ~tid ~ts name
+
+let counter_at ~pid ~tid ~ts name series =
+  if !on then
+    ev ~ph:C ~pid ~tid ~ts
+      ~args:(List.map (fun (s, v) -> (s, Float v)) series)
+      name
+
+let next_flow_id () =
+  incr flow_ctr;
+  !flow_ctr
+
+let flow_start ~pid ~tid ~ts ~id name =
+  if !on then ev ~cat:"flow" ~ph:FlowStart ~pid ~tid ~ts ~id name
+
+let flow_end ~pid ~tid ~ts ~id name =
+  if !on then ev ~cat:"flow" ~ph:FlowEnd ~pid ~tid ~ts ~id name
+
+let set_process_name ~pid name =
+  if !on then
+    ev ~ph:(Meta "process_name") ~pid ~tid:0 ~ts:0.0
+      ~args:[ ("name", Str name) ] "process_name"
+
+let set_thread_name ~pid ~tid name =
+  if !on then
+    ev ~ph:(Meta "thread_name") ~pid ~tid ~ts:0.0
+      ~args:[ ("name", Str name) ] "thread_name"
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let events () = List.rev !buf
+let events_count () = !n
+
+(* JSON string escaping per RFC 8259: quote, backslash and control
+   characters; everything else (including UTF-8 bytes) passes through *)
+let escape_into b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let jstr b s =
+  Buffer.add_char b '"';
+  escape_into b s;
+  Buffer.add_char b '"'
+
+let jfloat v =
+  (* JSON has no infinities/NaN; clamp rather than emit invalid output *)
+  if Float.is_nan v then "0"
+  else if v = Float.infinity then "1e308"
+  else if v = Float.neg_infinity then "-1e308"
+  else Printf.sprintf "%.3f" v
+
+let jarg b = function
+  | Str s -> jstr b s
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float v -> Buffer.add_string b (jfloat v)
+  | Bool v -> Buffer.add_string b (string_of_bool v)
+
+let jargs b args =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      jstr b k;
+      Buffer.add_char b ':';
+      jarg b v)
+    args;
+  Buffer.add_char b '}'
+
+let event_into b e =
+  let field k v =
+    Buffer.add_char b ',';
+    jstr b k;
+    Buffer.add_char b ':';
+    v ()
+  in
+  Buffer.add_string b "{\"ph\":";
+  let ph_str =
+    match e.e_ph with
+    | X -> "X"
+    | I -> "i"
+    | C -> "C"
+    | FlowStart -> "s"
+    | FlowEnd -> "f"
+    | Meta _ -> "M"
+  in
+  jstr b ph_str;
+  field "name" (fun () ->
+      jstr b (match e.e_ph with Meta m -> m | _ -> e.e_name));
+  if e.e_cat <> "" then field "cat" (fun () -> jstr b e.e_cat);
+  field "pid" (fun () -> Buffer.add_string b (string_of_int e.e_pid));
+  field "tid" (fun () -> Buffer.add_string b (string_of_int e.e_tid));
+  field "ts" (fun () -> Buffer.add_string b (jfloat e.e_ts));
+  (match e.e_ph with
+  | X -> field "dur" (fun () -> Buffer.add_string b (jfloat e.e_dur))
+  | I -> field "s" (fun () -> jstr b "t")
+  | FlowStart | FlowEnd ->
+      field "id" (fun () -> Buffer.add_string b (string_of_int e.e_id));
+      if e.e_ph = FlowEnd then field "bp" (fun () -> jstr b "e")
+  | C | Meta _ -> ());
+  if e.e_args <> [] then field "args" (fun () -> jargs b e.e_args);
+  Buffer.add_char b '}'
+
+let to_chrome_json () =
+  let b = Buffer.create (256 * (!n + 2)) in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"otherData\":{";
+  Buffer.add_string b "\"generator\":\"dhpf obs\",\"trace_epoch_unix_s\":";
+  jstr b (Printf.sprintf "%.6f" !epoch);
+  Buffer.add_string b "},\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '\n';
+      event_into b e)
+    (events ());
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let write path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_chrome_json ()))
+
+let summary () =
+  (* aggregate complete events per (cat, name) *)
+  let tbl : (string * string, int ref * float ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun e ->
+      if e.e_ph = X then begin
+        let key = (e.e_cat, e.e_name) in
+        let cnt, tot =
+          match Hashtbl.find_opt tbl key with
+          | Some p -> p
+          | None ->
+              let p = (ref 0, ref 0.0) in
+              Hashtbl.add tbl key p;
+              p
+        in
+        incr cnt;
+        tot := !tot +. e.e_dur
+      end)
+    (events ());
+  let rows =
+    Hashtbl.fold (fun (c, nm) (cnt, tot) acc -> (c, nm, !cnt, !tot) :: acc) tbl []
+    |> List.sort (fun (c1, _, _, t1) (c2, _, _, t2) ->
+           match compare c1 c2 with 0 -> compare t2 t1 | o -> o)
+  in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "%-12s %-36s %10s %14s %12s\n" "category" "span" "count"
+       "total (ms)" "mean (us)");
+  List.iter
+    (fun (c, nm, cnt, tot) ->
+      Buffer.add_string b
+        (Printf.sprintf "%-12s %-36s %10d %14.3f %12.2f\n"
+           (if c = "" then "-" else c)
+           nm cnt (tot /. 1e3)
+           (tot /. float_of_int cnt)))
+    rows;
+  Buffer.contents b
+
+let init_env () =
+  match Sys.getenv_opt "DHPF_TRACE" with
+  | Some path when path <> "" ->
+      enable ();
+      at_exit (fun () -> try write path with Sys_error _ -> ())
+  | _ -> ()

@@ -1,0 +1,128 @@
+(** Structured tracing and metrics for the compiler and the SPMD
+    simulator: a zero-dependency event buffer with Chrome trace-event
+    export.
+
+    Two timestamp domains share one buffer, distinguished by category:
+
+    - {e real time}: {!span}, {!instant} and {!counter} stamp events with
+      wall-clock microseconds relative to the trace epoch (the first
+      {!enable}); the compiler pipeline uses these.
+    - {e simulated time}: {!complete}, {!instant_at}, {!counter_at},
+      {!flow_start} and {!flow_end} take explicit timestamps, which the
+      SPMD simulator supplies from its virtual clocks. Tracing only ever
+      {e reads} those clocks, so a traced run is bit-identical (values,
+      clocks, counters) to an untraced one.
+
+    The disabled path is a single [bool] read: guard hot call sites with
+    [if Obs.enabled () then ...] and nothing is allocated when tracing is
+    off. Lanes in the exported trace are (pid, tid) pairs: the compiler
+    reports on pid 0, each simulation instance claims a fresh pid with one
+    tid per simulated processor. *)
+
+(** {1 Event model} *)
+
+type arg =
+  | Str of string
+  | Int of int
+  | Float of float
+  | Bool of bool  (** typed span/instant argument values *)
+
+type phase =
+  | X  (** complete slice: [e_ts] .. [e_ts +. e_dur] *)
+  | I  (** instant *)
+  | C  (** counter sample; series are in [e_args] as [Float]s *)
+  | FlowStart  (** flow arrow origin, keyed by [e_id] *)
+  | FlowEnd  (** flow arrow target ([bp:"e"]), keyed by [e_id] *)
+  | Meta of string  (** metadata record ("process_name" / "thread_name") *)
+
+type event = {
+  e_ph : phase;
+  e_name : string;
+  e_cat : string;  (** "" means no category *)
+  e_pid : int;
+  e_tid : int;
+  e_ts : float;  (** microseconds (since epoch, or simulated *1e6) *)
+  e_dur : float;  (** microseconds; [X] only *)
+  e_id : int;  (** flow identifier; flow events only *)
+  e_args : (string * arg) list;
+}
+
+(** {1 Lifecycle} *)
+
+val enabled : unit -> bool
+(** The one-word guard every instrumentation site checks first. *)
+
+val enable : unit -> unit
+(** Start recording. The first call fixes the trace epoch (wall clock). *)
+
+val disable : unit -> unit
+(** Stop recording; the buffer is kept for export. *)
+
+val reset : unit -> unit
+(** Drop all buffered events and flow/lane bookkeeping; a subsequent
+    {!enable} starts a fresh epoch. *)
+
+val init_env : unit -> unit
+(** [DHPF_TRACE=out.json] support: when the variable is set and non-empty,
+    enable tracing now and write the Chrome trace there at process exit.
+    Called once by the CLI driver. *)
+
+val now_us : unit -> float
+(** Wall-clock microseconds since the trace epoch. *)
+
+val epoch_wall : unit -> float
+(** Absolute [Unix.gettimeofday] of the trace epoch (0. before the first
+    {!enable}); recorded in the export so real-time spans can be mapped
+    back to wall-clock times. *)
+
+(** {1 Real-time events (compiler side)} *)
+
+val span : ?cat:string -> ?args:(unit -> (string * arg) list) -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] inside a complete event. Spans nest by timestamp
+    containment (no explicit parent links). [args] is evaluated once, at
+    span close, and only when tracing is on. When tracing is off this is
+    exactly [f ()]. *)
+
+val instant : ?cat:string -> ?args:(string * arg) list -> string -> unit
+val counter : string -> (string * float) list -> unit
+
+(** {1 Explicit-timestamp events (simulator side; ts/dur in microseconds)} *)
+
+val complete :
+  pid:int -> tid:int -> ts:float -> dur:float ->
+  ?cat:string -> ?args:(string * arg) list -> string -> unit
+
+val instant_at :
+  pid:int -> tid:int -> ts:float -> ?cat:string ->
+  ?args:(string * arg) list -> string -> unit
+
+val counter_at :
+  pid:int -> tid:int -> ts:float -> string -> (string * float) list -> unit
+
+val next_flow_id : unit -> int
+(** Fresh identifier linking one {!flow_start} to one {!flow_end}. *)
+
+val flow_start : pid:int -> tid:int -> ts:float -> id:int -> string -> unit
+val flow_end : pid:int -> tid:int -> ts:float -> id:int -> string -> unit
+
+val set_process_name : pid:int -> string -> unit
+val set_thread_name : pid:int -> tid:int -> string -> unit
+
+(** {1 Export and inspection} *)
+
+val events : unit -> event list
+(** Buffered events in emission order. *)
+
+val events_count : unit -> int
+
+val to_chrome_json : unit -> string
+(** The buffer as a Chrome trace-event JSON object ({e JSON Object
+    Format}: [{"traceEvents": [...], ...}]), loadable in Perfetto and
+    chrome://tracing. All strings are escaped; timestamps are microseconds. *)
+
+val write : string -> unit
+(** Write {!to_chrome_json} to a file. *)
+
+val summary : unit -> string
+(** Plain-text table aggregating complete events by (category, name):
+    count, total and mean duration, sorted by total within category. *)

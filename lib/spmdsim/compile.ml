@@ -731,11 +731,13 @@ let rec cstmt ctx (s : Spmd.stmt) : cstmt =
       let arrays = ctx.x_arrays in
       let recv_o = m.Machine.recv_overhead in
       let unpack = m.Machine.unpack_time in
+      let tr = ctx.x_tr in
       fun rt ->
         let src_vp = List.map (fun f -> f rt) csrc in
         let k =
           { Runtime.k_event = event; k_src = src_vp; k_dst = myvp rt }
         in
+        let t0 = rt.r_clock in
         let msg = Effect.perform (Runtime.ERecv k) in
         tick rt recv_o;
         rt.r_clock <- Float.max rt.r_clock msg.Runtime.m_arrival;
@@ -751,7 +753,8 @@ let rec cstmt ctx (s : Spmd.stmt) : cstmt =
           for i = 0 to n - 1 do
             put_enc st pl.Runtime.pl_idx.(i) pl.Runtime.pl_val.(i)
           done
-        end
+        end;
+        Runtime.trace_recv tr ~tid:rt.r_pid ~t0 ~t1:rt.r_clock k msg
   | Spmd.Reduce { scalar; op } ->
       if Hashtbl.mem ctx.x_arrays scalar then fun _ ->
         Effect.perform (Runtime.EReduceArr (scalar, op))

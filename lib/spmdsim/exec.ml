@@ -350,6 +350,7 @@ let rec exec_stmt sim p (s : Spmd.stmt) : unit =
       let k =
         { Runtime.k_event = event; k_src = src_vp; k_dst = my_vp sim p }
       in
+      let t0 = p.clock in
       let msg = Effect.perform (Runtime.ERecv k) in
       tick sim p m.Machine.recv_overhead;
       p.clock <- Float.max p.clock msg.Runtime.m_arrival;
@@ -363,7 +364,8 @@ let rec exec_stmt sim p (s : Spmd.stmt) : unit =
         for i = 0 to n - 1 do
           Hashtbl.replace tbl pl.Runtime.pl_idx.(i) pl.Runtime.pl_val.(i)
         done
-      end
+      end;
+      Runtime.trace_recv sim.tr ~tid:p.pid ~t0 ~t1:p.clock k msg
   | Spmd.Reduce { scalar; op } ->
       if Hashtbl.mem sim.meta scalar then
         (* array reduction: every processor holds partial values; the

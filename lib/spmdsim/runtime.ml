@@ -270,6 +270,18 @@ type counters = {
   mutable n_max_mbox : int;
 }
 
+type trace = {
+  tw_pid : int;
+      (** Chrome process id of this simulation instance (pid 0 is the
+          compiler's lane; each traced simulation claims a fresh pid) *)
+  tw_flow : (key * int, int) Hashtbl.t;
+      (** (channel, seq) -> flow id, linking a send slice to the recv slice
+          that consumes that sequence number *)
+  tw_last : (int, float) Hashtbl.t;
+      (** per-processor end time of the last traced slice, in simulated
+          seconds; the gap up to the next slice is rendered as compute *)
+}
+
 type transport = {
   tr_machine : Machine.t;
   tr_faults : Fault.spec option;
@@ -279,7 +291,16 @@ type transport = {
   tr_send_seq : (key, int) Hashtbl.t;
   tr_recv_seq : (key, int) Hashtbl.t;
   tr_c : counters;
+  tr_trace : trace option;
+      (** present iff tracing was enabled when the transport was built;
+          tracing only reads the virtual clocks, never advances them, so a
+          traced run is bit-identical to an untraced one *)
 }
+
+(* simulated seconds -> trace microseconds *)
+let us t = t *. 1e6
+
+let trace_ctr = ref 0
 
 let transport_make ~machine ~faults =
   {
@@ -291,7 +312,32 @@ let transport_make ~machine ~faults =
     tr_c =
       { n_msgs = 0; n_bytes = 0; n_elems = 0; n_retransmits = 0;
         n_timeouts = 0; n_dups = 0; n_max_mbox = 0 };
+    tr_trace =
+      (if Obs.enabled () then begin
+         incr trace_ctr;
+         Some
+           { tw_pid = !trace_ctr;
+             tw_flow = Hashtbl.create 64;
+             tw_last = Hashtbl.create 16 }
+       end
+       else None);
   }
+
+(* the idle-to-busy gap on a lane, rendered as a compute slice: the
+   processors only accumulate clock time in compute statements and in the
+   traced transport operations, so whatever lies between two traced slices
+   is computation *)
+let trace_gap tw ~tid t0 =
+  let last = Option.value (Hashtbl.find_opt tw.tw_last tid) ~default:0.0 in
+  if t0 -. last > 1e-12 then
+    Obs.complete ~pid:tw.tw_pid ~tid ~ts:(us last) ~dur:(us (t0 -. last))
+      ~cat:"compute" "compute"
+
+let trace_slice tw ~tid ~t0 ~t1 ~cat ?args name =
+  trace_gap tw ~tid t0;
+  Obs.complete ~pid:tw.tw_pid ~tid ~ts:(us t0) ~dur:(us (t1 -. t0)) ~cat
+    ?args name;
+  Hashtbl.replace tw.tw_last tid t1
 
 (** Complete a send: decide contiguity (§3.3 compile-time proof or runtime
     check), charge packing / send CPU, apply the deterministic fault plan
@@ -302,6 +348,8 @@ let send tr ~tick ~get_clock ~pid ~dst_pid ~event ~src_vp ~dst_vp ~inplace
     ~rect (pl : payload) : unit =
   let m = tr.tr_machine in
   let n = Array.length pl.pl_idx in
+  (* clock before any charge: start of the traced send slice *)
+  let tt0 = if tr.tr_trace = None then 0.0 else get_clock () in
   (* §3.3: transfers proved contiguous at compile time go in place; a
      rectangular section that was not proved is tested at run time (a
      handful of predicate evaluations — far cheaper than packing) and
@@ -371,7 +419,51 @@ let send tr ~tick ~get_clock ~pid ~dst_pid ~event ~src_vp ~dst_vp ~inplace
   if plan.Fault.mp_reorder then q := msg :: !q else q := !q @ [ msg ];
   if plan.Fault.mp_dup then q := !q @ [ { msg with m_arrival = arrival +. wire } ];
   let depth = List.length !q in
-  if depth > tr.tr_c.n_max_mbox then tr.tr_c.n_max_mbox <- depth
+  if depth > tr.tr_c.n_max_mbox then tr.tr_c.n_max_mbox <- depth;
+  match tr.tr_trace with
+  | None -> ()
+  | Some tw ->
+      let t1 = get_clock () in
+      trace_slice tw ~tid:pid ~t0:tt0 ~t1 ~cat:"comm"
+        ~args:
+          [ ("dst_pid", Obs.Int dst_pid);
+            ("seq", Obs.Int seq);
+            ("elems", Obs.Int n);
+            ("bytes", Obs.Int (n * m.Machine.elem_bytes));
+            ("contig", Obs.Bool contig);
+            ("local", Obs.Bool local);
+            ("drops", Obs.Int plan.Fault.mp_drops) ]
+        (Printf.sprintf "send e%d" event);
+      (* flow arrows only for network messages, so the number of flow
+         starts equals the transport's point-to-point message counter;
+         local copies have a slice but no arrow *)
+      if not local then begin
+        let fid = Obs.next_flow_id () in
+        Hashtbl.replace tw.tw_flow (k, seq) fid;
+        Obs.flow_start ~pid:tw.tw_pid ~tid:pid ~ts:(us tt0) ~id:fid "msg"
+      end
+
+(** Trace a completed receive: [t0] is the receiver's clock when it
+    blocked, [t1] its clock after arrival synchronization and unpack
+    charges. Emits the recv slice (blocking wait included) and closes the
+    send's flow arrow. Both engines call this from their [Recv]
+    implementations; a no-op when the transport is untraced. *)
+let trace_recv tr ~tid ~t0 ~t1 (k : key) (msg : msg) : unit =
+  match tr.tr_trace with
+  | None -> ()
+  | Some tw -> (
+      let n = Array.length msg.m_payload.pl_idx in
+      trace_slice tw ~tid ~t0 ~t1 ~cat:"comm"
+        ~args:
+          [ ("seq", Obs.Int msg.m_seq);
+            ("elems", Obs.Int n);
+            ("contig", Obs.Bool msg.m_contig) ]
+        (Printf.sprintf "recv e%d" k.k_event);
+      match Hashtbl.find_opt tw.tw_flow (k, msg.m_seq) with
+      | Some fid ->
+          Hashtbl.remove tw.tw_flow (k, msg.m_seq);
+          Obs.flow_end ~pid:tw.tw_pid ~tid ~ts:(us t1) ~id:fid "msg"
+      | None -> ())
 
 (* ------------------------------------------------------------------ *)
 (* Effects: how a processor blocks                                      *)
@@ -581,6 +673,13 @@ let sched_run (h : hooks) : unit =
               in
               if stale <> [] then begin
                 tr.tr_c.n_dups <- tr.tr_c.n_dups + List.length stale;
+                (match tr.tr_trace with
+                | Some tw ->
+                    Obs.instant_at ~pid:tw.tw_pid ~tid:p
+                      ~ts:(us (h.h_clock p)) ~cat:"fault"
+                      ~args:[ ("count", Obs.Int (List.length stale)) ]
+                      "dup discarded"
+                | None -> ());
                 q := live
               end;
               let rec take acc = function
@@ -623,6 +722,14 @@ let sched_run (h : hooks) : unit =
         tr.tr_c.n_msgs <- tr.tr_c.n_msgs + (2 * stages * nprocs);
         tr.tr_c.n_bytes <-
           tr.tr_c.n_bytes + (2 * stages * nelems * machine.Machine.elem_bytes);
+        (match tr.tr_trace with
+        | Some tw ->
+            for p = 0 to nprocs - 1 do
+              trace_slice tw ~tid:p ~t0:(h.h_clock p) ~t1:t_done ~cat:"coll"
+                ~args:[ ("elems", Obs.Int nelems); ("stages", Obs.Int stages) ]
+                (Printf.sprintf "allreduce_arr %s" name)
+            done
+        | None -> ());
         let conts =
           Array.mapi
             (fun pidx st ->
@@ -667,6 +774,24 @@ let sched_run (h : hooks) : unit =
             vals
         in
         let t_done = max_clock () +. Machine.allreduce_time machine nprocs in
+        (match tr.tr_trace with
+        | Some tw ->
+            let opname =
+              match op with
+              | Spmd.RSum -> "sum"
+              | Spmd.RMax -> "max"
+              | Spmd.RMin -> "min"
+            in
+            Array.iteri
+              (fun p s ->
+                match s with
+                | WReduce _ ->
+                    trace_slice tw ~tid:p ~t0:(h.h_clock p) ~t1:t_done
+                      ~cat:"coll"
+                      (Printf.sprintf "allreduce %s" opname)
+                | _ -> ())
+              status
+        | None -> ());
         let conts =
           Array.mapi
             (fun p s -> match s with WReduce (_, _, c) -> Some (p, c) | _ -> None)
@@ -754,8 +879,21 @@ let sched_run (h : hooks) : unit =
   end
 
 (** Assemble the final statistics from the transport counters and the
-    per-processor clocks. *)
+    per-processor clocks. For a traced run this is also the end of the
+    timeline: name the lanes and fill each processor's tail (last traced
+    slice to its final clock) as compute. *)
 let stats_of tr ~proc_times : stats =
+  (match tr.tr_trace with
+  | Some tw ->
+      Obs.set_process_name ~pid:tw.tw_pid
+        (Printf.sprintf "spmd simulation %d" tw.tw_pid);
+      Array.iteri
+        (fun p t ->
+          Obs.set_thread_name ~pid:tw.tw_pid ~tid:p (Printf.sprintf "proc %d" p);
+          trace_gap tw ~tid:p t;
+          Hashtbl.replace tw.tw_last p t)
+        proc_times
+  | None -> ());
   {
     s_time = Array.fold_left Float.max 0.0 proc_times;
     s_msgs = tr.tr_c.n_msgs;

@@ -105,6 +105,13 @@ type counters = {
   mutable n_max_mbox : int;
 }
 
+type trace
+(** Per-simulation tracing state: a fresh Chrome pid, the (channel, seq) ->
+    flow-id map linking sends to receives, and per-processor last-slice
+    times for compute-gap rendering. Allocated by {!transport_make} iff
+    [Obs.enabled ()]; tracing reads the virtual clocks but never advances
+    them, so traced and untraced runs are bit-identical. *)
+
 type transport = {
   tr_machine : Machine.t;
   tr_faults : Fault.spec option;
@@ -112,9 +119,17 @@ type transport = {
   tr_send_seq : (key, int) Hashtbl.t;
   tr_recv_seq : (key, int) Hashtbl.t;
   tr_c : counters;
+  tr_trace : trace option;
 }
 
 val transport_make : machine:Machine.t -> faults:Fault.spec option -> transport
+
+val trace_recv :
+  transport -> tid:int -> t0:float -> t1:float -> key -> msg -> unit
+(** Trace a completed receive ([t0] = clock at block, [t1] = clock after
+    arrival sync and unpack charges, both in simulated seconds): emits the
+    recv slice and closes the matching send's flow arrow. No-op when the
+    transport is untraced — both engines call it unconditionally. *)
 
 val send :
   transport ->

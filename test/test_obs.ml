@@ -1,0 +1,402 @@
+(* Unit and property tests for the observability subsystem: span
+   nesting, the disabled fast path, JSON escaping, counter-window reset
+   at subcommand granularity, send<->recv flow matching on random stencil
+   programs, and the guarantee that tracing a run changes nothing. *)
+
+let with_trace f =
+  Obs.reset ();
+  Obs.enable ();
+  let r = Fun.protect ~finally:(fun () -> Obs.disable ()) f in
+  let evs = Obs.events () in
+  Obs.reset ();
+  (r, evs)
+
+(* ---- span basics ---- *)
+
+let test_disabled_path () =
+  Obs.reset ();
+  Obs.disable ();
+  let r = Obs.span "ignored" (fun () -> 41 + 1) in
+  Obs.instant "also ignored";
+  Obs.counter "nope" [ ("x", 1.0) ];
+  Alcotest.(check int) "thunk result" 42 r;
+  Alcotest.(check int) "no events recorded" 0 (Obs.events_count ())
+
+let test_span_nesting () =
+  let r, evs =
+    with_trace (fun () ->
+        Obs.span "outer" (fun () ->
+            let x = Obs.span ~cat:"t" "inner" (fun () -> 3) in
+            x + 4))
+  in
+  Alcotest.(check int) "result through nested spans" 7 r;
+  let find name =
+    match
+      List.find_opt (fun e -> e.Obs.e_ph = Obs.X && e.Obs.e_name = name) evs
+    with
+    | Some e -> e
+    | None -> Alcotest.failf "span %s not recorded" name
+  in
+  let outer = find "outer" and inner = find "inner" in
+  (* children close (and are pushed) before their parent *)
+  Alcotest.(check bool) "inner starts after outer" true
+    (inner.Obs.e_ts >= outer.Obs.e_ts -. 0.5);
+  Alcotest.(check bool) "inner contained in outer" true
+    (inner.Obs.e_ts +. inner.Obs.e_dur
+    <= outer.Obs.e_ts +. outer.Obs.e_dur +. 0.5);
+  Alcotest.(check string) "category recorded" "t" inner.Obs.e_cat
+
+let test_span_exception () =
+  let (), evs =
+    with_trace (fun () ->
+        try Obs.span "raises" (fun () -> failwith "boom") with Failure _ -> ())
+  in
+  Alcotest.(check bool) "span recorded despite exception" true
+    (List.exists (fun e -> e.Obs.e_name = "raises") evs)
+
+(* ---- JSON export: a tiny validating parser over the emitted subset ---- *)
+
+exception Bad_json of string
+
+let validate_json (s : string) =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let next () =
+    if !pos >= n then raise (Bad_json "eof");
+    let c = s.[!pos] in
+    incr pos;
+    c
+  in
+  let skip_ws () =
+    while
+      !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\n' || s.[!pos] = '\t'
+                  || s.[!pos] = '\r')
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    let g = next () in
+    if g <> c then raise (Bad_json (Printf.sprintf "expected %c got %c" c g))
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string_ ()
+    | Some ('t' | 'f' | 'n') -> word ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some c -> raise (Bad_json (Printf.sprintf "unexpected %c" c))
+    | None -> raise (Bad_json "eof")
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then ignore (next ())
+    else begin
+      let rec members () =
+        skip_ws ();
+        string_ ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match next () with
+        | ',' -> members ()
+        | '}' -> ()
+        | c -> raise (Bad_json (Printf.sprintf "in object: %c" c))
+      in
+      members ()
+    end
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then ignore (next ())
+    else begin
+      let rec elems () =
+        value ();
+        skip_ws ();
+        match next () with
+        | ',' -> elems ()
+        | ']' -> ()
+        | c -> raise (Bad_json (Printf.sprintf "in array: %c" c))
+      in
+      elems ()
+    end
+  and string_ () =
+    expect '"';
+    let rec go () =
+      match next () with
+      | '"' -> ()
+      | '\\' -> (
+          match next () with
+          | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' -> go ()
+          | 'u' ->
+              for _ = 1 to 4 do
+                match next () with
+                | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
+                | c -> raise (Bad_json (Printf.sprintf "bad \\u digit %c" c))
+              done;
+              go ()
+          | c -> raise (Bad_json (Printf.sprintf "bad escape \\%c" c)))
+      | c when Char.code c < 0x20 ->
+          raise (Bad_json "raw control character in string")
+      | _ -> go ()
+    in
+    go ()
+  and number () =
+    let started = !pos in
+    while
+      !pos < n
+      && (match s.[!pos] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false)
+    do
+      incr pos
+    done;
+    if !pos = started then raise (Bad_json "empty number")
+  and word () =
+    let take w =
+      if !pos + String.length w <= n && String.sub s !pos (String.length w) = w
+      then pos := !pos + String.length w
+      else raise (Bad_json ("bad literal at " ^ string_of_int !pos))
+    in
+    match peek () with
+    | Some 't' -> take "true"
+    | Some 'f' -> take "false"
+    | _ -> take "null"
+  in
+  value ();
+  skip_ws ();
+  if !pos <> n then raise (Bad_json "trailing garbage")
+
+let test_json_escaping () =
+  Obs.reset ();
+  Obs.enable ();
+  let nasty = "quote\" back\\slash \n\t\r\b\012 ctl\001 end" in
+  Obs.instant ~cat:nasty ~args:[ (nasty, Obs.Str nasty) ] nasty;
+  ignore (Obs.span nasty (fun () -> 0));
+  Obs.counter "c\"c" [ ("s\\s", 1.5) ];
+  Obs.set_process_name ~pid:3 "p\"name";
+  Obs.flow_start ~pid:1 ~tid:0 ~ts:1.0 ~id:(Obs.next_flow_id ()) "m\"sg";
+  let json = Obs.to_chrome_json () in
+  Obs.disable ();
+  Obs.reset ();
+  (match validate_json json with
+  | () -> ()
+  | exception Bad_json msg -> Alcotest.failf "invalid JSON: %s" msg);
+  let contains sub =
+    let ls = String.length sub and lj = String.length json in
+    let rec go i = i + ls <= lj && (String.sub json i ls = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "quotes escaped" true (contains {|quote\"|});
+  Alcotest.(check bool) "backslash escaped" true (contains {|back\\slash|});
+  Alcotest.(check bool) "control char unicode-escaped" true
+    (contains {|\u0001|});
+  (* no raw control bytes anywhere in the output *)
+  String.iter
+    (fun c ->
+      if Char.code c < 0x20 && c <> '\n' then
+        Alcotest.failf "raw control byte %d in JSON output" (Char.code c))
+    json
+
+(* ---- measurement-window reset (the CLI calls Iset.Stats.reset at every
+   subcommand entry; windows over a warm cache must be reproducible, and
+   reset must zero every counter) ---- *)
+
+let window_counters =
+  [ Iset.Stats.sat_lookups; Iset.Stats.sat_hits;
+    Iset.Stats.sat_prefilter_kills; Iset.Stats.simplify_lookups;
+    Iset.Stats.simplify_hits; Iset.Stats.gist_lookups; Iset.Stats.gist_hits;
+    Iset.Stats.implies_lookups; Iset.Stats.implies_hits;
+    Iset.Stats.subset_lookups; Iset.Stats.subset_hits; Iset.Stats.evictions ]
+
+let test_stats_window_reset () =
+  let src = Codes.jacobi ~n:12 ~iters:1 () in
+  let compile () = ignore (Dhpf.Gen.compile (Hpf.Sema.analyze_source src)) in
+  (* warm the (persistent) caches so the windows below are steady-state *)
+  compile ();
+  Iset.Stats.reset ();
+  List.iter
+    (fun c -> Alcotest.(check int) "reset zeroes counter" 0 (Iset.Stats.count c))
+    window_counters;
+  compile ();
+  let w1 = List.map Iset.Stats.count window_counters in
+  Alcotest.(check bool) "window sees activity" true
+    (Iset.Stats.count Iset.Stats.sat_lookups > 0
+    || Iset.Stats.count Iset.Stats.simplify_lookups > 0);
+  (* without a reset, a second compile leaks into the same window *)
+  compile ();
+  let leaked = List.map Iset.Stats.count window_counters in
+  Alcotest.(check bool) "counters accumulate without reset" true
+    (List.exists2 (fun a b -> b > a) w1 leaked);
+  (* with a reset, an identical compile over the warm cache reproduces the
+     window exactly *)
+  Iset.Stats.reset ();
+  compile ();
+  let w2 = List.map Iset.Stats.count window_counters in
+  Alcotest.(check (list int)) "windows reproducible after reset" w1 w2
+
+(* ---- random stencil programs: every send flow has a matching recv flow
+   (the same generator family as test_exec's engine-differential test) ---- *)
+
+type ed_spec = {
+  ed_dist : int;
+  ed_align_a : int;
+  ed_align_b : int;
+  ed_stmts : ((string * (int * int)) * (string * (int * int)) list) list;
+}
+
+let ed_dists =
+  [|
+    ("processors p(2)", "distribute t(block,*) onto p");
+    ("processors p(2)", "distribute t(*,block) onto p");
+    ("processors p(2,2)", "distribute t(block,block) onto p");
+    ("processors p(2)", "distribute t(cyclic,*) onto p");
+    ("processors p(2,2)", "distribute t(cyclic,cyclic) onto p");
+  |]
+
+let ed_align name = function
+  | 0 -> Printf.sprintf "align %s(i,j) with t(i,j)" name
+  | 1 -> Printf.sprintf "align %s(i,j) with t(i+1,j)" name
+  | _ -> Printf.sprintf "align %s(i,j) with t(j,i)" name
+
+let ed_src spec =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let procs, dist = ed_dists.(spec.ed_dist) in
+  pf "program obsflow\n";
+  pf "  parameter n = 8\n";
+  pf "  real a(n,n), b(n,n)\n";
+  pf "  %s\n" procs;
+  pf "  template t(n+1,n+1)\n";
+  pf "  %s\n" (ed_align "a" spec.ed_align_a);
+  pf "  %s\n" (ed_align "b" spec.ed_align_b);
+  pf "  %s\n" dist;
+  pf "  do i = 1, n\n    do j = 1, n\n";
+  pf "      a(i,j) = i + 2*j\n      b(i,j) = 2*i - j\n";
+  pf "    end do\n  end do\n";
+  List.iter
+    (fun ((lhs, (li, lj)), refs) ->
+      let sub (di, dj) =
+        let f v d = if d = 0 then v else Printf.sprintf "%s%+d" v d in
+        Printf.sprintf "%s,%s" (f "i" di) (f "j" dj)
+      in
+      pf "  do i = 2, n-1\n    do j = 2, n-1\n";
+      let rhs =
+        String.concat " + "
+          (List.map (fun (arr, d) -> Printf.sprintf "0.5*%s(%s)" arr (sub d)) refs)
+      in
+      pf "      %s(%s) = %s + 1.0\n" lhs (sub (li, lj)) rhs;
+      pf "    end do\n  end do\n")
+    spec.ed_stmts;
+  pf "end\n";
+  Buffer.contents buf
+
+let ed_gen =
+  QCheck.Gen.(
+    let shift = int_range (-1) 1 in
+    let ref_ = pair (oneofl [ "a"; "b" ]) (pair shift shift) in
+    let stmt =
+      pair (pair (oneofl [ "a"; "b" ]) (pair shift shift))
+        (list_size (int_range 1 2) ref_)
+    in
+    map
+      (fun (dist, (aa, ab), stmts) ->
+        { ed_dist = dist; ed_align_a = aa; ed_align_b = ab; ed_stmts = stmts })
+      (triple (int_range 0 4)
+         (pair (int_range 0 2) (int_range 0 2))
+         (list_size (int_range 1 2) stmt)))
+
+let flows_matched ?faults prog =
+  let (stats : Spmdsim.Exec.stats), evs =
+    with_trace (fun () ->
+        let sim = Spmdsim.Exec.make ?faults ~nprocs:4 prog in
+        Spmdsim.Exec.run sim)
+  in
+  let ids ph =
+    List.filter (fun e -> e.Obs.e_ph = ph) evs
+    |> List.map (fun e -> e.Obs.e_id)
+    |> List.sort compare
+  in
+  let starts = ids Obs.FlowStart and ends = ids Obs.FlowEnd in
+  if List.length starts <> stats.Spmdsim.Exec.s_msgs then
+    QCheck.Test.fail_reportf "flow starts %d <> transport messages %d"
+      (List.length starts) stats.Spmdsim.Exec.s_msgs;
+  if starts <> ends then
+    QCheck.Test.fail_reportf "unmatched flows: %d starts vs %d ends"
+      (List.length starts) (List.length ends);
+  true
+
+let prop_flows_matched =
+  QCheck.Test.make ~count:20
+    ~name:"every traced send has a matching recv flow (incl. under faults)"
+    (QCheck.make ~print:ed_src ed_gen)
+    (fun spec ->
+      match Hpf.Sema.analyze_source (ed_src spec) with
+      | exception Hpf.Sema.Error _ -> QCheck.assume_fail ()
+      | chk -> (
+          match Dhpf.Gen.compile chk with
+          | exception Dhpf.Gen.Unsupported _ -> QCheck.assume_fail ()
+          | exception Dhpf.Layout.Unsupported _ -> QCheck.assume_fail ()
+          | compiled ->
+              flows_matched compiled.Dhpf.Gen.cprog
+              && flows_matched
+                   ~faults:(Spmdsim.Fault.default ~seed:3)
+                   compiled.Dhpf.Gen.cprog))
+
+(* ---- tracing must not perturb the simulation: values, clocks and
+   counters of a traced run are bit-identical to an untraced one ---- *)
+
+let run_jacobi ~engine ?faults () =
+  let src = Codes.jacobi ~n:12 ~iters:2 () in
+  let compiled = Dhpf.Gen.compile (Hpf.Sema.analyze_source src) in
+  let sim = Spmdsim.Exec.make ~engine ?faults ~nprocs:4 compiled.Dhpf.Gen.cprog in
+  let stats = Spmdsim.Exec.run sim in
+  let values =
+    List.concat_map
+      (fun arr ->
+        List.concat_map
+          (fun i ->
+            List.map (fun j -> Spmdsim.Exec.get_elem sim arr [ i; j ])
+              (List.init 12 succ))
+          (List.init 12 succ))
+      [ "a"; "b" ]
+  in
+  (stats, values, Spmdsim.Exec.get_scalar sim "eps")
+
+let test_traced_untraced_identical () =
+  List.iter
+    (fun (engine, faults) ->
+      let plain = run_jacobi ~engine ?faults () in
+      let traced, _evs = with_trace (fun () -> run_jacobi ~engine ?faults ()) in
+      let (s1, v1, e1) = plain and (s2, v2, e2) = traced in
+      Alcotest.(check (list (float 0.0))) "element values identical" v1 v2;
+      Alcotest.(check (float 0.0)) "scalar identical" e1 e2;
+      Alcotest.(check bool) "stats identical (incl. clocks)" true (s1 = s2))
+    [ (`Closure, None);
+      (`Interp, None);
+      (`Closure, Some (Spmdsim.Fault.default ~seed:7)) ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "disabled path" `Quick test_disabled_path;
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick test_span_exception;
+        ] );
+      ("export", [ Alcotest.test_case "JSON escaping" `Quick test_json_escaping ]);
+      ( "windows",
+        [ Alcotest.test_case "stats reset at subcommand entry" `Quick
+            test_stats_window_reset ] );
+      ( "simulator",
+        [
+          QCheck_alcotest.to_alcotest prop_flows_matched;
+          Alcotest.test_case "traced run bit-identical" `Quick
+            test_traced_untraced_identical;
+        ] );
+    ]
