@@ -6,13 +6,13 @@
 DUNE ?= dune
 DHPFC = $(DUNE) exec bin/dhpfc.exe --
 
-.PHONY: all check test resilience fuzz bench bench-smoke bench-run bench-run-smoke fmt fmt-check clean
+.PHONY: all check test resilience fuzz bench bench-smoke bench-run bench-run-smoke metrics-smoke fmt fmt-check clean
 
 all:
 	$(DUNE) build
 
 check:
-	$(DUNE) build && $(DUNE) runtest && $(MAKE) bench-smoke && $(MAKE) bench-run-smoke
+	$(DUNE) build && $(DUNE) runtest && $(MAKE) bench-smoke && $(MAKE) bench-run-smoke && $(MAKE) metrics-smoke
 
 # Fast Table-1 subset with the bench's JSON emitter; fails if the
 # integer-set caches record zero hits (i.e. the memoization layer is
@@ -31,6 +31,17 @@ bench-run-smoke:
 
 bench-run:
 	$(DUNE) exec bench/main.exe -- run-json
+
+# Predicted-vs-measured communication: the bench's symmetric-stencil
+# matrix assertions, then --check-comm (static integer-set prediction
+# joined against the simulated matrix, exact match required) on the
+# Figure-7 applications under both a fault-free and a faulty schedule.
+metrics-smoke:
+	$(DUNE) exec bench/main.exe -- metrics-smoke
+	$(DHPFC) run jacobi -p 4 --check-comm > /dev/null
+	$(DHPFC) run tomcatv -p 4 --check-comm > /dev/null
+	$(DHPFC) run erlebacher -p 4 --check-comm > /dev/null
+	$(DHPFC) run jacobi -p 4 --check-comm --faults 1 > /dev/null
 
 test: check
 

@@ -395,6 +395,9 @@ type run_row = {
   rr_closure_s : float;
   rr_stats : Spmdsim.Exec.stats;
   rr_counters_equal : bool;
+  rr_matrix : (int * int * int * int * int) list;
+      (* aggregated comm matrix: src, dst, msgs, elems, bytes *)
+  rr_metrics : (string * float) list;  (* selected scalar series *)
 }
 
 let time_engine engine prog nprocs =
@@ -402,6 +405,50 @@ let time_engine engine prog nprocs =
   let sim = Spmdsim.Exec.make ~engine ~nprocs prog in
   let stats = Spmdsim.Exec.run sim in
   (Unix.gettimeofday () -. t0, stats)
+
+(* One extra metered (untimed) closure run per workload. The timed runs
+   stay unmetered so engine timings are not polluted by registry upkeep;
+   metering cannot perturb the results themselves (the registry only
+   reads simulated state). *)
+let metered_run ?engine:(engine = `Closure) prog nprocs =
+  Obs.Metrics.reset ();
+  Obs.Metrics.enable ();
+  let sim = Spmdsim.Exec.make ~engine ~nprocs prog in
+  ignore (Spmdsim.Exec.run sim);
+  let cells = Spmdsim.Exec.comm_cells sim in
+  let snap = Obs.Metrics.snapshot () in
+  Obs.Metrics.disable ();
+  Obs.Metrics.reset ();
+  (cells, snap)
+
+(* fold the per-event cells into the P x P matrix *)
+let comm_matrix cells =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Spmdsim.Exec.comm_cell) ->
+      let key = (c.cm_src, c.cm_dst) in
+      let m, e, b = try Hashtbl.find tbl key with Not_found -> (0, 0, 0) in
+      Hashtbl.replace tbl key (m + c.cm_msgs, e + c.cm_elems, b + c.cm_bytes))
+    cells;
+  Hashtbl.fold (fun (s, d) (m, e, b) acc -> (s, d, m, e, b) :: acc) tbl []
+  |> List.sort compare
+
+let snap_scalar snap name =
+  let open Obs.Metrics in
+  match
+    List.find_opt (fun s -> s.m_name = name && s.m_labels = []) snap
+  with
+  | Some { m_value = VCounter v | VGauge v; _ } -> v
+  | _ -> 0.0
+
+(* the scalar series embedded per workload in dhpf-bench-run/3 *)
+let embedded_series =
+  [
+    "sim/msgs_total"; "sim/bytes_total"; "sim/elems_total"; "sim/coll_msgs";
+    "sim/coll_bytes"; "sim/local_copies"; "sim/retransmits"; "sim/max_mailbox";
+    "sim/compute_max_s"; "sim/compute_mean_s"; "sim/load_imbalance";
+    "sim/comm_to_compute";
+  ]
 
 let bench_run_json ~smoke () =
   let rows =
@@ -427,6 +474,7 @@ let bench_run_json ~smoke () =
           && si.s_retransmits = sc.s_retransmits
           && si.s_time = sc.s_time
         in
+        let cells, snap = metered_run compiled.Dhpf.Gen.cprog nprocs in
         {
           rr_name = name;
           rr_nprocs = nprocs;
@@ -436,13 +484,15 @@ let bench_run_json ~smoke () =
           rr_closure_s = tc;
           rr_stats = sc;
           rr_counters_equal = eq;
+          rr_matrix = comm_matrix cells;
+          rr_metrics = List.map (fun n -> (n, snap_scalar snap n)) embedded_series;
         })
       (run_workloads ~smoke ())
   in
   let buf = Buffer.create 2048 in
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   pf "{\n";
-  pf "  \"schema\": \"dhpf-bench-run/2\",\n";
+  pf "  \"schema\": \"dhpf-bench-run/3\",\n";
   pf "  \"mode\": \"%s\",\n" (if smoke then "smoke" else "full");
   pf "  \"workloads\": [\n";
   List.iteri
@@ -467,6 +517,21 @@ let bench_run_json ~smoke () =
       pf "        \"msgs\": %d,\n" r.rr_stats.s_msgs;
       pf "        \"bytes\": %d,\n" r.rr_stats.s_bytes;
       pf "        \"elems\": %d\n" r.rr_stats.s_elems;
+      pf "      },\n";
+      pf "      \"metrics\": {\n";
+      List.iter
+        (fun (n, v) -> pf "        \"%s\": %.6f,\n" (json_escape n) v)
+        r.rr_metrics;
+      pf "        \"comm_matrix\": [\n";
+      List.iteri
+        (fun j (s, d, m, e, b) ->
+          pf
+            "          {\"src\": %d, \"dst\": %d, \"msgs\": %d, \"elems\": \
+             %d, \"bytes\": %d}%s\n"
+            s d m e b
+            (if j + 1 < List.length r.rr_matrix then "," else ""))
+        r.rr_matrix;
+      pf "        ]\n";
       pf "      }\n";
       pf "    }%s\n" (if i + 1 < List.length rows then "," else ""))
     rows;
@@ -505,6 +570,66 @@ let run_smoke () =
       Fmt.epr "bench run-smoke: %s ok (%.2fx)@." r.rr_name
         (r.rr_interp_s /. r.rr_closure_s))
     rows
+
+(* Backs `make metrics-smoke`: on a symmetric stencil (JACOBI) over a
+   square processor grid the measured communication matrix must be
+   symmetric, the integer-set prediction must equal the measured table
+   cell for cell, and both engines must meter identically. *)
+let metrics_smoke () =
+  let nprocs = 4 in
+  let src = Codes.jacobi ~n:64 ~iters:2 ~procs:(Codes.Fixed (2, 2)) () in
+  let chk = Hpf.Sema.analyze_source src in
+  let compiled = Dhpf.Gen.compile chk in
+  let cells_of engine =
+    fst (metered_run ~engine compiled.Dhpf.Gen.cprog nprocs)
+  in
+  let cc = cells_of `Closure in
+  let ci = cells_of `Interp in
+  let fail = ref false in
+  if cc <> ci then begin
+    Fmt.epr "metrics-smoke: engines disagree on the communication matrix@.";
+    fail := true
+  end;
+  let mat = comm_matrix cc in
+  if mat = [] then begin
+    Fmt.epr "metrics-smoke: empty communication matrix (metering broken?)@.";
+    fail := true
+  end;
+  List.iter
+    (fun (s, d, m, e, b) ->
+      let mirrored =
+        List.exists
+          (fun (s', d', m', e', b') ->
+            s' = d && d' = s && m' = m && e' = e && b' = b)
+          mat
+      in
+      if not mirrored then begin
+        Fmt.epr
+          "metrics-smoke: asymmetric matrix cell %d->%d (%d msgs, %d elems, \
+           %d bytes)@."
+          s d m e b;
+        fail := true
+      end)
+    mat;
+  let predicted = Spmdsim.Predict.comm ~nprocs compiled.Dhpf.Gen.cprog in
+  let mism = Spmdsim.Predict.check predicted cc in
+  List.iter
+    (fun (mm : Spmdsim.Predict.mismatch) ->
+      Fmt.epr
+        "metrics-smoke: event %d %d->%d predicted %d msgs/%d elems, measured \
+         %d msgs/%d elems@."
+        mm.mm_event mm.mm_src mm.mm_dst mm.mm_pred_msgs mm.mm_pred_elems
+        mm.mm_meas_msgs mm.mm_meas_elems;
+      fail := true)
+    mism;
+  if !fail then begin
+    Fmt.epr "metrics-smoke: FAILED@.";
+    exit 1
+  end;
+  Fmt.epr
+    "metrics-smoke: ok (%d matrix cells, symmetric, prediction exact, \
+     engines agree)@."
+    (List.length mat)
 
 (* Smoke mode backs `make bench-smoke` in the tier-1 check flow: a fast
    Table-1 subset, JSON on stdout, and a hard failure if the memoization
@@ -546,6 +671,7 @@ let () =
       ("smoke", smoke);
       ("run-json", run_json);
       ("run-smoke", run_smoke);
+      ("metrics-smoke", metrics_smoke);
     ]
   in
   match Array.to_list Sys.argv with

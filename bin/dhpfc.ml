@@ -71,6 +71,9 @@ let handle_errors f =
   | Spmdsim.Exec.Deadlock d ->
       Fmt.epr "%a" Spmdsim.Exec.pp_diagnostic d;
       exit exit_runtime
+  | Spmdsim.Predict.Unpredictable msg ->
+      Fmt.epr "unsupported: communication volume not predictable: %s@." msg;
+      exit exit_unsupported
 
 (* ---- tracing ---- *)
 
@@ -111,6 +114,53 @@ let trace_finish = function
 let fresh_window () =
   Dhpf.Phase.reset Dhpf.Phase.global;
   Iset.Stats.reset ()
+
+(* ---- metrics ---- *)
+
+(* --metrics FILE (or DHPF_METRICS=FILE in the environment, handled by
+   Obs.Metrics.init_env in main): record the aggregate metrics registry —
+   compiler phase times and integer-set engine counters, and for `run` the
+   simulator's communication matrix, per-processor time split and fault
+   breakdown — as dhpf-metrics/1 JSON. *)
+let metrics_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the metrics registry to $(docv) as stable dhpf-metrics/1 \
+           JSON: compiler phase seconds and integer-set engine counters, \
+           plus (for $(b,run)) the full P$(b,x)P communication matrix, \
+           per-processor compute/send/recv-wait/collective seconds, \
+           message-size and halo-occupancy histograms, retransmit \
+           breakdowns and derived load-imbalance gauges.")
+
+let metrics_begin = function None -> () | Some _ -> Obs.Metrics.enable ()
+
+(* publish the compiler-side series; the simulator publishes its own at
+   the end of each metered run *)
+let metrics_compiler () =
+  if Obs.Metrics.enabled () then begin
+    let module M = Obs.Metrics in
+    let ph = Dhpf.Phase.global in
+    List.iter
+      (fun l ->
+        M.set
+          (M.gauge ~labels:[ ("phase", l) ] "compiler/phase_s")
+          (Dhpf.Phase.total ph l))
+      (Dhpf.Phase.labels ph);
+    List.iter
+      (fun (n, v) -> M.set (M.gauge ("iset/" ^ n)) (float_of_int v))
+      (Iset.Stats.report ())
+  end
+
+let metrics_finish = function
+  | None -> ()
+  | Some path ->
+      Obs.Metrics.write path;
+      Fmt.epr "metrics: %d series -> %s@."
+        (List.length (Obs.Metrics.snapshot ()))
+        path
 
 (* ---- arguments ---- *)
 
@@ -238,11 +288,12 @@ let spec_of ~seed ~drop ~dup ~delay ~skew =
 
 let compile_cmd =
   let run src show_sets show_spmd report no_split no_vect no_coal no_inplace
-      trace =
+      trace metrics =
     handle_errors @@ fun () ->
     let opts = opts_of ~no_split ~no_vect ~no_coal ~no_inplace in
     fresh_window ();
     trace_begin trace;
+    metrics_begin metrics;
     let ph = Dhpf.Phase.global in
     let chk =
       Dhpf.Phase.time ph "parse and semantic analysis" (fun () ->
@@ -250,6 +301,8 @@ let compile_cmd =
     in
     let compiled = Dhpf.Gen.compile ~opts chk in
     trace_finish trace;
+    metrics_compiler ();
+    metrics_finish metrics;
     if show_sets then
       List.iter
         (fun (e : Dhpf.Gen.event) ->
@@ -286,17 +339,41 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Compile a mini-HPF program")
     Term.(
       const run $ src_t $ show_sets_t $ show_spmd_t $ report_t $ no_split_t
-      $ no_vect_t $ no_coal_t $ no_inplace_t $ trace_t)
+      $ no_vect_t $ no_coal_t $ no_inplace_t $ trace_t $ metrics_t)
 
 (* ---- run ---- *)
 
+let check_comm_t =
+  Arg.(
+    value & flag
+    & info [ "check-comm" ]
+        ~doc:
+          "Predicted-vs-measured communication check: evaluate the \
+           compiler's communication sets at the concrete distribution \
+           parameters (the paper's compile-time message counting), run the \
+           program, and fail (exit 1) unless every (event, sender, \
+           receiver) cell of the simulated communication matrix matches \
+           the prediction. Per-pair counters ignore retransmission, so the \
+           check also holds under $(b,--faults).")
+
+let comm_slack_t =
+  Arg.(
+    value & opt float 0.0
+    & info [ "comm-slack" ] ~docv:"F"
+        ~doc:
+          "Relative tolerance for $(b,--check-comm): a cell passes when \
+           |measured - predicted| <= F * predicted. Default 0 (exact).")
+
 let run_cmd =
   let run src nprocs params engine no_split no_vect no_coal no_inplace
-      faults_seed drop dup delay skew diff diff_engines trace =
+      faults_seed drop dup delay skew diff diff_engines trace metrics
+      check_comm comm_slack =
     handle_errors @@ fun () ->
     let opts = opts_of ~no_split ~no_vect ~no_coal ~no_inplace in
     fresh_window ();
     trace_begin trace;
+    metrics_begin metrics;
+    if check_comm then Obs.Metrics.enable ();
     let chk =
       Dhpf.Phase.time Dhpf.Phase.global "parse and semantic analysis"
         (fun () -> Hpf.Sema.analyze_source (load src))
@@ -345,16 +422,47 @@ let run_cmd =
           Fmt.pr "resilience      : %d retransmits, %d timeouts, %d duplicates \
                   discarded, peak mailbox %d@."
             stats.s_retransmits stats.s_timeouts stats.s_dups_delivered
-            stats.s_max_mailbox)
+            stats.s_max_mailbox);
+      if check_comm then begin
+        let predicted =
+          Spmdsim.Predict.comm ~params ~nprocs:(Spmdsim.Exec.nprocs sim)
+            compiled.cprog
+        in
+        let measured = Spmdsim.Exec.comm_cells sim in
+        let pmsgs = List.fold_left (fun a c -> a + c.Spmdsim.Predict.p_msgs) 0 predicted
+        and pelems = List.fold_left (fun a c -> a + c.Spmdsim.Predict.p_elems) 0 predicted in
+        let mismatches = Spmdsim.Predict.check ~slack:comm_slack predicted measured in
+        if mismatches = [] then
+          Fmt.pr "comm check      : ok — %d pair cells, %d msgs, %d elems \
+                  (predicted = measured)@."
+            (List.length predicted) pmsgs pelems
+        else begin
+          Fmt.epr "comm check FAILED: %d cell(s) diverge@." (List.length mismatches);
+          List.iter
+            (fun m ->
+              Fmt.epr
+                "  event %d %d->%d: predicted %d msgs/%d elems, measured %d \
+                 msgs/%d elems@."
+                m.Spmdsim.Predict.mm_event m.Spmdsim.Predict.mm_src
+                m.Spmdsim.Predict.mm_dst m.Spmdsim.Predict.mm_pred_msgs
+                m.Spmdsim.Predict.mm_pred_elems m.Spmdsim.Predict.mm_meas_msgs
+                m.Spmdsim.Predict.mm_meas_elems)
+            mismatches;
+          exit 1
+        end
+      end
     end;
-    trace_finish trace
+    trace_finish trace;
+    metrics_compiler ();
+    metrics_finish metrics
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute on the simulated machine")
     Term.(
       const run $ src_t $ nprocs_t $ param_t $ engine_t $ no_split_t $ no_vect_t
       $ no_coal_t $ no_inplace_t $ faults_t $ fault_drop_t $ fault_dup_t
-      $ fault_delay_t $ fault_skew_t $ diff_t $ diff_engines_t $ trace_t)
+      $ fault_delay_t $ fault_skew_t $ diff_t $ diff_engines_t $ trace_t
+      $ metrics_t $ check_comm_t $ comm_slack_t)
 
 (* ---- bench (print a built-in source) ---- *)
 
@@ -401,10 +509,11 @@ let omega_cmd =
     (Cmd.info "omega" ~doc:"Interactive integer-set calculator (Omega-calculator style)")
     Term.(const run $ script_t)
 
-let version = "1.1.0"
+let version = "1.2.0"
 
 let () =
   Obs.init_env ();
+  Obs.Metrics.init_env ();
   let info =
     Cmd.info "dhpfc" ~version
       ~doc:"dHPF-reproduction data-parallel compiler"

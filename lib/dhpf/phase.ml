@@ -45,8 +45,12 @@ let time t label f =
             else []
           in
           Obs.complete ~pid:0 ~tid:0 ~ts ~dur ~cat:"phase" ~args label;
+          (* counter series are keyed by name alone in the Chrome trace, so
+             the name carries a subsystem prefix: a samely-named series
+             emitted by another subsystem (e.g. the simulator) would
+             otherwise interleave into this track *)
           if outermost then
-            Obs.counter "iset cache hits"
+            Obs.counter "iset/cache hits"
               [ ("sat", float_of_int (Iset.Stats.count Iset.Stats.sat_hits));
                 ( "simplify",
                   float_of_int (Iset.Stats.count Iset.Stats.simplify_hits) );

@@ -157,6 +157,31 @@ let run ~env ~f asts =
   in
   List.iter go asts
 
+(** Number of statement instances the AST enumerates at a concrete
+    parameter binding, i.e. the point count of the underlying set times
+    any deliberate disjunct overlap — the compile-time evaluation of the
+    paper's message-size loops. Avoids allocating the per-instance
+    binding lists that {!run} builds for its callback. *)
+let count_points ~env asts =
+  let tbl : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let lookup s = match Hashtbl.find_opt tbl s with Some v -> v | None -> env s in
+  let n = ref 0 in
+  let rec go = function
+    | ALeaf _ -> incr n
+    | AIf (c, body) -> if eval_cond lookup c then List.iter go body
+    | AFor { var; lo; hi; step; body } ->
+        let l = eval_expr lookup lo and h = eval_expr lookup hi in
+        let i = ref l in
+        while !i <= h do
+          Hashtbl.replace tbl var !i;
+          List.iter go body;
+          i := !i + step
+        done;
+        Hashtbl.remove tbl var
+  in
+  List.iter go asts;
+  !n
+
 (* ------------------------------------------------------------------ *)
 (* Constraint classification                                           *)
 (* ------------------------------------------------------------------ *)

@@ -66,6 +66,14 @@ val run : env:(string -> int) -> f:('a -> (string * int) list -> unit) -> 'a ast
 (** Execute the AST: call [f tag bindings] for every statement instance in
     emission order. [env] resolves parameters; loop variables shadow it. *)
 
+val count_points : env:(string -> int) -> 'a ast list -> int
+(** Number of statement instances the AST enumerates at a concrete
+    parameter binding — the point count of the generated nest (set
+    cardinality times any deliberate disjunct overlap). This is the
+    compile-time evaluation of the paper's message-size loops: counting
+    the points of a communication set at given distribution parameters
+    without materializing the elements. *)
+
 (** {1 Generation} *)
 
 type 'a stmt = { tag : 'a; dom : Rel.t }

@@ -276,3 +276,324 @@ let init_env () =
       enable ();
       at_exit (fun () -> try write path with Sys_error _ -> ())
   | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: the aggregate complement to the event timeline              *)
+(* ------------------------------------------------------------------ *)
+
+module Metrics = struct
+  (* Same design constraints as tracing: the disabled path is one boolean
+     read (mutation sites check [enabled ()] and touch nothing when off),
+     instrumentation only ever *reads* simulated state, and export is
+     hand-rolled RFC-8259 JSON. Unlike trace events, metrics are
+     pre-aggregated: a series is (name, sorted labels) -> one counter,
+     gauge or log2-bucketed histogram cell, so cost is O(series), not
+     O(events). *)
+
+  let m_on = ref false
+  let enabled () = !m_on
+  let enable () = m_on := true
+  let disable () = m_on := false
+
+  (* -------------------- histogram cells -------------------- *)
+
+  (* Log2 buckets: bucket 0 holds values <= 0; bucket b (1..62) holds
+     (2^(b-33), 2^(b-32)], so the range 2^-32 .. 2^30 — virtual seconds on
+     one side, byte counts on the other — is covered exactly, with the two
+     extreme buckets absorbing the clamped tails. *)
+  let n_buckets = 63
+
+  let bucket_of v =
+    if v <= 0.0 then 0
+    else
+      let _, e = Float.frexp v in
+      (* v in (2^(e-1), 2^e] up to the half-open convention of frexp *)
+      let b = e + 32 in
+      if b < 1 then 1 else if b > n_buckets - 1 then n_buckets - 1 else b
+
+  let bucket_upper b = if b <= 0 then 0.0 else Float.ldexp 1.0 (b - 32)
+
+  type hcell = {
+    mutable h_count : int;
+    mutable h_sum : float;
+    mutable h_min : float;
+    mutable h_max : float;
+    h_buckets : int array;
+  }
+
+  let hcell () =
+    { h_count = 0; h_sum = 0.0; h_min = Float.infinity;
+      h_max = Float.neg_infinity; h_buckets = Array.make n_buckets 0 }
+
+  (* -------------------- registry -------------------- *)
+
+  type cell = KCounter of float ref | KGauge of float ref | KHisto of hcell
+
+  type counter = float ref
+  type gauge = float ref
+  type histogram = hcell
+
+  let registry : (string * (string * string) list, cell) Hashtbl.t =
+    Hashtbl.create 64
+
+  let reset () = Hashtbl.reset registry
+
+  let norm_labels labels = List.sort compare labels
+
+  let intern name labels mk =
+    let labels = norm_labels labels in
+    let key = (name, labels) in
+    match Hashtbl.find_opt registry key with
+    | Some c -> c
+    | None ->
+        let c = mk () in
+        Hashtbl.add registry key c;
+        c
+
+  let counter ?(labels = []) name : counter =
+    match intern name labels (fun () -> KCounter (ref 0.0)) with
+    | KCounter r -> r
+    | _ -> invalid_arg ("metric " ^ name ^ " already registered with another type")
+
+  let gauge ?(labels = []) name : gauge =
+    match intern name labels (fun () -> KGauge (ref 0.0)) with
+    | KGauge r -> r
+    | _ -> invalid_arg ("metric " ^ name ^ " already registered with another type")
+
+  let histogram ?(labels = []) name : histogram =
+    match intern name labels (fun () -> KHisto (hcell ())) with
+    | KHisto h -> h
+    | _ -> invalid_arg ("metric " ^ name ^ " already registered with another type")
+
+  (* mutation: one boolean read when disabled *)
+  let inc (c : counter) v = if !m_on then c := !c +. v
+  let incr (c : counter) = if !m_on then c := !c +. 1.0
+  let set (g : gauge) v = if !m_on then g := v
+
+  let observe (h : histogram) v =
+    if !m_on then begin
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v;
+      let b = bucket_of v in
+      h.h_buckets.(b) <- h.h_buckets.(b) + 1
+    end
+
+  (* -------------------- snapshots -------------------- *)
+
+  type histo = {
+    hs_count : int;
+    hs_sum : float;
+    hs_min : float;  (** 0 when the histogram is empty *)
+    hs_max : float;
+    hs_buckets : (int * int) list;
+        (** nonzero (bucket index, count) pairs, ascending by index *)
+  }
+
+  type value = VCounter of float | VGauge of float | VHisto of histo
+
+  type sample = {
+    m_name : string;
+    m_labels : (string * string) list;  (** sorted by key *)
+    m_value : value;
+  }
+
+  let histo_of (h : hcell) : histo =
+    let buckets = ref [] in
+    for b = n_buckets - 1 downto 0 do
+      if h.h_buckets.(b) > 0 then buckets := (b, h.h_buckets.(b)) :: !buckets
+    done;
+    {
+      hs_count = h.h_count;
+      hs_sum = h.h_sum;
+      hs_min = (if h.h_count = 0 then 0.0 else h.h_min);
+      hs_max = (if h.h_count = 0 then 0.0 else h.h_max);
+      hs_buckets = !buckets;
+    }
+
+  let sample_order a b =
+    match compare a.m_name b.m_name with
+    | 0 -> compare a.m_labels b.m_labels
+    | o -> o
+
+  let snapshot () : sample list =
+    Hashtbl.fold
+      (fun (name, labels) cell acc ->
+        let v =
+          match cell with
+          | KCounter r -> VCounter !r
+          | KGauge r -> VGauge !r
+          | KHisto h -> VHisto (histo_of h)
+        in
+        { m_name = name; m_labels = labels; m_value = v } :: acc)
+      registry []
+    |> List.sort sample_order
+
+  (* merge two snapshots (e.g. from per-run registries of a sweep):
+     counters and histogram cells add, gauges take the right operand —
+     all three rules are associative, which the property tests assert *)
+  let merge_histo a b =
+    let rec add xs ys =
+      match (xs, ys) with
+      | [], r | r, [] -> r
+      | (bx, cx) :: tx, (by, cy) :: ty ->
+          if bx < by then (bx, cx) :: add tx ys
+          else if by < bx then (by, cy) :: add xs ty
+          else (bx, cx + cy) :: add tx ty
+    in
+    if a.hs_count = 0 then b
+    else if b.hs_count = 0 then a
+    else
+      {
+        hs_count = a.hs_count + b.hs_count;
+        hs_sum = a.hs_sum +. b.hs_sum;
+        hs_min = Float.min a.hs_min b.hs_min;
+        hs_max = Float.max a.hs_max b.hs_max;
+        hs_buckets = add a.hs_buckets b.hs_buckets;
+      }
+
+  let merge (a : sample list) (b : sample list) : sample list =
+    let rec go xs ys =
+      match (xs, ys) with
+      | [], r | r, [] -> r
+      | x :: tx, y :: ty -> (
+          match sample_order x y with
+          | c when c < 0 -> x :: go tx ys
+          | c when c > 0 -> y :: go xs ty
+          | _ ->
+              let v =
+                match (x.m_value, y.m_value) with
+                | VCounter u, VCounter v -> VCounter (u +. v)
+                | VGauge _, VGauge v -> VGauge v
+                | VHisto u, VHisto v -> VHisto (merge_histo u v)
+                | _ ->
+                    invalid_arg
+                      ("metric " ^ x.m_name ^ ": merging mismatched types")
+              in
+              { x with m_value = v } :: go tx ty)
+    in
+    go (List.sort sample_order a) (List.sort sample_order b)
+
+  (* percentile estimate from the bucket histogram: the value at rank
+     ceil(q*count) is somewhere in its bucket; report the bucket's upper
+     edge clamped into [min, max], so the estimate is never below the true
+     minimum, never above the true maximum, and off by at most one
+     power of two in between *)
+  let percentile q (h : histo) : float =
+    if h.hs_count = 0 then 0.0
+    else if q <= 0.0 then h.hs_min
+    else if q >= 1.0 then h.hs_max
+    else begin
+      let rank =
+        let r = int_of_float (ceil (q *. float_of_int h.hs_count)) in
+        if r < 1 then 1 else if r > h.hs_count then h.hs_count else r
+      in
+      let rec find cum = function
+        | [] -> h.hs_max
+        | (b, c) :: rest ->
+            if cum + c >= rank then bucket_upper b else find (cum + c) rest
+      in
+      let est = find 0 h.hs_buckets in
+      Float.min h.hs_max (Float.max h.hs_min est)
+    end
+
+  (* -------------------- reporting -------------------- *)
+
+  let label_string labels =
+    match labels with
+    | [] -> ""
+    | _ ->
+        "{"
+        ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+        ^ "}"
+
+  let report () =
+    let b = Buffer.create 1024 in
+    Buffer.add_string b
+      (Printf.sprintf "%-52s %-10s %s\n" "metric" "type" "value");
+    List.iter
+      (fun s ->
+        let name = s.m_name ^ label_string s.m_labels in
+        match s.m_value with
+        | VCounter v ->
+            Buffer.add_string b
+              (Printf.sprintf "%-52s %-10s %.6g\n" name "counter" v)
+        | VGauge v ->
+            Buffer.add_string b
+              (Printf.sprintf "%-52s %-10s %.6g\n" name "gauge" v)
+        | VHisto h ->
+            Buffer.add_string b
+              (Printf.sprintf
+                 "%-52s %-10s count=%d sum=%.6g min=%.6g p50=%.6g p90=%.6g \
+                  p99=%.6g max=%.6g\n"
+                 name "histogram" h.hs_count h.hs_sum h.hs_min
+                 (percentile 0.50 h) (percentile 0.90 h) (percentile 0.99 h)
+                 h.hs_max))
+      (snapshot ());
+    Buffer.contents b
+
+  (* machine-readable export: schema dhpf-metrics/1, stable ordering *)
+  let samples_to_json (samples : sample list) : string =
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "{\"schema\":\"dhpf-metrics/1\",\"metrics\":[";
+    List.iteri
+      (fun i s ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b "\n{\"name\":";
+        jstr b s.m_name;
+        if s.m_labels <> [] then begin
+          Buffer.add_string b ",\"labels\":{";
+          List.iteri
+            (fun j (k, v) ->
+              if j > 0 then Buffer.add_char b ',';
+              jstr b k;
+              Buffer.add_char b ':';
+              jstr b v)
+            s.m_labels;
+          Buffer.add_char b '}'
+        end;
+        (match s.m_value with
+        | VCounter v ->
+            Buffer.add_string b ",\"type\":\"counter\",\"value\":";
+            Buffer.add_string b (jfloat v)
+        | VGauge v ->
+            Buffer.add_string b ",\"type\":\"gauge\",\"value\":";
+            Buffer.add_string b (jfloat v)
+        | VHisto h ->
+            Buffer.add_string b
+              (Printf.sprintf ",\"type\":\"histogram\",\"count\":%d,\"sum\":%s"
+                 h.hs_count (jfloat h.hs_sum));
+            Buffer.add_string b
+              (Printf.sprintf ",\"min\":%s,\"max\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s"
+                 (jfloat h.hs_min) (jfloat h.hs_max)
+                 (jfloat (percentile 0.50 h))
+                 (jfloat (percentile 0.90 h))
+                 (jfloat (percentile 0.99 h)));
+            Buffer.add_string b ",\"buckets\":[";
+            List.iteri
+              (fun j (bk, c) ->
+                if j > 0 then Buffer.add_char b ',';
+                Buffer.add_string b (Printf.sprintf "[%d,%d]" bk c))
+              h.hs_buckets;
+            Buffer.add_char b ']');
+        Buffer.add_char b '}')
+      samples;
+    Buffer.add_string b "\n]}\n";
+    Buffer.contents b
+
+  let to_json () = samples_to_json (snapshot ())
+
+  let write path =
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (to_json ()))
+
+  let init_env () =
+    match Sys.getenv_opt "DHPF_METRICS" with
+    | Some path when path <> "" ->
+        enable ();
+        at_exit (fun () -> try write path with Sys_error _ -> ())
+    | _ -> ()
+end

@@ -126,3 +126,116 @@ val write : string -> unit
 val summary : unit -> string
 (** Plain-text table aggregating complete events by (category, name):
     count, total and mean duration, sorted by total within category. *)
+
+(** {1 Metrics}
+
+    The aggregate complement to the event timeline: a process-global
+    registry of labelled series — monotone counters, last-value gauges and
+    log₂-bucketed histograms — with the same design constraints as
+    tracing. The disabled path is a single [bool] read per mutation;
+    instrumentation only reads simulated state (never advances clocks), so
+    a metered simulation run is bit-identical to a bare one; export is
+    dependency-free JSON.
+
+    Handles are interned by (name, sorted labels): creating the same
+    series twice returns the same cell, so instrumentation sites can be
+    re-entered freely. Series names are namespaced by subsystem with a
+    ["sys/"] prefix (e.g. ["sim/comm_msgs"], ["compiler/phase_s"],
+    ["iset/cache hits"]) so independent subsystems can never interleave
+    into one series by accident. *)
+
+module Metrics : sig
+  (** {2 Lifecycle} *)
+
+  val enabled : unit -> bool
+  (** The one-word guard; mutation is a no-op when false. *)
+
+  val enable : unit -> unit
+  val disable : unit -> unit
+
+  val reset : unit -> unit
+  (** Drop every registered series. Existing handles become detached: they
+      can still be written through, but no longer appear in snapshots. *)
+
+  val init_env : unit -> unit
+  (** [DHPF_METRICS=out.json] support: when set and non-empty, enable
+      metrics now and write the JSON export at process exit. Called once
+      by the CLI driver. *)
+
+  (** {2 Series handles} *)
+
+  type counter
+  type gauge
+  type histogram
+
+  val counter : ?labels:(string * string) list -> string -> counter
+  val gauge : ?labels:(string * string) list -> string -> gauge
+
+  val histogram : ?labels:(string * string) list -> string -> histogram
+  (** Log₂-bucketed: bucket 0 holds values [<= 0]; bucket [b] in
+      [1..62] holds [(2^(b-33), 2^(b-32)]] (so [2^-32 .. 2^30] is covered
+      exactly and the tails clamp into the extreme buckets). *)
+
+  val inc : counter -> float -> unit
+  val incr : counter -> unit
+  val set : gauge -> float -> unit
+  val observe : histogram -> float -> unit
+
+  val bucket_of : float -> int
+  val bucket_upper : int -> float
+  (** Inclusive upper edge of a bucket ([0.] for bucket 0). *)
+
+  (** {2 Snapshots} *)
+
+  type histo = {
+    hs_count : int;
+    hs_sum : float;
+    hs_min : float;  (** 0 when the histogram is empty *)
+    hs_max : float;
+    hs_buckets : (int * int) list;
+        (** nonzero (bucket index, count) pairs, ascending by index *)
+  }
+
+  type value = VCounter of float | VGauge of float | VHisto of histo
+
+  type sample = {
+    m_name : string;
+    m_labels : (string * string) list;  (** sorted by key *)
+    m_value : value;
+  }
+
+  val snapshot : unit -> sample list
+  (** Every registered series, sorted by (name, labels) — the stable order
+      used by every export. *)
+
+  val merge : sample list -> sample list -> sample list
+  (** Pointwise merge of two snapshots: counters and histogram cells add
+      (bucket-wise), gauges take the right operand. All three rules are
+      associative — asserted by the property tests — so sweep results can
+      be folded in any grouping.
+      @raise Invalid_argument when one series name carries two types. *)
+
+  val percentile : float -> histo -> float
+  (** [percentile q h] estimates the [q]-quantile from the buckets: the
+      upper edge of the bucket holding rank [ceil (q * count)], clamped
+      into [[hs_min, hs_max]]. Monotone in [q]; exact at [q >= 1.]; off by
+      at most one power of two in between. [0.] on an empty histogram. *)
+
+  (** {2 Export} *)
+
+  val report : unit -> string
+  (** Plain-text table of every series (histograms with count/sum/min/
+      p50/p90/p99/max). *)
+
+  val to_json : unit -> string
+  (** The snapshot as stable machine-readable JSON, schema
+      [dhpf-metrics/1]:
+      [{"schema":"dhpf-metrics/1","metrics":[{"name":...,"labels":{...},
+      "type":"counter"|"gauge"|"histogram",...}]}]. *)
+
+  val samples_to_json : sample list -> string
+  (** {!to_json} over an explicit (e.g. merged) snapshot. *)
+
+  val write : string -> unit
+  (** Write {!to_json} to a file. *)
+end

@@ -870,7 +870,7 @@ let make ?(machine = Machine.default) ?faults ~nprocs ?(params = [])
     (prog : Spmd.program) : csim =
   let su = Runtime.setup ?faults ~nprocs ~params prog in
   let geval e = Runtime.eval_genv su.Runtime.su_genv e in
-  let tr = Runtime.transport_make ~machine ~faults in
+  let tr = Runtime.transport_make ~machine ~faults ~nprocs:su.Runtime.su_total in
   let arrays = Hashtbl.create 16 in
   List.iteri (fun i (ad : Spmd.array_decl) -> Hashtbl.replace arrays ad.Spmd.ad_name i)
     prog.Spmd.arrays;
@@ -1093,6 +1093,10 @@ let get_elem cs name idx =
   let aid = Hashtbl.find cs.c_arrays name in
   let enc = Runtime.encode cs.c_ameta.(aid) idx in
   get_enc cs.c_rts.(pid).r_stores.(aid) enc
+
+(** Measured per-pair communication table (empty unless metrics were
+    enabled when the sim was built). *)
+let comm_cells cs = Runtime.comm_cells cs.c_tr
 
 (** Scalar value (replicated; read from processor 0). *)
 let get_scalar cs name =

@@ -109,7 +109,7 @@ let make_interp ?(machine = Machine.default) ?faults ~nprocs ?(params = [])
       inprocs = su.Runtime.su_total;
       procs;
       meta;
-      tr = Runtime.transport_make ~machine ~faults;
+      tr = Runtime.transport_make ~machine ~faults ~nprocs:su.Runtime.su_total;
       outbuf = Hashtbl.create 16;
       inplace_events = Hashtbl.create 8;
       rect_events = Hashtbl.create 8;
@@ -519,6 +519,19 @@ let diagnostic_to_string = Runtime.diagnostic_to_string
 let run = function
   | SClosure cs -> Compile.run cs
   | SInterp s -> run_interp s
+
+type comm_cell = Runtime.comm_cell = {
+  cm_event : int;
+  cm_src : int;
+  cm_dst : int;
+  cm_msgs : int;
+  cm_elems : int;
+  cm_bytes : int;
+}
+
+let comm_cells = function
+  | SClosure cs -> Compile.comm_cells cs
+  | SInterp s -> Runtime.comm_cells s.tr
 
 let get_elem = function
   | SClosure cs -> Compile.get_elem cs

@@ -125,3 +125,22 @@ val get_elem : sim -> string -> int list -> float
 
 val get_scalar : sim -> string -> float
 (** Replicated scalar value (processor 0's copy). *)
+
+(** {1 Communication metrics} *)
+
+type comm_cell = Runtime.comm_cell = {
+  cm_event : int;  (** communication event id *)
+  cm_src : int;  (** sending physical processor *)
+  cm_dst : int;  (** [cm_src = cm_dst]: local copy between co-located VPs *)
+  cm_msgs : int;
+  cm_elems : int;
+  cm_bytes : int;  (** [cm_elems * elem_bytes] *)
+}
+
+val comm_cells : sim -> comm_cell list
+(** Measured point-to-point communication table after {!run}, sorted by
+    (event, src, dst) — one row per pair that carried traffic. Requires
+    [Obs.Metrics] to have been enabled when the sim was built (empty
+    otherwise). Per-pair counts never re-increment on retransmission or
+    duplicate delivery, so the table is invariant under fault injection;
+    joined against {!Predict.comm} by [dhpfc run --check-comm]. *)

@@ -282,6 +282,33 @@ type trace = {
           seconds; the gap up to the next slice is rendered as compute *)
 }
 
+type comm_cell = {
+  cm_event : int;  (** communication event id, or [-1] for a collective *)
+  cm_src : int;
+  cm_dst : int;  (** [cm_src = cm_dst]: local copy between co-located VPs *)
+  cm_msgs : int;
+  cm_elems : int;
+  cm_bytes : int;
+}
+
+type simmetrics = {
+  sm_nprocs : int;
+  sm_mx_msgs : int array;  (** P*P dense matrices, indexed [src*P + dst] *)
+  sm_mx_elems : int array;
+  sm_cells : (int * int * int, int ref * int ref) Hashtbl.t;
+      (** (event, src, dst) -> (msgs, elems); diagonal = local copies *)
+  sm_send_t : float array;  (** per-proc seconds inside sends (incl. packing) *)
+  sm_recv_t : float array;  (** per-proc seconds blocked + unpacking in recvs *)
+  sm_coll_t : float array;  (** per-proc seconds inside collectives *)
+  sm_recv_elems : int array;  (** per-proc halo elements received *)
+  sm_retrans : int array;  (** retransmissions by sending processor *)
+  sm_msg_bytes : Obs.Metrics.histogram;  (** wire size of network messages *)
+  mutable sm_coll_msgs : int;  (** messages attributed to collectives *)
+  mutable sm_coll_bytes : int;
+  mutable sm_local_msgs : int;  (** co-located VP copies (never on the wire) *)
+  mutable sm_local_elems : int;
+}
+
 type transport = {
   tr_machine : Machine.t;
   tr_faults : Fault.spec option;
@@ -295,6 +322,10 @@ type transport = {
       (** present iff tracing was enabled when the transport was built;
           tracing only reads the virtual clocks, never advances them, so a
           traced run is bit-identical to an untraced one *)
+  tr_metrics : simmetrics option;
+      (** present iff [Obs.Metrics] was enabled at build time; like
+          tracing, metrics recording only reads clocks and payload sizes,
+          so a metered run is bit-identical to a bare one *)
 }
 
 (* simulated seconds -> trace microseconds *)
@@ -302,7 +333,7 @@ let us t = t *. 1e6
 
 let trace_ctr = ref 0
 
-let transport_make ~machine ~faults =
+let transport_make ~machine ~faults ~nprocs =
   {
     tr_machine = machine;
     tr_faults = faults;
@@ -321,7 +352,35 @@ let transport_make ~machine ~faults =
              tw_last = Hashtbl.create 16 }
        end
        else None);
+    tr_metrics =
+      (if Obs.Metrics.enabled () then
+         Some
+           {
+             sm_nprocs = nprocs;
+             sm_mx_msgs = Array.make (nprocs * nprocs) 0;
+             sm_mx_elems = Array.make (nprocs * nprocs) 0;
+             sm_cells = Hashtbl.create 64;
+             sm_send_t = Array.make nprocs 0.0;
+             sm_recv_t = Array.make nprocs 0.0;
+             sm_coll_t = Array.make nprocs 0.0;
+             sm_recv_elems = Array.make nprocs 0;
+             sm_retrans = Array.make nprocs 0;
+             sm_msg_bytes = Obs.Metrics.histogram "sim/msg_bytes";
+             sm_coll_msgs = 0;
+             sm_coll_bytes = 0;
+             sm_local_msgs = 0;
+             sm_local_elems = 0;
+           }
+       else None);
   }
+
+let metrics_cell sm ~event ~src ~dst =
+  match Hashtbl.find_opt sm.sm_cells (event, src, dst) with
+  | Some c -> c
+  | None ->
+      let c = (ref 0, ref 0) in
+      Hashtbl.add sm.sm_cells (event, src, dst) c;
+      c
 
 (* the idle-to-busy gap on a lane, rendered as a compute slice: the
    processors only accumulate clock time in compute statements and in the
@@ -348,8 +407,10 @@ let send tr ~tick ~get_clock ~pid ~dst_pid ~event ~src_vp ~dst_vp ~inplace
     ~rect (pl : payload) : unit =
   let m = tr.tr_machine in
   let n = Array.length pl.pl_idx in
-  (* clock before any charge: start of the traced send slice *)
-  let tt0 = if tr.tr_trace = None then 0.0 else get_clock () in
+  (* clock before any charge: start of the traced/metered send window *)
+  let tt0 =
+    if tr.tr_trace = None && tr.tr_metrics = None then 0.0 else get_clock ()
+  in
   (* §3.3: transfers proved contiguous at compile time go in place; a
      rectangular section that was not proved is tested at run time (a
      handful of predicate evaluations — far cheaper than packing) and
@@ -420,6 +481,25 @@ let send tr ~tick ~get_clock ~pid ~dst_pid ~event ~src_vp ~dst_vp ~inplace
   if plan.Fault.mp_dup then q := !q @ [ { msg with m_arrival = arrival +. wire } ];
   let depth = List.length !q in
   if depth > tr.tr_c.n_max_mbox then tr.tr_c.n_max_mbox <- depth;
+  (match tr.tr_metrics with
+  | None -> ()
+  | Some sm ->
+      (* reads only: the clock delta charged above and the payload size *)
+      sm.sm_send_t.(pid) <- sm.sm_send_t.(pid) +. (get_clock () -. tt0);
+      let msgs, elems = metrics_cell sm ~event ~src:pid ~dst:dst_pid in
+      Stdlib.incr msgs;
+      elems := !elems + n;
+      let cell = (pid * sm.sm_nprocs) + dst_pid in
+      sm.sm_mx_msgs.(cell) <- sm.sm_mx_msgs.(cell) + 1;
+      sm.sm_mx_elems.(cell) <- sm.sm_mx_elems.(cell) + n;
+      sm.sm_retrans.(pid) <- sm.sm_retrans.(pid) + plan.Fault.mp_drops;
+      if local then begin
+        sm.sm_local_msgs <- sm.sm_local_msgs + 1;
+        sm.sm_local_elems <- sm.sm_local_elems + n
+      end
+      else
+        Obs.Metrics.observe sm.sm_msg_bytes
+          (float_of_int (n * m.Machine.elem_bytes)));
   match tr.tr_trace with
   | None -> ()
   | Some tw ->
@@ -449,6 +529,12 @@ let send tr ~tick ~get_clock ~pid ~dst_pid ~event ~src_vp ~dst_vp ~inplace
     send's flow arrow. Both engines call this from their [Recv]
     implementations; a no-op when the transport is untraced. *)
 let trace_recv tr ~tid ~t0 ~t1 (k : key) (msg : msg) : unit =
+  (match tr.tr_metrics with
+  | None -> ()
+  | Some sm ->
+      sm.sm_recv_t.(tid) <- sm.sm_recv_t.(tid) +. (t1 -. t0);
+      sm.sm_recv_elems.(tid) <-
+        sm.sm_recv_elems.(tid) + Array.length msg.m_payload.pl_idx);
   match tr.tr_trace with
   | None -> ()
   | Some tw -> (
@@ -722,6 +808,16 @@ let sched_run (h : hooks) : unit =
         tr.tr_c.n_msgs <- tr.tr_c.n_msgs + (2 * stages * nprocs);
         tr.tr_c.n_bytes <-
           tr.tr_c.n_bytes + (2 * stages * nelems * machine.Machine.elem_bytes);
+        (match tr.tr_metrics with
+        | None -> ()
+        | Some sm ->
+            sm.sm_coll_msgs <- sm.sm_coll_msgs + (2 * stages * nprocs);
+            sm.sm_coll_bytes <-
+              sm.sm_coll_bytes
+              + (2 * stages * nelems * machine.Machine.elem_bytes);
+            for p = 0 to nprocs - 1 do
+              sm.sm_coll_t.(p) <- sm.sm_coll_t.(p) +. (t_done -. h.h_clock p)
+            done);
         (match tr.tr_trace with
         | Some tw ->
             for p = 0 to nprocs - 1 do
@@ -774,6 +870,17 @@ let sched_run (h : hooks) : unit =
             vals
         in
         let t_done = max_clock () +. Machine.allreduce_time machine nprocs in
+        (match tr.tr_metrics with
+        | None -> ()
+        | Some sm ->
+            Array.iteri
+              (fun p s ->
+                match s with
+                | WReduce _ ->
+                    sm.sm_coll_t.(p) <-
+                      sm.sm_coll_t.(p) +. (t_done -. h.h_clock p)
+                | _ -> ())
+              status);
         (match tr.tr_trace with
         | Some tw ->
             let opname =
@@ -878,10 +985,94 @@ let sched_run (h : hooks) : unit =
          })
   end
 
+(** Sorted per-pair point-to-point table, one row per (event, src, dst)
+    that carried traffic; the diagonal rows are co-located VP copies.
+    Empty unless [Obs.Metrics] was enabled when the transport was built.
+    Per-pair counts never re-increment on retransmission or duplication,
+    so the measured matrix is invariant under fault injection — exactly
+    the property [--check-comm] relies on. *)
+let comm_cells tr : comm_cell list =
+  match tr.tr_metrics with
+  | None -> []
+  | Some sm ->
+      Hashtbl.fold
+        (fun (event, src, dst) (msgs, elems) acc ->
+          { cm_event = event; cm_src = src; cm_dst = dst; cm_msgs = !msgs;
+            cm_elems = !elems;
+            cm_bytes = !elems * tr.tr_machine.Machine.elem_bytes }
+          :: acc)
+        sm.sm_cells []
+      |> List.sort compare
+
+(* fold the per-run accumulators into the global metrics registry: the
+   communication matrix, per-processor time split, halo occupancy, fault
+   breakdown and the derived load-balance figures of merit *)
+let metrics_publish tr sm ~proc_times =
+  let module M = Obs.Metrics in
+  let p = sm.sm_nprocs in
+  let label_pair src dst =
+    [ ("src", string_of_int src); ("dst", string_of_int dst) ]
+  in
+  for src = 0 to p - 1 do
+    for dst = 0 to p - 1 do
+      let c = (src * p) + dst in
+      if sm.sm_mx_msgs.(c) > 0 then begin
+        let labels = label_pair src dst in
+        M.inc (M.counter ~labels "sim/comm_msgs")
+          (float_of_int sm.sm_mx_msgs.(c));
+        M.inc (M.counter ~labels "sim/comm_elems")
+          (float_of_int sm.sm_mx_elems.(c));
+        M.inc (M.counter ~labels "sim/comm_bytes")
+          (float_of_int
+             (sm.sm_mx_elems.(c) * tr.tr_machine.Machine.elem_bytes))
+      end
+    done
+  done;
+  let halo = M.histogram "sim/halo_elems_per_proc" in
+  let compute_sum = ref 0.0 and compute_max = ref 0.0 and comm_sum = ref 0.0 in
+  Array.iteri
+    (fun i total ->
+      let comm = sm.sm_send_t.(i) +. sm.sm_recv_t.(i) +. sm.sm_coll_t.(i) in
+      let compute = Float.max 0.0 (total -. comm) in
+      compute_sum := !compute_sum +. compute;
+      comm_sum := !comm_sum +. comm;
+      if compute > !compute_max then compute_max := compute;
+      let labels = [ ("proc", string_of_int i) ] in
+      M.set (M.gauge ~labels "sim/proc_total_s") total;
+      M.set (M.gauge ~labels "sim/proc_compute_s") compute;
+      M.set (M.gauge ~labels "sim/proc_send_s") sm.sm_send_t.(i);
+      M.set (M.gauge ~labels "sim/proc_recv_wait_s") sm.sm_recv_t.(i);
+      M.set (M.gauge ~labels "sim/proc_coll_s") sm.sm_coll_t.(i);
+      if sm.sm_retrans.(i) > 0 then
+        M.inc
+          (M.counter ~labels:[ ("src", string_of_int i) ] "sim/retransmits_by_src")
+          (float_of_int sm.sm_retrans.(i));
+      M.observe halo (float_of_int sm.sm_recv_elems.(i)))
+    proc_times;
+  let inc_tot name v = M.inc (M.counter name) (float_of_int v) in
+  inc_tot "sim/msgs_total" tr.tr_c.n_msgs;
+  inc_tot "sim/bytes_total" tr.tr_c.n_bytes;
+  inc_tot "sim/elems_total" tr.tr_c.n_elems;
+  inc_tot "sim/coll_msgs" sm.sm_coll_msgs;
+  inc_tot "sim/coll_bytes" sm.sm_coll_bytes;
+  inc_tot "sim/local_copies" sm.sm_local_msgs;
+  inc_tot "sim/local_copy_elems" sm.sm_local_elems;
+  inc_tot "sim/retransmits" tr.tr_c.n_retransmits;
+  inc_tot "sim/timeouts" tr.tr_c.n_timeouts;
+  inc_tot "sim/dups_discarded" tr.tr_c.n_dups;
+  M.set (M.gauge "sim/max_mailbox") (float_of_int tr.tr_c.n_max_mbox);
+  let mean = !compute_sum /. float_of_int (max 1 p) in
+  M.set (M.gauge "sim/compute_max_s") !compute_max;
+  M.set (M.gauge "sim/compute_mean_s") mean;
+  if mean > 0.0 then M.set (M.gauge "sim/load_imbalance") (!compute_max /. mean);
+  if !compute_sum > 0.0 then
+    M.set (M.gauge "sim/comm_to_compute") (!comm_sum /. !compute_sum)
+
 (** Assemble the final statistics from the transport counters and the
     per-processor clocks. For a traced run this is also the end of the
     timeline: name the lanes and fill each processor's tail (last traced
-    slice to its final clock) as compute. *)
+    slice to its final clock) as compute. For a metered run this is where
+    the accumulators fold into the [Obs.Metrics] registry. *)
 let stats_of tr ~proc_times : stats =
   (match tr.tr_trace with
   | Some tw ->
@@ -893,6 +1084,9 @@ let stats_of tr ~proc_times : stats =
           trace_gap tw ~tid:p t;
           Hashtbl.replace tw.tw_last p t)
         proc_times
+  | None -> ());
+  (match tr.tr_metrics with
+  | Some sm -> metrics_publish tr sm ~proc_times
   | None -> ());
   {
     s_time = Array.fold_left Float.max 0.0 proc_times;

@@ -112,6 +112,16 @@ type trace
     [Obs.enabled ()]; tracing reads the virtual clocks but never advances
     them, so traced and untraced runs are bit-identical. *)
 
+type simmetrics
+(** Per-simulation metrics accumulators: the dense P×P communication
+    matrix, the per-(event, src, dst) cell table, per-processor
+    send/recv-wait/collective time, halo occupancy and the fault
+    breakdown. Allocated by {!transport_make} iff [Obs.Metrics.enabled
+    ()]; like tracing it only reads the virtual clocks and payload sizes,
+    so a metered run is bit-identical (values, clocks, counters) to a bare
+    one. Folded into the [Obs.Metrics] registry by {!stats_of} under
+    [sim/]-prefixed series names. *)
+
 type transport = {
   tr_machine : Machine.t;
   tr_faults : Fault.spec option;
@@ -120,9 +130,27 @@ type transport = {
   tr_recv_seq : (key, int) Hashtbl.t;
   tr_c : counters;
   tr_trace : trace option;
+  tr_metrics : simmetrics option;
 }
 
-val transport_make : machine:Machine.t -> faults:Fault.spec option -> transport
+val transport_make :
+  machine:Machine.t -> faults:Fault.spec option -> nprocs:int -> transport
+
+type comm_cell = {
+  cm_event : int;  (** communication event id *)
+  cm_src : int;  (** sending physical processor *)
+  cm_dst : int;  (** [cm_src = cm_dst]: local copy between co-located VPs *)
+  cm_msgs : int;
+  cm_elems : int;
+  cm_bytes : int;  (** [cm_elems * elem_bytes] *)
+}
+
+val comm_cells : transport -> comm_cell list
+(** Measured point-to-point communication table, sorted by (event, src,
+    dst); one row per pair that carried traffic. Empty unless
+    [Obs.Metrics] was enabled when the transport was built. Per-pair
+    counts never re-increment on retransmission or duplicate delivery, so
+    the table is invariant under fault injection. *)
 
 val trace_recv :
   transport -> tid:int -> t0:float -> t1:float -> key -> msg -> unit

@@ -1,0 +1,316 @@
+(* Tests for the metrics registry and the predicted-vs-measured
+   communication machinery: the disabled fast path, histogram merge
+   associativity and percentile bounds (QCheck), point counting of
+   generated loop nests, counter-series namespacing in the Chrome trace,
+   the guarantee that metering a run changes nothing, and exact agreement
+   of Predict.comm with the simulator's measured matrix on the paper's
+   applications under both engines. *)
+
+module M = Obs.Metrics
+
+let with_metrics f =
+  M.reset ();
+  M.enable ();
+  let r = Fun.protect ~finally:(fun () -> M.disable ()) f in
+  let snap = M.snapshot () in
+  M.reset ();
+  (r, snap)
+
+(* ---- registry basics ---- *)
+
+let test_disabled_noop () =
+  M.reset ();
+  M.disable ();
+  let c = M.counter "t/c" and g = M.gauge "t/g" and h = M.histogram "t/h" in
+  M.inc c 5.0;
+  M.set g 7.0;
+  M.observe h 3.0;
+  let snap = M.snapshot () in
+  List.iter
+    (fun (s : M.sample) ->
+      match s.m_value with
+      | M.VCounter v | M.VGauge v ->
+          Alcotest.(check (float 0.0)) ("disabled " ^ s.m_name) 0.0 v
+      | M.VHisto hs -> Alcotest.(check int) "disabled histo" 0 hs.hs_count)
+    snap;
+  M.reset ()
+
+let test_accumulate () =
+  let (), snap =
+    with_metrics (fun () ->
+        let c = M.counter ~labels:[ ("k", "v") ] "t/c" in
+        M.inc c 2.0;
+        M.inc c 3.0;
+        M.incr (M.counter ~labels:[ ("k", "v") ] "t/c");
+        M.set (M.gauge "t/g") 9.0;
+        let h = M.histogram "t/h" in
+        List.iter (M.observe h) [ 1.0; 2.0; 4.0; 1024.0 ])
+  in
+  let find name =
+    match List.find_opt (fun (s : M.sample) -> s.m_name = name) snap with
+    | Some s -> s.M.m_value
+    | None -> Alcotest.failf "series %s missing" name
+  in
+  (match find "t/c" with
+  | M.VCounter v -> Alcotest.(check (float 0.0)) "counter sums" 6.0 v
+  | _ -> Alcotest.fail "t/c not a counter");
+  (match find "t/h" with
+  | M.VHisto h ->
+      Alcotest.(check int) "histo count" 4 h.hs_count;
+      Alcotest.(check (float 0.0)) "histo sum" 1031.0 h.hs_sum;
+      Alcotest.(check (float 0.0)) "histo min" 1.0 h.hs_min;
+      Alcotest.(check (float 0.0)) "histo max" 1024.0 h.hs_max
+  | _ -> Alcotest.fail "t/h not a histogram")
+
+(* ---- QCheck: merge associativity, percentile bounds ---- *)
+
+let snap_of vals =
+  snd
+    (with_metrics (fun () ->
+         let h = M.histogram "q/h" in
+         List.iter (M.observe h) vals))
+
+let histo_of snap =
+  match (List.hd snap : M.sample).m_value with
+  | M.VHisto h -> h
+  | _ -> assert false
+
+let pos_floats = QCheck.(list_of_size (Gen.int_range 1 40) (pos_float))
+
+(* sums are floating-point, so associativity holds up to rounding; every
+   other field (count, min, max, buckets) must agree exactly *)
+let histo_equiv (x : M.histo) (y : M.histo) =
+  x.hs_count = y.hs_count && x.hs_min = y.hs_min && x.hs_max = y.hs_max
+  && x.hs_buckets = y.hs_buckets
+  && abs_float (x.hs_sum -. y.hs_sum)
+     <= 1e-9 *. Float.max 1.0 (abs_float x.hs_sum)
+
+let prop_merge_assoc =
+  QCheck.Test.make ~count:100 ~name:"histogram merge is associative"
+    QCheck.(triple pos_floats pos_floats pos_floats)
+    (fun (a, b, c) ->
+      let sa = snap_of a and sb = snap_of b and sc = snap_of c in
+      histo_equiv
+        (histo_of (M.merge sa (M.merge sb sc)))
+        (histo_of (M.merge (M.merge sa sb) sc)))
+
+let prop_merge_counts =
+  QCheck.Test.make ~count:100 ~name:"merged histogram sums counts and sums"
+    QCheck.(pair pos_floats pos_floats)
+    (fun (a, b) ->
+      let h = histo_of (M.merge (snap_of a) (snap_of b)) in
+      h.M.hs_count = List.length a + List.length b
+      && abs_float (h.M.hs_sum -. (List.fold_left ( +. ) 0.0 (a @ b))) < 1e-6)
+
+let prop_percentile_bounds =
+  QCheck.Test.make ~count:200
+    ~name:"percentiles lie in [min,max], monotone, exact at the ends"
+    QCheck.(pair (list_of_size (Gen.int_range 1 40) pos_float) (float_bound_inclusive 1.0))
+    (fun (vals, q) ->
+      let h = histo_of (snap_of vals) in
+      let p = M.percentile q h in
+      let q' = Float.min 1.0 (q +. 0.25) in
+      p >= h.M.hs_min && p <= h.M.hs_max
+      && M.percentile q' h >= p
+      && M.percentile 0.0 h = h.M.hs_min
+      && M.percentile 1.0 h = h.M.hs_max)
+
+(* each observation lands in the bucket whose range covers it *)
+let prop_bucket_covers =
+  QCheck.Test.make ~count:200 ~name:"log2 bucket covers its value"
+    QCheck.pos_float
+    (fun v ->
+      let b = M.bucket_of v in
+      v <= M.bucket_upper b && (b = 0 || v > M.bucket_upper (b - 1)))
+
+(* ---- Iset.Codegen.count_points: the compile-time message-size count ---- *)
+
+let test_count_points () =
+  List.iter
+    (fun (msg, src, env) ->
+      let set = Iset.Parse.set src in
+      let names = Iset.Rel.in_names set in
+      let asts =
+        Iset.Codegen.gen ~names [ { Iset.Codegen.tag = 0; dom = set } ]
+      in
+      let env s = List.assoc s env in
+      let n = ref 0 in
+      Iset.Codegen.run ~env ~f:(fun _ _ -> incr n) asts;
+      Alcotest.(check int) msg !n (Iset.Codegen.count_points ~env asts))
+    [
+      ("box", "{[i,j] : 1 <= i <= 10 && i <= j <= n}", [ ("n", 7) ]);
+      ("stride", "{[i] : exists(a : i = 2a) && 1 <= i <= n}", [ ("n", 20) ]);
+      ("empty", "{[i] : 5 <= i <= 2}", []);
+      ("union", "{[i] : 1 <= i <= 4} union {[i] : 10 <= i <= 12}", []);
+    ]
+
+(* ---- counter series carry a subsystem prefix in the Chrome trace ---- *)
+
+let test_counter_namespacing () =
+  Obs.reset ();
+  Obs.enable ();
+  let src = Codes.jacobi ~n:12 ~iters:1 () in
+  ignore (Dhpf.Gen.compile (Hpf.Sema.analyze_source src));
+  let evs = Obs.events () in
+  Obs.disable ();
+  Obs.reset ();
+  let counters =
+    List.filter (fun e -> e.Obs.e_ph = Obs.C) evs
+    |> List.map (fun e -> e.Obs.e_name)
+  in
+  Alcotest.(check bool) "compile emits iset counter samples" true
+    (List.mem "iset/cache hits" counters);
+  List.iter
+    (fun n ->
+      if not (String.contains n '/') then
+        Alcotest.failf
+          "counter series %S has no subsystem prefix: two subsystems with \
+           this name would interleave into one trace track"
+          n)
+    counters
+
+(* ---- metering must not perturb the simulation ---- *)
+
+let run_jacobi ~engine ?faults () =
+  let src = Codes.jacobi ~n:12 ~iters:2 () in
+  let compiled = Dhpf.Gen.compile (Hpf.Sema.analyze_source src) in
+  let sim =
+    Spmdsim.Exec.make ~engine ?faults ~nprocs:4 compiled.Dhpf.Gen.cprog
+  in
+  let stats = Spmdsim.Exec.run sim in
+  let values =
+    List.concat_map
+      (fun arr ->
+        List.concat_map
+          (fun i ->
+            List.map
+              (fun j -> Spmdsim.Exec.get_elem sim arr [ i; j ])
+              (List.init 12 succ))
+          (List.init 12 succ))
+      [ "a"; "b" ]
+  in
+  (stats, values, Spmdsim.Exec.get_scalar sim "eps")
+
+let test_metered_identical () =
+  List.iter
+    (fun (engine, faults) ->
+      let plain = run_jacobi ~engine ?faults () in
+      (* metered, and metered+traced: both must be bit-identical *)
+      let metered, _ = with_metrics (fun () -> run_jacobi ~engine ?faults ()) in
+      let both, _ =
+        with_metrics (fun () ->
+            Obs.reset ();
+            Obs.enable ();
+            Fun.protect
+              ~finally:(fun () ->
+                Obs.disable ();
+                Obs.reset ())
+              (fun () -> run_jacobi ~engine ?faults ()))
+      in
+      List.iter
+        (fun (s2, v2, e2) ->
+          let s1, v1, e1 = plain in
+          Alcotest.(check (list (float 0.0))) "element values identical" v1 v2;
+          Alcotest.(check (float 0.0)) "scalar identical" e1 e2;
+          Alcotest.(check bool) "stats identical (incl. clocks)" true (s1 = s2))
+        [ metered; both ])
+    [ (`Closure, None);
+      (`Interp, None);
+      (`Closure, Some (Spmdsim.Fault.default ~seed:7)) ]
+
+(* ---- predicted vs measured on the paper's applications ---- *)
+
+let check_app name src nprocs =
+  let compiled = Dhpf.Gen.compile (Hpf.Sema.analyze_source src) in
+  let predicted = Spmdsim.Predict.comm ~nprocs compiled.Dhpf.Gen.cprog in
+  Alcotest.(check bool)
+    (name ^ " predicts some communication")
+    true (predicted <> []);
+  List.iter
+    (fun (engine, faults) ->
+      let (), _ =
+        with_metrics (fun () ->
+            let sim =
+              Spmdsim.Exec.make ~engine ?faults ~nprocs
+                compiled.Dhpf.Gen.cprog
+            in
+            ignore (Spmdsim.Exec.run sim);
+            let measured = Spmdsim.Exec.comm_cells sim in
+            match Spmdsim.Predict.check predicted measured with
+            | [] -> ()
+            | mm ->
+                Alcotest.failf "%s: %d predicted-vs-measured cells diverge"
+                  name (List.length mm))
+      in
+      ignore faults)
+    [ (`Closure, None);
+      (`Interp, None);
+      (`Closure, Some (Spmdsim.Fault.default ~seed:11)) ]
+
+let test_predicted_measured () =
+  check_app "jacobi" (Codes.jacobi ~n:24 ~iters:2 ~procs:(Codes.Fixed (2, 2)) ()) 4;
+  check_app "tomcatv" (Codes.tomcatv ~n:33 ~iters:1 ()) 4;
+  check_app "gauss (cyclic, local copies)" (Codes.gauss ~n:12 ()) 4
+
+(* the join must flag divergence in either direction, and slack must
+   widen the acceptance band *)
+let test_check_detects_mismatch () =
+  let pred =
+    [ { Spmdsim.Predict.p_event = 0; p_src = 0; p_dst = 1; p_msgs = 2; p_elems = 10 } ]
+  in
+  let meas ~msgs ~elems =
+    [
+      {
+        Spmdsim.Exec.cm_event = 0;
+        cm_src = 0;
+        cm_dst = 1;
+        cm_msgs = msgs;
+        cm_elems = elems;
+        cm_bytes = elems * 8;
+      };
+    ]
+  in
+  Alcotest.(check int) "exact match passes" 0
+    (List.length (Spmdsim.Predict.check pred (meas ~msgs:2 ~elems:10)));
+  Alcotest.(check int) "element divergence flagged" 1
+    (List.length (Spmdsim.Predict.check pred (meas ~msgs:2 ~elems:11)));
+  Alcotest.(check int) "missing measured cell flagged" 1
+    (List.length (Spmdsim.Predict.check pred []));
+  Alcotest.(check int) "unpredicted measured cell flagged" 1
+    (List.length (Spmdsim.Predict.check [] (meas ~msgs:2 ~elems:10)));
+  Alcotest.(check int) "slack admits the divergence" 0
+    (List.length
+       (Spmdsim.Predict.check ~slack:0.2 pred (meas ~msgs:2 ~elems:11)))
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+          Alcotest.test_case "accumulation" `Quick test_accumulate;
+        ] );
+      ( "histograms",
+        [
+          QCheck_alcotest.to_alcotest prop_merge_assoc;
+          QCheck_alcotest.to_alcotest prop_merge_counts;
+          QCheck_alcotest.to_alcotest prop_percentile_bounds;
+          QCheck_alcotest.to_alcotest prop_bucket_covers;
+        ] );
+      ( "count-points",
+        [ Alcotest.test_case "matches enumeration" `Quick test_count_points ] );
+      ( "namespacing",
+        [
+          Alcotest.test_case "trace counter series prefixed" `Quick
+            test_counter_namespacing;
+        ] );
+      ( "simulator",
+        [
+          Alcotest.test_case "metered run bit-identical" `Quick
+            test_metered_identical;
+          Alcotest.test_case "predicted = measured (both engines, faults)"
+            `Quick test_predicted_measured;
+          Alcotest.test_case "check flags divergence" `Quick
+            test_check_detects_mismatch;
+        ] );
+    ]
