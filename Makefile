@@ -1,7 +1,8 @@
 # Development entry points. `make check` is the tier-1 verification the
-# roadmap requires; `make resilience` runs just the fault-injection suite;
-# `make fuzz` sweeps the benchmarks through the differential resilience
-# harness (serial oracle vs. seeded fault schedules).
+# roadmap requires; `make resilience` runs the fault-injection and
+# crash-recovery suites; `make fuzz` sweeps the benchmarks through the
+# differential resilience harnesses (serial oracle vs. seeded fault
+# schedules, plus crash schedules with checkpoint/restart recovery).
 
 DUNE ?= dune
 DHPFC = $(DUNE) exec bin/dhpfc.exe --
@@ -63,6 +64,8 @@ fmt-check:
 
 resilience:
 	$(DUNE) build @resilience
+	$(DHPFC) run jacobi --diff-crashes 3
+	$(DHPFC) run gauss --diff-crashes 3
 
 fuzz:
 	$(DHPFC) run jacobi --diff 5
@@ -70,6 +73,9 @@ fuzz:
 	$(DHPFC) run erlebacher --diff 5
 	$(DHPFC) run figure2 --diff 5
 	$(DHPFC) run sp_like --diff 5
+	$(DHPFC) run jacobi --diff-crashes 5
+	$(DHPFC) run tomcatv --diff-crashes 3
+	$(DHPFC) run sp_like --diff-crashes 3
 
 clean:
 	$(DUNE) clean

@@ -450,6 +450,77 @@ let embedded_series =
     "sim/comm_to_compute";
   ]
 
+(* ---- crash/checkpoint sweep: lost work vs. checkpoint interval ---- *)
+
+(* One workload under a FIXED crash schedule, swept over checkpoint
+   intervals. Crash points are keyed on (pid, op), so the same crashes
+   fire at every interval — the sweep isolates the checkpoint-frequency
+   trade-off: frequent snapshots cost write time but bound the work a
+   rollback discards; interval 0 means no snapshots (every recovery
+   restarts from scratch). Values are bit-identical to the fault-free run
+   at every point of the sweep (asserted by the resilience test suite);
+   only the clocks move. *)
+
+let ckpt_workload ~smoke =
+  if smoke then
+    ("JACOBI-96", Codes.jacobi ~n:96 ~iters:3 ~procs:(Codes.Symbolic2 2) (), 4)
+  else
+    ("JACOBI-384", Codes.jacobi ~n:384 ~iters:4 ~procs:(Codes.Symbolic2 2) (), 8)
+
+let ckpt_intervals ~smoke = if smoke then [ 0; 8; 32 ] else [ 0; 5; 20; 80; 320 ]
+let ckpt_faults = (17, 0.04, 4) (* seed, crash_prob, crash_max *)
+
+type ckpt_row = {
+  ck_every : int;
+  ck_ckpts : int;
+  ck_bytes : int;
+  ck_crashes : int;
+  ck_lost_s : float;
+  ck_time_s : float;
+}
+
+let ckpt_sweep ~smoke () =
+  let _, src, nprocs = ckpt_workload ~smoke in
+  let chk = Hpf.Sema.analyze_source src in
+  let compiled = Dhpf.Gen.compile chk in
+  let seed, crash_prob, crash_max = ckpt_faults in
+  let faults = { Spmdsim.Fault.none with seed; crash_prob; crash_max } in
+  List.map
+    (fun every ->
+      let rep =
+        Spmdsim.Checkpoint.run ~faults ~ckpt_every:every ~nprocs
+          compiled.Dhpf.Gen.cprog
+      in
+      {
+        ck_every = every;
+        ck_ckpts = rep.Spmdsim.Checkpoint.rp_stats.s_ckpts;
+        ck_bytes = rep.rp_stats.s_ckpt_bytes;
+        ck_crashes = rep.rp_stats.s_crashes;
+        ck_lost_s = rep.rp_stats.s_lost_work;
+        ck_time_s = rep.rp_stats.s_time;
+      })
+    (ckpt_intervals ~smoke)
+
+let resilience () =
+  section "Checkpoint interval sweep: lost work vs. checkpoint cost";
+  let name, _, nprocs = ckpt_workload ~smoke:false in
+  let seed, crash_prob, crash_max = ckpt_faults in
+  Fmt.pr
+    "(%s on %d procs, crash schedule seed %d: p=%.2f per comm op, max %d \
+     crashes;@.\
+    \ the same crashes fire at every interval — only the rollback distance \
+     changes)@.@."
+    name nprocs seed crash_prob crash_max;
+  Fmt.pr "%10s %8s %12s %9s %14s %12s@." "interval" "ckpts" "ckpt KiB"
+    "crashes" "lost work ms" "time ms";
+  List.iter
+    (fun r ->
+      Fmt.pr "%10s %8d %12d %9d %14.3f %12.2f@."
+        (if r.ck_every = 0 then "none" else string_of_int r.ck_every)
+        r.ck_ckpts (r.ck_bytes / 1024) r.ck_crashes (r.ck_lost_s *. 1e3)
+        (r.ck_time_s *. 1e3))
+    (ckpt_sweep ~smoke:false ())
+
 let bench_run_json ~smoke () =
   let rows =
     List.map
@@ -491,8 +562,9 @@ let bench_run_json ~smoke () =
   in
   let buf = Buffer.create 2048 in
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let ckpt_rows = ckpt_sweep ~smoke () in
   pf "{\n";
-  pf "  \"schema\": \"dhpf-bench-run/3\",\n";
+  pf "  \"schema\": \"dhpf-bench-run/4\",\n";
   pf "  \"mode\": \"%s\",\n" (if smoke then "smoke" else "full");
   pf "  \"workloads\": [\n";
   List.iteri
@@ -535,7 +607,26 @@ let bench_run_json ~smoke () =
       pf "      }\n";
       pf "    }%s\n" (if i + 1 < List.length rows then "," else ""))
     rows;
-  pf "  ]\n";
+  pf "  ],\n";
+  (let name, _, nprocs = ckpt_workload ~smoke in
+   let seed, crash_prob, crash_max = ckpt_faults in
+   pf "  \"resilience\": {\n";
+   pf "    \"workload\": \"%s\",\n" (json_escape name);
+   pf "    \"nprocs\": %d,\n" nprocs;
+   pf "    \"crash_seed\": %d,\n" seed;
+   pf "    \"crash_prob\": %.4f,\n" crash_prob;
+   pf "    \"crash_max\": %d,\n" crash_max;
+   pf "    \"sweep\": [\n";
+   List.iteri
+     (fun j r ->
+       pf
+         "      {\"checkpoint_every\": %d, \"ckpts\": %d, \"ckpt_bytes\": \
+          %d, \"crashes\": %d, \"lost_work_s\": %.9f, \"time_s\": %.9f}%s\n"
+         r.ck_every r.ck_ckpts r.ck_bytes r.ck_crashes r.ck_lost_s r.ck_time_s
+         (if j + 1 < List.length ckpt_rows then "," else ""))
+     ckpt_rows;
+   pf "    ]\n";
+   pf "  }\n");
   pf "}\n";
   print_string (Buffer.contents buf);
   rows
@@ -660,6 +751,7 @@ let () =
       ("fig7b", fig7b);
       ("fig7c", fig7c);
       ("ablations", ablations);
+      ("resilience", resilience);
       ("micro", set_micro);
     ]
   in

@@ -256,6 +256,48 @@ let fault_skew_t =
           "Straggler clock-skew bound: each processor computes slower by a \
            factor drawn from [1,F].")
 
+let crash_procs_t =
+  Arg.(
+    value & opt int 0
+    & info [ "crash-procs" ] ~docv:"N"
+        ~doc:
+          "Enable fail-stop crash injection: up to $(docv) processor \
+           crashes over the run, at deterministic points drawn from the \
+           fault-schedule seed (--faults, or seed 0). Each crash triggers \
+           coordinated recovery: the group restarts from the last \
+           checkpoint (see $(b,--checkpoint-every)) or from scratch, and \
+           replays. Results stay bit-identical to the fault-free run; \
+           detection, restart and lost work are charged to the clocks.")
+
+let crash_prob_t =
+  Arg.(
+    value & opt float 0.01
+    & info [ "crash-prob" ] ~docv:"P"
+        ~doc:
+          "Per-communication-operation crash probability under \
+           $(b,--crash-procs).")
+
+let ckpt_every_t =
+  Arg.(
+    value & opt int 0
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:
+          "Write a coordinated checkpoint of the whole group every $(docv) \
+           global communication operations (0 = never). Each write charges \
+           every processor alpha + bytes*beta (machine checkpoint \
+           parameters); crash recovery rolls back to the latest snapshot \
+           instead of restarting from scratch.")
+
+let max_events_t =
+  Arg.(
+    value & opt int 0
+    & info [ "max-events" ] ~docv:"N"
+        ~doc:
+          "Scheduler watchdog (0 = off): abort with a structured runtime \
+           error (exit 5) once the global communication-event count \
+           exceeds $(docv) — a guard against pathological schedules and \
+           livelock.")
+
 let diff_t =
   Arg.(
     value & opt int 0
@@ -275,14 +317,34 @@ let diff_engines_t =
            report the first deviation from bit-identical values, clocks \
            and message counters.")
 
-let spec_of ~seed ~drop ~dup ~delay ~skew =
+let diff_crashes_t =
+  Arg.(
+    value & opt int 0
+    & info [ "diff-crashes" ] ~docv:"N"
+        ~doc:
+          "Crash-differential harness: run both engines under N seeded \
+           crash schedules with checkpoint/restart recovery and report the \
+           first deviation from the fault-free oracle — bit-identical \
+           values and an identical per-pair communication table.")
+
+let spec_of ~seed ~drop ~dup ~delay ~skew ~crash_prob ~crash_procs =
   {
     (Spmdsim.Fault.default ~seed) with
     drop_prob = drop;
     dup_prob = dup;
     delay_prob = delay;
     skew_max = skew;
+    crash_prob = (if crash_procs > 0 then crash_prob else 0.0);
+    crash_max = crash_procs;
   }
+
+(* malformed schedules are a usage error: reject at parse time, exit 2 *)
+let validated sp =
+  match Spmdsim.Fault.validate sp with
+  | Ok () -> sp
+  | Error msg ->
+      Fmt.epr "invalid fault specification: %s@." msg;
+      exit exit_parse
 
 (* ---- compile ---- *)
 
@@ -366,9 +428,21 @@ let comm_slack_t =
 
 let run_cmd =
   let run src nprocs params engine no_split no_vect no_coal no_inplace
-      faults_seed drop dup delay skew diff diff_engines trace metrics
-      check_comm comm_slack =
+      faults_seed drop dup delay skew crash_procs crash_prob ckpt_every
+      max_events diff diff_engines diff_crashes trace metrics check_comm
+      comm_slack =
     handle_errors @@ fun () ->
+    List.iter
+      (fun (name, v) ->
+        if v < 0 then begin
+          Fmt.epr "invalid fault specification: %s %d is negative@." name v;
+          exit exit_parse
+        end)
+      [
+        ("--crash-procs", crash_procs);
+        ("--checkpoint-every", ckpt_every);
+        ("--max-events", max_events);
+      ];
     let opts = opts_of ~no_split ~no_vect ~no_coal ~no_inplace in
     fresh_window ();
     trace_begin trace;
@@ -380,7 +454,10 @@ let run_cmd =
     in
     if diff > 0 then begin
       (* differential resilience sweep: serial oracle vs. N fault seeds *)
-      let spec_of_seed seed = spec_of ~seed ~drop ~dup ~delay ~skew in
+      let spec_of_seed seed =
+        validated
+          (spec_of ~seed ~drop ~dup ~delay ~skew ~crash_prob ~crash_procs:0)
+      in
       let seeds = List.init diff (fun i -> i + 1) in
       let out =
         Spmdsim.Diffcheck.run ~engine ~nprocs ~params ~opts ~spec_of_seed
@@ -393,7 +470,10 @@ let run_cmd =
     end
     else if diff_engines > 0 then begin
       (* engine-differential sweep: closure engine vs. interpreter *)
-      let spec_of_seed seed = spec_of ~seed ~drop ~dup ~delay ~skew in
+      let spec_of_seed seed =
+        validated
+          (spec_of ~seed ~drop ~dup ~delay ~skew ~crash_prob ~crash_procs:0)
+      in
       let seeds = List.init diff_engines (fun i -> i + 1) in
       let out =
         Spmdsim.Diffcheck.engines ~nprocs ~params ~opts ~spec_of_seed ~seeds
@@ -404,12 +484,61 @@ let run_cmd =
       | Spmdsim.Diffcheck.Pass _ -> ()
       | _ -> exit exit_runtime
     end
+    else if diff_crashes > 0 then begin
+      (* crash-differential sweep: checkpoint/restart recovery on both
+         engines vs. the fault-free oracle *)
+      let seeds = List.init diff_crashes (fun i -> i + 1) in
+      let out =
+        match ckpt_every with
+        | 0 -> Spmdsim.Diffcheck.crashes ~nprocs ~params ~opts ~seeds chk
+        | n ->
+            Spmdsim.Diffcheck.crashes ~nprocs ~params ~opts ~ckpt_every:n
+              ~seeds chk
+      in
+      Fmt.pr "%a@." Spmdsim.Diffcheck.pp_outcome out;
+      match out with
+      | Spmdsim.Diffcheck.Pass _ -> ()
+      | _ -> exit exit_runtime
+    end
     else begin
       let compiled = Dhpf.Gen.compile ~opts chk in
       let serial = Spmdsim.Serial.run ~params chk in
-      let faults = Option.map (fun seed -> spec_of ~seed ~drop ~dup ~delay ~skew) faults_seed in
-      let sim = Spmdsim.Exec.make ~engine ?faults ~nprocs ~params compiled.cprog in
-      let stats = Spmdsim.Exec.run sim in
+      let faults =
+        match faults_seed with
+        | Some seed ->
+            Some
+              (validated
+                 (spec_of ~seed ~drop ~dup ~delay ~skew ~crash_prob
+                    ~crash_procs))
+        | None when crash_procs > 0 ->
+            (* crash injection without message faults: a pure-crash spec *)
+            Some
+              (validated
+                 {
+                   Spmdsim.Fault.none with
+                   seed = 0;
+                   crash_prob;
+                   crash_max = crash_procs;
+                 })
+        | None -> None
+      in
+      let sim, stats, report =
+        if crash_procs > 0 || ckpt_every > 0 then begin
+          let rep =
+            Spmdsim.Checkpoint.run ~engine ?faults ~ckpt_every ~max_events
+              ~nprocs ~params compiled.cprog
+          in
+          (rep.rp_sim, rep.rp_stats, Some rep)
+        end
+        else begin
+          let sim =
+            Spmdsim.Exec.make ~engine ?faults ~nprocs ~params compiled.cprog
+          in
+          if max_events > 0 then
+            (Spmdsim.Exec.transport sim).tr_max_events <- max_events;
+          (sim, Spmdsim.Exec.run sim, None)
+        end
+      in
       Fmt.pr "serial (T1)     : %10.3f ms  (%d flops)@." (serial.r_time *. 1e3)
         serial.r_flops;
       Fmt.pr "spmd on %2d procs: %10.3f ms  (%d msgs, %d KiB)@." (Spmdsim.Exec.nprocs sim)
@@ -423,6 +552,32 @@ let run_cmd =
                   discarded, peak mailbox %d@."
             stats.s_retransmits stats.s_timeouts stats.s_dups_delivered
             stats.s_max_mailbox);
+      (match report with
+      | None -> ()
+      | Some rep ->
+          if ckpt_every > 0 then
+            Fmt.pr "checkpoints     : %d written (%d KiB), every %d comm ops@."
+              stats.s_ckpts
+              ((stats.s_ckpt_bytes + 1023) / 1024)
+              ckpt_every;
+          if stats.s_crashes > 0 then begin
+            Fmt.pr
+              "crashes         : %d crash(es), %d recoveries in %d attempts, \
+               lost work %.3f ms@."
+              stats.s_crashes stats.s_recoveries rep.rp_attempts
+              (stats.s_lost_work *. 1e3);
+            List.iter
+              (fun (c : Spmdsim.Checkpoint.crash_record) ->
+                Fmt.pr
+                  "  crash: processor %d at its op %d (t=%.3f ms) -> %s, \
+                   group resumes at %.3f ms@."
+                  c.cr_pid c.cr_op (c.cr_clock *. 1e3)
+                  (if c.cr_restore_ops > 0 then
+                     Printf.sprintf "rollback to op %d" c.cr_restore_ops
+                   else "restart from scratch")
+                  (c.cr_restart_t *. 1e3))
+              rep.rp_crashes
+          end);
       if check_comm then begin
         let predicted =
           Spmdsim.Predict.comm ~params ~nprocs:(Spmdsim.Exec.nprocs sim)
@@ -461,8 +616,9 @@ let run_cmd =
     Term.(
       const run $ src_t $ nprocs_t $ param_t $ engine_t $ no_split_t $ no_vect_t
       $ no_coal_t $ no_inplace_t $ faults_t $ fault_drop_t $ fault_dup_t
-      $ fault_delay_t $ fault_skew_t $ diff_t $ diff_engines_t $ trace_t
-      $ metrics_t $ check_comm_t $ comm_slack_t)
+      $ fault_delay_t $ fault_skew_t $ crash_procs_t $ crash_prob_t
+      $ ckpt_every_t $ max_events_t $ diff_t $ diff_engines_t $ diff_crashes_t
+      $ trace_t $ metrics_t $ check_comm_t $ comm_slack_t)
 
 (* ---- bench (print a built-in source) ---- *)
 
@@ -509,7 +665,7 @@ let omega_cmd =
     (Cmd.info "omega" ~doc:"Interactive integer-set calculator (Omega-calculator style)")
     Term.(const run $ script_t)
 
-let version = "1.2.0"
+let version = "1.3.0"
 
 let () =
   Obs.init_env ();

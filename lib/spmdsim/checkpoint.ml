@@ -1,0 +1,520 @@
+(* Coordinated checkpoint/restart for the SPMD simulator.
+
+   The protocol is the classic coordinated scheme made trivial by
+   determinism: every [Runtime.tr_ckpt_every] global communication
+   operations, the controller captures a deep image of the whole group —
+   per-processor clocks, live bindings, every resident array element
+   (dense owned blocks, halo side tables, sparse reduction storage),
+   staged pack buffers, per-channel sequence counters and in-flight
+   messages — and prices the write on every processor's clock.
+
+   Consistency argument: a snapshot is taken inside the scheduler at a
+   deterministic global operation count, between operations, so it is a
+   cut of the unique deterministic execution — no processor is mid-send,
+   no message is half-delivered, and the same cut is reproduced by any
+   replay. Quiescence is not required: in-flight messages are part of the
+   image.
+
+   Recovery is re-execution-based. OCaml effect continuations (the
+   processor fibers) cannot be serialized, so "restore from snapshot"
+   runs a fresh simulation from the start and replays deterministically
+   up to the rollback point — message faults, crash draws and checkpoint
+   charges all re-derive identically (pure hashes + shared consumed-crash
+   set), so the replayed state at the rollback boundary is bit-identical
+   to the stored snapshot. The controller verifies exactly that
+   ({!image_equal}, floats compared by bits) before applying the restart
+   barrier: every clock is set to the recovery time
+
+     T_r = max clock at crash + detection timeout + restart latency
+           + checkpoint read-back cost (alpha + bytes * beta)
+
+   Element values never depend on clocks (delivery is sequence-matched),
+   so the barrier cannot change results: values stay bit-identical to the
+   fault-free run and the first-transmission-only comm matrix stays
+   fault-invariant. Only clocks — lost work, detection, restart, reads —
+   move, which is the point.
+
+   Earlier recoveries are replayed too: each attempt re-applies every
+   previously-applied restart barrier at its operation count, so clock
+   evolution (and with it message arrival times and later snapshots) is
+   identical across attempts — what makes rollback verification exact
+   even after multiple crashes. *)
+
+let errf = Runtime.errf
+
+(* ------------------------------------------------------------------ *)
+(* Bit-exact image equality                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* bit comparison: NaNs compare equal to themselves, 0.0 <> -0.0 — the
+   right notion for "deterministic replay reproduced the exact state" *)
+let feq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let arr_equal eq a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri (fun i x -> if not (eq x b.(i)) then ok := false) a;
+  !ok
+
+let farr_equal = arr_equal feq
+
+let payload_equal (a : Runtime.payload) (b : Runtime.payload) =
+  String.equal a.Runtime.pl_arr b.Runtime.pl_arr
+  && arr_equal Int.equal a.Runtime.pl_idx b.Runtime.pl_idx
+  && farr_equal a.Runtime.pl_val b.Runtime.pl_val
+
+let msg_equal (a : Runtime.msg) (b : Runtime.msg) =
+  a.Runtime.m_seq = b.Runtime.m_seq
+  && feq a.Runtime.m_arrival b.Runtime.m_arrival
+  && payload_equal a.Runtime.m_payload b.Runtime.m_payload
+  && a.Runtime.m_contig = b.Runtime.m_contig
+
+let counters_equal (a : Runtime.counters) (b : Runtime.counters) =
+  a.Runtime.n_msgs = b.Runtime.n_msgs
+  && a.Runtime.n_bytes = b.Runtime.n_bytes
+  && a.Runtime.n_elems = b.Runtime.n_elems
+  && a.Runtime.n_retransmits = b.Runtime.n_retransmits
+  && a.Runtime.n_timeouts = b.Runtime.n_timeouts
+  && a.Runtime.n_dups = b.Runtime.n_dups
+  && a.Runtime.n_max_mbox = b.Runtime.n_max_mbox
+
+let proc_equal (a : Runtime.proc_image) (b : Runtime.proc_image) =
+  feq a.Runtime.pi_clock b.Runtime.pi_clock
+  && arr_equal
+       (fun (n, v) (n', v') -> String.equal n n' && v = v')
+       a.Runtime.pi_ints b.Runtime.pi_ints
+  && arr_equal
+       (fun (n, v) (n', v') -> String.equal n n' && feq v v')
+       a.Runtime.pi_floats b.Runtime.pi_floats
+  && arr_equal
+       (fun (n, es) (n', es') ->
+         String.equal n n'
+         && arr_equal (fun (i, v) (i', v') -> i = i' && feq v v') es es')
+       a.Runtime.pi_elems b.Runtime.pi_elems
+  && arr_equal
+       (fun (e, pl) (e', pl') -> e = e' && payload_equal pl pl')
+       a.Runtime.pi_staged b.Runtime.pi_staged
+
+let image_equal (a : Runtime.image) (b : Runtime.image) =
+  a.Runtime.im_ops = b.Runtime.im_ops
+  && arr_equal proc_equal a.Runtime.im_procs b.Runtime.im_procs
+  && arr_equal
+       (fun (k, s, r) (k', s', r') -> k = k' && s = s' && r = r')
+       a.Runtime.im_chans b.Runtime.im_chans
+  && arr_equal
+       (fun (k, ms) (k', ms') -> k = k' && arr_equal msg_equal ms ms')
+       a.Runtime.im_inflight b.Runtime.im_inflight
+  && counters_equal a.Runtime.im_counters b.Runtime.im_counters
+
+(* ------------------------------------------------------------------ *)
+(* Binary encoding                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Self-contained little-endian format (see DESIGN.md §12): fixed magic,
+   then nested length-prefixed sections. Every integer is 8 bytes LE,
+   floats are their IEEE-754 bits, strings are length-prefixed UTF-8.
+   The encoder is what prices a checkpoint (its output length times
+   [Machine.ckpt_beta]); the decoder exists for the round-trip tests and
+   for offline inspection of dumped snapshots. *)
+
+let magic = "DHPFCKPT1"
+
+let w_int b (v : int) = Buffer.add_int64_le b (Int64.of_int v)
+let w_float b (v : float) = Buffer.add_int64_le b (Int64.bits_of_float v)
+
+let w_str b (s : string) =
+  w_int b (String.length s);
+  Buffer.add_string b s
+
+let w_arr b f a =
+  w_int b (Array.length a);
+  Array.iter (f b) a
+
+let w_ilist b (l : int list) =
+  w_int b (List.length l);
+  List.iter (w_int b) l
+
+let w_key b (k : Runtime.key) =
+  w_int b k.Runtime.k_event;
+  w_ilist b k.Runtime.k_src;
+  w_ilist b k.Runtime.k_dst
+
+let w_payload b (pl : Runtime.payload) =
+  w_str b pl.Runtime.pl_arr;
+  w_arr b w_int pl.Runtime.pl_idx;
+  w_arr b w_float pl.Runtime.pl_val
+
+let w_msg b (m : Runtime.msg) =
+  w_int b m.Runtime.m_seq;
+  w_float b m.Runtime.m_arrival;
+  w_payload b m.Runtime.m_payload;
+  w_int b (if m.Runtime.m_contig then 1 else 0)
+
+let w_proc b (p : Runtime.proc_image) =
+  w_float b p.Runtime.pi_clock;
+  w_arr b
+    (fun b (n, v) ->
+      w_str b n;
+      w_int b v)
+    p.Runtime.pi_ints;
+  w_arr b
+    (fun b (n, v) ->
+      w_str b n;
+      w_float b v)
+    p.Runtime.pi_floats;
+  w_arr b
+    (fun b (n, es) ->
+      w_str b n;
+      w_arr b
+        (fun b (i, v) ->
+          w_int b i;
+          w_float b v)
+        es)
+    p.Runtime.pi_elems;
+  w_arr b
+    (fun b (e, pl) ->
+      w_int b e;
+      w_payload b pl)
+    p.Runtime.pi_staged
+
+let encode (im : Runtime.image) : bytes =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  w_int b im.Runtime.im_ops;
+  w_arr b w_proc im.Runtime.im_procs;
+  w_arr b
+    (fun b (k, s, r) ->
+      w_key b k;
+      w_int b s;
+      w_int b r)
+    im.Runtime.im_chans;
+  w_arr b
+    (fun b (k, ms) ->
+      w_key b k;
+      w_arr b w_msg ms)
+    im.Runtime.im_inflight;
+  let c = im.Runtime.im_counters in
+  w_int b c.Runtime.n_msgs;
+  w_int b c.Runtime.n_bytes;
+  w_int b c.Runtime.n_elems;
+  w_int b c.Runtime.n_retransmits;
+  w_int b c.Runtime.n_timeouts;
+  w_int b c.Runtime.n_dups;
+  w_int b c.Runtime.n_max_mbox;
+  Buffer.to_bytes b
+
+type reader = { rd : bytes; mutable pos : int }
+
+let r_int r =
+  let v = Bytes.get_int64_le r.rd r.pos in
+  r.pos <- r.pos + 8;
+  Int64.to_int v
+
+let r_float r =
+  let v = Bytes.get_int64_le r.rd r.pos in
+  r.pos <- r.pos + 8;
+  Int64.float_of_bits v
+
+let r_str r =
+  let n = r_int r in
+  let s = Bytes.sub_string r.rd r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let r_arr r f = Array.init (r_int r) (fun _ -> f r)
+let r_ilist r = List.init (r_int r) (fun _ -> r_int r)
+
+let r_key r =
+  let k_event = r_int r in
+  let k_src = r_ilist r in
+  let k_dst = r_ilist r in
+  { Runtime.k_event; k_src; k_dst }
+
+let r_payload r =
+  let pl_arr = r_str r in
+  let pl_idx = r_arr r r_int in
+  let pl_val = r_arr r r_float in
+  { Runtime.pl_arr; pl_idx; pl_val }
+
+let r_msg r =
+  let m_seq = r_int r in
+  let m_arrival = r_float r in
+  let m_payload = r_payload r in
+  let m_contig = r_int r <> 0 in
+  { Runtime.m_seq; m_arrival; m_payload; m_contig }
+
+let r_proc r =
+  let pi_clock = r_float r in
+  let pi_ints =
+    r_arr r (fun r ->
+        let n = r_str r in
+        let v = r_int r in
+        (n, v))
+  in
+  let pi_floats =
+    r_arr r (fun r ->
+        let n = r_str r in
+        let v = r_float r in
+        (n, v))
+  in
+  let pi_elems =
+    r_arr r (fun r ->
+        let n = r_str r in
+        let es =
+          r_arr r (fun r ->
+              let i = r_int r in
+              let v = r_float r in
+              (i, v))
+        in
+        (n, es))
+  in
+  let pi_staged =
+    r_arr r (fun r ->
+        let e = r_int r in
+        let pl = r_payload r in
+        (e, pl))
+  in
+  { Runtime.pi_clock; pi_ints; pi_floats; pi_elems; pi_staged }
+
+let decode (buf : bytes) : Runtime.image =
+  if
+    Bytes.length buf < String.length magic
+    || not (String.equal (Bytes.sub_string buf 0 (String.length magic)) magic)
+  then errf "checkpoint decode: bad magic (not a %s image)" magic;
+  let r = { rd = buf; pos = String.length magic } in
+  let im_ops = r_int r in
+  let im_procs = r_arr r r_proc in
+  let im_chans =
+    r_arr r (fun r ->
+        let k = r_key r in
+        let s = r_int r in
+        let rv = r_int r in
+        (k, s, rv))
+  in
+  let im_inflight =
+    r_arr r (fun r ->
+        let k = r_key r in
+        let ms = r_arr r r_msg in
+        (k, ms))
+  in
+  let n_msgs = r_int r in
+  let n_bytes = r_int r in
+  let n_elems = r_int r in
+  let n_retransmits = r_int r in
+  let n_timeouts = r_int r in
+  let n_dups = r_int r in
+  let n_max_mbox = r_int r in
+  {
+    Runtime.im_ops;
+    im_procs;
+    im_chans;
+    im_inflight;
+    im_counters =
+      { Runtime.n_msgs; n_bytes; n_elems; n_retransmits; n_timeouts; n_dups;
+        n_max_mbox };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Recovery controller                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  sn_ops : int;  (** global op count of the boundary *)
+  sn_img : Runtime.image;
+  sn_bytes : int;  (** encoded size — the read-back cost driver *)
+}
+
+type crash_record = {
+  cr_pid : int;
+  cr_op : int;  (** the crashed processor's communication-op index *)
+  cr_clock : float;  (** its clock when it died *)
+  cr_restore_ops : int;  (** rollback boundary (0 = restart from scratch) *)
+  cr_restart_t : float;  (** T_r: when the group resumes *)
+  cr_lost_work : float;  (** discarded simulated seconds, summed over procs *)
+}
+
+(* a restart barrier applied at a boundary in every later replay, so clock
+   evolution is identical across attempts *)
+type barrier = {
+  b_ops : int;
+  b_t : float;  (* T_r of the recovery that created it *)
+  b_pid : int;  (* the processor whose crash caused it (trace label) *)
+  b_snap : snapshot option;  (* None: restart-from-scratch (ops 0) *)
+}
+
+type report = {
+  rp_sim : Exec.sim;  (** the completed (final-attempt) simulation *)
+  rp_stats : Runtime.stats;  (** with crash/checkpoint fields filled in *)
+  rp_crashes : crash_record list;  (** chronological *)
+  rp_attempts : int;  (** executions launched, including the first *)
+}
+
+let run ?engine ?(machine = Machine.default) ?faults ?(plan = [])
+    ?(ckpt_every = 0) ?(max_events = 0) ~nprocs ?params prog : report =
+  let budget =
+    List.length plan
+    + (match faults with
+      | Some sp when sp.Fault.crash_prob > 0.0 -> sp.Fault.crash_max
+      | _ -> 0)
+  in
+  (* shared across attempts: consumed crashes never re-fire during replay *)
+  let cc = Runtime.crashctl_make ~plan ?spec:faults ~max:budget () in
+  let barriers : barrier list ref = ref [] in
+  let crashes = ref [] in
+  let attempts = ref 0 in
+  let rec attempt () =
+    incr attempts;
+    let sim = Exec.make ?engine ~machine ?faults ~nprocs ?params prog in
+    let tr = Exec.transport sim in
+    tr.Runtime.tr_crash <- Some cc;
+    tr.Runtime.tr_ckpt_every <- ckpt_every;
+    tr.Runtime.tr_max_events <- max_events;
+    (* pending restart barriers, ascending ops; re-applied during replay *)
+    let pending = ref (List.rev !barriers) in
+    (* rollback source for the NEXT crash, and the per-proc clock baseline
+       lost work is measured against *)
+    let cur_snap : snapshot option ref = ref None in
+    let baseline = ref (Array.make (Exec.nprocs sim) 0.0) in
+    let n_writes = ref 0 and n_wbytes = ref 0 in
+    let apply_barrier b =
+      Exec.set_clocks sim b.b_t;
+      Runtime.trace_instant tr ~tid:b.b_pid ~ts:b.b_t
+        ~args:[ ("ops", Obs.Int b.b_ops) ]
+        "restore";
+      (match b.b_snap with
+      | Some s ->
+          (* the restore point becomes the rollback source: its on-disk
+             image is b_snap's, its live state is the post-barrier capture *)
+          cur_snap :=
+            Some
+              { sn_ops = b.b_ops; sn_img = Exec.capture sim;
+                sn_bytes = s.sn_bytes }
+      | None -> cur_snap := None);
+      baseline := Array.map (fun _ -> b.b_t) !baseline
+    in
+    (* restart-from-scratch barriers apply before any operation runs *)
+    let rec apply_start () =
+      match !pending with
+      | b :: rest when b.b_ops = 0 ->
+          pending := rest;
+          apply_barrier b;
+          apply_start ()
+      | _ -> ()
+    in
+    apply_start ();
+    tr.Runtime.tr_on_ckpt <-
+      (fun gops ->
+        (* replaying past an earlier recovery: verify the replayed state is
+           bit-identical to what was checkpointed, then re-apply the
+           restart barrier — no write happened here in the original run *)
+        let is_barrier = ref false in
+        let img = ref None in
+        let capture () =
+          match !img with
+          | Some i -> i
+          | None ->
+              let i = Exec.capture sim in
+              img := Some i;
+              i
+        in
+        let rec apply_here () =
+          match !pending with
+          | b :: rest when b.b_ops = gops ->
+              is_barrier := true;
+              pending := rest;
+              (match b.b_snap with
+              | Some s ->
+                  if not (image_equal (capture ()) s.sn_img) then
+                    errf
+                      "checkpoint recovery: replayed state at op %d diverges \
+                       from the stored snapshot (determinism violated)"
+                      gops
+              | None -> ());
+              apply_barrier b;
+              img := None;
+              apply_here ()
+          | _ -> ()
+        in
+        apply_here ();
+        if not !is_barrier then begin
+          (* coordinated write: capture first (the image carries pre-write
+             clocks, which is what a replay re-derives), then charge every
+             processor for the write *)
+          let i = capture () in
+          let bytes = Bytes.length (encode i) in
+          let cost =
+            machine.Machine.ckpt_alpha
+            +. (float_of_int bytes *. machine.Machine.ckpt_beta)
+          in
+          (* each processor pays the write on its own clock — the write is
+             coordinated (same cut) but not a barrier *)
+          Exec.charge sim cost;
+          incr n_writes;
+          n_wbytes := !n_wbytes + bytes;
+          cur_snap := Some { sn_ops = gops; sn_img = i; sn_bytes = bytes };
+          baseline := Exec.clocks sim
+        end);
+    match Exec.run sim with
+    | stats -> (sim, stats, !n_writes, !n_wbytes)
+    | exception Runtime.Crash { cp_pid; cp_op; cp_clock } ->
+        let clocks = Exec.clocks sim in
+        let t_max = Array.fold_left Float.max 0.0 clocks in
+        let read_cost, restore_ops, snap =
+          match !cur_snap with
+          | Some s ->
+              ( machine.Machine.ckpt_alpha
+                +. (float_of_int s.sn_bytes *. machine.Machine.ckpt_beta),
+                s.sn_ops,
+                Some s )
+          | None -> (0.0, 0, None)
+        in
+        let t_r =
+          t_max +. machine.Machine.detect_timeout
+          +. machine.Machine.restart_latency +. read_cost
+        in
+        let lost =
+          let base = !baseline in
+          let acc = ref 0.0 in
+          Array.iteri
+            (fun p t -> acc := !acc +. Float.max 0.0 (t -. base.(p)))
+            clocks;
+          !acc
+        in
+        crashes :=
+          { cr_pid = cp_pid; cr_op = cp_op; cr_clock = cp_clock;
+            cr_restore_ops = restore_ops; cr_restart_t = t_r;
+            cr_lost_work = lost }
+          :: !crashes;
+        barriers :=
+          { b_ops = restore_ops; b_t = t_r; b_pid = cp_pid; b_snap = snap }
+          :: !barriers;
+        attempt ()
+  in
+  let sim, raw, n_writes, n_wbytes = attempt () in
+  let crashes = List.rev !crashes in
+  let n_crashes = List.length crashes in
+  let lost = List.fold_left (fun a c -> a +. c.cr_lost_work) 0.0 crashes in
+  if Obs.Metrics.enabled () then begin
+    let module M = Obs.Metrics in
+    let inc n v = M.inc (M.counter n) v in
+    inc "sim/crashes" (float_of_int n_crashes);
+    inc "sim/recoveries" (float_of_int n_crashes);
+    inc "sim/ckpt_count" (float_of_int n_writes);
+    inc "sim/ckpt_bytes" (float_of_int n_wbytes);
+    inc "sim/lost_work_s" lost
+  end;
+  {
+    rp_sim = sim;
+    rp_stats =
+      {
+        raw with
+        Runtime.s_crashes = n_crashes;
+        s_recoveries = n_crashes;
+        s_ckpts = n_writes;
+        s_ckpt_bytes = n_wbytes;
+        s_lost_work = lost;
+      };
+    rp_crashes = crashes;
+    rp_attempts = !attempts;
+  }

@@ -862,6 +862,7 @@ type csim = {
   c_arrays : (string, int) Hashtbl.t;
   c_ameta : Runtime.ameta array;
   c_layouts : Spmd.array_layout option array;
+  c_islots : (string, int) Hashtbl.t;
   c_fslots : (string, int) Hashtbl.t;
   mutable c_ran : bool;
 }
@@ -988,6 +989,7 @@ let make ?(machine = Machine.default) ?faults ~nprocs ?(params = [])
     c_arrays = arrays;
     c_ameta = ameta;
     c_layouts = layouts;
+    c_islots = ctx.x_islots;
     c_fslots = ctx.x_fslots;
     c_ran = false;
   }
@@ -1103,3 +1105,93 @@ let get_scalar cs name =
   match Hashtbl.find_opt cs.c_fslots name with
   | Some slot when cs.c_rts.(0).r_fvalid.(slot) -> cs.c_rts.(0).r_fval.(slot)
   | _ -> errf "unknown scalar %s" name
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint capture                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let transport cs = cs.c_tr
+let clocks cs = Array.map (fun rt -> rt.r_clock) cs.c_rts
+let set_clocks cs t = Array.iter (fun rt -> rt.r_clock <- t) cs.c_rts
+let charge cs dt = Array.iter (fun rt -> rt.r_clock <- rt.r_clock +. dt) cs.c_rts
+
+(* every resident element of one store as sorted (global linear index,
+   value) pairs: the dense owned block enumerated through the per-dimension
+   ownership tables, plus the side hashtable (halos / sparse storage) —
+   the two never hold the same index, so a plain merge-and-sort suffices *)
+let store_elems (st : store) : (int * float) array =
+  let acc = ref [] in
+  Hashtbl.iter (fun k v -> acc := (k, v) :: !acc) st.st_side;
+  if st.st_owned && st.st_data != [||] then begin
+    let ext = st.st_am.Runtime.am_ext in
+    let nd = Array.length ext in
+    let owned =
+      Array.init nd (fun d ->
+          let l = ref [] in
+          Array.iteri
+            (fun u m -> if m >= 0 then l := (u, m) :: !l)
+            st.st_dmaps.(d);
+          Array.of_list (List.rev !l))
+    in
+    let str = st.st_am.Runtime.am_strides in
+    let rec go d enc slot =
+      if d < 0 then acc := (enc, st.st_data.(slot)) :: !acc
+      else
+        Array.iter
+          (fun (u, l) ->
+            go (d - 1) (enc + (u * str.(d))) (slot + (l * st.st_lstride.(d))))
+          owned.(d)
+    in
+    go (nd - 1) 0 0
+  end;
+  let a = Array.of_list !acc in
+  Array.sort compare a;
+  a
+
+let capture (cs : csim) : Runtime.image =
+  let anames =
+    Hashtbl.fold (fun n aid acc -> (n, aid) :: acc) cs.c_arrays []
+    |> List.sort compare
+  in
+  let procs =
+    Array.map
+      (fun rt ->
+        let ints =
+          Hashtbl.fold (fun n s acc -> (n, rt.r_int.(s)) :: acc) cs.c_islots []
+          |> List.sort compare |> Array.of_list
+        in
+        let floats =
+          Hashtbl.fold
+            (fun n s acc ->
+              if rt.r_fvalid.(s) then (n, rt.r_fval.(s)) :: acc else acc)
+            cs.c_fslots []
+          |> List.sort compare |> Array.of_list
+        in
+        let elems =
+          List.map (fun (n, aid) -> (n, store_elems rt.r_stores.(aid))) anames
+          |> Array.of_list
+        in
+        let staged = ref [] in
+        Array.iteri
+          (fun ev buf ->
+            let pl = Runtime.packbuf_peek buf in
+            if Array.length pl.Runtime.pl_idx > 0 then
+              staged := (ev, pl) :: !staged)
+          rt.r_packbufs;
+        {
+          Runtime.pi_clock = rt.r_clock;
+          pi_ints = ints;
+          pi_floats = floats;
+          pi_elems = elems;
+          pi_staged = Array.of_list (List.rev !staged);
+        })
+      cs.c_rts
+  in
+  let chans, inflight, ctrs = Runtime.capture_transport cs.c_tr in
+  {
+    Runtime.im_ops = cs.c_tr.Runtime.tr_gops;
+    im_procs = procs;
+    im_chans = chans;
+    im_inflight = inflight;
+    im_counters = ctrs;
+  }

@@ -44,3 +44,25 @@ val get_scalar : csim -> string -> float
 
 val comm_cells : csim -> Runtime.comm_cell list
 (** Measured per-pair communication table; see {!Runtime.comm_cells}. *)
+
+(** {1 Checkpoint support} *)
+
+val transport : csim -> Runtime.transport
+(** The sim's transport, for installing crash control / checkpoint hooks. *)
+
+val capture : csim -> Runtime.image
+(** Deep value snapshot of the simulation: per-processor clocks, live
+    bindings, all resident array elements (dense blocks enumerated in
+    global-index order plus halo side tables), staged pack buffers, and
+    the transport state. Within one engine, two captures of the same
+    deterministic execution point are structurally equal. *)
+
+val clocks : csim -> float array
+(** Per-processor virtual clocks (a fresh array). *)
+
+val set_clocks : csim -> float -> unit
+(** Set every processor's clock — the restart barrier after a recovery. *)
+
+val charge : csim -> float -> unit
+(** Add a cost to every processor's clock — the coordinated checkpoint
+    write, paid per processor without synchronizing them. *)

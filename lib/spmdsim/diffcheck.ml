@@ -192,6 +192,15 @@ let engines ?machine ?(nprocs = 4) ?(params = []) ?opts
           ( "max_mailbox",
             float_of_int sti.s_max_mailbox,
             float_of_int stc.s_max_mailbox );
+          ("crashes", float_of_int sti.s_crashes, float_of_int stc.s_crashes);
+          ( "recoveries",
+            float_of_int sti.s_recoveries,
+            float_of_int stc.s_recoveries );
+          ("ckpts", float_of_int sti.s_ckpts, float_of_int stc.s_ckpts);
+          ( "ckpt_bytes",
+            float_of_int sti.s_ckpt_bytes,
+            float_of_int stc.s_ckpt_bytes );
+          ("lost_work", sti.s_lost_work, stc.s_lost_work);
         ]
       in
       match List.find_opt (fun (_, a, b) -> not (bit_equal a b)) counters with
@@ -228,6 +237,83 @@ let engines ?machine ?(nprocs = 4) ?(params = []) ?opts
   go 0
     ((None, None)
     :: List.map (fun s -> (Some s, Some (spec_of_seed s))) seeds)
+
+(* ------------------------------------------------------------------ *)
+(* Crash-differential mode: checkpoint/restart recovery vs. the        *)
+(* fault-free closure run on the same program.                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The recovery contract is the strongest of the three: crashes plus
+   coordinated checkpoint/restart must leave every element and scalar
+   bit-identical to the fault-free run on BOTH engines, and the
+   first-transmission-only per-pair communication table must be exactly
+   fault-invariant (what keeps `--check-comm` exact under crashes). *)
+let crashes ?machine ?(nprocs = 4) ?(params = []) ?opts ?(ckpt_every = 8)
+    ?(spec_of_seed =
+      fun seed -> { Fault.none with seed; crash_prob = 0.02; crash_max = 3 })
+    ~seeds (chk : Hpf.Sema.checked) : outcome =
+  let compiled =
+    match opts with
+    | Some opts -> Dhpf.Gen.compile ~opts chk
+    | None -> Dhpf.Gen.compile chk
+  in
+  let cprog = compiled.Dhpf.Gen.cprog in
+  let su = Runtime.setup ~nprocs ~params cprog in
+  let geval = Runtime.eval_genv su.Runtime.su_genv in
+  let bounds =
+    List.map
+      (fun (ad : Dhpf.Spmd.array_decl) ->
+        ( ad.Dhpf.Spmd.ad_name,
+          List.map (fun (lo, hi) -> (geval lo, geval hi)) ad.ad_bounds ))
+      cprog.Dhpf.Spmd.arrays
+  in
+  match
+    let sref = Exec.make ~engine:`Closure ?machine ~nprocs ~params cprog in
+    let _ = Exec.run sref in
+    let cells_ref = Exec.comm_cells sref in
+    let one ~engine seed =
+      let rep =
+        Checkpoint.run ~engine ?machine ~faults:(spec_of_seed seed)
+          ~ckpt_every ~nprocs ~params cprog
+      in
+      match
+        compare_engines ~seed:(Some seed) bounds cprog.Dhpf.Spmd.scalars sref
+          rep.Checkpoint.rp_sim
+      with
+      | Some d -> Error (Diverged d)
+      | None ->
+          if Exec.comm_cells rep.Checkpoint.rp_sim <> cells_ref then
+            Error
+              (Crashed
+                 {
+                   seed = Some seed;
+                   error =
+                     Printf.sprintf
+                       "per-pair communication table not fault-invariant \
+                        under crash recovery (%s engine, %d crash(es))"
+                       (match engine with
+                       | `Interp -> "interp"
+                       | `Closure -> "closure")
+                       rep.Checkpoint.rp_stats.Runtime.s_crashes;
+                 })
+          else Ok ()
+    in
+    let rec go runs = function
+      | [] -> Pass { runs }
+      | (engine, seed) :: rest -> (
+          match one ~engine seed with
+          | Ok () -> go (runs + 1) rest
+          | Error bad -> bad)
+    in
+    go 0
+      (List.concat_map
+         (fun s -> [ (`Interp, s); (`Closure, s) ])
+         seeds)
+  with
+  | outcome -> outcome
+  | exception Exec.Deadlock d ->
+      Crashed { seed = None; error = Exec.diagnostic_to_string d }
+  | exception Exec.Error msg -> Crashed { seed = None; error = msg }
 
 let pp_outcome fmt = function
   | Pass { runs } -> Fmt.pf fmt "diffcheck: %d run(s) matched the serial oracle" runs

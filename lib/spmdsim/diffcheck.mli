@@ -62,4 +62,26 @@ val engines :
     value, [dv_got] the closure engine's). This is the executable form of
     the engines' equivalence contract (see {!Exec.make}). *)
 
+val crashes :
+  ?machine:Machine.t ->
+  ?nprocs:int ->
+  ?params:(string * int) list ->
+  ?opts:Dhpf.Gen.options ->
+  ?ckpt_every:int ->
+  ?spec_of_seed:(int -> Fault.spec) ->
+  seeds:int list ->
+  Hpf.Sema.checked ->
+  outcome
+(** Crash-differential mode: run a fault-free closure-engine oracle, then
+    for each seed x engine run {!Checkpoint.run} under a pure-crash
+    schedule ([spec_of_seed] defaults to [crash_prob = 0.02],
+    [crash_max = 3]) with a coordinated checkpoint every [ckpt_every]
+    (default 8) communication operations, and require the recovered run to
+    match the oracle {e exactly}: bit-identical elements and scalars, and
+    an identical per-pair communication table (first transmissions only,
+    so crashes and replays must not perturb it — the property behind
+    [--check-comm] staying exact under crash injection). The comm-table
+    comparison is live only when [Obs.Metrics] is enabled; otherwise both
+    tables are empty and only values are compared. *)
+
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -454,6 +454,60 @@ let get_scalar_interp sim name =
   | None -> errf "unknown scalar %s" name
 
 (* ------------------------------------------------------------------ *)
+(* Interpreter checkpoint capture                                      *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort compare |> Array.of_list
+
+let capture_interp (sim : isim) : Runtime.image =
+  let arrays =
+    Hashtbl.fold (fun name _ acc -> name :: acc) sim.meta []
+    |> List.sort compare
+  in
+  let procs =
+    Array.map
+      (fun (p : pstate) ->
+        let elems =
+          List.map
+            (fun name ->
+              (name, sorted_bindings (meta_of sim name).mt_tables.(p.pid)))
+            arrays
+          |> Array.of_list
+        in
+        let staged =
+          Hashtbl.fold
+            (fun (pid, event) buf acc ->
+              if pid = p.pid then
+                match Runtime.packbuf_peek buf with
+                | pl when Array.length pl.Runtime.pl_idx > 0 ->
+                    (event, pl) :: acc
+                | _ -> acc
+              else acc)
+            sim.outbuf []
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+          |> Array.of_list
+        in
+        {
+          Runtime.pi_clock = p.clock;
+          pi_ints = sorted_bindings p.ienv;
+          pi_floats = sorted_bindings p.fenv;
+          pi_elems = elems;
+          pi_staged = staged;
+        })
+      sim.procs
+  in
+  let chans, inflight, ctrs = Runtime.capture_transport sim.tr in
+  {
+    Runtime.im_ops = sim.tr.Runtime.tr_gops;
+    im_procs = procs;
+    im_chans = chans;
+    im_inflight = inflight;
+    im_counters = ctrs;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Public facade                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -485,6 +539,11 @@ type stats = Runtime.stats = {
   s_timeouts : int;
   s_dups_delivered : int;
   s_max_mailbox : int;
+  s_crashes : int;
+  s_recoveries : int;
+  s_ckpts : int;
+  s_ckpt_bytes : int;
+  s_lost_work : float;
 }
 
 type wait_reason = Runtime.wait_reason =
@@ -540,3 +599,27 @@ let get_elem = function
 let get_scalar = function
   | SClosure cs -> Compile.get_scalar cs
   | SInterp s -> get_scalar_interp s
+
+exception Crash = Runtime.Crash
+
+let transport = function
+  | SClosure cs -> Compile.transport cs
+  | SInterp s -> s.tr
+
+let capture = function
+  | SClosure cs -> Compile.capture cs
+  | SInterp s -> capture_interp s
+
+let clocks = function
+  | SClosure cs -> Compile.clocks cs
+  | SInterp s -> Array.map (fun (p : pstate) -> p.clock) s.procs
+
+let set_clocks sim t =
+  match sim with
+  | SClosure cs -> Compile.set_clocks cs t
+  | SInterp s -> Array.iter (fun (p : pstate) -> p.clock <- t) s.procs
+
+let charge sim dt =
+  match sim with
+  | SClosure cs -> Compile.charge cs dt
+  | SInterp s -> Array.iter (fun (p : pstate) -> p.clock <- p.clock +. dt) s.procs

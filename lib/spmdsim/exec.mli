@@ -73,6 +73,13 @@ type stats = Runtime.stats = {
   s_timeouts : int;  (** retransmission timers fired *)
   s_dups_delivered : int;  (** duplicate copies detected and discarded *)
   s_max_mailbox : int;  (** peak in-flight depth of any one channel *)
+  s_crashes : int;  (** fail-stop crashes suffered (checkpoint runs only) *)
+  s_recoveries : int;  (** successful restarts from a snapshot or scratch *)
+  s_ckpts : int;  (** coordinated checkpoints taken on the final attempt *)
+  s_ckpt_bytes : int;  (** encoded size of those checkpoints *)
+  s_lost_work : float;
+      (** simulated seconds of work discarded by rollbacks, summed over
+          processors and recoveries *)
 }
 
 (** {1 Deadlock diagnostics}
@@ -144,3 +151,39 @@ val comm_cells : sim -> comm_cell list
     otherwise). Per-pair counts never re-increment on retransmission or
     duplicate delivery, so the table is invariant under fault injection;
     joined against {!Predict.comm} by [dhpfc run --check-comm]. *)
+
+(** {1 Crash / checkpoint support}
+
+    These expose the engine-independent hooks the {!Checkpoint} controller
+    is built on; plain runs never need them. *)
+
+exception Crash of { cp_pid : int; cp_op : int; cp_clock : float }
+(** A scheduled fail-stop crash fired (same exception as {!Runtime.Crash}).
+    Under plain {!run} — no recovery controller installed — it propagates
+    here. *)
+
+val transport : sim -> Runtime.transport
+(** The sim's shared transport, for installing crash control, checkpoint
+    triggers, or the [--max-events] watchdog bound. *)
+
+val capture : sim -> Runtime.image
+(** Deep value snapshot of the simulation: per-processor clocks, live
+    bindings, all resident array elements, staged pack buffers, and the
+    transport state (sequence counters, in-flight messages, counters).
+    Keys are sorted, so within one engine two captures of the same
+    deterministic execution point are structurally equal — the property
+    the snapshot round-trip and rollback-verification checks rely on.
+    (The two engines represent residency differently, so images are only
+    compared within an engine, never across engines.) *)
+
+val clocks : sim -> float array
+(** Per-processor virtual clocks (a fresh array). *)
+
+val set_clocks : sim -> float -> unit
+(** Set every processor's clock to one value — the restart barrier after a
+    recovery. Values never depend on clocks (delivery is sequence-matched),
+    so a uniform shift cannot change results. *)
+
+val charge : sim -> float -> unit
+(** Add a cost to every processor's clock — the coordinated checkpoint
+    write, paid per processor without synchronizing them. *)

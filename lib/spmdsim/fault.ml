@@ -12,6 +12,8 @@ type spec = {
   delay_factor : float;
   reorder_prob : float;
   skew_max : float;
+  crash_prob : float;
+  crash_max : int;
 }
 
 let none =
@@ -24,8 +26,13 @@ let none =
     delay_factor = 0.0;
     reorder_prob = 0.0;
     skew_max = 1.0;
+    crash_prob = 0.0;
+    crash_max = 0;
   }
 
+(* crashes stay off by default: a crash needs the checkpoint/restart
+   controller ({!Checkpoint.run}) to recover, which plain [Exec.run] does
+   not provide *)
 let default ~seed =
   {
     seed;
@@ -36,7 +43,55 @@ let default ~seed =
     delay_factor = 4.0;
     reorder_prob = 0.25;
     skew_max = 1.5;
+    crash_prob = 0.0;
+    crash_max = 0;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let validate spec : (unit, string) result =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let prob name p =
+    if p < 0.0 || p > 1.0 || Float.is_nan p then
+      Some (Printf.sprintf "%s probability %g outside [0,1]" name p)
+    else None
+  in
+  let problems =
+    List.filter_map Fun.id
+      [
+        (if spec.seed < 0 then
+           Some (Printf.sprintf "seed %d is negative" spec.seed)
+         else None);
+        prob "drop" spec.drop_prob;
+        prob "dup" spec.dup_prob;
+        prob "delay" spec.delay_prob;
+        prob "reorder" spec.reorder_prob;
+        prob "crash" spec.crash_prob;
+        (if spec.max_retries < 0 then
+           Some (Printf.sprintf "max_retries %d is negative" spec.max_retries)
+         else None);
+        (if spec.delay_factor < 0.0 || Float.is_nan spec.delay_factor then
+           Some (Printf.sprintf "delay_factor %g is negative" spec.delay_factor)
+         else None);
+        (if spec.skew_max < 1.0 || Float.is_nan spec.skew_max then
+           Some
+             (Printf.sprintf
+                "skew_max %g < 1.0 (the skew multiplier is a slowdown factor)"
+                spec.skew_max)
+         else None);
+        (if spec.crash_max < 0 then
+           Some (Printf.sprintf "crash_max %d is negative" spec.crash_max)
+         else None);
+        (if spec.drop_prob > 0.0 && spec.max_retries = 0 then
+           Some "drop_prob > 0 with max_retries = 0 would lose messages forever"
+         else None);
+      ]
+  in
+  match problems with
+  | [] -> Ok ()
+  | p :: _ -> err "invalid fault schedule: %s" p
 
 (* ------------------------------------------------------------------ *)
 (* Hashing                                                             *)
@@ -64,6 +119,7 @@ let salt_dup = 2
 let salt_delay = 3
 let salt_reorder = 4
 let salt_skew = 5
+let salt_crash = 6
 
 let draw spec ~salt keys = u01 (hash_keys spec (salt :: keys))
 
@@ -110,8 +166,18 @@ let skew spec ~pid =
   if spec.skew_max <= 1.0 then 1.0
   else 1.0 +. ((spec.skew_max -. 1.0) *. draw spec ~salt:salt_skew [ pid ])
 
+(* fail-stop crash decision for one (processor, operation) point: a pure
+   hash like every other draw, so a replay that re-executes the same
+   operations re-derives the same schedule — the recovery controller's
+   consumed-crash bookkeeping (Runtime.crashctl) is what keeps an already
+   fired crash from firing again during the replay *)
+let crash spec ~pid ~op =
+  spec.crash_prob > 0.0 && draw spec ~salt:salt_crash [ pid; op ] < spec.crash_prob
+
 let describe spec =
   Printf.sprintf
-    "seed=%d drop=%.2f(max %d retries) dup=%.2f delay=%.2fx%.1f reorder=%.2f skew<=%.2f"
+    "seed=%d drop=%.2f(max %d retries) dup=%.2f delay=%.2fx%.1f reorder=%.2f \
+     skew<=%.2f crash=%.3f(max %d)"
     spec.seed spec.drop_prob spec.max_retries spec.dup_prob spec.delay_prob
-    spec.delay_factor spec.reorder_prob spec.skew_max
+    spec.delay_factor spec.reorder_prob spec.skew_max spec.crash_prob
+    spec.crash_max

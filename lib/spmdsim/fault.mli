@@ -25,6 +25,13 @@ type spec = {
   skew_max : float;
       (** straggler model: each processor's compute-time multiplier is
           drawn from [1, skew_max]; 1.0 disables skew *)
+  crash_prob : float;
+      (** fail-stop model: probability a processor crashes at each of its
+          communication operations (sends, receive completions, collective
+          completions). Recovering from a crash requires the coordinated
+          checkpoint/restart controller ({!Checkpoint.run}); under plain
+          [Exec.run] a scheduled crash surfaces as [Runtime.Crash]. *)
+  crash_max : int;  (** bound on total crashes across the whole run *)
 }
 
 val none : spec
@@ -32,7 +39,14 @@ val none : spec
 
 val default : seed:int -> spec
 (** A moderately hostile schedule (drops, duplicates, delays, reordering
-    and stragglers all enabled) keyed to [seed]. *)
+    and stragglers all enabled, crashes off) keyed to [seed]. *)
+
+val validate : spec -> (unit, string) result
+(** Reject malformed schedules before they produce nonsense plans:
+    probabilities outside [0,1], negative seed/retries/crash budget,
+    [skew_max < 1.0], or a positive drop probability with a zero retry
+    bound (which would lose messages forever). The CLI calls this at parse
+    time and maps [Error] to exit code 2. *)
 
 type msg_plan = {
   mp_drops : int;  (** transmissions dropped before the one that arrives *)
@@ -50,6 +64,13 @@ val plan : spec -> event:int -> src:int -> dst:int -> seq:int -> msg_plan
 
 val skew : spec -> pid:int -> float
 (** Clock-skew multiplier (>= 1.0) for one processor. *)
+
+val crash : spec -> pid:int -> op:int -> bool
+(** Fail-stop crash decision for processor [pid] at its [op]-th
+    communication operation. Pure, like {!plan}: a deterministic replay
+    re-derives the identical schedule, and the recovery controller's
+    consumed-crash set is what prevents an already-fired crash from firing
+    again before the restore point. *)
 
 val describe : spec -> string
 (** One-line human-readable summary of the schedule parameters. *)

@@ -26,6 +26,16 @@ type t = {
   backoff : float;
       (** exponential backoff: the k-th consecutive retransmission of one
           message waits [timeout * backoff^k] *)
+  ckpt_alpha : float;
+      (** fixed per-processor cost of writing (or reading back) one
+          coordinated checkpoint, independent of its size *)
+  ckpt_beta : float;  (** per-byte checkpoint write/read time (seconds) *)
+  detect_timeout : float;
+      (** how long the group takes to conclude a silent processor has
+          crashed (fail-stop detection latency) *)
+  restart_latency : float;
+      (** process restart cost: respawn, rejoin the group, reopen channels
+          — charged once per recovery before the checkpoint is read back *)
 }
 
 let sp2 =
@@ -44,6 +54,14 @@ let sp2 =
     timeout = 500e-6;
     retry_overhead = 5e-6;
     backoff = 2.0;
+    (* checkpoint/restart: a local-disk write at ~10 MB/s effective
+       bandwidth with a 2 ms setup, millisecond-scale failure detection and
+       restart — all large against the per-message costs above, so lost
+       work and recovery latency are visible in the simulated clocks *)
+    ckpt_alpha = 2e-3;
+    ckpt_beta = 100e-9;
+    detect_timeout = 5e-3;
+    restart_latency = 20e-3;
   }
 
 let default = sp2

@@ -231,6 +231,15 @@ let packbuf_push (b : packbuf) ~arr enc v =
   b.pb_val.(b.pb_len) <- v;
   b.pb_len <- b.pb_len + 1
 
+(** Read the staged elements without resetting the buffer (checkpoint
+    capture: staged-but-unsent data is part of a processor's state). *)
+let packbuf_peek (b : packbuf) : payload =
+  if b.pb_len = 0 then empty_payload
+  else
+    { pl_arr = b.pb_arr;
+      pl_idx = Array.sub b.pb_idx 0 b.pb_len;
+      pl_val = Array.sub b.pb_val 0 b.pb_len }
+
 (** Snapshot the staged elements as an immutable payload and reset. *)
 let packbuf_flush (b : packbuf) : payload =
   if b.pb_len = 0 then empty_payload
@@ -243,6 +252,32 @@ let packbuf_flush (b : packbuf) : payload =
     b.pb_len <- 0;
     pl
   end
+
+(* ------------------------------------------------------------------ *)
+(* Fail-stop crash control                                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Crash of { cp_pid : int; cp_op : int; cp_clock : float }
+
+type crashctl = {
+  cc_spec : Fault.spec option;
+      (* probability-driven schedule: a crash fires at (pid, op) when
+         [Fault.crash] says so — a pure hash, so a deterministic replay
+         re-derives the same schedule *)
+  cc_plan : (int * int) list;
+      (* explicit (pid, op) crash points, for tests that need a crash at a
+         known place (e.g. inside a collective) *)
+  mutable cc_budget : int;
+  cc_fired : (int * int, unit) Hashtbl.t;
+      (* crashes already consumed: the control block is shared across
+         recovery attempts, so a replay re-reaching a (pid, op) that
+         crashed before does NOT crash again — without this the pure hash
+         would fire forever at the same point *)
+}
+
+let crashctl_make ?(plan = []) ?spec ~max () =
+  { cc_spec = spec; cc_plan = plan; cc_budget = max;
+    cc_fired = Hashtbl.create 4 }
 
 (* ------------------------------------------------------------------ *)
 (* Transport: channels, sequence numbers, fault plans, counters         *)
@@ -326,6 +361,19 @@ type transport = {
       (** present iff [Obs.Metrics] was enabled at build time; like
           tracing, metrics recording only reads clocks and payload sizes,
           so a metered run is bit-identical to a bare one *)
+  tr_pid_ops : int array;
+      (** per-processor communication-operation index: sends, receive
+          completions and collective completions, in execution order — the
+          coordinate crash schedules are keyed on *)
+  mutable tr_gops : int;  (** total operations across all processors *)
+  mutable tr_crash : crashctl option;  (** installed by {!Checkpoint.run} *)
+  mutable tr_ckpt_every : int;  (** checkpoint interval in ops; 0 = off *)
+  mutable tr_on_ckpt : int -> unit;
+      (** checkpoint trigger, called with the global op count whenever it
+          crosses a multiple of [tr_ckpt_every] *)
+  mutable tr_max_events : int;
+      (** scheduler watchdog: raise {!Error} once the global op count
+          exceeds this bound; 0 = off *)
 }
 
 (* simulated seconds -> trace microseconds *)
@@ -372,6 +420,12 @@ let transport_make ~machine ~faults ~nprocs =
              sm_local_elems = 0;
            }
        else None);
+    tr_pid_ops = Array.make nprocs 0;
+    tr_gops = 0;
+    tr_crash = None;
+    tr_ckpt_every = 0;
+    tr_on_ckpt = (fun _ -> ());
+    tr_max_events = 0;
   }
 
 let metrics_cell sm ~event ~src ~dst =
@@ -397,6 +451,55 @@ let trace_slice tw ~tid ~t0 ~t1 ~cat ?args name =
   Obs.complete ~pid:tw.tw_pid ~tid ~ts:(us t0) ~dur:(us (t1 -. t0)) ~cat
     ?args name;
   Hashtbl.replace tw.tw_last tid t1
+
+(** Chrome pid of this simulation's trace lane group, when traced. *)
+let trace_pid tr = Option.map (fun tw -> tw.tw_pid) tr.tr_trace
+
+(** Emit an instant marker on a processor's lane ([ts] in simulated
+    seconds); no-op when untraced. The recovery controller uses this for
+    crash / restore events. *)
+let trace_instant tr ~tid ~ts ?(cat = "fault") ?args name =
+  match tr.tr_trace with
+  | Some tw -> Obs.instant_at ~pid:tw.tw_pid ~tid ~ts:(us ts) ~cat ?args name
+  | None -> ()
+
+(* One communication operation completed on [pid]: bump the per-processor
+   and global operation indices, feed the scheduler watchdog, evaluate the
+   crash schedule, and fire the checkpoint trigger on interval boundaries.
+   Both engines route every send, receive completion and collective
+   completion through here (via {!send} and the scheduler), so operation
+   indices — and with them crash points and checkpoint boundaries — are
+   identical across engines and across deterministic replays. *)
+let op_point tr ~pid ~clock =
+  tr.tr_pid_ops.(pid) <- tr.tr_pid_ops.(pid) + 1;
+  tr.tr_gops <- tr.tr_gops + 1;
+  if tr.tr_max_events > 0 && tr.tr_gops > tr.tr_max_events then
+    errf
+      "scheduler watchdog: %d communication events exceed the --max-events \
+       budget of %d (processor %d at its operation %d, t=%.3e) — \
+       pathological schedule or livelock"
+      tr.tr_gops tr.tr_max_events pid tr.tr_pid_ops.(pid) clock;
+  let op = tr.tr_pid_ops.(pid) in
+  (match tr.tr_crash with
+  | Some cc when cc.cc_budget > 0 && not (Hashtbl.mem cc.cc_fired (pid, op)) ->
+      let fires =
+        List.mem (pid, op) cc.cc_plan
+        ||
+        match cc.cc_spec with
+        | Some sp -> Fault.crash sp ~pid ~op
+        | None -> false
+      in
+      if fires then begin
+        cc.cc_budget <- cc.cc_budget - 1;
+        Hashtbl.replace cc.cc_fired (pid, op) ();
+        trace_instant tr ~tid:pid ~ts:clock
+          ~args:[ ("op", Obs.Int op) ]
+          "crash";
+        raise (Crash { cp_pid = pid; cp_op = op; cp_clock = clock })
+      end
+  | _ -> ());
+  if tr.tr_ckpt_every > 0 && tr.tr_gops mod tr.tr_ckpt_every = 0 then
+    tr.tr_on_ckpt tr.tr_gops
 
 (** Complete a send: decide contiguity (§3.3 compile-time proof or runtime
     check), charge packing / send CPU, apply the deterministic fault plan
@@ -500,7 +603,7 @@ let send tr ~tick ~get_clock ~pid ~dst_pid ~event ~src_vp ~dst_vp ~inplace
       else
         Obs.Metrics.observe sm.sm_msg_bytes
           (float_of_int (n * m.Machine.elem_bytes)));
-  match tr.tr_trace with
+  (match tr.tr_trace with
   | None -> ()
   | Some tw ->
       let t1 = get_clock () in
@@ -521,7 +624,8 @@ let send tr ~tick ~get_clock ~pid ~dst_pid ~event ~src_vp ~dst_vp ~inplace
         let fid = Obs.next_flow_id () in
         Hashtbl.replace tw.tw_flow (k, seq) fid;
         Obs.flow_start ~pid:tw.tw_pid ~tid:pid ~ts:(us tt0) ~id:fid "msg"
-      end
+      end);
+  op_point tr ~pid ~clock:(get_clock ())
 
 (** Trace a completed receive: [t0] is the receiver's clock when it
     blocked, [t1] its clock after arrival synchronization and unpack
@@ -552,8 +656,60 @@ let trace_recv tr ~tid ~t0 ~t1 (k : key) (msg : msg) : unit =
       | None -> ())
 
 (* ------------------------------------------------------------------ *)
-(* Effects: how a processor blocks                                      *)
+(* Checkpoint images                                                    *)
 (* ------------------------------------------------------------------ *)
+
+type proc_image = {
+  pi_clock : float;
+  pi_ints : (string * int) array;  (** live integer bindings, sorted *)
+  pi_floats : (string * float) array;  (** live scalar bindings, sorted *)
+  pi_elems : (string * (int * float) array) array;
+      (** per array (sorted by name): every resident element as (global
+          linear index, value), sorted — dense owned blocks, halo side
+          tables and sparse reduction storage alike *)
+  pi_staged : (int * payload) array;
+      (** per event id: elements packed but not yet sent *)
+}
+
+type image = {
+  im_ops : int;  (** global op count at capture *)
+  im_procs : proc_image array;
+  im_chans : (key * int * int) array;
+      (** per channel: (key, next send seq, next recv seq), sorted *)
+  im_inflight : (key * msg array) array;  (** undelivered messages *)
+  im_counters : counters;  (** copy of the transport counters *)
+}
+
+let counters_copy (c : counters) : counters =
+  { n_msgs = c.n_msgs; n_bytes = c.n_bytes; n_elems = c.n_elems;
+    n_retransmits = c.n_retransmits; n_timeouts = c.n_timeouts;
+    n_dups = c.n_dups; n_max_mbox = c.n_max_mbox }
+
+(** Transport half of a checkpoint image: per-channel sequence counters,
+    in-flight messages, and a copy of the counters. Engine-independent —
+    both engines' [capture] build on this. *)
+let capture_transport tr =
+  let chans = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun k s ->
+      let r = Option.value (Hashtbl.find_opt tr.tr_recv_seq k) ~default:0 in
+      Hashtbl.replace chans k (s, r))
+    tr.tr_send_seq;
+  Hashtbl.iter
+    (fun k r -> if not (Hashtbl.mem chans k) then Hashtbl.replace chans k (0, r))
+    tr.tr_recv_seq;
+  let im_chans =
+    Hashtbl.fold (fun k (s, r) acc -> (k, s, r) :: acc) chans []
+    |> List.sort compare |> Array.of_list
+  in
+  let im_inflight =
+    Hashtbl.fold
+      (fun k q acc -> if !q = [] then acc else (k, Array.of_list !q) :: acc)
+      tr.tr_mailbox []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> Array.of_list
+  in
+  (im_chans, im_inflight, counters_copy tr.tr_c)
 
 type _ Effect.t +=
   | ERecv : key -> msg Effect.t
@@ -574,6 +730,13 @@ type stats = {
   s_timeouts : int;  (** retransmission timers fired *)
   s_dups_delivered : int;  (** duplicate copies detected and discarded *)
   s_max_mailbox : int;  (** peak in-flight depth of any one channel *)
+  s_crashes : int;  (** fail-stop crashes suffered (checkpoint runs only) *)
+  s_recoveries : int;  (** successful restarts from a snapshot or scratch *)
+  s_ckpts : int;  (** coordinated checkpoints taken on the final attempt *)
+  s_ckpt_bytes : int;  (** encoded size of those checkpoints *)
+  s_lost_work : float;
+      (** simulated seconds of work discarded by rollbacks, summed over
+          processors and recoveries *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -781,6 +944,7 @@ let sched_run (h : hooks) : unit =
                   progressed := true;
                   status.(p) <- WDone;
                   (* placeholder; handler overwrites on next block *)
+                  op_point tr ~pid:p ~clock:(h.h_clock p);
                   Effect.Deep.continue cont msg
               | None -> ())
           | _ -> ())
@@ -838,6 +1002,7 @@ let sched_run (h : hooks) : unit =
                 h.h_set_clock pidx t_done;
                 status.(pidx) <- WDone;
                 progressed := true;
+                op_point tr ~pid:pidx ~clock:t_done;
                 Effect.Deep.continue cont ()
             | None -> ())
           conts
@@ -910,6 +1075,7 @@ let sched_run (h : hooks) : unit =
                 h.h_set_clock p t_done;
                 status.(p) <- WDone;
                 progressed := true;
+                op_point tr ~pid:p ~clock:t_done;
                 Effect.Deep.continue cont combined
             | None -> ())
           conts
@@ -1098,4 +1264,11 @@ let stats_of tr ~proc_times : stats =
     s_timeouts = tr.tr_c.n_timeouts;
     s_dups_delivered = tr.tr_c.n_dups;
     s_max_mailbox = tr.tr_c.n_max_mbox;
+    (* crash/recovery accounting lives in the {!Checkpoint} controller,
+       which patches these after assembling the final attempt's stats *)
+    s_crashes = 0;
+    s_recoveries = 0;
+    s_ckpts = 0;
+    s_ckpt_bytes = 0;
+    s_lost_work = 0.0;
   }

@@ -84,6 +84,29 @@ val packbuf_create : unit -> packbuf
 val packbuf_push : packbuf -> arr:string -> int -> float -> unit
 val packbuf_flush : packbuf -> payload
 
+val packbuf_peek : packbuf -> payload
+(** Read the staged elements without resetting the buffer — checkpoint
+    capture treats staged-but-unsent data as part of processor state. *)
+
+(** {1 Fail-stop crash control} *)
+
+exception Crash of { cp_pid : int; cp_op : int; cp_clock : float }
+(** A scheduled fail-stop crash fired: processor [cp_pid] died at its
+    [cp_op]-th communication operation, local clock [cp_clock]. Recovered
+    by {!Checkpoint.run}; under plain [Exec.run] it propagates to the
+    caller. *)
+
+type crashctl
+(** Crash schedule control block: the probability spec and/or explicit
+    (pid, op) plan, the remaining crash budget, and the set of crashes
+    already consumed. Shared across recovery attempts so a deterministic
+    replay does not re-fire a crash it already suffered. *)
+
+val crashctl_make :
+  ?plan:(int * int) list -> ?spec:Fault.spec -> max:int -> unit -> crashctl
+(** [plan] lists explicit (pid, op) crash points (tests); [spec] supplies
+    the hash-driven schedule ({!Fault.crash}); [max] bounds total crashes. *)
+
 (** {1 Transport} *)
 
 type key = { k_event : int; k_src : int list; k_dst : int list }
@@ -131,6 +154,22 @@ type transport = {
   tr_c : counters;
   tr_trace : trace option;
   tr_metrics : simmetrics option;
+  tr_pid_ops : int array;
+      (** per-processor communication-operation index (sends, receive
+          completions, collective completions, in execution order) — the
+          coordinate crash schedules are keyed on *)
+  mutable tr_gops : int;  (** total operations across all processors *)
+  mutable tr_crash : crashctl option;
+      (** installed by the {!Checkpoint} controller; a firing crash raises
+          {!Crash} from inside the scheduler *)
+  mutable tr_ckpt_every : int;
+      (** coordinated-checkpoint interval in global operations; 0 = off *)
+  mutable tr_on_ckpt : int -> unit;
+      (** checkpoint trigger, called with the global op count whenever it
+          crosses a multiple of [tr_ckpt_every] *)
+  mutable tr_max_events : int;
+      (** scheduler watchdog: raise {!Error} once the global op count
+          exceeds this bound; 0 = off *)
 }
 
 val transport_make :
@@ -175,7 +214,65 @@ val send :
 (** Complete a send: contiguity decision (§3.3), packing/send CPU charges
     via [tick], fault plan application (drops priced as retransmissions,
     delay, duplication, reordering) and enqueue. Both engines call this, so
-    counter and timing semantics cannot diverge. *)
+    counter and timing semantics cannot diverge. Ends with an {!op_point},
+    so a send is one communication operation. *)
+
+val op_point : transport -> pid:int -> clock:float -> unit
+(** One communication operation completed on [pid]: advance the operation
+    indices, feed the watchdog, evaluate the crash schedule (possibly
+    raising {!Crash}), and fire the checkpoint trigger on interval
+    boundaries. Called by {!send} and the scheduler; engines never call it
+    directly. *)
+
+val trace_pid : transport -> int option
+(** Chrome pid of this simulation's trace lane group, when traced. *)
+
+val trace_instant :
+  transport ->
+  tid:int ->
+  ts:float ->
+  ?cat:string ->
+  ?args:(string * Obs.arg) list ->
+  string ->
+  unit
+(** Emit an instant marker on processor [tid]'s lane at simulated time
+    [ts]; no-op when untraced. Category defaults to ["fault"]. *)
+
+(** {1 Checkpoint images}
+
+    A deep, engine-independent value snapshot of a simulation: all live
+    bindings and resident array elements per processor, plus the transport
+    state (channel sequence counters, in-flight messages, counters). Keys
+    are sorted so two captures of identical state are structurally equal
+    regardless of hash-table iteration order. *)
+
+type proc_image = {
+  pi_clock : float;
+  pi_ints : (string * int) array;  (** live integer bindings, sorted *)
+  pi_floats : (string * float) array;  (** live scalar bindings, sorted *)
+  pi_elems : (string * (int * float) array) array;
+      (** per array (sorted by name): every resident element as (global
+          linear index, value), sorted — dense owned blocks, halo side
+          tables and sparse reduction storage alike *)
+  pi_staged : (int * payload) array;
+      (** per event id: elements packed but not yet sent *)
+}
+
+type image = {
+  im_ops : int;  (** global op count at capture *)
+  im_procs : proc_image array;
+  im_chans : (key * int * int) array;
+      (** per channel: (key, next send seq, next recv seq), sorted *)
+  im_inflight : (key * msg array) array;  (** undelivered messages *)
+  im_counters : counters;  (** copy of the transport counters *)
+}
+
+val capture_transport :
+  transport -> (key * int * int) array * (key * msg array) array * counters
+(** Transport half of an image: sorted per-channel sequence counters,
+    sorted in-flight queues, and a copy of the counters. *)
+
+val counters_copy : counters -> counters
 
 (** {1 Effects} *)
 
@@ -196,6 +293,13 @@ type stats = {
   s_timeouts : int;
   s_dups_delivered : int;
   s_max_mailbox : int;
+  s_crashes : int;  (** fail-stop crashes suffered (checkpoint runs only) *)
+  s_recoveries : int;  (** successful restarts from a snapshot or scratch *)
+  s_ckpts : int;  (** coordinated checkpoints taken on the final attempt *)
+  s_ckpt_bytes : int;  (** encoded size of those checkpoints *)
+  s_lost_work : float;
+      (** simulated seconds of work discarded by rollbacks, summed over
+          processors and recoveries *)
 }
 
 val stats_of : transport -> proc_times:float array -> stats

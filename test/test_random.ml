@@ -181,6 +181,27 @@ let prop_differential_faulted =
           | exception Dhpf.Layout.Unsupported _ -> QCheck.assume_fail ())
       | exception Hpf.Sema.Error _ -> QCheck.assume_fail ())
 
+(* and they must survive fail-stop crashes with checkpoint/restart
+   recovery: random crash schedules, three seeds, both engines, every
+   element bit-identical to the fault-free run and the per-pair
+   communication table fault-invariant *)
+let prop_crash_recovery =
+  QCheck.Test.make ~count:10
+    ~name:"crash + checkpoint/restart recovery is value-exact" arb_spec
+    (fun spec ->
+      let src = src_of_spec spec in
+      match Hpf.Sema.analyze_source src with
+      | chk -> (
+          match
+            Spmdsim.Diffcheck.crashes ~ckpt_every:6 ~seeds:[ 1; 2; 3 ] chk
+          with
+          | Spmdsim.Diffcheck.Pass _ -> true
+          | out ->
+              QCheck.Test.fail_reportf "%a" Spmdsim.Diffcheck.pp_outcome out
+          | exception Dhpf.Gen.Unsupported _ -> QCheck.assume_fail ()
+          | exception Dhpf.Layout.Unsupported _ -> QCheck.assume_fail ())
+      | exception Hpf.Sema.Error _ -> QCheck.assume_fail ())
+
 let () =
   Alcotest.run "random"
     [
@@ -190,5 +211,6 @@ let () =
             prop_differential;
             prop_differential_ablated;
             prop_differential_faulted;
+            prop_crash_recovery;
           ] );
     ]
