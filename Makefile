@@ -7,13 +7,13 @@
 DUNE ?= dune
 DHPFC = $(DUNE) exec bin/dhpfc.exe --
 
-.PHONY: all check test resilience fuzz bench bench-smoke bench-run bench-run-smoke metrics-smoke fmt fmt-check clean
+.PHONY: all check test resilience fuzz bench bench-smoke bench-run bench-run-smoke bench-par-smoke metrics-smoke fmt fmt-check clean
 
 all:
 	$(DUNE) build
 
 check:
-	$(DUNE) build && $(DUNE) runtest && $(MAKE) bench-smoke && $(MAKE) bench-run-smoke && $(MAKE) metrics-smoke
+	$(DUNE) build && $(DUNE) runtest && $(MAKE) bench-smoke && $(MAKE) bench-run-smoke && $(MAKE) bench-par-smoke && $(MAKE) metrics-smoke
 
 # Fast Table-1 subset with the bench's JSON emitter; fails if the
 # integer-set caches record zero hits (i.e. the memoization layer is
@@ -32,6 +32,14 @@ bench-run-smoke:
 
 bench-run:
 	$(DUNE) exec bench/main.exe -- run-json
+
+# Domain-parallel smoke: the sharded-lane scheduler must stay bit-identical
+# to the sequential one (always checked), and on hosts with >= 2 cores the
+# parallel compile and simulation must beat 1 domain by
+# DHPF_PAR_SMOKE_MIN_SPEEDUP (default 1.5x); single-core hosts skip the
+# speedup half with a message.
+bench-par-smoke:
+	$(DUNE) exec bench/main.exe -- par-smoke
 
 # Predicted-vs-measured communication: the bench's symmetric-stencil
 # matrix assertions, then --check-comm (static integer-set prediction

@@ -32,6 +32,21 @@ let compile_timed src =
   let total = Unix.gettimeofday () -. t0 in
   (compiled, total, ph, Iset.Stats.report ())
 
+(* The domain counts every parallel sweep reports. Counts above the host
+   core count still run (the pool just oversubscribes) so the sweep shape
+   is stable across machines; [host_cores] in the JSON tells the reader
+   which rows could actually run concurrently. *)
+let domain_sweep = [ 1; 2; 4 ]
+
+(* Wall-clock of a parallel compile at a given domain count. The output
+   is byte-identical at every count (enforced by the test suite), so only
+   the time is interesting here. *)
+let compile_par_timed ~domains chk =
+  let ph = Dhpf.Phase.create () in
+  let t0 = Unix.gettimeofday () in
+  ignore (Dhpf.Gen.compile ~phase:ph ~domains chk);
+  Unix.gettimeofday () -. t0
+
 let table1_apps ?(smoke = false) () =
   if smoke then
     [
@@ -324,21 +339,40 @@ let bench_json ~smoke () =
         let phases =
           List.map (fun l -> (l, Dhpf.Phase.total ph l)) (Dhpf.Phase.labels ph)
         in
-        (name, total, phases, stats))
+        (* domain sweep of the same compile: output is byte-identical at
+           every count, only wall-clock moves *)
+        let chk = Hpf.Sema.analyze_source src in
+        let par =
+          List.map (fun d -> (d, compile_par_timed ~domains:d chk)) domain_sweep
+        in
+        (name, total, phases, stats, par))
       apps
   in
   let buf = Buffer.create 4096 in
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   pf "{\n";
-  pf "  \"schema\": \"dhpf-bench-compile/1\",\n";
+  pf "  \"schema\": \"dhpf-bench-compile/2\",\n";
   pf "  \"mode\": \"%s\",\n" (if smoke then "smoke" else "full");
+  pf "  \"host_cores\": %d,\n" (Par.recommended ());
   pf "  \"cache_enabled\": %b,\n" (Iset.Cache.enabled ());
   pf "  \"apps\": [\n";
   List.iteri
-    (fun i (name, total, phases, stats) ->
+    (fun i (name, total, phases, stats, par) ->
       pf "    {\n";
       pf "      \"name\": \"%s\",\n" (json_escape name);
       pf "      \"total_s\": %.6f,\n" total;
+      pf "      \"compile_domains\": [\n";
+      (let t1 =
+         try List.assoc 1 par with Not_found -> List.assoc (List.hd domain_sweep) par
+       in
+       List.iteri
+         (fun j (d, s) ->
+           pf "        {\"domains\": %d, \"wall_s\": %.6f, \"speedup\": %.2f}%s\n"
+             d s
+             (t1 /. Float.max s 1e-9)
+             (if j + 1 < List.length par then "," else ""))
+         par);
+      pf "      ],\n";
       pf "      \"phases_s\": {\n";
       List.iteri
         (fun j (l, s) ->
@@ -395,6 +429,8 @@ type run_row = {
   rr_closure_s : float;
   rr_stats : Spmdsim.Exec.stats;
   rr_counters_equal : bool;
+  rr_domains : (int * float * bool) list;
+      (* sharded-lane sweep: domains, wall_s, counters bit-equal to 1-domain *)
   rr_matrix : (int * int * int * int * int) list;
       (* aggregated comm matrix: src, dst, msgs, elems, bytes *)
   rr_metrics : (string * float) list;  (* selected scalar series *)
@@ -405,6 +441,26 @@ let time_engine engine prog nprocs =
   let sim = Spmdsim.Exec.make ~engine ~nprocs prog in
   let stats = Spmdsim.Exec.run sim in
   (Unix.gettimeofday () -. t0, stats)
+
+(* Closure-engine wall clock with processor lanes sharded over [domains];
+   also reports whether every transport counter and the simulated clock
+   are bit-equal to the reference stats (they must be — the parallel
+   scheduler's contract, enforced hard by the test suite and re-checked
+   here because the bench is where a silent divergence would first show
+   up in the wild). *)
+let time_domains ~domains prog nprocs (ref_stats : Spmdsim.Exec.stats) =
+  let t0 = Unix.gettimeofday () in
+  let sim = Spmdsim.Exec.make ~domains ~nprocs prog in
+  let stats = Spmdsim.Exec.run sim in
+  let wall = Unix.gettimeofday () -. t0 in
+  let eq =
+    stats.Spmdsim.Exec.s_time = ref_stats.Spmdsim.Exec.s_time
+    && stats.s_msgs = ref_stats.s_msgs
+    && stats.s_bytes = ref_stats.s_bytes
+    && stats.s_elems = ref_stats.s_elems
+    && stats.s_retransmits = ref_stats.s_retransmits
+  in
+  (wall, eq)
 
 (* One extra metered (untimed) closure run per workload. The timed runs
    stay unmetered so engine timings are not polluted by registry upkeep;
@@ -545,6 +601,13 @@ let bench_run_json ~smoke () =
           && si.s_retransmits = sc.s_retransmits
           && si.s_time = sc.s_time
         in
+        let dsweep =
+          List.map
+            (fun d ->
+              let w, deq = time_domains ~domains:d compiled.Dhpf.Gen.cprog nprocs sc in
+              (d, w, deq))
+            domain_sweep
+        in
         let cells, snap = metered_run compiled.Dhpf.Gen.cprog nprocs in
         {
           rr_name = name;
@@ -555,6 +618,7 @@ let bench_run_json ~smoke () =
           rr_closure_s = tc;
           rr_stats = sc;
           rr_counters_equal = eq;
+          rr_domains = dsweep;
           rr_matrix = comm_matrix cells;
           rr_metrics = List.map (fun n -> (n, snap_scalar snap n)) embedded_series;
         })
@@ -564,8 +628,9 @@ let bench_run_json ~smoke () =
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let ckpt_rows = ckpt_sweep ~smoke () in
   pf "{\n";
-  pf "  \"schema\": \"dhpf-bench-run/4\",\n";
+  pf "  \"schema\": \"dhpf-bench-run/5\",\n";
   pf "  \"mode\": \"%s\",\n" (if smoke then "smoke" else "full");
+  pf "  \"host_cores\": %d,\n" (Par.recommended ());
   pf "  \"workloads\": [\n";
   List.iteri
     (fun i r ->
@@ -584,6 +649,21 @@ let bench_run_json ~smoke () =
       pf "      \"closure_wall_s\": %.6f,\n" r.rr_closure_s;
       pf "      \"speedup\": %.2f,\n" (r.rr_interp_s /. r.rr_closure_s);
       pf "      \"counters_equal\": %b,\n" r.rr_counters_equal;
+      pf "      \"sim_domains\": [\n";
+      (let t1 =
+         match r.rr_domains with (1, w, _) :: _ -> w | _ -> r.rr_closure_s
+       in
+       List.iteri
+         (fun j (d, w, deq) ->
+           pf
+             "        {\"domains\": %d, \"wall_s\": %.6f, \"speedup\": %.2f, \
+              \"bit_identical\": %b}%s\n"
+             d w
+             (t1 /. Float.max w 1e-9)
+             deq
+             (if j + 1 < List.length r.rr_domains then "," else ""))
+         r.rr_domains);
+      pf "      ],\n";
       pf "      \"sim\": {\n";
       pf "        \"time_s\": %.9f,\n" r.rr_stats.Spmdsim.Exec.s_time;
       pf "        \"msgs\": %d,\n" r.rr_stats.s_msgs;
@@ -640,6 +720,11 @@ let run_json () = ignore (bench_run_json ~smoke:false ())
 let run_smoke () =
   let rows = bench_run_json ~smoke:true () in
   let bad_counters = List.filter (fun r -> not r.rr_counters_equal) rows in
+  let bad_domains =
+    List.filter
+      (fun r -> List.exists (fun (_, _, deq) -> not deq) r.rr_domains)
+      rows
+  in
   let slow = List.filter (fun r -> r.rr_closure_s >= r.rr_interp_s) rows in
   List.iter
     (fun r ->
@@ -649,10 +734,17 @@ let run_smoke () =
   List.iter
     (fun r ->
       Fmt.epr
+        "bench run-smoke: %s: sharded-lane run not bit-identical to the \
+         1-domain run@."
+        r.rr_name)
+    bad_domains;
+  List.iter
+    (fun r ->
+      Fmt.epr
         "bench run-smoke: %s: closure engine not faster (%.3fs vs %.3fs interp)@."
         r.rr_name r.rr_closure_s r.rr_interp_s)
     slow;
-  if bad_counters <> [] || slow <> [] then begin
+  if bad_counters <> [] || bad_domains <> [] || slow <> [] then begin
     Fmt.epr "bench run-smoke: FAILED@.";
     exit 1
   end;
@@ -722,13 +814,96 @@ let metrics_smoke () =
      engines agree)@."
     (List.length mat)
 
+(* Backs `make bench-par-smoke`: the correctness half always runs (the
+   domain-differential axis on a mid-size workload — sharded lanes must be
+   bit-identical to the sequential scheduler, faults included); the
+   speedup half is gated on the host actually having cores to scale on.
+   On a multi-core host the 4-way (or as-wide-as-the-host) compile and
+   simulation must beat 1 domain by DHPF_PAR_SMOKE_MIN_SPEEDUP (default
+   1.5x); single-core hosts skip with a message, because oversubscribed
+   domains can only measure interleaving, not speed. *)
+let par_smoke () =
+  let chk =
+    Hpf.Sema.analyze_source
+      (Codes.jacobi ~n:96 ~iters:3 ~procs:(Codes.Symbolic2 2) ())
+  in
+  (match
+     Spmdsim.Diffcheck.domains ~nprocs:4 ~domain_counts:[ 2; 4 ] ~seeds:[ 7 ]
+       chk
+   with
+  | Spmdsim.Diffcheck.Pass { runs } ->
+      Fmt.epr "bench par-smoke: domain-differential ok (%d run(s))@." runs
+  | out ->
+      Fmt.epr "bench par-smoke: FAILED — %a@." Spmdsim.Diffcheck.pp_outcome out;
+      exit 1);
+  let cores = Par.recommended () in
+  if cores < 2 then
+    Fmt.epr
+      "bench par-smoke: speedup check SKIPPED — host has %d usable core(s); \
+       need >= 2 to measure parallel speedup@."
+      cores
+  else begin
+    let min_speedup =
+      match Sys.getenv_opt "DHPF_PAR_SMOKE_MIN_SPEEDUP" with
+      | Some s -> ( try float_of_string s with _ -> 1.5)
+      | None -> 1.5
+    in
+    let d = min 4 cores in
+    let fail = ref false in
+    (* compile side: the many-unit SP application *)
+    let schk =
+      Hpf.Sema.analyze_source
+        (Codes.sp_like ~n:24 ~nsub:30 ~procs:(Codes.Symbolic2 2) ())
+    in
+    ignore (compile_par_timed ~domains:1 schk) (* warm caches *);
+    let c1 = compile_par_timed ~domains:1 schk in
+    let cd = compile_par_timed ~domains:d schk in
+    let cs = c1 /. Float.max cd 1e-9 in
+    Fmt.epr "bench par-smoke: compile %d-domain speedup %.2fx (%.3fs -> %.3fs)@."
+      d cs c1 cd;
+    if cs < min_speedup then begin
+      Fmt.epr "bench par-smoke: compile speedup below %.2fx threshold@."
+        min_speedup;
+      fail := true
+    end;
+    (* simulator side: the large JACOBI closure-engine run *)
+    let jchk =
+      Hpf.Sema.analyze_source
+        (Codes.jacobi ~n:384 ~iters:4 ~procs:(Codes.Symbolic2 2) ())
+    in
+    let prog = (Dhpf.Gen.compile jchk).Dhpf.Gen.cprog in
+    let s1 = Spmdsim.Exec.make ~domains:1 ~nprocs:8 prog in
+    let w1, st1 = ((fun () ->
+        let t0 = Unix.gettimeofday () in
+        let st = Spmdsim.Exec.run s1 in
+        (Unix.gettimeofday () -. t0, st)) ()) in
+    let wd, deq = time_domains ~domains:d prog 8 st1 in
+    let ss = w1 /. Float.max wd 1e-9 in
+    Fmt.epr "bench par-smoke: sim %d-domain speedup %.2fx (%.3fs -> %.3fs)@."
+      d ss w1 wd;
+    if not deq then begin
+      Fmt.epr "bench par-smoke: sharded run not bit-identical@.";
+      fail := true
+    end;
+    if ss < min_speedup then begin
+      Fmt.epr "bench par-smoke: simulator speedup below %.2fx threshold@."
+        min_speedup;
+      fail := true
+    end;
+    if !fail then begin
+      Fmt.epr "bench par-smoke: FAILED@.";
+      exit 1
+    end
+  end;
+  Fmt.epr "bench par-smoke: ok@."
+
 (* Smoke mode backs `make bench-smoke` in the tier-1 check flow: a fast
    Table-1 subset, JSON on stdout, and a hard failure if the memoization
    layer shows no hits (i.e. the caches silently stopped working). *)
 let smoke () =
   let results = bench_json ~smoke:true () in
   if Iset.Cache.enabled () then begin
-    let hits_of (_, _, _, stats) =
+    let hits_of (_, _, _, stats, _) =
       List.fold_left
         (fun acc key -> acc + (try List.assoc key stats with Not_found -> 0))
         0
@@ -763,6 +938,7 @@ let () =
       ("smoke", smoke);
       ("run-json", run_json);
       ("run-smoke", run_smoke);
+      ("par-smoke", par_smoke);
       ("metrics-smoke", metrics_smoke);
     ]
   in

@@ -151,7 +151,8 @@ let metrics_compiler () =
       (Dhpf.Phase.labels ph);
     List.iter
       (fun (n, v) -> M.set (M.gauge ("iset/" ^ n)) (float_of_int v))
-      (Iset.Stats.report ())
+      (Iset.Stats.report ());
+    M.set (M.gauge "compiler/domains") (float_of_int (Par.domains ()))
   end
 
 let metrics_finish = function
@@ -198,6 +199,35 @@ let opts_of ~no_split ~no_vect ~no_coal ~no_inplace =
 
 let nprocs_t =
   Arg.(value & opt int 4 & info [ "p"; "nprocs" ] ~docv:"P" ~doc:"Number of simulated processors.")
+
+let jobs_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Size of the OCaml domain pool used by the parallel compiler \
+           phases and the simulator's lane scheduler (default: \
+           $(b,DHPF_DOMAINS), else 1). Clamped to the machine's recommended \
+           domain count. Any value produces bit-identical compiler output \
+           and simulation results — the pool only changes wall-clock time.")
+
+(* resolve the session domain pool: -j wins over DHPF_DOMAINS; both are
+   clamped to the physical core count here and only here (the libraries
+   never clamp, so the differential suites can oversubscribe
+   deliberately). Returns the resolved count and stamps it into the trace
+   timeline when one is being recorded. *)
+let apply_jobs jobs =
+  (match jobs with
+  | Some n when n < 1 ->
+      Fmt.epr "invalid --jobs %d: need a positive domain count@." n;
+      exit exit_parse
+  | Some n -> Par.set_domains (Par.clamp n)
+  | None -> Par.set_domains (Par.clamp (Par.domains ())));
+  let d = Par.domains () in
+  if Obs.enabled () then
+    Obs.instant ~cat:"meta" ~args:[ ("domains", Obs.Int d) ] "domain pool";
+  d
 
 let param_t =
   Arg.(
@@ -317,6 +347,18 @@ let diff_engines_t =
            report the first deviation from bit-identical values, clocks \
            and message counters.")
 
+let diff_domains_t =
+  Arg.(
+    value & opt int 0
+    & info [ "diff-domains" ] ~docv:"N"
+        ~doc:
+          "Domain-differential harness: run the program on a single domain \
+           and with processor lanes sharded across an oversubscribed pool \
+           (2 and 4 domains) — fault-free plus N seeded fault schedules — \
+           and report the first deviation from bit-identical values, \
+           per-processor clocks, message counters and per-pair \
+           communication cells.")
+
 let diff_crashes_t =
   Arg.(
     value & opt int 0
@@ -350,12 +392,13 @@ let validated sp =
 
 let compile_cmd =
   let run src show_sets show_spmd report no_split no_vect no_coal no_inplace
-      trace metrics =
+      jobs trace metrics =
     handle_errors @@ fun () ->
     let opts = opts_of ~no_split ~no_vect ~no_coal ~no_inplace in
     fresh_window ();
     trace_begin trace;
     metrics_begin metrics;
+    let domains = apply_jobs jobs in
     let ph = Dhpf.Phase.global in
     let chk =
       Dhpf.Phase.time ph "parse and semantic analysis" (fun () ->
@@ -385,6 +428,7 @@ let compile_cmd =
     if report then begin
       let ph = Dhpf.Phase.global in
       Fmt.pr "total compilation time: %.3f s@." (Dhpf.Phase.elapsed ph);
+      Fmt.pr "domain pool: %d domain(s)@." domains;
       List.iter
         (fun l -> Fmt.pr "  %-32s %8.3f s@." l (Dhpf.Phase.total ph l))
         (Dhpf.Phase.labels ph);
@@ -401,7 +445,7 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Compile a mini-HPF program")
     Term.(
       const run $ src_t $ show_sets_t $ show_spmd_t $ report_t $ no_split_t
-      $ no_vect_t $ no_coal_t $ no_inplace_t $ trace_t $ metrics_t)
+      $ no_vect_t $ no_coal_t $ no_inplace_t $ jobs_t $ trace_t $ metrics_t)
 
 (* ---- run ---- *)
 
@@ -427,10 +471,10 @@ let comm_slack_t =
            |measured - predicted| <= F * predicted. Default 0 (exact).")
 
 let run_cmd =
-  let run src nprocs params engine no_split no_vect no_coal no_inplace
+  let run src nprocs params engine no_split no_vect no_coal no_inplace jobs
       faults_seed drop dup delay skew crash_procs crash_prob ckpt_every
-      max_events diff diff_engines diff_crashes trace metrics check_comm
-      comm_slack =
+      max_events diff diff_engines diff_domains diff_crashes trace metrics
+      check_comm comm_slack =
     handle_errors @@ fun () ->
     List.iter
       (fun (name, v) ->
@@ -448,6 +492,7 @@ let run_cmd =
     trace_begin trace;
     metrics_begin metrics;
     if check_comm then Obs.Metrics.enable ();
+    let domains = apply_jobs jobs in
     let chk =
       Dhpf.Phase.time Dhpf.Phase.global "parse and semantic analysis"
         (fun () -> Hpf.Sema.analyze_source (load src))
@@ -478,6 +523,23 @@ let run_cmd =
       let out =
         Spmdsim.Diffcheck.engines ~nprocs ~params ~opts ~spec_of_seed ~seeds
           chk
+      in
+      Fmt.pr "%a@." Spmdsim.Diffcheck.pp_outcome out;
+      match out with
+      | Spmdsim.Diffcheck.Pass _ -> ()
+      | _ -> exit exit_runtime
+    end
+    else if diff_domains > 0 then begin
+      (* domain-differential sweep: sequential scheduler vs. an
+         oversubscribed domain pool *)
+      let spec_of_seed seed =
+        validated
+          (spec_of ~seed ~drop ~dup ~delay ~skew ~crash_prob ~crash_procs:0)
+      in
+      let seeds = List.init diff_domains (fun i -> i + 1) in
+      let out =
+        Spmdsim.Diffcheck.domains ~engine ~nprocs ~params ~opts ~spec_of_seed
+          ~seeds chk
       in
       Fmt.pr "%a@." Spmdsim.Diffcheck.pp_outcome out;
       match out with
@@ -544,6 +606,11 @@ let run_cmd =
       Fmt.pr "spmd on %2d procs: %10.3f ms  (%d msgs, %d KiB)@." (Spmdsim.Exec.nprocs sim)
         (stats.s_time *. 1e3) stats.s_msgs (stats.s_bytes / 1024);
       Fmt.pr "speedup         : %10.2f@." (serial.r_time /. stats.s_time);
+      if domains > 1 then Fmt.pr "domain pool     : %10d domains@." domains;
+      if Obs.Metrics.enabled () then
+        Obs.Metrics.set
+          (Obs.Metrics.gauge "sim/domains")
+          (float_of_int domains);
       (match faults with
       | None -> ()
       | Some sp ->
@@ -615,10 +682,11 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Compile and execute on the simulated machine")
     Term.(
       const run $ src_t $ nprocs_t $ param_t $ engine_t $ no_split_t $ no_vect_t
-      $ no_coal_t $ no_inplace_t $ faults_t $ fault_drop_t $ fault_dup_t
-      $ fault_delay_t $ fault_skew_t $ crash_procs_t $ crash_prob_t
-      $ ckpt_every_t $ max_events_t $ diff_t $ diff_engines_t $ diff_crashes_t
-      $ trace_t $ metrics_t $ check_comm_t $ comm_slack_t)
+      $ no_coal_t $ no_inplace_t $ jobs_t $ faults_t $ fault_drop_t
+      $ fault_dup_t $ fault_delay_t $ fault_skew_t $ crash_procs_t
+      $ crash_prob_t $ ckpt_every_t $ max_events_t $ diff_t $ diff_engines_t
+      $ diff_domains_t $ diff_crashes_t $ trace_t $ metrics_t $ check_comm_t
+      $ comm_slack_t)
 
 (* ---- bench (print a built-in source) ---- *)
 
@@ -665,7 +733,7 @@ let omega_cmd =
     (Cmd.info "omega" ~doc:"Interactive integer-set calculator (Omega-calculator style)")
     Term.(const run $ script_t)
 
-let version = "1.3.0"
+let version = "1.4.0"
 
 let () =
   Obs.init_env ();

@@ -145,7 +145,9 @@ type assign_info = {
 }
 
 type event = {
-  ev_id : int;
+  mutable ev_id : int;
+      (** unit-local during analysis; renumbered to the global sequential
+          order before emission (see {!compile}) *)
   ev_array : string;
   ev_kind : [ `Read | `Write ];
   ev_level_vars : string list;  (** loops enclosing the placement point *)
@@ -175,6 +177,10 @@ type gctx = {
   mutable events : event list;
   mutable next_event : int;
   phase : Phase.t;
+  comm_reads : (int * Hpf.Ast.ref_, unit) Hashtbl.t;
+      (** pre-placement non-local-read classification, per unit (placement
+          consumes [ai_nl_reads]; emission needs the original) *)
+  comm_write : (int, unit) Hashtbl.t;  (** likewise for non-local writes *)
 }
 
 let is_distributed g name = Layout.distributed g.ctx name
@@ -672,20 +678,20 @@ let rec insert_reduces g ~toplevel nodes =
 (* ------------------------------------------------------------------ *)
 
 (* ai_nl_reads / ai_write_nl are consumed by placement; access-mode decisions
-   at emission need the pre-placement classification. *)
-let comm_reads_tbl : (int * Hpf.Ast.ref_, unit) Hashtbl.t = Hashtbl.create 64
-let comm_write_tbl : (int, unit) Hashtbl.t = Hashtbl.create 64
-
-let rec snapshot_nl = function
+   at emission need the pre-placement classification (kept per unit in the
+   gctx, so units can be analyzed concurrently). *)
+let rec snapshot_nl g = function
   | NAssign ai ->
-      List.iter (fun r -> Hashtbl.replace comm_reads_tbl (ai.ai_line, r) ()) ai.ai_nl_reads;
-      if ai.ai_write_nl then Hashtbl.replace comm_write_tbl ai.ai_line ()
-  | NLoop (_, body) -> List.iter snapshot_nl body
-  | NIf (_, t, e, _) -> List.iter snapshot_nl (t @ e)
+      List.iter
+        (fun r -> Hashtbl.replace g.comm_reads (ai.ai_line, r) ())
+        ai.ai_nl_reads;
+      if ai.ai_write_nl then Hashtbl.replace g.comm_write ai.ai_line ()
+  | NLoop (_, body) -> List.iter (snapshot_nl g) body
+  | NIf (_, t, e, _) -> List.iter (snapshot_nl g) (t @ e)
   | _ -> ()
 
-let is_comm_read ai r = Hashtbl.mem comm_reads_tbl (ai.ai_line, r)
-let is_comm_write ai = Hashtbl.mem comm_write_tbl ai.ai_line
+let is_comm_read g ai r = Hashtbl.mem g.comm_reads (ai.ai_line, r)
+let is_comm_write g ai = Hashtbl.mem g.comm_write ai.ai_line
 
 (* ------------------------------------------------------------------ *)
 (* Pass C: emission                                                    *)
@@ -875,19 +881,20 @@ let emit_comm_recv g ev : Spmd.stmt list =
 
 (* ---- statement emission ---- *)
 
-let default_access ai (r : Hpf.Ast.ref_) : Spmd.access =
-  if is_comm_read ai r then Spmd.Checked else Spmd.Local
+let default_access g ai (r : Hpf.Ast.ref_) : Spmd.access =
+  if is_comm_read g ai r then Spmd.Checked else Spmd.Local
 
 let emit_assign g ?(access_of : (Hpf.Ast.ref_ -> Spmd.access) option) ai :
     Spmd.stmt list =
-  ignore g;
-  let access_of = match access_of with Some f -> f | None -> default_access ai in
+  let access_of =
+    match access_of with Some f -> f | None -> default_access g ai
+  in
   let value = rt_fexpr ~access_of ai.ai_rhs in
   let name, idx = ai.ai_lhs in
   if idx = [] then [ Spmd.SetScalar (name, value) ]
   else
     let access =
-      if is_comm_write ai then
+      if is_comm_write g ai then
         match access_of ai.ai_lhs with Spmd.Local -> Spmd.Checked | a -> a
       else Spmd.Local
     in
@@ -1028,7 +1035,7 @@ let split_candidate g ~outer_depth node =
     | [] -> None
     | a0 :: rest ->
         let comm_reads ai =
-          List.filter (is_comm_read ai)
+          List.filter (is_comm_read g ai)
             (List.sort_uniq compare (Cp.refs_of_fexpr ai.ai_rhs))
         in
         let no_carried_deps () =
@@ -1068,7 +1075,9 @@ let split_candidate g ~outer_depth node =
                rest
           && a0.ai_nest <> []
           && List.for_all (fun a -> a.ai_reduction = None) assigns
-          && List.exists (fun a -> comm_reads a <> [] || is_comm_write a) assigns
+          && List.exists
+               (fun a -> comm_reads a <> [] || is_comm_write g a)
+               assigns
           && no_carried_deps ()
         then Some (a0.ai_nest, assigns)
         else None
@@ -1221,7 +1230,7 @@ and try_split g ~outer loop_node ~sends ~recvs : Spmd.stmt list option =
               (fun ai ->
                 List.filter_map
                   (fun r ->
-                    if is_comm_read ai r then
+                    if is_comm_read g ai r then
                       let iter = Cp.iter_space g.ctx nest in
                       let rm =
                         Rel.restrict_domain (Cp.refmap g.ctx nest r) iter
@@ -1234,7 +1243,7 @@ and try_split g ~outer loop_node ~sends ~recvs : Spmd.stmt list option =
           let writes =
             List.filter_map
               (fun ai ->
-                if is_comm_write ai then
+                if is_comm_write g ai then
                   let iter = Cp.iter_space g.ctx nest in
                   let rm =
                     Rel.restrict_domain (Cp.refmap g.ctx nest ai.ai_lhs) iter
@@ -1310,11 +1319,8 @@ type compiled = {
 }
 
 let compile ?(opts = default_options) ?(phase = Phase.global)
-    (chk : Hpf.Sema.checked) : compiled =
-  Hashtbl.reset comm_reads_tbl;
-  Hashtbl.reset comm_write_tbl;
+    ?(domains = Par.domains ()) (chk : Hpf.Sema.checked) : compiled =
   let ctx = Phase.time phase "layout construction" (fun () -> Layout.build chk) in
-  let g = { ctx; opts; events = []; next_event = 0; phase } in
   (* interprocedural analysis: call-graph sanity (calls resolve, no
      recursion) and global layout visibility *)
   Phase.time phase "interprocedural analysis" (fun () ->
@@ -1336,24 +1342,71 @@ let compile ?(opts = default_options) ?(phase = Phase.global)
         (fun (u : Hpf.Ast.unit_) ->
           List.iter (check [ u.uname ]) (List.concat_map calls_of u.body))
         chk.prog.units);
-  let do_unit (u : Hpf.Ast.unit_) =
+  (* Program units (subroutines, then main) are analyzed and emitted
+     independently: they share only the read-only layout ctx and the
+     domain-safe integer-set caches, so both passes fan out across a
+     domain pool. Between the passes, event ids — unit-local during
+     analysis — are renumbered sequentially in unit order, so the emitted
+     program (whose buffer and partner-variable names embed event ids) is
+     identical for every domain count. *)
+  let units =
+    List.filter (fun (u : Hpf.Ast.unit_) -> u.kind = `Subroutine)
+      chk.prog.units
+    @ [ Hpf.Ast.main_unit chk.prog ]
+  in
+  let uarr = Array.of_list units in
+  let nd = max 1 (min domains (Array.length uarr)) in
+  let par_map f arr =
+    if nd <= 1 then Array.map f arr
+    else Par.map ~domains:nd (Array.length arr) (fun i -> f arr.(i))
+  in
+  (* passes A+B: statement analysis, communication placement, reduction
+     finalization — builds each unit's node tree and event list *)
+  let analyze_unit (u : Hpf.Ast.unit_) =
     Phase.time phase "module compilation" @@ fun () ->
+    let g =
+      {
+        ctx;
+        opts;
+        events = [];
+        next_event = 0;
+        phase;
+        comm_reads = Hashtbl.create 64;
+        comm_write = Hashtbl.create 64;
+      }
+    in
     let nodes = List.map (analyze_stmt g []) u.body in
     fix_scalar_cps g nodes;
     List.iter (annotate_nl g) nodes;
-    List.iter snapshot_nl nodes;
+    List.iter (snapshot_nl g) nodes;
     let nodes = place_comm g ~nest:[] nodes in
     let nodes, pending = insert_reduces g ~toplevel:true nodes in
     assert (pending = []);
+    (g, nodes)
+  in
+  let analyzed = par_map analyze_unit uarr in
+  let next = ref 0 in
+  Array.iter
+    (fun (g, _) ->
+      List.iter
+        (fun ev ->
+          ev.ev_id <- !next;
+          incr next)
+        g.events)
+    analyzed;
+  let all_events = List.concat_map (fun (g, _) -> g.events) (Array.to_list analyzed) in
+  (* pass C: emission *)
+  let emit_unit (g, nodes) =
+    Phase.time phase "module compilation" @@ fun () ->
     emit_children g ~outer:[] nodes
   in
+  let emitted = par_map emit_unit analyzed in
+  let main = emitted.(Array.length emitted - 1) in
   let subs =
-    List.filter_map
-      (fun (u : Hpf.Ast.unit_) ->
-        if u.kind = `Subroutine then Some (u.uname, do_unit u) else None)
-      chk.prog.units
+    List.init
+      (Array.length emitted - 1)
+      (fun i -> (uarr.(i).Hpf.Ast.uname, emitted.(i)))
   in
-  let main = do_unit (Hpf.Ast.main_unit chk.prog) in
   let prog_params =
     Hashtbl.fold
       (fun name v acc ->
@@ -1379,7 +1432,7 @@ let compile ?(opts = default_options) ?(phase = Phase.global)
           ev_rect = e.ev_inplace.Inplace.rect_section;
           ev_desc = e.ev_desc;
         })
-      g.events
+      all_events
   in
   let sorted_dims =
     List.sort (fun a b -> compare a.Layout.proc_dim b.Layout.proc_dim) ctx.Layout.dims
@@ -1408,6 +1461,6 @@ let compile ?(opts = default_options) ?(phase = Phase.global)
         main;
         subs;
       };
-    cevents = g.events;
+    cevents = all_events;
     cctx = ctx;
   }

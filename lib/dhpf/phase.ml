@@ -1,41 +1,59 @@
 (** Wall-clock phase accounting, used to regenerate the paper's Table 1
     (breakdown of dHPF compilation time). Phases may nest; a phase's time is
     attributed to its own label and, implicitly, to every enclosing label
-    (the paper's table shows nested refinements the same way). *)
+    (the paper's table shows nested refinements the same way).
+
+    Safe to share across domains: the totals table is mutex-protected and
+    the nesting stack is domain-local, so the parallel compiler phases can
+    attribute time to one profiler concurrently — each domain's spans nest
+    independently, and a label's total is the sum over domains. *)
 
 type t = {
   totals : (string, float) Hashtbl.t;
-  mutable stack : (string * float) list;
+  mu : Mutex.t;
+  stack : (string * float) list ref Domain.DLS.key;
+      (** per-domain nesting stack: re-entrancy and outermost-ness are
+          properties of one domain's call chain *)
   mutable t0 : float;
 }
 
-let create () = { totals = Hashtbl.create 32; stack = []; t0 = Unix.gettimeofday () }
+let create () =
+  {
+    totals = Hashtbl.create 32;
+    mu = Mutex.create ();
+    stack = Domain.DLS.new_key (fun () -> ref []);
+    t0 = Unix.gettimeofday ();
+  }
 
 let reset t =
-  Hashtbl.reset t.totals;
-  t.stack <- [];
+  Mutex.protect t.mu (fun () -> Hashtbl.reset t.totals);
+  Domain.DLS.get t.stack := [];
   t.t0 <- Unix.gettimeofday ()
 
 let add t label dt =
-  let cur = try Hashtbl.find t.totals label with Not_found -> 0.0 in
-  Hashtbl.replace t.totals label (cur +. dt)
+  Mutex.protect t.mu (fun () ->
+      let cur = try Hashtbl.find t.totals label with Not_found -> 0.0 in
+      Hashtbl.replace t.totals label (cur +. dt))
 
 (** Time [f], attributing the elapsed time to [label]. Re-entrant: nested
     timings of the same label are not double counted (and re-entry emits no
     trace span either, matching the accounting). Outermost phases attach a
     snapshot of the integer-set cache counters to their span, so a Chrome
-    trace of a compile carries the cache behaviour of each top-level pass. *)
+    trace of a compile carries the cache behaviour of each top-level pass.
+    Spans carry the domain id as their trace [tid], so parallel compiles
+    render one track per domain. *)
 let time t label f =
-  if List.exists (fun (l, _) -> l = label) t.stack then f ()
+  let stack = Domain.DLS.get t.stack in
+  if List.exists (fun (l, _) -> l = label) !stack then f ()
   else begin
     let start = Unix.gettimeofday () in
-    let outermost = t.stack = [] in
-    t.stack <- (label, start) :: t.stack;
+    let outermost = !stack = [] in
+    stack := (label, start) :: !stack;
     let traced = Obs.enabled () in
     let ts = if traced then Obs.now_us () else 0.0 in
     Fun.protect
       ~finally:(fun () ->
-        t.stack <- List.tl t.stack;
+        stack := List.tl !stack;
         add t label (Unix.gettimeofday () -. start);
         if traced then begin
           let dur = Obs.now_us () -. ts in
@@ -44,7 +62,9 @@ let time t label f =
               List.map (fun (n, v) -> (n, Obs.Int v)) (Iset.Stats.report ())
             else []
           in
-          Obs.complete ~pid:0 ~tid:0 ~ts ~dur ~cat:"phase" ~args label;
+          Obs.complete ~pid:0
+            ~tid:(Domain.self () :> int)
+            ~ts ~dur ~cat:"phase" ~args label;
           (* counter series are keyed by name alone in the Chrome trace, so
              the name carries a subsystem prefix: a samely-named series
              emitted by another subsystem (e.g. the simulator) would
@@ -61,11 +81,16 @@ let time t label f =
       f
   end
 
-let total t label = try Hashtbl.find t.totals label with Not_found -> 0.0
+let total t label =
+  Mutex.protect t.mu (fun () ->
+      try Hashtbl.find t.totals label with Not_found -> 0.0)
 
 let elapsed t = Unix.gettimeofday () -. t.t0
 
-let labels t = Hashtbl.fold (fun l _ acc -> l :: acc) t.totals [] |> List.sort compare
+let labels t =
+  Mutex.protect t.mu (fun () ->
+      Hashtbl.fold (fun l _ acc -> l :: acc) t.totals [])
+  |> List.sort compare
 
 (** The global profiler used by the compiler driver. *)
 let global = create ()

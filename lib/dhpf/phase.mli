@@ -1,6 +1,9 @@
 (** Wall-clock phase accounting, used to regenerate the paper's Table 1
     (breakdown of dHPF compilation time). Phases may nest; re-entrant
-    timings of one label are not double counted. *)
+    timings of one label are not double counted. Safe to share across
+    domains: totals are mutex-protected and the nesting stack is
+    domain-local, so the parallel compiler phases can attribute time to
+    one profiler concurrently. *)
 
 type t
 

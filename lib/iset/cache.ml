@@ -6,48 +6,65 @@
     Eviction policy is clear-on-full: when a table reaches the capacity it is
     emptied wholesale. Interned ids are {e never} reused across clears (the
     id counters are monotone), so memo entries keyed by ids from a previous
-    epoch simply become unreachable — no invalidation protocol is needed. *)
+    epoch simply become unreachable — no invalidation protocol is needed.
+
+    Domain safety: the switch and capacity are [Atomic.t]; {!Memo} tables
+    are domain-local ([Domain.DLS]), so lookups and insertions never take a
+    lock and never race. A worker domain starts with empty memo tables and
+    drops them at join — only cross-domain cache reuse is lost, never
+    correctness, because every memoized function is pure and keyed by
+    interned ids that are never reused. *)
 
 let enabled_ref =
-  ref
+  Atomic.make
     (match Sys.getenv_opt "DHPF_ISET_CACHE" with
     | Some ("0" | "off" | "false" | "no") -> false
     | _ -> true)
 
-let capacity_ref = ref 65536
-
+let capacity_ref = Atomic.make 65536
+let hooks_mu = Mutex.create ()
 let clear_hooks : (unit -> unit) list ref = ref []
 
-let register_clear f = clear_hooks := f :: !clear_hooks
+let register_clear f =
+  Mutex.protect hooks_mu (fun () -> clear_hooks := f :: !clear_hooks)
 
-let clear_all () = List.iter (fun f -> f ()) !clear_hooks
+let clear_all () =
+  List.iter (fun f -> f ()) (Mutex.protect hooks_mu (fun () -> !clear_hooks))
 
-let enabled () = !enabled_ref
+let enabled () = Atomic.get enabled_ref
 
 let set_enabled b =
-  enabled_ref := b;
+  Atomic.set enabled_ref b;
   clear_all ()
 
-let capacity () = !capacity_ref
+let capacity () = Atomic.get capacity_ref
 
 let set_capacity n =
-  capacity_ref := max 4 n;
+  Atomic.set capacity_ref (max 4 n);
   clear_all ()
 
 (** Bounded memo table over an arbitrary key; registers its own clear hook
-    and a size gauge. *)
+    and a size gauge. The table is domain-local: each domain memoizes into
+    its own storage, so no synchronization is needed on the hot path. Clear
+    hooks and the size gauge act on the calling domain's table — in
+    practice the main domain's, the only long-lived one. *)
 module Memo (K : Hashtbl.HashedType) = struct
   module T = Hashtbl.Make (K)
 
-  type 'v t = { tbl : 'v T.t; lookups : Stats.counter; hits : Stats.counter }
+  type 'v t = {
+    key : 'v T.t Domain.DLS.key;
+    lookups : Stats.counter;
+    hits : Stats.counter;
+  }
 
   let create name ~lookups ~hits =
-    let tbl = T.create 256 in
-    register_clear (fun () -> T.reset tbl);
-    Stats.register_gauge (name ^ " cache size") (fun () -> T.length tbl);
-    { tbl; lookups; hits }
+    let key = Domain.DLS.new_key (fun () -> T.create 256) in
+    register_clear (fun () -> T.reset (Domain.DLS.get key));
+    Stats.register_gauge (name ^ " cache size") (fun () ->
+        T.length (Domain.DLS.get key));
+    { key; lookups; hits }
 
-  let length m = T.length m.tbl
+  let length m = T.length (Domain.DLS.get m.key)
 
   (** [find_or_add m k f]: memoized [f ()]. With caching disabled this is
       just [f ()] — no lookup, no insertion, no counter traffic. *)
@@ -55,17 +72,18 @@ module Memo (K : Hashtbl.HashedType) = struct
     if not (enabled ()) then f ()
     else begin
       Stats.bump m.lookups;
-      match T.find_opt m.tbl k with
+      let tbl = Domain.DLS.get m.key in
+      match T.find_opt tbl k with
       | Some v ->
           Stats.bump m.hits;
           v
       | None ->
           let v = f () in
-          if T.length m.tbl >= !capacity_ref then begin
-            T.reset m.tbl;
+          if T.length tbl >= capacity () then begin
+            T.reset tbl;
             Stats.bump Stats.evictions
           end;
-          T.replace m.tbl k v;
+          T.replace tbl k v;
           v
     end
 end

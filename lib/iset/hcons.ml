@@ -4,31 +4,51 @@
     plus a stable small integer id. Ids are monotone and never reused, even
     across clear-on-full evictions: after a clear, re-interned values get
     fresh ids, so memo tables keyed by ids need no invalidation — entries
-    holding retired ids can never be matched again. *)
+    holding retired ids can never be matched again.
+
+    Domain safety: the table is sharded into lock-striped stripes keyed by
+    the value's hash, and the id counter is a global [Atomic.t], so the
+    monotone never-reused invariant holds under concurrent interning from
+    parallel compiler phases. Two structurally-equal values always land on
+    the same stripe (equal values hash equal), so canonical representatives
+    stay unique. Clear-on-full applies per stripe with a per-stripe share of
+    {!Cache.capacity}, preserving the global bound whenever the capacity is
+    at least the stripe count (each stripe must hold at least one entry). *)
 
 module Make (H : Hashtbl.HashedType) () = struct
   module T = Hashtbl.Make (H)
 
-  let tbl : (H.t * int) T.t = T.create 1024
-  let next_id = ref 0
+  let n_stripes = 16
 
-  let () = Cache.register_clear (fun () -> T.reset tbl)
+  type stripe = { mu : Mutex.t; tbl : (H.t * int) T.t }
 
-  let size () = T.length tbl
+  let stripes =
+    Array.init n_stripes (fun _ -> { mu = Mutex.create (); tbl = T.create 64 })
+
+  let next_id = Atomic.make 0
+
+  let () =
+    Cache.register_clear (fun () ->
+        Array.iter
+          (fun s -> Mutex.protect s.mu (fun () -> T.reset s.tbl))
+          stripes)
+
+  let size () = Array.fold_left (fun acc s -> acc + T.length s.tbl) 0 stripes
 
   let register_gauge name = Stats.register_gauge name size
 
   let intern x =
-    match T.find_opt tbl x with
+    let s = stripes.(H.hash x land max_int mod n_stripes) in
+    Mutex.protect s.mu @@ fun () ->
+    match T.find_opt s.tbl x with
     | Some rep -> rep
     | None ->
-        let id = !next_id in
-        incr next_id;
-        if T.length tbl >= Cache.capacity () then begin
-          T.reset tbl;
+        let id = Atomic.fetch_and_add next_id 1 in
+        if T.length s.tbl >= max 1 (Cache.capacity () / n_stripes) then begin
+          T.reset s.tbl;
           Stats.bump Stats.evictions
         end;
-        T.replace tbl x (x, id);
+        T.replace s.tbl x (x, id);
         (x, id)
 
   let id x = snd (intern x)

@@ -3,22 +3,28 @@
     Counters are monotone within a measurement window; {!reset} starts a new
     window (cache contents are untouched — hits after a reset still count).
     Gauges report live state (interned-node counts, cache sizes) and are
-    registered by the owning table at creation time. *)
+    registered by the owning table at creation time.
 
-type counter = { c_name : string; mutable c_count : int }
+    Counts live in [Atomic.t] cells so bumps from parallel compiler phases
+    never race or lose increments; a counter read is a plain atomic load, so
+    totals observed after a join are exact. *)
 
+type counter = { c_name : string; c_count : int Atomic.t }
+
+let registry_mu = Mutex.create ()
 let counters : counter list ref = ref []
 
 let counter name =
-  let c = { c_name = name; c_count = 0 } in
-  counters := c :: !counters;
+  let c = { c_name = name; c_count = Atomic.make 0 } in
+  Mutex.protect registry_mu (fun () -> counters := c :: !counters);
   c
 
-let bump c = c.c_count <- c.c_count + 1
+let bump c = ignore (Atomic.fetch_and_add c.c_count 1 : int)
 
 let gauges : (string * (unit -> int)) list ref = ref []
 
-let register_gauge name f = gauges := (name, f) :: !gauges
+let register_gauge name f =
+  Mutex.protect registry_mu (fun () -> gauges := (name, f) :: !gauges)
 
 (* -- the counters of the iset engine, in reporting order -- *)
 
@@ -35,17 +41,19 @@ let subset_lookups = counter "subset lookups"
 let subset_hits = counter "subset hits"
 let evictions = counter "cache evictions"
 
-let reset () = List.iter (fun c -> c.c_count <- 0) !counters
+let reset () = List.iter (fun c -> Atomic.set c.c_count 0) !counters
 
 let report () =
-  List.rev_map (fun c -> (c.c_name, c.c_count)) !counters
+  List.rev_map (fun c -> (c.c_name, Atomic.get c.c_count)) !counters
   @ List.rev_map (fun (n, f) -> (n, f ())) !gauges
 
 let hit_rate ~lookups ~hits =
-  if lookups.c_count = 0 then 0.0
-  else float_of_int hits.c_count /. float_of_int lookups.c_count
+  if Atomic.get lookups.c_count = 0 then 0.0
+  else
+    float_of_int (Atomic.get hits.c_count)
+    /. float_of_int (Atomic.get lookups.c_count)
 
-let count c = c.c_count
+let count c = Atomic.get c.c_count
 
 let pp fmt () =
   List.iter (fun (n, v) -> Fmt.pf fmt "  %-28s %10d@." n v) (report ())

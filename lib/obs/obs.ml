@@ -25,35 +25,41 @@ type event = {
 
 (* growable buffer: a reversed list is fine for the event volumes the
    compiler and simulator produce (tens of thousands), and keeps the
-   disabled path free of array bookkeeping *)
-let on = ref false
+   disabled path free of array bookkeeping. The enabled flag and flow-id
+   counter are atomics and the buffer is mutex-protected so parallel
+   compiler phases can emit events concurrently; the disabled path is
+   still one atomic load and takes no lock. *)
+let on = Atomic.make false
+let buf_mu = Mutex.create ()
 let buf : event list ref = ref []
 let n = ref 0
 let epoch = ref 0.0
-let flow_ctr = ref 0
+let flow_ctr = Atomic.make 0
 
-let enabled () = !on
+let enabled () = Atomic.get on
 
 let enable () =
-  if not !on then begin
-    on := true;
+  if not (Atomic.get on) then begin
+    Atomic.set on true;
     if !epoch = 0.0 then epoch := Unix.gettimeofday ()
   end
 
-let disable () = on := false
+let disable () = Atomic.set on false
 
 let reset () =
-  buf := [];
-  n := 0;
-  flow_ctr := 0;
-  epoch := if !on then Unix.gettimeofday () else 0.0
+  Mutex.protect buf_mu (fun () ->
+      buf := [];
+      n := 0);
+  Atomic.set flow_ctr 0;
+  epoch := (if Atomic.get on then Unix.gettimeofday () else 0.0)
 
 let now_us () = (Unix.gettimeofday () -. !epoch) *. 1e6
 let epoch_wall () = !epoch
 
 let push e =
-  buf := e :: !buf;
-  incr n
+  Mutex.protect buf_mu (fun () ->
+      buf := e :: !buf;
+      incr n)
 
 let ev ?(cat = "") ?(args = []) ~ph ~pid ~tid ~ts ?(dur = 0.0) ?(id = 0) name =
   push
@@ -65,7 +71,7 @@ let ev ?(cat = "") ?(args = []) ~ph ~pid ~tid ~ts ?(dur = 0.0) ?(id = 0) name =
 (* ------------------------------------------------------------------ *)
 
 let span ?cat ?args name f =
-  if not !on then f ()
+  if not (Atomic.get on) then f ()
   else begin
     let t0 = now_us () in
     Fun.protect
@@ -77,10 +83,10 @@ let span ?cat ?args name f =
   end
 
 let instant ?cat ?args name =
-  if !on then ev ?cat ?args ~ph:I ~pid:0 ~tid:0 ~ts:(now_us ()) name
+  if Atomic.get on then ev ?cat ?args ~ph:I ~pid:0 ~tid:0 ~ts:(now_us ()) name
 
 let counter name series =
-  if !on then
+  if Atomic.get on then
     ev ~ph:C ~pid:0 ~tid:0 ~ts:(now_us ())
       ~args:(List.map (fun (s, v) -> (s, Float v)) series)
       name
@@ -90,34 +96,32 @@ let counter name series =
 (* ------------------------------------------------------------------ *)
 
 let complete ~pid ~tid ~ts ~dur ?cat ?args name =
-  if !on then ev ?cat ?args ~ph:X ~pid ~tid ~ts ~dur name
+  if Atomic.get on then ev ?cat ?args ~ph:X ~pid ~tid ~ts ~dur name
 
 let instant_at ~pid ~tid ~ts ?cat ?args name =
-  if !on then ev ?cat ?args ~ph:I ~pid ~tid ~ts name
+  if Atomic.get on then ev ?cat ?args ~ph:I ~pid ~tid ~ts name
 
 let counter_at ~pid ~tid ~ts name series =
-  if !on then
+  if Atomic.get on then
     ev ~ph:C ~pid ~tid ~ts
       ~args:(List.map (fun (s, v) -> (s, Float v)) series)
       name
 
-let next_flow_id () =
-  incr flow_ctr;
-  !flow_ctr
+let next_flow_id () = Atomic.fetch_and_add flow_ctr 1 + 1
 
 let flow_start ~pid ~tid ~ts ~id name =
-  if !on then ev ~cat:"flow" ~ph:FlowStart ~pid ~tid ~ts ~id name
+  if Atomic.get on then ev ~cat:"flow" ~ph:FlowStart ~pid ~tid ~ts ~id name
 
 let flow_end ~pid ~tid ~ts ~id name =
-  if !on then ev ~cat:"flow" ~ph:FlowEnd ~pid ~tid ~ts ~id name
+  if Atomic.get on then ev ~cat:"flow" ~ph:FlowEnd ~pid ~tid ~ts ~id name
 
 let set_process_name ~pid name =
-  if !on then
+  if Atomic.get on then
     ev ~ph:(Meta "process_name") ~pid ~tid:0 ~ts:0.0
       ~args:[ ("name", Str name) ] "process_name"
 
 let set_thread_name ~pid ~tid name =
-  if !on then
+  if Atomic.get on then
     ev ~ph:(Meta "thread_name") ~pid ~tid ~ts:0.0
       ~args:[ ("name", Str name) ] "thread_name"
 
@@ -125,8 +129,8 @@ let set_thread_name ~pid ~tid name =
 (* Export                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let events () = List.rev !buf
-let events_count () = !n
+let events () = Mutex.protect buf_mu (fun () -> List.rev !buf)
+let events_count () = Mutex.protect buf_mu (fun () -> !n)
 
 (* JSON string escaping per RFC 8259: quote, backslash and control
    characters; everything else (including UTF-8 bytes) passes through *)
@@ -210,7 +214,7 @@ let event_into b e =
   Buffer.add_char b '}'
 
 let to_chrome_json () =
-  let b = Buffer.create (256 * (!n + 2)) in
+  let b = Buffer.create (256 * (events_count () + 2)) in
   Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"otherData\":{";
   Buffer.add_string b "\"generator\":\"dhpf obs\",\"trace_epoch_unix_s\":";
   jstr b (Printf.sprintf "%.6f" !epoch);
@@ -290,10 +294,10 @@ module Metrics = struct
      gauge or log2-bucketed histogram cell, so cost is O(series), not
      O(events). *)
 
-  let m_on = ref false
-  let enabled () = !m_on
-  let enable () = m_on := true
-  let disable () = m_on := false
+  let m_on = Atomic.make false
+  let enabled () = Atomic.get m_on
+  let enable () = Atomic.set m_on true
+  let disable () = Atomic.set m_on false
 
   (* -------------------- histogram cells -------------------- *)
 
@@ -313,7 +317,10 @@ module Metrics = struct
 
   let bucket_upper b = if b <= 0 then 0.0 else Float.ldexp 1.0 (b - 32)
 
+  (* histogram cells carry several fields that must move together, so they
+     are guarded by a per-cell mutex rather than made individually atomic *)
   type hcell = {
+    h_mu : Mutex.t;
     mutable h_count : int;
     mutable h_sum : float;
     mutable h_min : float;
@@ -322,27 +329,37 @@ module Metrics = struct
   }
 
   let hcell () =
-    { h_count = 0; h_sum = 0.0; h_min = Float.infinity;
-      h_max = Float.neg_infinity; h_buckets = Array.make n_buckets 0 }
+    { h_mu = Mutex.create (); h_count = 0; h_sum = 0.0;
+      h_min = Float.infinity; h_max = Float.neg_infinity;
+      h_buckets = Array.make n_buckets 0 }
 
   (* -------------------- registry -------------------- *)
 
-  type cell = KCounter of float ref | KGauge of float ref | KHisto of hcell
+  (* counters and gauges are single [float Atomic.t] cells: increments use
+     a CAS loop, so concurrent bumps from different domains never lose
+     counts and a post-join snapshot is exact *)
+  type cell =
+    | KCounter of float Atomic.t
+    | KGauge of float Atomic.t
+    | KHisto of hcell
 
-  type counter = float ref
-  type gauge = float ref
+  type counter = float Atomic.t
+  type gauge = float Atomic.t
   type histogram = hcell
+
+  let reg_mu = Mutex.create ()
 
   let registry : (string * (string * string) list, cell) Hashtbl.t =
     Hashtbl.create 64
 
-  let reset () = Hashtbl.reset registry
+  let reset () = Mutex.protect reg_mu (fun () -> Hashtbl.reset registry)
 
   let norm_labels labels = List.sort compare labels
 
   let intern name labels mk =
     let labels = norm_labels labels in
     let key = (name, labels) in
+    Mutex.protect reg_mu @@ fun () ->
     match Hashtbl.find_opt registry key with
     | Some c -> c
     | None ->
@@ -351,12 +368,12 @@ module Metrics = struct
         c
 
   let counter ?(labels = []) name : counter =
-    match intern name labels (fun () -> KCounter (ref 0.0)) with
+    match intern name labels (fun () -> KCounter (Atomic.make 0.0)) with
     | KCounter r -> r
     | _ -> invalid_arg ("metric " ^ name ^ " already registered with another type")
 
   let gauge ?(labels = []) name : gauge =
-    match intern name labels (fun () -> KGauge (ref 0.0)) with
+    match intern name labels (fun () -> KGauge (Atomic.make 0.0)) with
     | KGauge r -> r
     | _ -> invalid_arg ("metric " ^ name ^ " already registered with another type")
 
@@ -365,20 +382,25 @@ module Metrics = struct
     | KHisto h -> h
     | _ -> invalid_arg ("metric " ^ name ^ " already registered with another type")
 
-  (* mutation: one boolean read when disabled *)
-  let inc (c : counter) v = if !m_on then c := !c +. v
-  let incr (c : counter) = if !m_on then c := !c +. 1.0
-  let set (g : gauge) v = if !m_on then g := v
+  (* mutation: one atomic load when disabled; increments are lock-free
+     CAS loops so no concurrent bump is ever lost *)
+  let rec atomic_add (r : float Atomic.t) v =
+    let cur = Atomic.get r in
+    if not (Atomic.compare_and_set r cur (cur +. v)) then atomic_add r v
+
+  let inc (c : counter) v = if Atomic.get m_on then atomic_add c v
+  let incr (c : counter) = if Atomic.get m_on then atomic_add c 1.0
+  let set (g : gauge) v = if Atomic.get m_on then Atomic.set g v
 
   let observe (h : histogram) v =
-    if !m_on then begin
-      h.h_count <- h.h_count + 1;
-      h.h_sum <- h.h_sum +. v;
-      if v < h.h_min then h.h_min <- v;
-      if v > h.h_max then h.h_max <- v;
-      let b = bucket_of v in
-      h.h_buckets.(b) <- h.h_buckets.(b) + 1
-    end
+    if Atomic.get m_on then
+      Mutex.protect h.h_mu (fun () ->
+          h.h_count <- h.h_count + 1;
+          h.h_sum <- h.h_sum +. v;
+          if v < h.h_min then h.h_min <- v;
+          if v > h.h_max then h.h_max <- v;
+          let b = bucket_of v in
+          h.h_buckets.(b) <- h.h_buckets.(b) + 1)
 
   (* -------------------- snapshots -------------------- *)
 
@@ -400,6 +422,7 @@ module Metrics = struct
   }
 
   let histo_of (h : hcell) : histo =
+    Mutex.protect h.h_mu @@ fun () ->
     let buckets = ref [] in
     for b = n_buckets - 1 downto 0 do
       if h.h_buckets.(b) > 0 then buckets := (b, h.h_buckets.(b)) :: !buckets
@@ -418,16 +441,22 @@ module Metrics = struct
     | o -> o
 
   let snapshot () : sample list =
-    Hashtbl.fold
-      (fun (name, labels) cell acc ->
+    (* copy the cell list under the registry lock, then read each cell
+       outside it (histogram reads take their own per-cell lock) *)
+    let cells =
+      Mutex.protect reg_mu (fun () ->
+          Hashtbl.fold (fun k c acc -> (k, c) :: acc) registry [])
+    in
+    List.map
+      (fun ((name, labels), cell) ->
         let v =
           match cell with
-          | KCounter r -> VCounter !r
-          | KGauge r -> VGauge !r
+          | KCounter r -> VCounter (Atomic.get r)
+          | KGauge r -> VGauge (Atomic.get r)
           | KHisto h -> VHisto (histo_of h)
         in
-        { m_name = name; m_labels = labels; m_value = v } :: acc)
-      registry []
+        { m_name = name; m_labels = labels; m_value = v })
+      cells
     |> List.sort sample_order
 
   (* merge two snapshots (e.g. from per-run registries of a sweep):

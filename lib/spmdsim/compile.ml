@@ -864,11 +864,12 @@ type csim = {
   c_layouts : Spmd.array_layout option array;
   c_islots : (string, int) Hashtbl.t;
   c_fslots : (string, int) Hashtbl.t;
+  c_domains : int;
   mutable c_ran : bool;
 }
 
-let make ?(machine = Machine.default) ?faults ~nprocs ?(params = [])
-    (prog : Spmd.program) : csim =
+let make ?(machine = Machine.default) ?faults ?(domains = Par.domains ())
+    ~nprocs ?(params = []) (prog : Spmd.program) : csim =
   let su = Runtime.setup ?faults ~nprocs ~params prog in
   let geval e = Runtime.eval_genv su.Runtime.su_genv e in
   let tr = Runtime.transport_make ~machine ~faults ~nprocs:su.Runtime.su_total in
@@ -991,6 +992,7 @@ let make ?(machine = Machine.default) ?faults ~nprocs ?(params = [])
     c_layouts = layouts;
     c_islots = ctx.x_islots;
     c_fslots = ctx.x_fslots;
+    c_domains = domains;
     c_ran = false;
   }
 
@@ -1044,7 +1046,7 @@ let run (cs : csim) : Runtime.stats =
   if cs.c_ran then
     errf "simulation already executed: Exec.run consumed this sim (build a fresh one with Exec.make)";
   cs.c_ran <- true;
-  Runtime.sched_run
+  Runtime.sched_run_par ~domains:cs.c_domains
     {
       Runtime.h_nprocs = Array.length cs.c_rts;
       h_tr = cs.c_tr;

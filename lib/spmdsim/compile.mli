@@ -23,12 +23,14 @@ type csim
 val make :
   ?machine:Machine.t ->
   ?faults:Fault.spec ->
+  ?domains:int ->
   nprocs:int ->
   ?params:(string * int) list ->
   Dhpf.Spmd.program ->
   csim
 (** Compile the program to closures and build per-processor dense storage.
-    Parameters are as in {!Exec.make}. *)
+    Parameters are as in {!Exec.make}; [domains] defaults to
+    [Par.domains ()]. *)
 
 val nprocs : csim -> int
 val phys_of_vp : csim -> int list -> int

@@ -57,7 +57,7 @@ let compare_run ~seed (chk : Hpf.Sema.checked) (sref : Serial.result) sim =
     None
   with Found d -> Some d
 
-let run ?engine ?machine ?(nprocs = 4) ?(params = []) ?opts
+let run ?engine ?machine ?(nprocs = 4) ?(params = []) ?opts ?domains
     ?(spec_of_seed = fun seed -> Fault.default ~seed) ~seeds
     (chk : Hpf.Sema.checked) : outcome =
   let compiled =
@@ -69,7 +69,7 @@ let run ?engine ?machine ?(nprocs = 4) ?(params = []) ?opts
   let one ?faults seed =
     match
       let sim =
-        Exec.make ?engine ?machine ?faults ~nprocs ~params
+        Exec.make ?engine ?machine ?faults ?domains ~nprocs ~params
           compiled.Dhpf.Gen.cprog
       in
       let _ = Exec.run sim in
@@ -103,6 +103,31 @@ let run ?engine ?machine ?(nprocs = 4) ?(params = []) ?opts
    bit-identical element values and scalars, bit-identical simulated
    clocks, and identical message/byte/element/retransmit counters. *)
 let bit_equal a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+(* every Runtime.stats field as a (name, a, b) triple, compared bitwise by
+   the engine- and domain-differential modes below *)
+let stat_fields (a : Exec.stats) (b : Exec.stats) =
+  [
+    ("time", a.Exec.s_time, b.Exec.s_time);
+    ("msgs", float_of_int a.s_msgs, float_of_int b.s_msgs);
+    ("bytes", float_of_int a.s_bytes, float_of_int b.s_bytes);
+    ("elems", float_of_int a.s_elems, float_of_int b.s_elems);
+    ( "retransmits",
+      float_of_int a.s_retransmits,
+      float_of_int b.s_retransmits );
+    ("timeouts", float_of_int a.s_timeouts, float_of_int b.s_timeouts);
+    ( "dups_delivered",
+      float_of_int a.s_dups_delivered,
+      float_of_int b.s_dups_delivered );
+    ( "max_mailbox",
+      float_of_int a.s_max_mailbox,
+      float_of_int b.s_max_mailbox );
+    ("crashes", float_of_int a.s_crashes, float_of_int b.s_crashes);
+    ("recoveries", float_of_int a.s_recoveries, float_of_int b.s_recoveries);
+    ("ckpts", float_of_int a.s_ckpts, float_of_int b.s_ckpts);
+    ("ckpt_bytes", float_of_int a.s_ckpt_bytes, float_of_int b.s_ckpt_bytes);
+    ("lost_work", a.s_lost_work, b.s_lost_work);
+  ]
 
 let compare_engines ~seed bounds scalars si sc =
   try
@@ -151,7 +176,7 @@ let compare_engines ~seed bounds scalars si sc =
     None
   with Found d -> Some d
 
-let engines ?machine ?(nprocs = 4) ?(params = []) ?opts
+let engines ?machine ?(nprocs = 4) ?(params = []) ?opts ?domains
     ?(spec_of_seed = fun seed -> Fault.default ~seed) ~seeds
     (chk : Hpf.Sema.checked) : outcome =
   let compiled =
@@ -172,38 +197,21 @@ let engines ?machine ?(nprocs = 4) ?(params = []) ?opts
   in
   let one ?faults seed =
     match
-      let si = Exec.make ~engine:`Interp ?machine ?faults ~nprocs ~params cprog in
-      let sc = Exec.make ~engine:`Closure ?machine ?faults ~nprocs ~params cprog in
+      let si =
+        Exec.make ~engine:`Interp ?machine ?faults ?domains ~nprocs ~params
+          cprog
+      in
+      let sc =
+        Exec.make ~engine:`Closure ?machine ?faults ?domains ~nprocs ~params
+          cprog
+      in
       let sti = Exec.run si in
       let stc = Exec.run sc in
-      let counters =
-        [
-          ("time", sti.Exec.s_time, stc.Exec.s_time);
-          ("msgs", float_of_int sti.s_msgs, float_of_int stc.s_msgs);
-          ("bytes", float_of_int sti.s_bytes, float_of_int stc.s_bytes);
-          ("elems", float_of_int sti.s_elems, float_of_int stc.s_elems);
-          ( "retransmits",
-            float_of_int sti.s_retransmits,
-            float_of_int stc.s_retransmits );
-          ("timeouts", float_of_int sti.s_timeouts, float_of_int stc.s_timeouts);
-          ( "dups_delivered",
-            float_of_int sti.s_dups_delivered,
-            float_of_int stc.s_dups_delivered );
-          ( "max_mailbox",
-            float_of_int sti.s_max_mailbox,
-            float_of_int stc.s_max_mailbox );
-          ("crashes", float_of_int sti.s_crashes, float_of_int stc.s_crashes);
-          ( "recoveries",
-            float_of_int sti.s_recoveries,
-            float_of_int stc.s_recoveries );
-          ("ckpts", float_of_int sti.s_ckpts, float_of_int stc.s_ckpts);
-          ( "ckpt_bytes",
-            float_of_int sti.s_ckpt_bytes,
-            float_of_int stc.s_ckpt_bytes );
-          ("lost_work", sti.s_lost_work, stc.s_lost_work);
-        ]
-      in
-      match List.find_opt (fun (_, a, b) -> not (bit_equal a b)) counters with
+      match
+        List.find_opt
+          (fun (_, a, b) -> not (bit_equal a b))
+          (stat_fields sti stc)
+      with
       | Some (field, a, b) ->
           Some
             (Crashed
@@ -239,8 +247,133 @@ let engines ?machine ?(nprocs = 4) ?(params = []) ?opts
     :: List.map (fun s -> (Some s, Some (spec_of_seed s))) seeds)
 
 (* ------------------------------------------------------------------ *)
+(* Domain-differential mode: the parallel scheduler at every domain    *)
+(* count vs. the single-domain (sequential) run of the same engine.    *)
+(* ------------------------------------------------------------------ *)
+
+(* The parallel scheduler's contract is determinism, not approximation:
+   sharding processor lanes across an OCaml domain pool must leave every
+   array element, scalar, per-processor clock, counter and per-pair
+   communication-table row bit-identical to the sequential schedule —
+   fault-free and under every seeded fault schedule alike. *)
+let domains ?(engine = `Closure) ?machine ?(nprocs = 4) ?(params = []) ?opts
+    ?(domain_counts = [ 2; 4 ])
+    ?(spec_of_seed = fun seed -> Fault.default ~seed) ~seeds
+    (chk : Hpf.Sema.checked) : outcome =
+  let compiled =
+    match opts with
+    | Some opts -> Dhpf.Gen.compile ~opts chk
+    | None -> Dhpf.Gen.compile chk
+  in
+  let cprog = compiled.Dhpf.Gen.cprog in
+  let su = Runtime.setup ~nprocs ~params cprog in
+  let geval = Runtime.eval_genv su.Runtime.su_genv in
+  let bounds =
+    List.map
+      (fun (ad : Dhpf.Spmd.array_decl) ->
+        ( ad.Dhpf.Spmd.ad_name,
+          List.map (fun (lo, hi) -> (geval lo, geval hi)) ad.ad_bounds ))
+      cprog.Dhpf.Spmd.arrays
+  in
+  (* one fault schedule: run the single-domain reference once, then every
+     requested domain count against it *)
+  let one ?faults seed =
+    match
+      let s1 =
+        Exec.make ~engine ?machine ?faults ~domains:1 ~nprocs ~params cprog
+      in
+      let st1 = Exec.run s1 in
+      let cells1 = Exec.comm_cells s1 in
+      let check d =
+        let sd =
+          Exec.make ~engine ?machine ?faults ~domains:d ~nprocs ~params cprog
+        in
+        let std = Exec.run sd in
+        match
+          List.find_opt
+            (fun (_, a, b) -> not (bit_equal a b))
+            (stat_fields st1 std)
+        with
+        | Some (field, a, b) ->
+            Some
+              (Crashed
+                 {
+                   seed;
+                   error =
+                     Printf.sprintf
+                       "domain counter mismatch: %s 1-domain=%.17g \
+                        %d-domain=%.17g"
+                       field a d b;
+                 })
+        | None -> (
+            let clock_bad = ref None in
+            Array.iteri
+              (fun p t1 ->
+                if
+                  !clock_bad = None
+                  && not (bit_equal t1 std.Exec.s_proc_times.(p))
+                then clock_bad := Some (p, t1, std.Exec.s_proc_times.(p)))
+              st1.Exec.s_proc_times;
+            match !clock_bad with
+            | Some (p, t1, td) ->
+                Some
+                  (Crashed
+                     {
+                       seed;
+                       error =
+                         Printf.sprintf
+                           "domain clock mismatch on processor %d: \
+                            1-domain=%.17g %d-domain=%.17g"
+                           p t1 d td;
+                     })
+            | None ->
+                if Exec.comm_cells sd <> cells1 then
+                  Some
+                    (Crashed
+                       {
+                         seed;
+                         error =
+                           Printf.sprintf
+                             "per-pair communication table differs at %d \
+                              domain(s)"
+                             d;
+                       })
+                else
+                  (* dv_expected is the 1-domain value, dv_got the
+                     d-domain value *)
+                  match
+                    compare_engines ~seed bounds cprog.Dhpf.Spmd.scalars s1
+                      sd
+                  with
+                  | Some dv -> Some (Diverged dv)
+                  | None -> None)
+      in
+      let rec go = function
+        | [] -> None
+        | d :: rest -> (
+            match check d with None -> go rest | Some bad -> Some bad)
+      in
+      go domain_counts
+    with
+    | None -> Ok (List.length domain_counts)
+    | Some bad -> Error bad
+    | exception Exec.Deadlock d ->
+        Error (Crashed { seed; error = Exec.diagnostic_to_string d })
+    | exception Exec.Error msg -> Error (Crashed { seed; error = msg })
+  in
+  let rec go runs = function
+    | [] -> Pass { runs }
+    | (seed, faults) :: rest -> (
+        match one ?faults seed with
+        | Ok n -> go (runs + n) rest
+        | Error bad -> bad)
+  in
+  go 0
+    ((None, None) :: List.map (fun s -> (Some s, Some (spec_of_seed s))) seeds)
+
+(* ------------------------------------------------------------------ *)
 (* Crash-differential mode: checkpoint/restart recovery vs. the        *)
-(* fault-free closure run on the same program.                         *)
+(* fault-free closure run of the same program.                         *)
 (* ------------------------------------------------------------------ *)
 
 (* The recovery contract is the strongest of the three: crashes plus
@@ -248,7 +381,8 @@ let engines ?machine ?(nprocs = 4) ?(params = []) ?opts
    bit-identical to the fault-free run on BOTH engines, and the
    first-transmission-only per-pair communication table must be exactly
    fault-invariant (what keeps `--check-comm` exact under crashes). *)
-let crashes ?machine ?(nprocs = 4) ?(params = []) ?opts ?(ckpt_every = 8)
+let crashes ?machine ?(nprocs = 4) ?(params = []) ?opts ?domains
+    ?(ckpt_every = 8)
     ?(spec_of_seed =
       fun seed -> { Fault.none with seed; crash_prob = 0.02; crash_max = 3 })
     ~seeds (chk : Hpf.Sema.checked) : outcome =
@@ -268,7 +402,9 @@ let crashes ?machine ?(nprocs = 4) ?(params = []) ?opts ?(ckpt_every = 8)
       cprog.Dhpf.Spmd.arrays
   in
   match
-    let sref = Exec.make ~engine:`Closure ?machine ~nprocs ~params cprog in
+    let sref =
+      Exec.make ~engine:`Closure ?machine ?domains ~nprocs ~params cprog
+    in
     let _ = Exec.run sref in
     let cells_ref = Exec.comm_cells sref in
     let one ~engine seed =

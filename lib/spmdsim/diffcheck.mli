@@ -33,6 +33,7 @@ val run :
   ?nprocs:int ->
   ?params:(string * int) list ->
   ?opts:Dhpf.Gen.options ->
+  ?domains:int ->
   ?spec_of_seed:(int -> Fault.spec) ->
   seeds:int list ->
   Hpf.Sema.checked ->
@@ -40,13 +41,16 @@ val run :
 (** [run ~seeds chk] compiles [chk], validates the fault-free execution
     against the serial oracle, then replays under one fault schedule per
     seed ([spec_of_seed] defaults to {!Fault.default}). [nprocs] defaults
-    to 4; [engine] selects the SPMD executor (default [`Closure]). *)
+    to 4; [engine] selects the SPMD executor (default [`Closure]);
+    [domains] shards the simulator's processor lanes across an OCaml
+    domain pool (default [Par.domains ()]). *)
 
 val engines :
   ?machine:Machine.t ->
   ?nprocs:int ->
   ?params:(string * int) list ->
   ?opts:Dhpf.Gen.options ->
+  ?domains:int ->
   ?spec_of_seed:(int -> Fault.spec) ->
   seeds:int list ->
   Hpf.Sema.checked ->
@@ -62,11 +66,36 @@ val engines :
     value, [dv_got] the closure engine's). This is the executable form of
     the engines' equivalence contract (see {!Exec.make}). *)
 
+val domains :
+  ?engine:Exec.engine ->
+  ?machine:Machine.t ->
+  ?nprocs:int ->
+  ?params:(string * int) list ->
+  ?opts:Dhpf.Gen.options ->
+  ?domain_counts:int list ->
+  ?spec_of_seed:(int -> Fault.spec) ->
+  seeds:int list ->
+  Hpf.Sema.checked ->
+  outcome
+(** Domain-differential mode: for each fault schedule (fault-free first,
+    then one per seed) run the program once on a single domain — the
+    sequential scheduler — and once per entry of [domain_counts] (default
+    [\[2; 4\]]) with processor lanes sharded across that many OCaml
+    domains, and require every parallel run to match the sequential one
+    {e exactly}: bit-identical array elements, scalars and per-processor
+    clocks, identical counters, and an identical per-pair communication
+    table (live only when [Obs.Metrics] is enabled). This is the
+    executable form of the parallel scheduler's determinism contract
+    ({!Runtime.sched_run_par}); oversubscription is deliberate — domain
+    counts above the physical core count must still be bit-identical.
+    [engine] defaults to [`Closure]. *)
+
 val crashes :
   ?machine:Machine.t ->
   ?nprocs:int ->
   ?params:(string * int) list ->
   ?opts:Dhpf.Gen.options ->
+  ?domains:int ->
   ?ckpt_every:int ->
   ?spec_of_seed:(int -> Fault.spec) ->
   seeds:int list ->
@@ -82,6 +111,8 @@ val crashes :
     so crashes and replays must not perturb it — the property behind
     [--check-comm] staying exact under crash injection). The comm-table
     comparison is live only when [Obs.Metrics] is enabled; otherwise both
-    tables are empty and only values are compared. *)
+    tables are empty and only values are compared. [domains] applies to
+    the fault-free reference run (recovery runs schedule crashes, which
+    always take the sequential path). *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -51,6 +51,7 @@ type pstate = {
 
 type isim = {
   prog : Spmd.program;
+  i_domains : int;
   machine : Machine.t;
   skew : float array;  (** per-processor compute-time multiplier (>= 1) *)
   genv : (string, int) Hashtbl.t;  (** global parameter values *)
@@ -59,8 +60,9 @@ type isim = {
   procs : pstate array;
   meta : (string, meta) Hashtbl.t;
   tr : Runtime.transport;
-  outbuf : (int * int, Runtime.packbuf) Hashtbl.t;
-      (** (pid, event) -> elements packed so far *)
+  outbufs : (int, Runtime.packbuf) Hashtbl.t array;
+      (** per pid: event -> elements packed so far (per-processor so
+          parallel lanes never contend on one table) *)
   inplace_events : (int, unit) Hashtbl.t;
   rect_events : (int, unit) Hashtbl.t;
   mutable iran : bool;
@@ -72,8 +74,9 @@ type isim = {
 
 let eval_global sim e = Runtime.eval_genv sim.genv e
 
-let make_interp ?(machine = Machine.default) ?faults ~nprocs ?(params = [])
-    (prog : Spmd.program) : isim =
+let make_interp ?(machine = Machine.default) ?faults
+    ?(domains = Par.domains ()) ~nprocs ?(params = []) (prog : Spmd.program) :
+    isim =
   let su = Runtime.setup ?faults ~nprocs ~params prog in
   let geval = Runtime.eval_genv su.Runtime.su_genv in
   let meta = Hashtbl.create 16 in
@@ -102,6 +105,7 @@ let make_interp ?(machine = Machine.default) ?faults ~nprocs ?(params = [])
   let sim =
     {
       prog;
+      i_domains = domains;
       machine;
       skew = su.Runtime.su_skew;
       genv = su.Runtime.su_genv;
@@ -110,7 +114,7 @@ let make_interp ?(machine = Machine.default) ?faults ~nprocs ?(params = [])
       procs;
       meta;
       tr = Runtime.transport_make ~machine ~faults ~nprocs:su.Runtime.su_total;
-      outbuf = Hashtbl.create 16;
+      outbufs = Array.init su.Runtime.su_total (fun _ -> Hashtbl.create 16);
       inplace_events = Hashtbl.create 8;
       rect_events = Hashtbl.create 8;
       iran = false;
@@ -319,20 +323,19 @@ let rec exec_stmt sim p (s : Spmd.stmt) : unit =
       in
       (* buffer-copy cost is decided at Send time: proved-contiguous and
          runtime-contiguous transfers go in place *)
-      let key = (p.pid, event) in
       let buf =
-        match Hashtbl.find_opt sim.outbuf key with
+        match Hashtbl.find_opt sim.outbufs.(p.pid) event with
         | Some b -> b
         | None ->
             let b = Runtime.packbuf_create () in
-            Hashtbl.replace sim.outbuf key b;
+            Hashtbl.replace sim.outbufs.(p.pid) event b;
             b
       in
       Runtime.packbuf_push buf ~arr enc v
   | Spmd.Send { event; dest } ->
       let dest_vp = List.map (eval_expr sim p) dest in
       let pl =
-        match Hashtbl.find_opt sim.outbuf (p.pid, event) with
+        match Hashtbl.find_opt sim.outbufs.(p.pid) event with
         | Some b -> Runtime.packbuf_flush b
         | None -> Runtime.empty_payload
       in
@@ -422,7 +425,7 @@ let run_interp (sim : isim) : Runtime.stats =
   if sim.iran then
     errf "simulation already executed: Exec.run consumed this sim (build a fresh one with Exec.make)";
   sim.iran <- true;
-  Runtime.sched_run
+  Runtime.sched_run_par ~domains:sim.i_domains
     {
       Runtime.h_nprocs = sim.inprocs;
       h_tr = sim.tr;
@@ -478,14 +481,11 @@ let capture_interp (sim : isim) : Runtime.image =
         in
         let staged =
           Hashtbl.fold
-            (fun (pid, event) buf acc ->
-              if pid = p.pid then
-                match Runtime.packbuf_peek buf with
-                | pl when Array.length pl.Runtime.pl_idx > 0 ->
-                    (event, pl) :: acc
-                | _ -> acc
-              else acc)
-            sim.outbuf []
+            (fun event buf acc ->
+              match Runtime.packbuf_peek buf with
+              | pl when Array.length pl.Runtime.pl_idx > 0 -> (event, pl) :: acc
+              | _ -> acc)
+            sim.outbufs.(p.pid) []
           |> List.sort (fun (a, _) (b, _) -> compare a b)
           |> Array.of_list
         in
@@ -515,11 +515,12 @@ type engine = [ `Closure | `Interp ]
 
 type sim = SClosure of Compile.csim | SInterp of isim
 
-let make ?(engine = `Closure) ?machine ?faults ~nprocs ?params
+let make ?(engine = `Closure) ?machine ?faults ?domains ~nprocs ?params
     (prog : Spmd.program) : sim =
   match engine with
-  | `Closure -> SClosure (Compile.make ?machine ?faults ~nprocs ?params prog)
-  | `Interp -> SInterp (make_interp ?machine ?faults ~nprocs ?params prog)
+  | `Closure ->
+      SClosure (Compile.make ?machine ?faults ?domains ~nprocs ?params prog)
+  | `Interp -> SInterp (make_interp ?machine ?faults ?domains ~nprocs ?params prog)
 
 let nprocs = function
   | SClosure cs -> Compile.nprocs cs

@@ -37,6 +37,7 @@ val make :
   ?engine:engine ->
   ?machine:Machine.t ->
   ?faults:Fault.spec ->
+  ?domains:int ->
   nprocs:int ->
   ?params:(string * int) list ->
   Dhpf.Spmd.program ->
@@ -53,7 +54,12 @@ val make :
     fields) and per-processor straggler clock skew. Delivery matches
     per-channel sequence numbers, so computed values are identical to the
     fault-free run — only timing, retransmission and duplicate statistics
-    change. *)
+    change.
+
+    [domains] (default [Par.domains ()], i.e. [DHPF_DOMAINS] or 1) shards
+    the processor lanes across an OCaml domain pool
+    ({!Runtime.sched_run_par}); any count produces bit-identical values,
+    clocks and counters. *)
 
 val nprocs : sim -> int
 (** Actual processor count (the product of the grid extents). *)
