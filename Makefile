@@ -7,13 +7,13 @@
 DUNE ?= dune
 DHPFC = $(DUNE) exec bin/dhpfc.exe --
 
-.PHONY: all check test resilience fuzz bench bench-smoke bench-run bench-run-smoke bench-par-smoke metrics-smoke fmt fmt-check clean
+.PHONY: all check test resilience fuzz bench bench-smoke bench-run bench-run-smoke bench-par-smoke bench-native-smoke bench-native metrics-smoke fmt fmt-check clean
 
 all:
 	$(DUNE) build
 
 check:
-	$(DUNE) build && $(DUNE) runtest && $(MAKE) bench-smoke && $(MAKE) bench-run-smoke && $(MAKE) bench-par-smoke && $(MAKE) metrics-smoke
+	$(DUNE) build && $(DUNE) runtest && $(MAKE) bench-smoke && $(MAKE) bench-run-smoke && $(MAKE) bench-par-smoke && $(MAKE) bench-native-smoke && $(MAKE) metrics-smoke
 
 # Fast Table-1 subset with the bench's JSON emitter; fails if the
 # integer-set caches record zero hits (i.e. the memoization layer is
@@ -40,6 +40,17 @@ bench-run:
 # speedup half with a message.
 bench-par-smoke:
 	$(DUNE) exec bench/main.exe -- par-smoke
+
+# Native-engine smoke: the generated-OCaml kernel must stay bit-identical
+# to the closure engine and the interpreter (three-way differential, fault
+# schedules included), and its warm-cache run phase must beat the closure
+# engine by DHPF_NATIVE_SMOKE_MIN_SPEEDUP (default 3x) on JACOBI-384.
+# `bench-native` regenerates BENCH_native.json.
+bench-native-smoke:
+	$(DUNE) exec bench/main.exe -- native-smoke
+
+bench-native:
+	$(DUNE) exec bench/main.exe -- native-json > BENCH_native.json
 
 # Predicted-vs-measured communication: the bench's symmetric-stencil
 # matrix assertions, then --check-comm (static integer-set prediction

@@ -897,6 +897,125 @@ let par_smoke () =
   end;
   Fmt.epr "bench par-smoke: ok@."
 
+(* --------------------------------------------------------------------- *)
+(* Native-engine benchmark: `-- native-smoke` / `-- native-json`         *)
+(* (BENCH_native.json). Three-way bit-identity (closure / interpreter /  *)
+(* generated-OCaml kernel, fault schedules included) is always asserted; *)
+(* the speedup gate compares warm-cache kernel execution against the     *)
+(* closure engine's run phase on JACOBI-384. The out-of-process ocamlopt *)
+(* build is reported separately — it is a one-time cost the source-hash  *)
+(* cache amortizes across runs.                                          *)
+
+type native_row = {
+  nv_diff_runs : int;  (* three-way differential runs that agreed *)
+  nv_obtain_s : float;  (* first make: cold build or cache hit *)
+  nv_make_warm_s : float;  (* second make: lower+emit+hash+dynlink *)
+  nv_interp_s : float;
+  nv_closure_s : float;
+  nv_native_s : float;
+}
+
+let native_measure () =
+  let chk =
+    Hpf.Sema.analyze_source
+      (Codes.jacobi ~n:96 ~iters:3 ~procs:(Codes.Symbolic2 2) ())
+  in
+  let runs =
+    match Spmdsim.Diffcheck.engines ~nprocs:4 ~seeds:[ 7 ] chk with
+    | Spmdsim.Diffcheck.Pass { runs } -> runs
+    | out ->
+        Fmt.epr "bench native: three-way differential FAILED — %a@."
+          Spmdsim.Diffcheck.pp_outcome out;
+        exit 1
+  in
+  let jchk =
+    Hpf.Sema.analyze_source
+      (Codes.jacobi ~n:384 ~iters:4 ~procs:(Codes.Symbolic2 2) ())
+  in
+  let prog = (Dhpf.Gen.compile jchk).Dhpf.Gen.cprog in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let obtain_s, _ =
+    timed (fun () -> Spmdsim.Exec.make ~engine:`Native ~nprocs:8 prog)
+  in
+  let make_warm_s, _ =
+    timed (fun () -> Spmdsim.Exec.make ~engine:`Native ~nprocs:8 prog)
+  in
+  (* run phase only, best of [best] after one warm-up run: each engine
+     gets a fresh sim per run (the runtime refuses to re-run one) *)
+  let run_phase ?(best = 3) engine =
+    let one () =
+      let sim = Spmdsim.Exec.make ~engine ~nprocs:8 prog in
+      fst (timed (fun () -> ignore (Spmdsim.Exec.run sim)))
+    in
+    ignore (one ());
+    let t = ref infinity in
+    for _ = 1 to best do
+      t := Float.min !t (one ())
+    done;
+    !t
+  in
+  {
+    nv_diff_runs = runs;
+    nv_obtain_s = obtain_s;
+    nv_make_warm_s = make_warm_s;
+    nv_interp_s = run_phase ~best:1 `Interp;
+    nv_closure_s = run_phase `Closure;
+    nv_native_s = run_phase `Native;
+  }
+
+let native_json_doc r =
+  let buf = Buffer.create 512 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "{\n";
+  pf "  \"schema\": \"dhpf-bench-native/1\",\n";
+  pf "  \"host_cores\": %d,\n" (Par.recommended ());
+  pf "  \"workload\": \"JACOBI-384\",\n";
+  pf "  \"nprocs\": 8,\n";
+  pf
+    "  \"three_way_identity\": {\"workload\": \"JACOBI-96\", \"runs\": %d, \
+     \"pass\": true},\n"
+    r.nv_diff_runs;
+  pf "  \"kernel_obtain_s\": %.6f,\n" r.nv_obtain_s;
+  pf "  \"kernel_make_warm_s\": %.6f,\n" r.nv_make_warm_s;
+  pf "  \"interp_run_s\": %.6f,\n" r.nv_interp_s;
+  pf "  \"closure_run_s\": %.6f,\n" r.nv_closure_s;
+  pf "  \"native_run_s\": %.6f,\n" r.nv_native_s;
+  pf "  \"speedup_vs_closure\": %.2f,\n"
+    (r.nv_closure_s /. Float.max r.nv_native_s 1e-9);
+  pf "  \"speedup_vs_interp\": %.2f\n"
+    (r.nv_interp_s /. Float.max r.nv_native_s 1e-9);
+  pf "}\n";
+  Buffer.contents buf
+
+let native_json () = print_string (native_json_doc (native_measure ()))
+
+(* Backs `make bench-native-smoke`: identity always, speedup gated by
+   DHPF_NATIVE_SMOKE_MIN_SPEEDUP (default 3x — the run-phase comparison
+   is single-threaded, so unlike par-smoke it holds on one core too). *)
+let native_smoke () =
+  let r = native_measure () in
+  let sp = r.nv_closure_s /. Float.max r.nv_native_s 1e-9 in
+  let min_speedup =
+    match Sys.getenv_opt "DHPF_NATIVE_SMOKE_MIN_SPEEDUP" with
+    | Some s -> ( try float_of_string s with _ -> 3.0)
+    | None -> 3.0
+  in
+  Fmt.epr
+    "bench native-smoke: three-way ok (%d run(s)); JACOBI-384 run phase \
+     closure=%.3fs native=%.3fs interp=%.3fs (%.2fx over closure; warm make \
+     %.3fs, first obtain %.3fs)@."
+    r.nv_diff_runs r.nv_closure_s r.nv_native_s r.nv_interp_s sp
+    r.nv_make_warm_s r.nv_obtain_s;
+  if sp < min_speedup then begin
+    Fmt.epr "bench native-smoke: speedup below %.2fx threshold@." min_speedup;
+    exit 1
+  end;
+  Fmt.epr "bench native-smoke: ok@."
+
 (* Smoke mode backs `make bench-smoke` in the tier-1 check flow: a fast
    Table-1 subset, JSON on stdout, and a hard failure if the memoization
    layer shows no hits (i.e. the caches silently stopped working). *)
@@ -939,6 +1058,8 @@ let () =
       ("run-json", run_json);
       ("run-smoke", run_smoke);
       ("par-smoke", par_smoke);
+      ("native-smoke", native_smoke);
+      ("native-json", native_json);
       ("metrics-smoke", metrics_smoke);
     ]
   in

@@ -235,17 +235,40 @@ let param_t =
     & opt_all (pair ~sep:'=' string int) []
     & info [ "D"; "param" ] ~docv:"NAME=VALUE" ~doc:"Bind a symbolic program parameter.")
 
+(* parsed as a plain string and resolved through Exec.engine_of_string so
+   an unknown name exits with the parse-error code (2) and a message that
+   lists the valid engines, instead of cmdliner's generic cli-error 124 *)
 let engine_t =
   Arg.(
-    value
-    & opt (enum [ ("closure", `Closure); ("interp", `Interp) ]) `Closure
+    value & opt string "closure"
     & info [ "engine" ] ~docv:"ENGINE"
         ~doc:
           "SPMD execution engine: $(b,closure) (the default; the program is \
-           lowered once to OCaml closures over dense per-processor storage) \
-           or $(b,interp) (the tree-walking interpreter kept as the \
-           differential oracle). Both produce bit-identical results and \
-           identical message statistics.")
+           lowered once to OCaml closures over dense per-processor storage), \
+           $(b,interp) (the tree-walking interpreter kept as the \
+           differential oracle), or $(b,native) (the program is emitted as \
+           OCaml source, compiled out-of-process into a content-addressed \
+           cache and dynlinked — see $(b,--native-cache)). All engines \
+           produce bit-identical results and identical message statistics.")
+
+let resolve_engine name =
+  match Spmdsim.Exec.engine_of_string name with
+  | Some e -> e
+  | None ->
+      Fmt.epr "dhpfc: unknown engine %S; valid engines: %s@." name
+        (String.concat ", " Spmdsim.Exec.engine_names);
+      exit exit_parse
+
+let native_cache_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "native-cache" ] ~docv:"DIR"
+        ~doc:
+          "Build-cache directory for $(b,--engine native) kernels (also \
+           settable via $(b,DHPF_NATIVE_CACHE)). Defaults to \
+           $(b,<tmpdir>/dhpf-native-cache); a warm cache skips the \
+           out-of-process compiler entirely.")
 
 (* ---- fault-injection knobs ---- *)
 
@@ -342,10 +365,11 @@ let diff_engines_t =
     value & opt int 0
     & info [ "diff-engines" ] ~docv:"N"
         ~doc:
-          "Engine-differential harness: run the closure engine against the \
-           interpreter — fault-free plus N seeded fault schedules — and \
-           report the first deviation from bit-identical values, clocks \
-           and message counters.")
+          "Engine-differential harness: run all three engines (closure, \
+           interpreter, generated-native kernel) against each other — \
+           fault-free plus N seeded fault schedules — and report the first \
+           deviation from bit-identical values, clocks and message \
+           counters.")
 
 let diff_domains_t =
   Arg.(
@@ -471,11 +495,13 @@ let comm_slack_t =
            |measured - predicted| <= F * predicted. Default 0 (exact).")
 
 let run_cmd =
-  let run src nprocs params engine no_split no_vect no_coal no_inplace jobs
-      faults_seed drop dup delay skew crash_procs crash_prob ckpt_every
-      max_events diff diff_engines diff_domains diff_crashes trace metrics
-      check_comm comm_slack =
+  let run src nprocs params engine native_cache no_split no_vect no_coal
+      no_inplace jobs faults_seed drop dup delay skew crash_procs crash_prob
+      ckpt_every max_events diff diff_engines diff_domains diff_crashes trace
+      metrics check_comm comm_slack =
     handle_errors @@ fun () ->
+    let engine = resolve_engine engine in
+    Option.iter (Unix.putenv "DHPF_NATIVE_CACHE") native_cache;
     List.iter
       (fun (name, v) ->
         if v < 0 then begin
@@ -514,7 +540,7 @@ let run_cmd =
       | _ -> exit exit_runtime
     end
     else if diff_engines > 0 then begin
-      (* engine-differential sweep: closure engine vs. interpreter *)
+      (* engine-differential sweep: closure vs. interpreter vs. native *)
       let spec_of_seed seed =
         validated
           (spec_of ~seed ~drop ~dup ~delay ~skew ~crash_prob ~crash_procs:0)
@@ -681,7 +707,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute on the simulated machine")
     Term.(
-      const run $ src_t $ nprocs_t $ param_t $ engine_t $ no_split_t $ no_vect_t
+      const run $ src_t $ nprocs_t $ param_t $ engine_t $ native_cache_t
+      $ no_split_t $ no_vect_t
       $ no_coal_t $ no_inplace_t $ jobs_t $ faults_t $ fault_drop_t
       $ fault_dup_t $ fault_delay_t $ fault_skew_t $ crash_procs_t
       $ crash_prob_t $ ckpt_every_t $ max_events_t $ diff_t $ diff_engines_t
@@ -733,7 +760,7 @@ let omega_cmd =
     (Cmd.info "omega" ~doc:"Interactive integer-set calculator (Omega-calculator style)")
     Term.(const run $ script_t)
 
-let version = "1.4.0"
+let version = "1.5.0"
 
 let () =
   Obs.init_env ();

@@ -137,7 +137,10 @@ let rec eval_cond env = function
   | CNot c -> not (eval_cond env c)
 
 (** Execute the AST: call [f tag bindings] for every statement instance, in
-    emission order. [env] resolves parameters; loop variables shadow it. *)
+    emission order. [env] resolves parameters; loop variables shadow it.
+    Loop direction follows the sign of the step: [step > 0] counts up while
+    [!i <= hi], [step < 0] counts down while [!i >= hi]; a zero step is
+    rejected rather than looping forever. *)
 let run ~env ~f asts =
   let tbl : (string, int) Hashtbl.t = Hashtbl.create 16 in
   let lookup s = match Hashtbl.find_opt tbl s with Some v -> v | None -> env s in
@@ -146,9 +149,10 @@ let run ~env ~f asts =
         f tag (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
     | AIf (c, body) -> if eval_cond lookup c then List.iter go body
     | AFor { var; lo; hi; step; body } ->
+        if step = 0 then invalid_arg "Codegen.run: zero loop step";
         let l = eval_expr lookup lo and h = eval_expr lookup hi in
         let i = ref l in
-        while !i <= h do
+        while (if step > 0 then !i <= h else !i >= h) do
           Hashtbl.replace tbl var !i;
           List.iter go body;
           i := !i + step
@@ -170,9 +174,10 @@ let count_points ~env asts =
     | ALeaf _ -> incr n
     | AIf (c, body) -> if eval_cond lookup c then List.iter go body
     | AFor { var; lo; hi; step; body } ->
+        if step = 0 then invalid_arg "Codegen.count_points: zero loop step";
         let l = eval_expr lookup lo and h = eval_expr lookup hi in
         let i = ref l in
-        while !i <= h do
+        while (if step > 0 then !i <= h else !i >= h) do
           Hashtbl.replace tbl var !i;
           List.iter go body;
           i := !i + step
@@ -181,6 +186,87 @@ let count_points ~env asts =
   in
   List.iter go asts;
   !n
+
+(* ------------------------------------------------------------------ *)
+(* Interval analysis (bounds proofs for emitted kernels)               *)
+(* ------------------------------------------------------------------ *)
+
+type interval = { ilo : int option; ihi : int option }
+
+let itv_top = { ilo = None; ihi = None }
+let itv_const k = { ilo = Some k; ihi = Some k }
+let itv ?lo ?hi () = { ilo = lo; ihi = hi }
+
+let opt_map2 f a b = match (a, b) with Some x, Some y -> Some (f x y) | _ -> None
+
+let itv_add a b = { ilo = opt_map2 ( + ) a.ilo b.ilo; ihi = opt_map2 ( + ) a.ihi b.ihi }
+let itv_sub a b = { ilo = opt_map2 ( - ) a.ilo b.ihi; ihi = opt_map2 ( - ) a.ihi b.ilo }
+
+let itv_scale k a =
+  if k = 0 then itv_const 0
+  else if k > 0 then
+    { ilo = Option.map (fun x -> k * x) a.ilo; ihi = Option.map (fun x -> k * x) a.ihi }
+  else
+    { ilo = Option.map (fun x -> k * x) a.ihi; ihi = Option.map (fun x -> k * x) a.ilo }
+
+(* Monotone image for f with f(lo) <= f(hi) whenever lo <= hi. *)
+let itv_mono f a = { ilo = Option.map f a.ilo; ihi = Option.map f a.ihi }
+
+(* max of two intervals: the lower bound improves as soon as either side
+   has one; the upper bound needs both. *)
+let itv_max a b =
+  let lo =
+    match (a.ilo, b.ilo) with
+    | Some x, Some y -> Some (max x y)
+    | (Some _ as s), None | None, (Some _ as s) -> s
+    | None, None -> None
+  in
+  { ilo = lo; ihi = opt_map2 max a.ihi b.ihi }
+
+let itv_min a b =
+  let hi =
+    match (a.ihi, b.ihi) with
+    | Some x, Some y -> Some (min x y)
+    | (Some _ as s), None | None, (Some _ as s) -> s
+    | None, None -> None
+  in
+  { ilo = opt_map2 min a.ilo b.ilo; ihi = hi }
+
+(** Conservative integer interval of an expression under [env] (which must
+    return {!itv_top} for unknown names). Used by the native engine to prove
+    array subscripts in-range at lowering time so the emitted kernel can use
+    unchecked accesses. *)
+let rec interval_of_expr env = function
+  | EInt k -> itv_const k
+  | EVar s -> env s
+  | EAdd (a, b) -> itv_add (interval_of_expr env a) (interval_of_expr env b)
+  | ESub (a, b) -> itv_sub (interval_of_expr env a) (interval_of_expr env b)
+  | EMul (k, e) -> itv_scale k (interval_of_expr env e)
+  | EFloorDiv (e, k) -> itv_mono (fun x -> Lin.fdiv x k) (interval_of_expr env e)
+  | ECeilDiv (e, k) -> itv_mono (fun x -> Lin.cdiv x k) (interval_of_expr env e)
+  | EMax [] | EMin [] -> itv_top
+  | EMax (e :: es) ->
+      List.fold_left
+        (fun acc e -> itv_max acc (interval_of_expr env e))
+        (interval_of_expr env e) es
+  | EMin (e :: es) ->
+      List.fold_left
+        (fun acc e -> itv_min acc (interval_of_expr env e))
+        (interval_of_expr env e) es
+  | EAlignUp (e, _target, k) -> (
+      (* result = e + pmod (target - e) k, with pmod in [0, k-1] for k >= 1 *)
+      let ie = interval_of_expr env e and ik = interval_of_expr env k in
+      match ik.ilo with
+      | Some klo when klo >= 1 -> (
+          match ik.ihi with
+          | Some khi -> { ilo = ie.ilo; ihi = Option.map (fun h -> h + khi - 1) ie.ihi }
+          | None -> { ilo = ie.ilo; ihi = None })
+      | _ -> itv_top)
+
+let itv_within iv ~lo ~hi =
+  match (iv.ilo, iv.ihi) with
+  | Some l, Some h -> l >= lo && h <= hi
+  | _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* Constraint classification                                           *)

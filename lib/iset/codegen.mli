@@ -64,7 +64,11 @@ val eval_cond : (string -> int) -> cond -> bool
 
 val run : env:(string -> int) -> f:('a -> (string * int) list -> unit) -> 'a ast list -> unit
 (** Execute the AST: call [f tag bindings] for every statement instance in
-    emission order. [env] resolves parameters; loop variables shadow it. *)
+    emission order. [env] resolves parameters; loop variables shadow it.
+    Loops follow the sign of their step ([step > 0] ascending while
+    [i <= hi], [step < 0] descending while [i >= hi]); an empty range
+    (e.g. [lo > hi] with a positive step) runs zero iterations.
+    @raise Invalid_argument on a zero step. *)
 
 val count_points : env:(string -> int) -> 'a ast list -> int
 (** Number of statement instances the AST enumerates at a concrete
@@ -72,7 +76,35 @@ val count_points : env:(string -> int) -> 'a ast list -> int
     cardinality times any deliberate disjunct overlap). This is the
     compile-time evaluation of the paper's message-size loops: counting
     the points of a communication set at given distribution parameters
-    without materializing the elements. *)
+    without materializing the elements. Same loop-direction and zero-step
+    semantics as {!run}. *)
+
+(** {1 Interval analysis}
+
+    Conservative bounds for expressions, used by the native engine to prove
+    at lowering time that a subscript expression stays inside an array's
+    declared extent, licensing unchecked accesses in emitted kernels. *)
+
+type interval = { ilo : int option; ihi : int option }
+(** Inclusive integer interval; [None] means unbounded on that side. *)
+
+val itv_top : interval
+val itv_const : int -> interval
+val itv : ?lo:int -> ?hi:int -> unit -> interval
+val itv_add : interval -> interval -> interval
+val itv_sub : interval -> interval -> interval
+val itv_scale : int -> interval -> interval
+val itv_max : interval -> interval -> interval
+val itv_min : interval -> interval -> interval
+
+val interval_of_expr : (string -> interval) -> expr -> interval
+(** Interval of an expression under an environment that must return
+    {!itv_top} for names it cannot bound. Sound (the true value always lies
+    inside the returned interval) but not exact. *)
+
+val itv_within : interval -> lo:int -> hi:int -> bool
+(** [itv_within iv ~lo ~hi] is true when the interval is finite and contained
+    in [\[lo, hi\]] — the proof obligation for an unchecked access. *)
 
 (** {1 Generation} *)
 

@@ -413,6 +413,36 @@ let idx_string (am : Runtime.ameta) enc =
   done;
   String.concat "," (List.rev !parts)
 
+(* Cold paths, shared with the kernels the native engine emits: generated
+   source inlines the hot access sequences but calls back here on a dense
+   miss or an illegal access, so halo lookups, sparse-array defaults and
+   failure messages stay identical across engines. *)
+
+let load_miss (rt : rt) aid ~aname enc =
+  let st = rt.r_stores.(aid) in
+  match Hashtbl.find_opt st.st_side enc with
+  | Some v -> v
+  | None ->
+      if st_sparse st && owns_enc st enc then 0.0
+      else
+        errf "proc %d: %s access to non-local %s(%s) with no received value"
+          rt.r_pid aname st.st_am.Runtime.am_name (idx_string st.st_am enc)
+
+let pack_miss (rt : rt) aid enc =
+  let st = rt.r_stores.(aid) in
+  match Hashtbl.find_opt st.st_side enc with
+  | Some v -> v
+  | None ->
+      if st_sparse st && owns_enc st enc then 0.0
+      else
+        errf "proc %d: packing non-resident element %s(%s)" rt.r_pid
+          st.st_am.Runtime.am_name (idx_string st.st_am enc)
+
+let local_store_fail (rt : rt) aid enc =
+  let st = rt.r_stores.(aid) in
+  errf "proc %d: Local store to non-owned %s(%s)" rt.r_pid
+    st.st_am.Runtime.am_name (idx_string st.st_am enc)
+
 (* ------------------------------------------------------------------ *)
 (* Float expressions                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -451,22 +481,12 @@ let rec cfexpr ctx (e : Spmd.fexpr) : cfloat =
         | Some a -> a
         | None -> errf "unknown array %s" arr
       in
-      let am = ctx.x_ameta.(aid) in
       let addr = caddr ctx aid idx in
       let flop = m.Machine.flop_time in
       let checked = access = Spmd.Checked in
       let check = m.Machine.check_time in
       let aname = access_name access in
-      let miss rt (a : addr) =
-        let st = rt.r_stores.(aid) in
-        match Hashtbl.find_opt st.st_side a.a_enc with
-        | Some v -> v
-        | None ->
-            if st_sparse st && owns_enc st a.a_enc then 0.0
-            else
-              errf "proc %d: %s access to non-local %s(%s) with no received value"
-                rt.r_pid aname am.Runtime.am_name (idx_string am a.a_enc)
-      in
+      let miss rt (a : addr) = load_miss rt aid ~aname a.a_enc in
       if checked then fun rt ->
         tick rt flop;
         let a = addr rt in
@@ -651,7 +671,6 @@ let rec cstmt ctx (s : Spmd.stmt) : cstmt =
         | Some a -> a
         | None -> errf "unknown array %s" arr
       in
-      let am = ctx.x_ameta.(aid) in
       let addr = caddr ctx aid idx in
       let cv = cfexpr ctx value in
       let flop = m.Machine.flop_time in
@@ -677,9 +696,7 @@ let rec cstmt ctx (s : Spmd.stmt) : cstmt =
             let owned =
               if st_sparse st then owns_enc st a.a_enc else a.a_slot >= 0
             in
-            if not owned then
-              errf "proc %d: Local store to non-owned %s(%s)" rt.r_pid
-                am.Runtime.am_name (idx_string am a.a_enc);
+            if not owned then local_store_fail rt aid a.a_enc;
             put rt a x
       | Spmd.Overlay | Spmd.Global ->
           fun rt ->
@@ -693,21 +710,12 @@ let rec cstmt ctx (s : Spmd.stmt) : cstmt =
         | Some a -> a
         | None -> errf "unknown array %s" arr
       in
-      let am = ctx.x_ameta.(aid) in
       let addr = caddr ctx aid idx in
       fun rt ->
         let a = addr rt in
         let v =
           if a.a_slot >= 0 then rt.r_stores.(aid).st_data.(a.a_slot)
-          else
-            let st = rt.r_stores.(aid) in
-            match Hashtbl.find_opt st.st_side a.a_enc with
-            | Some v -> v
-            | None ->
-                if st_sparse st && owns_enc st a.a_enc then 0.0
-                else
-                  errf "proc %d: packing non-resident element %s(%s)" rt.r_pid
-                    am.Runtime.am_name (idx_string am a.a_enc)
+          else pack_miss rt aid a.a_enc
         in
         Runtime.packbuf_push rt.r_packbufs.(event) ~arr a.a_enc v
   | Spmd.Send { event; dest } ->

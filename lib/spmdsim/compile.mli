@@ -16,9 +16,104 @@
     The transport and scheduler are shared with the interpreter via
     {!Runtime}, and clock charges follow the interpreter's order, so runs
     are bit-identical in element values, clocks and counters — the
-    interpreter remains the differential oracle ({!Diffcheck.engines}). *)
+    interpreter remains the differential oracle ({!Diffcheck.engines}).
 
-type csim
+    The per-processor representation ([store], [rt]) and the sim record
+    ([csim]) are exposed concretely: the native engine ({!Native}) reuses
+    this engine's setup, storage, transport and result plumbing verbatim and
+    only replaces [c_main] with a dynlinked kernel emitted by {!Emit}, so
+    everything outside the kernel body is structurally identical across the
+    two engines. *)
+
+(** {1 Per-processor storage} *)
+
+type store = {
+  st_am : Runtime.ameta;
+  st_owned : bool;
+      (** false: a FixedCoord layout dimension excludes this processor from
+          holding any owned block *)
+  st_dmaps : int array array;
+      (** per data dimension: (x - lo_d) -> local index, or -1 if this
+          processor does not own that coordinate *)
+  st_lstride : int array;  (** per data dimension: stride into [st_data] *)
+  st_data : float array;  (** dense owned block; [[||]] if sparse or unowned *)
+  st_side : (int, float) Hashtbl.t;
+      (** non-local values (received halos), keyed by global linear index;
+          for sparse (reduction-target) arrays, all values live here *)
+}
+
+val st_sparse : store -> bool
+(** The array keeps the sparse (side-table only) representation. *)
+
+val slot_of_enc : store -> int -> int
+(** Dense slot of a global linear index, or -1 if not owned/dense. *)
+
+val put_enc : store -> int -> float -> unit
+val get_enc : store -> int -> float
+
+val owns_enc : store -> int -> bool
+(** Ownership test by decoded coordinates (sparse-array slow path). *)
+
+(** {1 Per-processor runtime state} *)
+
+type rt = {
+  r_pid : int;
+  r_int : int array;  (** integer slots: loop vars, [m$k], [vm$k] *)
+  r_fval : float array;  (** replicated-scalar slots *)
+  r_fvalid : bool array;
+      (** mirrors the interpreter's fenv membership: a slot is readable as a
+          scalar only after initialization (declared) or first assignment *)
+  r_stores : store array;  (** indexed by array id *)
+  r_packbufs : Runtime.packbuf array;  (** indexed by event id *)
+  mutable r_clock : float;
+  r_skew : float;
+  r_scratch : int array;  (** index scratch for arrays of rank > 3 *)
+}
+
+val tick : rt -> float -> unit
+(** Charge [dt] (scaled by the processor's skew) to the local clock. *)
+
+type cint = rt -> int
+type cfloat = rt -> float
+type cstmt = rt -> unit
+
+(** {1 Cold paths shared with emitted kernels}
+
+    Generated kernels inline the hot access sequences but call back here on
+    a dense miss or an illegal access, so halo lookups, sparse-array
+    defaults and failure messages stay identical across engines. *)
+
+val access_name : Dhpf.Spmd.access -> string
+val bounds_fail : Runtime.ameta -> int -> int -> 'a
+val idx_string : Runtime.ameta -> int -> string
+
+val load_miss : rt -> int -> aname:string -> int -> float
+(** [load_miss rt aid ~aname enc]: value of a load whose dense slot was -1 —
+    the received-halo side table, the sparse-owned zero default, or the
+    non-local access error (tagged with the access mode's [aname]). *)
+
+val pack_miss : rt -> int -> int -> float
+(** Same lookup for [Pack] sites, with the packing-specific error. *)
+
+val local_store_fail : rt -> int -> int -> 'a
+(** The [Local]-store-to-non-owned-element error. *)
+
+(** {1 The compiled simulation} *)
+
+type csim = {
+  c_prog : Dhpf.Spmd.program;
+  c_su : Runtime.setup;
+  c_tr : Runtime.transport;
+  c_rts : rt array;
+  c_main : cstmt;
+  c_arrays : (string, int) Hashtbl.t;  (** array name -> store id *)
+  c_ameta : Runtime.ameta array;  (** by store id *)
+  c_layouts : Dhpf.Spmd.array_layout option array;
+  c_islots : (string, int) Hashtbl.t;
+  c_fslots : (string, int) Hashtbl.t;
+  c_domains : int;
+  mutable c_ran : bool;
+}
 
 val make :
   ?machine:Machine.t ->

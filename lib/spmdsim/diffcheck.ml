@@ -201,33 +201,74 @@ let engines ?machine ?(nprocs = 4) ?(params = []) ?opts ?domains
         Exec.make ~engine:`Interp ?machine ?faults ?domains ~nprocs ~params
           cprog
       in
-      let sc =
-        Exec.make ~engine:`Closure ?machine ?faults ?domains ~nprocs ~params
-          cprog
-      in
       let sti = Exec.run si in
-      let stc = Exec.run sc in
-      match
-        List.find_opt
-          (fun (_, a, b) -> not (bit_equal a b))
-          (stat_fields sti stc)
-      with
-      | Some (field, a, b) ->
-          Some
-            (Crashed
-               {
-                 seed;
-                 error =
-                   Printf.sprintf
-                     "engine counter mismatch: %s interp=%.17g closure=%.17g"
-                     field a b;
-               })
-      | None -> (
-          match
-            compare_engines ~seed bounds cprog.Dhpf.Spmd.scalars si sc
-          with
-          | Some d -> Some (Diverged d)
-          | None -> None)
+      (* each engine under test runs on its own transport but sees the
+         identical fault schedule, and must match the interpreter exactly:
+         counters, per-processor clocks, per-pair communication cells,
+         then every element and scalar bit for bit *)
+      let against engine =
+        let label = Exec.engine_to_string engine in
+        let sc =
+          Exec.make ~engine ?machine ?faults ?domains ~nprocs ~params cprog
+        in
+        let stc = Exec.run sc in
+        match
+          List.find_opt
+            (fun (_, a, b) -> not (bit_equal a b))
+            (stat_fields sti stc)
+        with
+        | Some (field, a, b) ->
+            Some
+              (Crashed
+                 {
+                   seed;
+                   error =
+                     Printf.sprintf
+                       "engine counter mismatch: %s interp=%.17g %s=%.17g"
+                       field a label b;
+                 })
+        | None -> (
+            let clock_bad = ref None in
+            Array.iteri
+              (fun p t ->
+                if
+                  !clock_bad = None
+                  && not (bit_equal t stc.Exec.s_proc_times.(p))
+                then clock_bad := Some p)
+              sti.Exec.s_proc_times;
+            match !clock_bad with
+            | Some p ->
+                Some
+                  (Crashed
+                     {
+                       seed;
+                       error =
+                         Printf.sprintf
+                           "engine clock mismatch: proc %d interp=%.17g %s=%.17g"
+                           p
+                           sti.Exec.s_proc_times.(p)
+                           label stc.Exec.s_proc_times.(p);
+                     })
+            | None ->
+                if Exec.comm_cells si <> Exec.comm_cells sc then
+                  Some
+                    (Crashed
+                       {
+                         seed;
+                         error =
+                           Printf.sprintf
+                             "engine comm-cell mismatch: interp vs %s" label;
+                       })
+                else (
+                  match
+                    compare_engines ~seed bounds cprog.Dhpf.Spmd.scalars si sc
+                  with
+                  | Some d -> Some (Diverged d)
+                  | None -> None))
+      in
+      (match against `Closure with
+      | Some bad -> Some bad
+      | None -> against `Native)
     with
     | None -> Ok ()
     | Some bad -> Error bad
@@ -427,9 +468,7 @@ let crashes ?machine ?(nprocs = 4) ?(params = []) ?opts ?domains
                      Printf.sprintf
                        "per-pair communication table not fault-invariant \
                         under crash recovery (%s engine, %d crash(es))"
-                       (match engine with
-                       | `Interp -> "interp"
-                       | `Closure -> "closure")
+                       (Exec.engine_to_string engine)
                        rep.Checkpoint.rp_stats.Runtime.s_crashes;
                  })
           else Ok ()

@@ -511,9 +511,24 @@ let capture_interp (sim : isim) : Runtime.image =
 (* Public facade                                                       *)
 (* ------------------------------------------------------------------ *)
 
-type engine = [ `Closure | `Interp ]
+type engine = [ `Closure | `Interp | `Native ]
 
-type sim = SClosure of Compile.csim | SInterp of isim
+let engine_names = [ "closure"; "interp"; "native" ]
+
+let engine_of_string = function
+  | "closure" -> Some `Closure
+  | "interp" -> Some `Interp
+  | "native" -> Some `Native
+  | _ -> None
+
+let engine_to_string = function
+  | `Closure -> "closure"
+  | `Interp -> "interp"
+  | `Native -> "native"
+
+(* The native engine returns a Compile.csim with the generated kernel
+   swapped in as its main, so its whole dispatch surface is Compile's. *)
+type sim = SClosure of Compile.csim | SInterp of isim | SNative of Compile.csim
 
 let make ?(engine = `Closure) ?machine ?faults ?domains ~nprocs ?params
     (prog : Spmd.program) : sim =
@@ -521,13 +536,14 @@ let make ?(engine = `Closure) ?machine ?faults ?domains ~nprocs ?params
   | `Closure ->
       SClosure (Compile.make ?machine ?faults ?domains ~nprocs ?params prog)
   | `Interp -> SInterp (make_interp ?machine ?faults ?domains ~nprocs ?params prog)
+  | `Native -> SNative (Native.make ?machine ?faults ?domains ~nprocs ?params prog)
 
 let nprocs = function
-  | SClosure cs -> Compile.nprocs cs
+  | SClosure cs | SNative cs -> Compile.nprocs cs
   | SInterp s -> s.inprocs
 
 let phys_of_vp = function
-  | SClosure cs -> Compile.phys_of_vp cs
+  | SClosure cs | SNative cs -> Compile.phys_of_vp cs
   | SInterp s -> phys_of_vp_i s
 
 type stats = Runtime.stats = {
@@ -577,7 +593,7 @@ let pp_diagnostic = Runtime.pp_diagnostic
 let diagnostic_to_string = Runtime.diagnostic_to_string
 
 let run = function
-  | SClosure cs -> Compile.run cs
+  | SClosure cs | SNative cs -> Compile.run cs
   | SInterp s -> run_interp s
 
 type comm_cell = Runtime.comm_cell = {
@@ -590,37 +606,37 @@ type comm_cell = Runtime.comm_cell = {
 }
 
 let comm_cells = function
-  | SClosure cs -> Compile.comm_cells cs
+  | SClosure cs | SNative cs -> Compile.comm_cells cs
   | SInterp s -> Runtime.comm_cells s.tr
 
 let get_elem = function
-  | SClosure cs -> Compile.get_elem cs
+  | SClosure cs | SNative cs -> Compile.get_elem cs
   | SInterp s -> get_elem_interp s
 
 let get_scalar = function
-  | SClosure cs -> Compile.get_scalar cs
+  | SClosure cs | SNative cs -> Compile.get_scalar cs
   | SInterp s -> get_scalar_interp s
 
 exception Crash = Runtime.Crash
 
 let transport = function
-  | SClosure cs -> Compile.transport cs
+  | SClosure cs | SNative cs -> Compile.transport cs
   | SInterp s -> s.tr
 
 let capture = function
-  | SClosure cs -> Compile.capture cs
+  | SClosure cs | SNative cs -> Compile.capture cs
   | SInterp s -> capture_interp s
 
 let clocks = function
-  | SClosure cs -> Compile.clocks cs
+  | SClosure cs | SNative cs -> Compile.clocks cs
   | SInterp s -> Array.map (fun (p : pstate) -> p.clock) s.procs
 
 let set_clocks sim t =
   match sim with
-  | SClosure cs -> Compile.set_clocks cs t
+  | SClosure cs | SNative cs -> Compile.set_clocks cs t
   | SInterp s -> Array.iter (fun (p : pstate) -> p.clock <- t) s.procs
 
 let charge sim dt =
   match sim with
-  | SClosure cs -> Compile.charge cs dt
+  | SClosure cs | SNative cs -> Compile.charge cs dt
   | SInterp s -> Array.iter (fun (p : pstate) -> p.clock <- p.clock +. dt) s.procs

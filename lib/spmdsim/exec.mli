@@ -1,5 +1,5 @@
 (** SPMD execution facade: runs the compiler's {!Dhpf.Spmd} programs on a
-    simulated distributed-memory machine through one of two engines.
+    simulated distributed-memory machine through one of three engines.
 
     [`Closure] (the default, {!Compile}) lowers the program once into OCaml
     closures — integer names resolved to array slots, global parameters
@@ -7,8 +7,11 @@
     in a dense [float array] block, so per-iteration cost is a closure call
     instead of an AST match with hashtable lookups. [`Interp] is the
     original tree-walking interpreter, kept as the differential oracle.
+    [`Native] ({!Native}) goes one step further and emits the lowered
+    program as OCaml source, compiled out-of-process and dynlinked, so
+    the inner loops run as straight-line machine code.
 
-    Both engines share {!Runtime}'s transport and scheduler and charge
+    All engines share {!Runtime}'s transport and scheduler and charge
     clock time in the same order: runs are bit-identical in element values
     and identical in message/byte/retransmit counters (the
     engine-differential property in the test suite asserts this, including
@@ -29,7 +32,14 @@
 
 exception Error of string
 
-type engine = [ `Closure | `Interp ]
+type engine = [ `Closure | `Interp | `Native ]
+
+val engine_names : string list
+(** Valid engine selector strings, in display order:
+    ["closure"; "interp"; "native"]. *)
+
+val engine_of_string : string -> engine option
+val engine_to_string : engine -> string
 
 type sim
 
@@ -46,7 +56,9 @@ val make :
     [number_of_processors() = nprocs]), size the processor grid, compute
     each processor's [m$k] / [vm$k] coordinates, and allocate storage.
     [params] binds symbolic program parameters. [engine] selects the
-    executor (default [`Closure]; [`Interp] is the oracle).
+    executor (default [`Closure]; [`Interp] is the oracle; [`Native]
+    emits, compiles and dynlinks a standalone OCaml kernel — see
+    {!Native} for the build cache and its environment knobs).
 
     [faults] injects a deterministic adversarial transport (see {!Fault}):
     message delay, in-flight reordering, duplicate delivery, bounded

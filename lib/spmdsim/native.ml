@@ -1,0 +1,317 @@
+(* Native execution engine: Spmd -> Imp -> generated OCaml -> cmxs.
+
+   [make] builds the closure engine's sim ({!Compile.make} — setup, dense
+   storage, transport, slot tables), lowers the program again through
+   {!Imp.lower} (asserting the two slot tables agree), prints the kernel
+   with {!Emit.emit}, compiles it out-of-process with
+   [ocamlfind ocamlopt -shared] into a cache directory keyed on a hash of
+   the emitted source (plus compiler version and the lib .cmi digests, so
+   a rebuilt tree never reuses stale kernels), dynlinks the result, and
+   returns the csim with [c_main] swapped for the generated entry point.
+   Everything outside the kernel body — run loop, reductions, result
+   inspection, checkpoint capture — is {!Compile}'s code operating on the
+   same state records, so structural identity with the closure engine is
+   by construction; the kernel itself replicates Compile's clock-charge
+   and FP-evaluation order (verified bit-exactly by {!Diffcheck.engines}).
+
+   The generated unit calls back into this module: [register] hands over
+   the entry point at load time, and the [do_*] / failure helpers keep
+   transport interaction and error messages engine-identical.
+
+   Loading requires the host executable to be linked with [-linkall]
+   (dune [link_flags]); the emitted unit references library modules the
+   host may not otherwise retain. *)
+
+let errf = Runtime.errf
+
+(* ------------------------------------------------------------------ *)
+(* Kernel-facing runtime                                               *)
+(* ------------------------------------------------------------------ *)
+
+type kctx = {
+  k_tr : Runtime.transport;
+  k_phys : int list -> int;
+  k_arrays : (string, int) Hashtbl.t;
+  k_vm_slots : int array;
+}
+
+type kernel_fn = kctx -> Compile.rt -> unit
+
+(* handoff slot: the dynlinked unit's top-level [let () = N.register ...]
+   runs during loadfile, and [obtain] picks the closure up right after *)
+let pending : kernel_fn option ref = ref None
+let register f = pending := Some f
+
+let bad_step (rt : Compile.rt) var =
+  errf "proc %d: non-positive loop step for %s" rt.Compile.r_pid var
+
+let unbound_int (rt : Compile.rt) name =
+  errf "proc %d: unbound integer name %s" rt.Compile.r_pid name
+
+let unknown_sub (rt : Compile.rt) f =
+  errf "proc %d: unknown subroutine %s" rt.Compile.r_pid f
+
+let my_vp ctx (rt : Compile.rt) =
+  Array.to_list (Array.map (fun s -> rt.Compile.r_int.(s)) ctx.k_vm_slots)
+
+let do_send ctx (rt : Compile.rt) ~event ~inplace ~rect dest_vp =
+  let pl = Runtime.packbuf_flush rt.Compile.r_packbufs.(event) in
+  Runtime.send ctx.k_tr
+    ~tick:(fun dt -> Compile.tick rt dt)
+    ~get_clock:(fun () -> rt.Compile.r_clock)
+    ~pid:rt.Compile.r_pid ~dst_pid:(ctx.k_phys dest_vp) ~event
+    ~src_vp:(my_vp ctx rt) ~dst_vp:dest_vp ~inplace ~rect pl
+
+let do_recv ctx (rt : Compile.rt) ~event ~recv_o ~unpack src_vp =
+  let k = { Runtime.k_event = event; k_src = src_vp; k_dst = my_vp ctx rt } in
+  let t0 = rt.Compile.r_clock in
+  let msg = Effect.perform (Runtime.ERecv k) in
+  Compile.tick rt recv_o;
+  rt.Compile.r_clock <- Float.max rt.Compile.r_clock msg.Runtime.m_arrival;
+  let pl = msg.Runtime.m_payload in
+  let n = Array.length pl.Runtime.pl_idx in
+  if not msg.Runtime.m_contig then Compile.tick rt (float_of_int n *. unpack);
+  if n > 0 then begin
+    let st =
+      match Hashtbl.find_opt ctx.k_arrays pl.Runtime.pl_arr with
+      | Some aid -> rt.Compile.r_stores.(aid)
+      | None -> errf "unknown array %s" pl.Runtime.pl_arr
+    in
+    for i = 0 to n - 1 do
+      Compile.put_enc st pl.Runtime.pl_idx.(i) pl.Runtime.pl_val.(i)
+    done
+  end;
+  Runtime.trace_recv ctx.k_tr ~tid:rt.Compile.r_pid ~t0 ~t1:rt.Compile.r_clock k msg
+
+let do_reduce_arr name op = Effect.perform (Runtime.EReduceArr (name, op))
+
+let do_reduce_scalar (rt : Compile.rt) slot op =
+  let mine =
+    if rt.Compile.r_fvalid.(slot) then rt.Compile.r_fval.(slot) else 0.0
+  in
+  let combined = Effect.perform (Runtime.EReduce (op, mine)) in
+  rt.Compile.r_fval.(slot) <- combined;
+  rt.Compile.r_fvalid.(slot) <- true
+
+(* ------------------------------------------------------------------ *)
+(* Out-of-process build, hash-keyed cache, dynlink                     *)
+(* ------------------------------------------------------------------ *)
+
+let libs = [ "iset"; "hpf"; "dhpf"; "obs"; "par"; "spmdsim" ]
+
+let default_cache_dir () =
+  match Sys.getenv_opt "DHPF_NATIVE_CACHE" with
+  | Some d when d <> "" -> d
+  | _ -> Filename.concat (Filename.get_temp_dir_name ()) "dhpf-native-cache"
+
+let rec mkdir_p d =
+  if d <> "" && d <> "/" && not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+(* The emitted unit compiles against the very build tree this process was
+   linked from: walk up from the executable to the dune context root
+   (where lib/<l>/.<l>.objs lives). DHPF_NATIVE_INCLUDES overrides with an
+   explicit colon-separated include list (used by installed binaries). *)
+let include_dirs () =
+  match Sys.getenv_opt "DHPF_NATIVE_INCLUDES" with
+  | Some s when s <> "" -> List.filter (fun d -> d <> "") (String.split_on_char ':' s)
+  | _ -> (
+      let probe root =
+        Sys.file_exists
+          (Filename.concat root "lib/spmdsim/.spmdsim.objs/byte/spmdsim.cmi")
+      in
+      let rec up dir n =
+        if probe dir then Some dir
+        else if n = 0 then None
+        else
+          let parent = Filename.dirname dir in
+          if parent = dir then None else up parent (n - 1)
+      in
+      match up (Filename.dirname Sys.executable_name) 10 with
+      | Some root ->
+          List.concat_map
+            (fun l ->
+              let objs = Filename.concat root (Printf.sprintf "lib/%s/.%s.objs" l l) in
+              [ Filename.concat objs "byte"; Filename.concat objs "native" ])
+            libs
+      | None ->
+          errf
+            "native engine: cannot locate the dune build tree from %s (set DHPF_NATIVE_INCLUDES to the library include directories)"
+            Sys.executable_name)
+
+(* interface digests of the libraries the kernel compiles against: part of
+   the cache key, so an .ml-identical kernel never links against cmis it
+   was not built with *)
+let lib_cmi_digests dirs =
+  List.filter_map
+    (fun dir ->
+      let objs = Filename.basename (Filename.dirname dir) in
+      if
+        String.length objs > 6
+        && objs.[0] = '.'
+        && Filename.check_suffix objs ".objs"
+      then
+        let name = String.sub objs 1 (String.length objs - 6) in
+        let cmi = Filename.concat dir (name ^ ".cmi") in
+        if Sys.file_exists cmi then Some (Digest.to_hex (Digest.file cmi))
+        else None
+      else None)
+    dirs
+
+let cache_key ~dirs src =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00" (src :: Sys.ocaml_version :: lib_cmi_digests dirs)))
+
+let write_file path contents =
+  let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  output_string oc contents;
+  close_out oc;
+  Sys.rename tmp path
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with Sys_error _ -> ""
+
+let memo : (string, kernel_fn) Hashtbl.t = Hashtbl.create 8
+let m_build = lazy (Obs.Metrics.histogram "native/build_s")
+let m_hits = lazy (Obs.Metrics.counter "native/cache_hit")
+
+let compile_plugin ~dirs ~src ~ml ~cmxs =
+  write_file ml src;
+  let tmp = cmxs ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+  let log = cmxs ^ ".log" in
+  let cmd =
+    Printf.sprintf "ocamlfind ocamlopt -shared -w -a -package fmt %s -o %s %s > %s 2>&1"
+      (String.concat " " (List.map (fun d -> "-I " ^ Filename.quote d) dirs))
+      (Filename.quote tmp) (Filename.quote ml) (Filename.quote log)
+  in
+  let rc = Sys.command cmd in
+  if rc <> 0 then
+    errf "native engine: kernel compilation failed (exit %d):\n%s" rc (read_file log);
+  Sys.rename tmp cmxs
+
+(* Emit + build (or reuse) + dynlink one kernel, returning its entry
+   point. The cmxs file name carries the cache key, so its module name is
+   unique per kernel and repeated loads of distinct kernels cannot clash;
+   an in-process memo avoids re-dynlinking a kernel this process already
+   holds. *)
+let obtain ~cache_dir (kernel : Imp.kernel) : kernel_fn =
+  let src = Emit.emit kernel in
+  let dirs = include_dirs () in
+  let key = cache_key ~dirs src in
+  match Hashtbl.find_opt memo key with
+  | Some f ->
+      if Obs.Metrics.enabled () then Obs.Metrics.incr (Lazy.force m_hits);
+      f
+  | None ->
+      mkdir_p cache_dir;
+      let base = "dhpf_kernel_" ^ key in
+      let ml = Filename.concat cache_dir (base ^ ".ml") in
+      let cmxs = Filename.concat cache_dir (base ^ ".cmxs") in
+      if Sys.file_exists cmxs then begin
+        if Obs.Metrics.enabled () then Obs.Metrics.incr (Lazy.force m_hits)
+      end
+      else
+        Obs.span ~cat:"native" "native build" (fun () ->
+            let t0 = Unix.gettimeofday () in
+            compile_plugin ~dirs ~src ~ml ~cmxs;
+            if Obs.Metrics.enabled () then
+              Obs.Metrics.observe (Lazy.force m_build) (Unix.gettimeofday () -. t0));
+      pending := None;
+      (try Dynlink.loadfile_private cmxs
+       with
+      | Dynlink.Error e ->
+          errf "native engine: loading %s failed: %s (is the host linked with -linkall?)"
+            cmxs (Dynlink.error_message e));
+      (match !pending with
+      | Some f ->
+          pending := None;
+          Hashtbl.replace memo key f;
+          f
+      | None -> errf "native engine: kernel %s loaded but did not register" base)
+
+(* ------------------------------------------------------------------ *)
+(* Pack-buffer pre-sizing                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Size each (processor, event) staging buffer to the largest message the
+   static communication prediction says that processor will pack for the
+   event, killing the grow-and-copy reallocations mid-loop. Capacity never
+   affects behavior (flush truncates to the packed length), so programs
+   Predict cannot analyze simply keep the default buffers. *)
+let presize_packbufs (cs : Compile.csim) ?params ~nprocs prog =
+  let cells =
+    try Some (Predict.comm ?params ~nprocs prog) with
+    | Predict.Unpredictable _ | Runtime.Error _ | Not_found | Failure _
+    | Invalid_argument _ ->
+        None
+  in
+  match cells with
+  | None -> ()
+  | Some cells ->
+      let caps = Hashtbl.create 32 in
+      List.iter
+        (fun (c : Predict.cell) ->
+          let per =
+            if c.Predict.p_msgs <= 0 then 0
+            else (c.Predict.p_elems + c.Predict.p_msgs - 1) / c.Predict.p_msgs
+          in
+          let key = (c.Predict.p_event, c.Predict.p_src) in
+          let cur = Option.value (Hashtbl.find_opt caps key) ~default:0 in
+          if per > cur then Hashtbl.replace caps key per)
+        cells;
+      Array.iter
+        (fun (rt : Compile.rt) ->
+          Array.iteri
+            (fun ev _ ->
+              match Hashtbl.find_opt caps (ev, rt.Compile.r_pid) with
+              | Some cap when cap > 0 ->
+                  rt.Compile.r_packbufs.(ev) <- Runtime.packbuf_create ~cap ()
+              | _ -> ())
+            rt.Compile.r_packbufs)
+        cs.Compile.c_rts
+
+(* ------------------------------------------------------------------ *)
+(* Engine construction                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_tbl tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let make ?(machine = Machine.default) ?faults ?domains ?cache_dir ~nprocs
+    ?params (prog : Dhpf.Spmd.program) : Compile.csim =
+  let cs = Compile.make ~machine ?faults ?domains ~nprocs ?params prog in
+  let kernel =
+    Imp.lower ~machine ~genv:cs.Compile.c_su.Runtime.su_genv
+      ~extents:cs.Compile.c_su.Runtime.su_extents ~arrays:cs.Compile.c_arrays
+      ~ameta:cs.Compile.c_ameta prog
+  in
+  if
+    sorted_tbl cs.Compile.c_islots <> kernel.Imp.k_islots
+    || sorted_tbl cs.Compile.c_fslots <> kernel.Imp.k_fslots
+  then
+    errf
+      "native engine: lowered slot tables diverge from the closure engine (internal invariant)";
+  let cache_dir =
+    match cache_dir with Some d -> d | None -> default_cache_dir ()
+  in
+  let fn = obtain ~cache_dir kernel in
+  let kctx =
+    {
+      k_tr = cs.Compile.c_tr;
+      k_phys = Compile.phys_of_vp cs;
+      k_arrays = cs.Compile.c_arrays;
+      k_vm_slots = kernel.Imp.k_vm_slots;
+    }
+  in
+  presize_packbufs cs ?params ~nprocs prog;
+  { cs with Compile.c_main = (fun rt -> fn kctx rt) }

@@ -212,8 +212,9 @@ type packbuf = {
 (** Growable send-side staging buffer, reused across messages of one
     (processor, event) channel so steady-state packing does not allocate. *)
 
-let packbuf_create () =
-  { pb_arr = ""; pb_idx = Array.make 16 0; pb_val = Array.make 16 0.0; pb_len = 0 }
+let packbuf_create ?(cap = 16) () =
+  let cap = max cap 16 in
+  { pb_arr = ""; pb_idx = Array.make cap 0; pb_val = Array.make cap 0.0; pb_len = 0 }
 
 let packbuf_push (b : packbuf) ~arr enc v =
   if b.pb_len = 0 then b.pb_arr <- arr

@@ -80,7 +80,12 @@ val empty_payload : payload
 
 type packbuf
 
-val packbuf_create : unit -> packbuf
+val packbuf_create : ?cap:int -> unit -> packbuf
+(** [?cap] preallocates capacity for that many elements (floored at 16), so
+    engines that know a channel's message cardinality up front — the native
+    engine sizes per-(event, processor) buffers from [Predict]'s comm-set
+    counts — never pay the doubling reallocations during packing. *)
+
 val packbuf_push : packbuf -> arr:string -> int -> float -> unit
 val packbuf_flush : packbuf -> payload
 

@@ -100,6 +100,77 @@ let test_context () =
   let got = List.map (fun (_, binds) -> List.assoc "i" binds) (enumerate asts) in
   Alcotest.(check (list int)) "evens via context" [ 0; 2; 4; 6; 8 ] got
 
+(* count_points: direct coverage for empty, single-point, and negative-step
+   nests (previously only exercised indirectly through Predict). *)
+let env_fail _ = failwith "no param"
+
+let afor ?(step = 1) var lo hi body =
+  Codegen.AFor { var; lo; hi; step; body }
+
+let test_count_points () =
+  let open Codegen in
+  let count = count_points ~env:env_fail in
+  (* empty range: lo > hi with a positive step runs zero iterations *)
+  Alcotest.(check int) "empty nest" 0 (count [ afor "i" (EInt 5) (EInt 2) [ ALeaf () ] ]);
+  (* empty from the set level too *)
+  let s = Parse.set "{[i] : 5 <= i <= 2}" in
+  let asts = Codegen.gen ~names:[| "i" |] [ { Codegen.tag = (); dom = s } ] in
+  Alcotest.(check int) "empty set" 0 (count asts);
+  (* single point: lo = hi *)
+  Alcotest.(check int) "single point" 1 (count [ afor "i" (EInt 3) (EInt 3) [ ALeaf () ] ]);
+  let s1 = Parse.set "{[i,j] : i = 2 && j = 7}" in
+  let asts1 = Codegen.gen ~names:[| "i"; "j" |] [ { Codegen.tag = (); dom = s1 } ] in
+  Alcotest.(check int) "single-point set" 1 (count asts1);
+  (* negative step: 10, 8, 6, 4, 2 — five iterations, counting down *)
+  Alcotest.(check int) "negative step" 5
+    (count [ afor ~step:(-2) "i" (EInt 10) (EInt 2) [ ALeaf () ] ]);
+  (* negative step, empty: lo already below hi *)
+  Alcotest.(check int) "negative step empty" 0
+    (count [ afor ~step:(-1) "i" (EInt 0) (EInt 4) [ ALeaf () ] ]);
+  (* nested, inner descending and bounded by the outer variable:
+     i = 1..3, j counts down from i to 1 -> 1 + 2 + 3 points *)
+  Alcotest.(check int) "nested descending" 6
+    (count [ afor "i" (EInt 1) (EInt 3) [ afor ~step:(-1) "j" (EVar "i") (EInt 1) [ ALeaf () ] ] ]);
+  (* run must agree with count_points on the descending nest, in order *)
+  let seen = ref [] in
+  Codegen.run ~env:env_fail
+    ~f:(fun () binds -> seen := List.assoc "j" binds :: !seen)
+    [ afor ~step:(-2) "j" (EInt 9) (EInt 4) [ ALeaf () ] ];
+  Alcotest.(check (list int)) "run descending order" [ 9; 7; 5 ] (List.rev !seen);
+  (* zero step is rejected, not an infinite loop *)
+  Alcotest.check_raises "zero step" (Invalid_argument "Codegen.count_points: zero loop step")
+    (fun () -> ignore (count [ afor ~step:0 "i" (EInt 1) (EInt 2) [ ALeaf () ] ]))
+
+let test_intervals () =
+  let open Codegen in
+  let env = function
+    | "n" -> itv ~lo:1 ~hi:100 ()
+    | "p" -> itv ~lo:0 ~hi:3 ()
+    | _ -> itv_top
+  in
+  let iv e = interval_of_expr env e in
+  Alcotest.(check bool) "const in range" true (itv_within (iv (EInt 7)) ~lo:0 ~hi:10);
+  Alcotest.(check bool) "var bounded" true (itv_within (iv (EVar "n")) ~lo:1 ~hi:100);
+  Alcotest.(check bool) "unknown unbounded" false
+    (itv_within (iv (EVar "mystery")) ~lo:min_int ~hi:max_int);
+  Alcotest.(check bool) "sum" true
+    (itv_within (iv (EAdd (EVar "n", EVar "p"))) ~lo:1 ~hi:103);
+  Alcotest.(check bool) "sub flips" true
+    (itv_within (iv (ESub (EVar "n", EVar "p"))) ~lo:(-2) ~hi:100);
+  Alcotest.(check bool) "negative scale flips" true
+    (itv_within (iv (EMul (-2, EVar "p"))) ~lo:(-6) ~hi:0);
+  Alcotest.(check bool) "floordiv" true
+    (itv_within (iv (EFloorDiv (EVar "n", 3))) ~lo:0 ~hi:33);
+  Alcotest.(check bool) "max improves lower bound" true
+    (match (iv (EMax [ EVar "mystery"; EInt 5 ])).ilo with Some l -> l >= 5 | None -> false);
+  Alcotest.(check bool) "min improves upper bound" true
+    (match (iv (EMin [ EVar "mystery"; EInt 5 ])).ihi with Some h -> h <= 5 | None -> false);
+  (* alignup: bounded when the modulus is provably positive *)
+  Alcotest.(check bool) "alignup bounded" true
+    (itv_within (iv (EAlignUp (EVar "p", EInt 0, EInt 4))) ~lo:0 ~hi:6);
+  Alcotest.(check bool) "alignup unknown modulus unbounded" false
+    (itv_within (iv (EAlignUp (EVar "p", EInt 0, EVar "mystery"))) ~lo:min_int ~hi:max_int)
+
 let contains hay needle =
   let nh = String.length hay and nn = String.length needle in
   let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
@@ -133,5 +204,10 @@ let () =
           Alcotest.test_case "two stmts" `Quick test_multi_stmt;
           Alcotest.test_case "context" `Quick test_context;
           Alcotest.test_case "pretty" `Quick test_pretty;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "count_points" `Quick test_count_points;
+          Alcotest.test_case "intervals" `Quick test_intervals;
         ] );
     ]

@@ -1,0 +1,150 @@
+(* Native-engine differential suite: the generated-OCaml backend must be
+   bit-identical to the closure engine and the tree-walking interpreter —
+   element values, scalars, simulated clocks, message/byte counters and
+   per-pair communication cells — on every built-in benchmark, under
+   fault schedules, and on randomly generated programs. Also covers the
+   source-hash build cache (second make of the same program must hit). *)
+
+let three_way ?(seeds = [ 7; 21 ]) src =
+  let chk = Hpf.Sema.analyze_source src in
+  match Spmdsim.Diffcheck.engines ~seeds chk with
+  | Spmdsim.Diffcheck.Pass _ -> ()
+  | out -> Alcotest.failf "%a" Spmdsim.Diffcheck.pp_outcome out
+
+(* one case per built-in benchmark, fault-free plus two fault schedules,
+   all three engines agreeing exactly *)
+let benchmark_cases =
+  List.map
+    (fun (name, src) ->
+      Alcotest.test_case name `Slow (fun () -> three_way src))
+    (Codes.all_small ())
+
+(* random programs: reuse the shape of the serial-oracle fuzzer (random
+   distribution, alignments, stencil shifts) but assert the stronger
+   three-engine bit-identity property instead of a tolerance check.
+   Count is kept small because each distinct program costs one
+   out-of-process ocamlopt build on a cold cache. *)
+let gen_src =
+  QCheck.Gen.(
+    let shift = int_range (-1) 1 in
+    let dist =
+      oneofl
+        [
+          ("processors p(2)", "distribute t(block,*) onto p");
+          ("processors p(2)", "distribute t(*,block) onto p");
+          ("processors p(2,2)", "distribute t(block,block) onto p");
+          ("processors p(2)", "distribute t(cyclic,*) onto p");
+        ]
+    in
+    let align name =
+      map
+        (fun k ->
+          match k with
+          | 0 -> Printf.sprintf "align %s(i,j) with t(i,j)" name
+          | 1 -> Printf.sprintf "align %s(i,j) with t(i+1,j)" name
+          | _ -> Printf.sprintf "align %s(i,j) with t(j,i)" name)
+        (int_range 0 2)
+    in
+    let ref_ = pair (oneofl [ "a"; "b" ]) (pair shift shift) in
+    let stmt = pair ref_ (list_size (int_range 1 3) ref_) in
+    map
+      (fun ((procs, dist), (aa, ab), stmts) ->
+        let buf = Buffer.create 1024 in
+        let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+        pf "program nfuzz\n  parameter n = 9\n  real a(n,n), b(n,n)\n";
+        pf "  %s\n  template t(n+1,n+1)\n  %s\n  %s\n  %s\n" procs aa ab dist;
+        pf "  do i = 1, n\n    do j = 1, n\n";
+        pf "      a(i,j) = i + 2*j + mod(i*j, 5)\n";
+        pf "      b(i,j) = 2*i - j + mod(i+j, 3)\n";
+        pf "    end do\n  end do\n";
+        List.iter
+          (fun ((lhs, ld), refs) ->
+            let sub (di, dj) =
+              let f v d = if d = 0 then v else Printf.sprintf "%s%+d" v d in
+              Printf.sprintf "%s,%s" (f "i" di) (f "j" dj)
+            in
+            pf "  do i = 2, n-1\n    do j = 2, n-1\n";
+            let rhs =
+              String.concat " + "
+                (List.map
+                   (fun (arr, d) -> Printf.sprintf "0.5*%s(%s)" arr (sub d))
+                   refs)
+            in
+            pf "      %s(%s) = %s + 1.0\n" lhs (sub ld) rhs;
+            pf "    end do\n  end do\n")
+          stmts;
+        pf "end\n";
+        Buffer.contents buf)
+      (triple dist
+         (pair (align "a") (align "b"))
+         (list_size (int_range 1 2) stmt)))
+
+let prop_three_way_random =
+  QCheck.Test.make ~count:5
+    ~name:"random programs are bit-identical across all three engines"
+    (QCheck.make ~print:Fun.id gen_src)
+    (fun src ->
+      match Hpf.Sema.analyze_source src with
+      | chk -> (
+          match Spmdsim.Diffcheck.engines ~seeds:[ 1 ] chk with
+          | Spmdsim.Diffcheck.Pass _ -> true
+          | out ->
+              QCheck.Test.fail_reportf "%a" Spmdsim.Diffcheck.pp_outcome out
+          | exception Dhpf.Gen.Unsupported _ -> QCheck.assume_fail ()
+          | exception Dhpf.Layout.Unsupported _ -> QCheck.assume_fail ())
+      | exception Hpf.Sema.Error _ -> QCheck.assume_fail ())
+
+(* the source-hash cache: building the same program twice into a fresh
+   cache directory must invoke the compiler exactly once and hit on the
+   second make, and both runs must produce bit-identical results *)
+let test_cache_hit () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dhpf-native-test-%d" (Unix.getpid ()))
+  in
+  Obs.Metrics.enable ();
+  Obs.Metrics.reset ();
+  let chk = Hpf.Sema.analyze_source (Codes.jacobi ()) in
+  let cprog = (Dhpf.Gen.compile chk).Dhpf.Gen.cprog in
+  let run () =
+    let sim = Spmdsim.Native.make ~cache_dir:dir ~nprocs:4 cprog in
+    ignore (Spmdsim.Compile.run sim);
+    sim
+  in
+  let s1 = run () in
+  let s2 = run () in
+  let find name =
+    List.find_opt
+      (fun s -> s.Obs.Metrics.m_name = name)
+      (Obs.Metrics.snapshot ())
+  in
+  (match find "native/build_s" with
+  | Some { m_value = VHisto h; _ } ->
+      Alcotest.(check int) "exactly one compiler invocation" 1 h.hs_count
+  | _ -> Alcotest.fail "native/build_s histogram missing");
+  (match find "native/cache_hit" with
+  | Some { m_value = VCounter c; _ } ->
+      Alcotest.(check bool) "second make hit the cache" true (c >= 1.0)
+  | _ -> Alcotest.fail "native/cache_hit counter missing");
+  List.iter
+    (fun idx ->
+      let a = Spmdsim.Compile.get_elem s1 "a" idx in
+      let b = Spmdsim.Compile.get_elem s2 "a" idx in
+      Alcotest.(check bool)
+        (Printf.sprintf "a(%s) bit-identical across cache hit"
+           (String.concat "," (List.map string_of_int idx)))
+        true
+        (Int64.bits_of_float a = Int64.bits_of_float b))
+    [ [ 1; 1 ]; [ 8; 8 ]; [ 128; 128 ] ];
+  Obs.Metrics.disable ();
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
+
+let () =
+  Alcotest.run "native"
+    [
+      ("benchmarks", benchmark_cases);
+      ( "random",
+        List.map QCheck_alcotest.to_alcotest [ prop_three_way_random ] );
+      ( "cache",
+        [ Alcotest.test_case "source-hash cache hit" `Slow test_cache_hit ] );
+    ]
