@@ -7,13 +7,13 @@
 DUNE ?= dune
 DHPFC = $(DUNE) exec bin/dhpfc.exe --
 
-.PHONY: all check test resilience fuzz bench bench-smoke bench-run bench-run-smoke bench-par-smoke bench-native-smoke bench-native metrics-smoke fmt fmt-check clean
+.PHONY: all check test resilience fuzz bench bench-smoke bench-run bench-run-smoke bench-par-smoke bench-native-smoke bench-native bench-serve bench-serve-smoke metrics-smoke fmt fmt-check clean
 
 all:
 	$(DUNE) build
 
 check:
-	$(DUNE) build && $(DUNE) runtest && $(MAKE) bench-smoke && $(MAKE) bench-run-smoke && $(MAKE) bench-par-smoke && $(MAKE) bench-native-smoke && $(MAKE) metrics-smoke
+	$(DUNE) build && $(DUNE) runtest && $(MAKE) bench-smoke && $(MAKE) bench-run-smoke && $(MAKE) bench-par-smoke && $(MAKE) bench-native-smoke && $(MAKE) bench-serve-smoke && $(MAKE) metrics-smoke
 
 # Fast Table-1 subset with the bench's JSON emitter; fails if the
 # integer-set caches record zero hits (i.e. the memoization layer is
@@ -51,6 +51,17 @@ bench-native-smoke:
 
 bench-native:
 	$(DUNE) exec bench/main.exe -- native-json > BENCH_native.json
+
+# Compilation-service smoke: fork a cold and a warm daemon over one
+# shared disk cache, drive both with concurrent mixed compile/run
+# clients, and fail unless every request succeeds, the warm daemon
+# serves nonzero disk-cache hits, and both daemons shut down cleanly on
+# SIGTERM. `bench-serve` regenerates BENCH_serve.json.
+bench-serve-smoke:
+	$(DHPFC) bench-serve --clients 8 --requests 3 --smoke
+
+bench-serve:
+	$(DHPFC) bench-serve --clients 8 --requests 4 --json BENCH_serve.json --smoke
 
 # Predicted-vs-measured communication: the bench's symmetric-stencil
 # matrix assertions, then --check-comm (static integer-set prediction

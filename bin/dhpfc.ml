@@ -1,13 +1,17 @@
 (* dhpfc — command-line driver for the dHPF-reproduction compiler.
 
    Subcommands:
-     compile   parse, analyze and compile a mini-HPF file; print the SPMD
-               node program, communication sets, or a phase-time report
-     run       compile and execute on the simulated machine, with a serial
-               run for comparison
-     bench     print one of the built-in benchmark programs *)
+     compile     parse, analyze and compile a mini-HPF file; print the SPMD
+                 node program, communication sets, or a phase-time report
+     run         compile and execute on the simulated machine, with a serial
+                 run for comparison
+     bench       print one of the built-in benchmark programs
+     serve       persistent compilation daemon on a Unix-domain socket
+     bench-serve cold-vs-warm serve throughput benchmark *)
 
 open Cmdliner
+
+let version = "1.6.0"
 
 let read_file path =
   let ic = open_in_bin path in
@@ -32,11 +36,14 @@ let load src_arg =
 
 (* distinct exit codes so scripts can triage failures:
    2 = parse/lexical, 3 = semantic, 4 = unsupported construct,
-   5 = runtime (simulator error or deadlock) *)
+   5 = runtime (simulator error or deadlock), 6 = serve daemon could not
+   bind its socket, 7 = serve wire-protocol error *)
 let exit_parse = 2
 let exit_semantic = 3
 let exit_unsupported = 4
 let exit_runtime = 5
+let exit_bind = 6
+let exit_protocol = 7
 
 let handle_errors f =
   try f () with
@@ -74,6 +81,15 @@ let handle_errors f =
   | Spmdsim.Predict.Unpredictable msg ->
       Fmt.epr "unsupported: communication volume not predictable: %s@." msg;
       exit exit_unsupported
+  | Serve.Server.Bind_error msg ->
+      Fmt.epr "bind error: %s@." msg;
+      exit exit_bind
+  | Serve.Proto.Proto_error msg ->
+      Fmt.epr "protocol error: %s@." msg;
+      exit exit_protocol
+  | Serve.Client.Connect_error msg ->
+      Fmt.epr "connect error: %s@." msg;
+      exit exit_protocol
 
 (* ---- tracing ---- *)
 
@@ -182,6 +198,55 @@ let show_spmd_t =
 
 let report_t =
   Arg.(value & flag & info [ "report" ] ~doc:"Print the compilation phase-time breakdown.")
+
+let report_json_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report-json" ] ~docv:"FILE"
+        ~doc:
+          "Write the compile report as stable dhpf-report/1 JSON to \
+           $(docv) ($(b,-) for stdout): phase-time breakdown, event and \
+           statement counts, integer-set cache counters and the disk-cache \
+           state. The same document is embedded in $(b,serve) compile \
+           responses.")
+
+(* ---- persistent disk cache ---- *)
+
+let disk_cache_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "disk-cache" ] ~docv:"DIR"
+        ~doc:
+          "Persistent analysis-cache directory (also settable via \
+           $(b,DHPF_DISK_CACHE)). Memoized integer-set analyses — \
+           simplify, satisfiability, implication, gist, subset — are \
+           stored content-addressed under $(docv) and shared by every \
+           process pointed at the same directory; a warm cache turns \
+           recompiles into disk lookups. Corrupt or truncated entries \
+           are treated as misses, never errors.")
+
+let disk_cache_mb_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "disk-cache-mb" ] ~docv:"MB"
+        ~doc:
+          "Size budget for $(b,--disk-cache) in MiB (default 256, floor \
+           1; also $(b,DHPF_DISK_CACHE_MB)). When the cache overflows, \
+           the oldest entries are evicted down to 3/4 of the budget.")
+
+let apply_disk_cache dir mb =
+  (match dir with
+  | Some d -> Iset.Diskcache.set_dir (Some d)
+  | None -> ());
+  match mb with
+  | Some m when m < 1 ->
+      Fmt.epr "invalid --disk-cache-mb %d: need a positive MiB budget@." m;
+      exit exit_parse
+  | Some m -> Iset.Diskcache.set_max_bytes (m * 1024 * 1024)
+  | None -> ()
 
 let no_opt names doc = Arg.(value & flag & info names ~doc)
 let no_split_t = no_opt [ "no-split" ] "Disable loop splitting (Figure 4)."
@@ -415,13 +480,14 @@ let validated sp =
 (* ---- compile ---- *)
 
 let compile_cmd =
-  let run src show_sets show_spmd report no_split no_vect no_coal no_inplace
-      jobs trace metrics =
+  let run src show_sets show_spmd report report_json no_split no_vect no_coal
+      no_inplace jobs disk_cache disk_cache_mb trace metrics =
     handle_errors @@ fun () ->
     let opts = opts_of ~no_split ~no_vect ~no_coal ~no_inplace in
     fresh_window ();
     trace_begin trace;
     metrics_begin metrics;
+    apply_disk_cache disk_cache disk_cache_mb;
     let domains = apply_jobs jobs in
     let ph = Dhpf.Phase.global in
     let chk =
@@ -460,7 +526,26 @@ let compile_cmd =
         (if Iset.Cache.enabled () then "enabled" else "disabled");
       Fmt.pr "%a" Iset.Stats.pp ()
     end;
-    if not (show_sets || show_spmd || report) then
+    (match report_json with
+    | None -> ()
+    | Some path ->
+        let j =
+          Serve.Report.compile_report ~version ~src ~domains
+            ~phase:Dhpf.Phase.global
+            ~events:(List.length compiled.cevents)
+            ~statements:(List.length compiled.cprog.Dhpf.Spmd.main)
+            ()
+        in
+        let s = Serve.Jsonx.to_string j in
+        if path = "-" then print_endline s
+        else begin
+          let oc = open_out path in
+          output_string oc s;
+          output_char oc '\n';
+          close_out oc;
+          Fmt.epr "report: %s@." path
+        end);
+    if not (show_sets || show_spmd || report || report_json <> None) then
       Fmt.pr "compiled: %d communication events, %d statements@."
         (List.length compiled.cevents)
         (List.length compiled.cprog.Dhpf.Spmd.main)
@@ -468,8 +553,9 @@ let compile_cmd =
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a mini-HPF program")
     Term.(
-      const run $ src_t $ show_sets_t $ show_spmd_t $ report_t $ no_split_t
-      $ no_vect_t $ no_coal_t $ no_inplace_t $ jobs_t $ trace_t $ metrics_t)
+      const run $ src_t $ show_sets_t $ show_spmd_t $ report_t
+      $ report_json_t $ no_split_t $ no_vect_t $ no_coal_t $ no_inplace_t
+      $ jobs_t $ disk_cache_t $ disk_cache_mb_t $ trace_t $ metrics_t)
 
 (* ---- run ---- *)
 
@@ -495,13 +581,14 @@ let comm_slack_t =
            |measured - predicted| <= F * predicted. Default 0 (exact).")
 
 let run_cmd =
-  let run src nprocs params engine native_cache no_split no_vect no_coal
-      no_inplace jobs faults_seed drop dup delay skew crash_procs crash_prob
-      ckpt_every max_events diff diff_engines diff_domains diff_crashes trace
-      metrics check_comm comm_slack =
+  let run src nprocs params engine native_cache disk_cache disk_cache_mb
+      no_split no_vect no_coal no_inplace jobs faults_seed drop dup delay
+      skew crash_procs crash_prob ckpt_every max_events diff diff_engines
+      diff_domains diff_crashes trace metrics check_comm comm_slack =
     handle_errors @@ fun () ->
     let engine = resolve_engine engine in
     Option.iter (Unix.putenv "DHPF_NATIVE_CACHE") native_cache;
+    apply_disk_cache disk_cache disk_cache_mb;
     List.iter
       (fun (name, v) ->
         if v < 0 then begin
@@ -708,7 +795,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Compile and execute on the simulated machine")
     Term.(
       const run $ src_t $ nprocs_t $ param_t $ engine_t $ native_cache_t
-      $ no_split_t $ no_vect_t
+      $ disk_cache_t $ disk_cache_mb_t $ no_split_t $ no_vect_t
       $ no_coal_t $ no_inplace_t $ jobs_t $ faults_t $ fault_drop_t
       $ fault_dup_t $ fault_delay_t $ fault_skew_t $ crash_procs_t
       $ crash_prob_t $ ckpt_every_t $ max_events_t $ diff_t $ diff_engines_t
@@ -760,13 +847,353 @@ let omega_cmd =
     (Cmd.info "omega" ~doc:"Interactive integer-set calculator (Omega-calculator style)")
     Term.(const run $ script_t)
 
-let version = "1.5.0"
+(* ---- serve (persistent compilation daemon) ---- *)
+
+let default_socket =
+  Filename.concat (Filename.get_temp_dir_name ()) "dhpf-serve.sock"
+
+let socket_t =
+  Arg.(
+    value & opt string default_socket
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket the daemon listens on (one request per \
+              connection, dhpf-serve/1 framing).")
+
+let workers_t =
+  Arg.(
+    value & opt int 0
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Worker domains serving requests concurrently (default 0 = the \
+           session domain pool: $(b,-j)/$(b,DHPF_DOMAINS), else 1).")
+
+let max_queue_t =
+  Arg.(
+    value & opt int 64
+    & info [ "max-queue" ] ~docv:"N"
+        ~doc:
+          "Admission bound: pending requests queued before new \
+           connections are answered with the structured \
+           $(b,overloaded) response instead of waiting.")
+
+let quiet_t =
+  Arg.(
+    value & flag
+    & info [ "quiet" ] ~doc:"Suppress the startup/shutdown notes on stderr.")
+
+let serve_man =
+  [
+    `S Manpage.s_description;
+    `P
+      "Run a persistent compilation service. Clients connect to the \
+       Unix-domain socket, send one length-prefixed JSON request \
+       (dhpf-serve/1) and read one response. Both cache layers are \
+       shared across requests and — through $(b,--disk-cache) — across \
+       server generations: a warm daemon answers repeat compiles out of \
+       cache with byte-identical analysis results.";
+    `P
+      "Response statuses: $(b,ok) (payload depends on the op), \
+       $(b,error) (with a $(b,code) of protocol/parse/semantic/\
+       unsupported/runtime, mirroring the batch exit codes) and \
+       $(b,overloaded) (admission control; retry later). SIGTERM and \
+       SIGINT stop admission, drain the queue and exit cleanly.";
+    `S Manpage.s_exit_status;
+    `P "6 when the socket cannot be bound; the usual codes otherwise.";
+  ]
+
+let serve_cmd =
+  let run socket workers max_queue disk_cache disk_cache_mb jobs quiet trace
+      metrics =
+    handle_errors @@ fun () ->
+    if max_queue < 0 then begin
+      Fmt.epr "invalid --max-queue %d: need a non-negative bound@." max_queue;
+      exit exit_parse
+    end;
+    fresh_window ();
+    trace_begin trace;
+    metrics_begin metrics;
+    apply_disk_cache disk_cache disk_cache_mb;
+    let domains = apply_jobs jobs in
+    let workers = if workers <= 0 then domains else workers in
+    let cfg =
+      {
+        Serve.Server.version;
+        socket;
+        workers;
+        max_queue;
+        disk_cache = None (* already applied process-wide above *);
+        lookup = builtin;
+        quiet;
+      }
+    in
+    (* install the handlers before launch so a signal in the startup
+       window is never lost; the daemon drains its queue and exits *)
+    let srv_ref = ref None in
+    let stop _ =
+      match !srv_ref with
+      | Some srv -> Serve.Server.request_stop srv
+      | None -> Stdlib.exit 0
+    in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    let srv = Serve.Server.launch cfg in
+    srv_ref := Some srv;
+    Serve.Server.wait srv;
+    trace_finish trace;
+    metrics_compiler ();
+    metrics_finish metrics
+  in
+  Cmd.v
+    (Cmd.info "serve" ~man:serve_man
+       ~doc:"Persistent compilation service on a Unix-domain socket")
+    Term.(
+      const run $ socket_t $ workers_t $ max_queue_t $ disk_cache_t
+      $ disk_cache_mb_t $ jobs_t $ quiet_t $ trace_t $ metrics_t)
+
+(* ---- bench-serve (cold vs. warm service throughput) ---- *)
+
+let bench_serve_cmd =
+  let clients_t =
+    Arg.(
+      value & opt int 8
+      & info [ "clients" ] ~docv:"N"
+          ~doc:"Concurrent closed-loop clients (the offered concurrency).")
+  in
+  let requests_t =
+    Arg.(
+      value & opt int 4
+      & info [ "requests" ] ~docv:"N"
+          ~doc:"Requests each client issues back-to-back.")
+  in
+  let bworkers_t =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker domains per daemon.")
+  in
+  let json_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the results as dhpf-bench-serve/1 JSON to $(docv).")
+  in
+  let smoke_t =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Assert the invariants (every request answered ok, warm \
+             phase hits the disk cache, both daemons exit cleanly on \
+             SIGTERM) and fail with exit 1 otherwise.")
+  in
+  let run clients requests workers json smoke =
+    handle_errors @@ fun () ->
+    if clients < 1 || requests < 1 then begin
+      Fmt.epr "bench-serve: need positive --clients and --requests@.";
+      exit exit_parse
+    end;
+    let base =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "dhpf-bench-serve-%d" (Unix.getpid ()))
+    in
+    (try Unix.mkdir base 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let cache_dir = Filename.concat base "cache" in
+    let sock_cold = Filename.concat base "cold.sock" in
+    let sock_warm = Filename.concat base "warm.sock" in
+    List.iter
+      (fun s -> try Unix.unlink s with Unix.Unix_error _ -> ())
+      [ sock_cold; sock_warm ];
+    (* Fork both daemons before this process spawns any domain: the
+       load generator multicores the parent, and forking a runtime with
+       live domains is not supported. The warm daemon idles until the
+       cold phase has populated the shared disk cache; being a separate
+       process, its in-memory tables start empty, so every hit it gets
+       is a genuine cross-process disk hit. *)
+    let fork_server socket =
+      match Unix.fork () with
+      | 0 ->
+          let code =
+            try
+              let cfg =
+                {
+                  Serve.Server.version;
+                  socket;
+                  workers = max 1 workers;
+                  max_queue = 1024;
+                  disk_cache = Some cache_dir;
+                  lookup = builtin;
+                  quiet = true;
+                }
+              in
+              let srv_ref = ref None in
+              let stop _ =
+                match !srv_ref with
+                | Some srv -> Serve.Server.request_stop srv
+                | None -> Unix._exit 0
+              in
+              Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+              let srv = Serve.Server.launch cfg in
+              srv_ref := Some srv;
+              Serve.Server.wait srv;
+              0
+            with _ -> 1
+          in
+          Unix._exit code
+      | pid -> pid
+    in
+    let pid_cold = fork_server sock_cold in
+    let pid_warm = fork_server sock_warm in
+    (* mixed workload: every built-in at smoke size as inline source,
+       with every fourth request a full simulated run *)
+    let progs = Array.of_list (Codes.all_small ()) in
+    let nprogs = Array.length progs in
+    let workload ~client ~seq =
+      let name, text = progs.((client + seq) mod nprogs) in
+      if (client + seq) mod 4 = 3 then
+        Serve.Proto.Run
+          {
+            label = name;
+            source = Some text;
+            opts = Dhpf.Gen.default_options;
+            nprocs = 4;
+            params = [];
+            engine = "closure";
+          }
+      else
+        Serve.Proto.Compile
+          { label = name; source = Some text; opts = Dhpf.Gen.default_options }
+    in
+    let run_phase name socket =
+      if not (Serve.Client.wait_ready ~socket ()) then begin
+        Fmt.epr "bench-serve: %s daemon did not come up on %s@." name socket;
+        exit exit_runtime
+      end;
+      let r = Serve.Loadgen.run ~socket ~clients ~requests ~workload in
+      let stats =
+        try Some (Serve.Client.request ~socket Serve.Proto.Stats)
+        with Serve.Client.Connect_error _ | Serve.Proto.Proto_error _ -> None
+      in
+      (r, stats)
+    in
+    let cold, cold_stats = run_phase "cold" sock_cold in
+    let warm, warm_stats = run_phase "warm" sock_warm in
+    let shutdown name pid =
+      Unix.kill pid Sys.sigterm;
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> true
+      | _, _ ->
+          Fmt.epr "bench-serve: %s daemon did not exit cleanly@." name;
+          false
+    in
+    let clean_cold = shutdown "cold" pid_cold in
+    let clean_warm = shutdown "warm" pid_warm in
+    let clean = clean_cold && clean_warm in
+    let disk_counter stats key =
+      match stats with
+      | None -> 0
+      | Some v -> (
+          match Serve.Jsonx.get v "iset" with
+          | Some o -> Option.value (Serve.Jsonx.get_int o key) ~default:0
+          | None -> 0)
+    in
+    let rps (r : Serve.Loadgen.result) =
+      float_of_int r.lg_ok /. Float.max 1e-9 r.lg_wall_s
+    in
+    let pct q (r : Serve.Loadgen.result) =
+      Serve.Loadgen.percentile q r.lg_latencies
+    in
+    let line name (r : Serve.Loadgen.result) stats =
+      Fmt.pr
+        "%-5s %4d ok %3d err %4d overload-retries %8.3f s  %7.1f req/s  \
+         p50 %6.1f ms  p99 %6.1f ms  disk %d/%d@."
+        name r.lg_ok r.lg_error r.lg_overloaded r.lg_wall_s (rps r)
+        (pct 0.5 r *. 1e3) (pct 0.99 r *. 1e3)
+        (disk_counter stats "disk hits")
+        (disk_counter stats "disk lookups")
+    in
+    Fmt.pr "bench-serve: %d clients x %d requests, %d workers per daemon@."
+      clients requests workers;
+    line "cold" cold cold_stats;
+    line "warm" warm warm_stats;
+    if rps cold > 0. then
+      Fmt.pr "warm/cold throughput: %.2fx@." (rps warm /. rps cold);
+    (match json with
+    | None -> ()
+    | Some path ->
+        let phase_json name (r : Serve.Loadgen.result) stats =
+          Serve.Jsonx.Obj
+            [
+              ("phase", Serve.Jsonx.Str name);
+              ("ok", Serve.Jsonx.int r.lg_ok);
+              ("error", Serve.Jsonx.int r.lg_error);
+              ("overloaded_retries", Serve.Jsonx.int r.lg_overloaded);
+              ("wall_s", Serve.Jsonx.Num r.lg_wall_s);
+              ("throughput_rps", Serve.Jsonx.Num (rps r));
+              ("p50_s", Serve.Jsonx.Num (pct 0.5 r));
+              ("p90_s", Serve.Jsonx.Num (pct 0.9 r));
+              ("p99_s", Serve.Jsonx.Num (pct 0.99 r));
+              ("disk_hits", Serve.Jsonx.int (disk_counter stats "disk hits"));
+              ( "disk_lookups",
+                Serve.Jsonx.int (disk_counter stats "disk lookups") );
+            ]
+        in
+        let doc =
+          Serve.Jsonx.Obj
+            [
+              ("schema", Serve.Jsonx.Str "dhpf-bench-serve/1");
+              ("version", Serve.Jsonx.Str version);
+              ("clients", Serve.Jsonx.int clients);
+              ("requests_per_client", Serve.Jsonx.int requests);
+              ("workers", Serve.Jsonx.int workers);
+              ( "phases",
+                Serve.Jsonx.List
+                  [
+                    phase_json "cold" cold cold_stats;
+                    phase_json "warm" warm warm_stats;
+                  ] );
+              ("clean_shutdown", Serve.Jsonx.Bool clean);
+            ]
+        in
+        let oc = open_out path in
+        output_string oc (Serve.Jsonx.to_string doc);
+        output_char oc '\n';
+        close_out oc;
+        Fmt.epr "bench-serve: results -> %s@." path);
+    if smoke then begin
+      let failures = ref [] in
+      let check b msg = if not b then failures := msg :: !failures in
+      check (cold.lg_error = 0) "cold phase had failing requests";
+      check (warm.lg_error = 0) "warm phase had failing requests";
+      check
+        (disk_counter warm_stats "disk hits" > 0)
+        "warm daemon recorded no disk-cache hits";
+      check clean "daemons did not shut down cleanly on SIGTERM";
+      match List.rev !failures with
+      | [] -> Fmt.pr "bench-serve smoke: ok@."
+      | fs ->
+          List.iter (fun m -> Fmt.epr "bench-serve smoke FAILED: %s@." m) fs;
+          exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "bench-serve"
+       ~doc:"Benchmark the serve daemon: cold vs. warm disk cache")
+    Term.(
+      const run $ clients_t $ requests_t $ bworkers_t $ json_t $ smoke_t)
 
 let () =
   Obs.init_env ();
   Obs.Metrics.init_env ();
+  Iset.Diskcache.init_env ();
   let info =
     Cmd.info "dhpfc" ~version
       ~doc:"dHPF-reproduction data-parallel compiler"
   in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; bench_cmd; omega_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            compile_cmd; run_cmd; bench_cmd; omega_cmd; serve_cmd;
+            bench_serve_cmd;
+          ]))

@@ -87,6 +87,53 @@ let intern_pair t = Tbl.intern { t with cs = List.map Constr.intern t.cs }
 let intern t = fst (intern_pair t)
 let id t = snd (intern_pair t)
 
+(* canonical byte codec: the existential count, then the constraints in
+   list order (the order is part of structural identity, exactly as in
+   [equal]/[hash]) *)
+let wire_put b t =
+  Wire.int b t.n_ex;
+  Wire.list Constr.wire_put b t.cs
+
+let wire_read c =
+  let n_ex = Wire.read_int c in
+  if n_ex < 0 then raise Wire.Malformed;
+  { n_ex; cs = Wire.read_list Constr.wire_read c }
+
+(* disk-layer codec plumbing: content keys for the persistent cache
+   beneath the memo tables (see {!Diskcache}); interned ids never appear
+   in these bytes *)
+let wire_of_conj t =
+  let b = Buffer.create 128 in
+  wire_put b t;
+  Buffer.contents b
+
+let wire_of_pair t u =
+  let b = Buffer.create 256 in
+  wire_put b t;
+  wire_put b u;
+  Buffer.contents b
+
+let enc_bool r =
+  let b = Buffer.create 1 in
+  Wire.bool b r;
+  Buffer.contents b
+
+let enc_conj t = wire_of_conj t
+
+(* decoded structures are interned so a disk hit hands back the same
+   canonical representative recomputation would *)
+let dec_conj c = intern (wire_read c)
+
+let enc_opt_conj = function
+  | None -> "N"
+  | Some t -> "S" ^ wire_of_conj t
+
+let dec_opt_conj c =
+  match Wire.read_char c with
+  | 'N' -> None
+  | 'S' -> Some (dec_conj c)
+  | _ -> raise Wire.Malformed
+
 (* ------------------------------------------------------------------ *)
 (* Normalization                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -551,7 +598,10 @@ let simplify t =
   else
     let rep, key = intern_pair t in
     IntMemo.find_or_add simplify_memo key (fun () ->
-        Option.map intern (slow rep))
+        Diskcache.memo ~kind:"simplify"
+          ~key:(fun () -> wire_of_conj rep)
+          ~encode:enc_opt_conj ~decode:dec_opt_conj
+          (fun () -> Option.map intern (slow rep)))
 
 (* ------------------------------------------------------------------ *)
 (* Omega satisfiability test                                           *)
@@ -721,7 +771,11 @@ let sat t =
   else if not (Cache.enabled ()) then slow t
   else
     let rep, key = intern_pair t in
-    IntMemo.find_or_add sat_memo key (fun () -> slow rep)
+    IntMemo.find_or_add sat_memo key (fun () ->
+        Diskcache.memo ~kind:"sat"
+          ~key:(fun () -> wire_of_conj rep)
+          ~encode:enc_bool ~decode:Wire.read_bool
+          (fun () -> slow rep))
 
 let is_empty t = not (sat t)
 
@@ -805,7 +859,14 @@ let implies t c =
   if not (Cache.enabled ()) then implies_raw t c
   else
     PairMemo.find_or_add implies_memo (id t, Constr.id c) (fun () ->
-        implies_raw t c)
+        Diskcache.memo ~kind:"implies"
+          ~key:(fun () ->
+            let b = Buffer.create 192 in
+            wire_put b t;
+            Constr.wire_put b c;
+            Buffer.contents b)
+          ~encode:enc_bool ~decode:Wire.read_bool
+          (fun () -> implies_raw t c))
 
 let constr_has_ex c = Lin.exists_var Var.is_ex (Constr.lin c)
 
@@ -832,7 +893,11 @@ let gist t ~given =
         gist_raw t ~given)
   in
   if not (Cache.enabled ()) then slow ()
-  else PairMemo.find_or_add gist_memo (id t, id given) slow
+  else
+    PairMemo.find_or_add gist_memo (id t, id given) (fun () ->
+        Diskcache.memo ~kind:"gist"
+          ~key:(fun () -> wire_of_pair t given)
+          ~encode:enc_conj ~decode:dec_conj slow)
 
 (* ------------------------------------------------------------------ *)
 (* Printing                                                            *)

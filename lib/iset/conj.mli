@@ -43,6 +43,14 @@ val intern : t -> t
 val id : t -> int
 (** Stable interned id (see {!Hcons}); never reused across evictions. *)
 
+val wire_put : Buffer.t -> t -> unit
+(** Canonical byte codec (see {!Wire}): the content key and value format
+    of the on-disk analysis cache ({!Diskcache}). Structurally equal
+    conjuncts encode to equal bytes; interned ids are never written. *)
+
+val wire_read : Wire.cursor -> t
+(** @raise Wire.Malformed on a truncated or ill-formed stream. *)
+
 val trivially_unsat : t -> bool
 (** Cheap sound unsatisfiability pre-filter (constant violations, equality
     gcd tests, single-variable interval contradictions); [true] means the

@@ -41,6 +41,20 @@ let () = Tbl.register_gauge "interned constraints"
 let intern c = fst (Tbl.intern { c with lin = Lin.intern c.lin })
 let id c = snd (Tbl.intern { c with lin = Lin.intern c.lin })
 
+(* canonical byte codec: one kind character, then the term *)
+let wire_put b c =
+  Wire.char b (match c.kind with Eq -> '=' | Geq -> '>');
+  Lin.wire_put b c.lin
+
+let wire_read cur =
+  let kind =
+    match Wire.read_char cur with
+    | '=' -> Eq
+    | '>' -> Geq
+    | _ -> raise Wire.Malformed
+  in
+  { kind; lin = Lin.wire_read cur }
+
 let mem v c = Lin.mem v c.lin
 let coeff c v = Lin.coeff c.lin v
 

@@ -28,6 +28,13 @@ val intern : t -> t
 val id : t -> int
 (** Stable interned id; never reused across cache evictions. *)
 
+val wire_put : Buffer.t -> t -> unit
+(** Canonical byte codec (see {!Wire}); structurally equal constraints
+    encode to equal bytes. *)
+
+val wire_read : Wire.cursor -> t
+(** @raise Wire.Malformed on a truncated or ill-formed stream. *)
+
 val mem : Var.t -> t -> bool
 val coeff : t -> Var.t -> int
 

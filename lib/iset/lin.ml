@@ -90,6 +90,31 @@ let () = Tbl.register_gauge "interned terms"
 let intern t = fst (Tbl.intern t)
 let id t = snd (Tbl.intern t)
 
+(* canonical byte codec: coefficient pairs in Var.Map key order (zero
+   coefficients are never stored, so structural equality is byte
+   equality), then the constant *)
+let wire_put b t =
+  Wire.list
+    (fun b (v, c) ->
+      Var.wire_put b v;
+      Wire.int b c)
+    b (Var.Map.bindings t.coeffs);
+  Wire.int b t.const
+
+let wire_read c =
+  let pairs =
+    Wire.read_list
+      (fun c ->
+        let v = Var.wire_read c in
+        let k = Wire.read_int c in
+        (v, k))
+      c
+  in
+  let coeffs =
+    List.fold_left (fun m (v, k) -> Var.Map.add v k m) Var.Map.empty pairs
+  in
+  { coeffs; const = Wire.read_int c }
+
 (* Euclidean division helpers: floor and ceil for possibly-negative
    numerators, positive denominators. *)
 let fdiv a b =

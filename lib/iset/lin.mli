@@ -56,6 +56,13 @@ val intern : t -> t
 val id : t -> int
 (** Stable interned id; never reused across cache evictions. *)
 
+val wire_put : Buffer.t -> t -> unit
+(** Canonical byte codec (see {!Wire}); structurally equal terms encode
+    to equal bytes. *)
+
+val wire_read : Wire.cursor -> t
+(** @raise Wire.Malformed on a truncated or ill-formed stream. *)
+
 val fdiv : int -> int -> int
 (** Floor division; the divisor must be positive. *)
 

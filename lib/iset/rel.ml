@@ -295,7 +295,23 @@ let subset a b =
   else
     SubsetMemo.find_or_add subset_memo
       (a.in_ar, a.out_ar, List.map Conj.id a.conjs, List.map Conj.id b.conjs)
-      slow
+      (fun () ->
+        (* disk layer beneath the memo, content-keyed exactly like the
+           in-memory key: arities plus both conjunct lists (names are
+           cosmetic and excluded) *)
+        Diskcache.memo ~kind:"subset"
+          ~key:(fun () ->
+            let buf = Buffer.create 256 in
+            Wire.int buf a.in_ar;
+            Wire.int buf a.out_ar;
+            Wire.list Conj.wire_put buf a.conjs;
+            Wire.list Conj.wire_put buf b.conjs;
+            Buffer.contents buf)
+          ~encode:(fun r ->
+            let buf = Buffer.create 1 in
+            Wire.bool buf r;
+            Buffer.contents buf)
+          ~decode:Wire.read_bool slow)
 
 let equal a b = subset a b && subset b a
 

@@ -40,6 +40,10 @@ let implies_hits = counter "implies hits"
 let subset_lookups = counter "subset lookups"
 let subset_hits = counter "subset hits"
 let evictions = counter "cache evictions"
+let disk_lookups = counter "disk lookups"
+let disk_hits = counter "disk hits"
+let disk_stores = counter "disk stores"
+let disk_evictions = counter "disk evictions"
 
 let reset () = List.iter (fun c -> Atomic.set c.c_count 0) !counters
 

@@ -28,6 +28,16 @@ val subset_lookups : counter
 val subset_hits : counter
 val evictions : counter
 
+(** On-disk analysis-cache traffic (see {!Diskcache}): lookups/hits count
+    content-addressed entry reads on in-memory misses, stores count
+    published entries, evictions count files removed by the size-bounded
+    GC. *)
+
+val disk_lookups : counter
+val disk_hits : counter
+val disk_stores : counter
+val disk_evictions : counter
+
 (** {1 Reporting} *)
 
 val reset : unit -> unit

@@ -31,6 +31,29 @@ let is_ex = function Ex _ -> true | _ -> false
 let is_param = function Param _ -> true | _ -> false
 let is_tuple = function In _ | Out _ -> true | _ -> false
 
+(* canonical byte codec (see {!Wire}): one tag character plus payload *)
+let wire_put b = function
+  | In i ->
+      Wire.char b 'i';
+      Wire.int b i
+  | Out i ->
+      Wire.char b 'o';
+      Wire.int b i
+  | Param s ->
+      Wire.char b 'p';
+      Wire.string b s
+  | Ex i ->
+      Wire.char b 'e';
+      Wire.int b i
+
+let wire_read c =
+  match Wire.read_char c with
+  | 'i' -> In (Wire.read_int c)
+  | 'o' -> Out (Wire.read_int c)
+  | 'p' -> Param (Wire.read_string c)
+  | 'e' -> Ex (Wire.read_int c)
+  | _ -> raise Wire.Malformed
+
 let pp fmt = function
   | In i -> Fmt.pf fmt "$in%d" i
   | Out i -> Fmt.pf fmt "$out%d" i

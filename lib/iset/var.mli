@@ -17,6 +17,13 @@ val is_ex : t -> bool
 val is_param : t -> bool
 val is_tuple : t -> bool
 
+val wire_put : Buffer.t -> t -> unit
+(** Canonical byte codec (see {!Wire}); structurally equal variables
+    encode to equal bytes. *)
+
+val wire_read : Wire.cursor -> t
+(** @raise Wire.Malformed on a truncated or ill-formed stream. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

@@ -1,0 +1,33 @@
+(** Canonical byte encoding for integer-set structures, used by the
+    on-disk analysis cache ({!Diskcache}).
+
+    Encoding is a pure function of the structure: structurally equal
+    values encode to equal bytes, which is the property the
+    content-addressed cache keys rely on (interned ids are process-local
+    and deliberately never serialized). The format is a flat text stream —
+    decimals terminated by a space, strings length-prefixed — chosen for
+    determinism and trivial bounds checking, not compactness. *)
+
+exception Malformed
+(** Raised by every [read_*] on a truncated or ill-formed stream. A
+    disk-cache reader treats it as a cache miss, never an error. *)
+
+type cursor
+
+val cursor : ?pos:int -> string -> cursor
+val at_end : cursor -> bool
+
+val char : Buffer.t -> char -> unit
+val read_char : cursor -> char
+
+val int : Buffer.t -> int -> unit
+val read_int : cursor -> int
+
+val bool : Buffer.t -> bool -> unit
+val read_bool : cursor -> bool
+
+val string : Buffer.t -> string -> unit
+val read_string : cursor -> string
+
+val list : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a list -> unit
+val read_list : (cursor -> 'a) -> cursor -> 'a list

@@ -1,0 +1,40 @@
+(** Minimal dependency-free JSON: the value type, a strict parser and a
+    stable printer, shared by the serve protocol, the compile report and
+    the traffic generator.
+
+    The printer escapes every control character and emits integral
+    numbers without a fractional part, so equal values print to equal
+    bytes (object field order is preserved, not sorted — builders emit
+    fields in schema order). The parser accepts standard JSON (UTF-8
+    passthrough, [\uXXXX] escapes including surrogate pairs) and rejects
+    trailing garbage. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Error of string
+
+val to_string : t -> string
+(** Non-finite numbers print as [null] (they never appear in the schemas
+    this repo emits). *)
+
+val of_string : string -> t
+(** @raise Error on any malformation, including trailing garbage. *)
+
+(** {1 Builders and accessors} *)
+
+val int : int -> t
+
+val get : t -> string -> t option
+(** Field of an [Obj]; [None] on anything else or when absent. *)
+
+val get_str : t -> string -> string option
+val get_int : t -> string -> int option
+val get_bool : t -> string -> bool option
+val get_num : t -> string -> float option
+val get_list : t -> string -> t list option

@@ -1,0 +1,76 @@
+(* Closed-loop load generator (see loadgen.mli). *)
+
+type result = {
+  lg_total : int;
+  lg_ok : int;
+  lg_error : int;
+  lg_overloaded : int;
+  lg_wall_s : float;
+  lg_latencies : float array;
+}
+
+type tally = {
+  mutable t_ok : int;
+  mutable t_error : int;
+  mutable t_overloaded : int;
+  mutable t_lat : float list;
+}
+
+(* one request, retrying overloaded answers with linear backoff; returns
+   the final status and the overloaded count along the way *)
+let issue ~socket req tally =
+  let rec go attempt =
+    let t0 = Unix.gettimeofday () in
+    let status =
+      try
+        let v = Client.request ~socket req in
+        Option.value (Jsonx.get_str v "status") ~default:"error"
+      with Client.Connect_error _ | Proto.Proto_error _ -> "error"
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    if status = "overloaded" && attempt < 200 then begin
+      tally.t_overloaded <- tally.t_overloaded + 1;
+      Unix.sleepf (0.001 *. float_of_int (min attempt 20));
+      go (attempt + 1)
+    end
+    else begin
+      tally.t_lat <- dt :: tally.t_lat;
+      if status = "ok" then tally.t_ok <- tally.t_ok + 1
+      else tally.t_error <- tally.t_error + 1
+    end
+  in
+  go 1
+
+let run ~socket ~clients ~requests ~workload =
+  let clients = max 1 clients and requests = max 0 requests in
+  let tallies =
+    Array.init clients (fun _ ->
+        { t_ok = 0; t_error = 0; t_overloaded = 0; t_lat = [] })
+  in
+  let t0 = Unix.gettimeofday () in
+  Par.spawn_join clients (fun c ->
+      let tally = tallies.(c) in
+      for seq = 0 to requests - 1 do
+        issue ~socket (workload ~client:c ~seq) tally
+      done);
+  let wall = Unix.gettimeofday () -. t0 in
+  let lats =
+    Array.of_list (List.concat_map (fun t -> t.t_lat) (Array.to_list tallies))
+  in
+  Array.sort compare lats;
+  let sum f = Array.fold_left (fun a t -> a + f t) 0 tallies in
+  {
+    lg_total = clients * requests;
+    lg_ok = sum (fun t -> t.t_ok);
+    lg_error = sum (fun t -> t.t_error);
+    lg_overloaded = sum (fun t -> t.t_overloaded);
+    lg_wall_s = wall;
+    lg_latencies = lats;
+  }
+
+let percentile q a =
+  let n = Array.length a in
+  if n = 0 then 0.
+  else
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    a.(max 0 (min (n - 1) (rank - 1)))

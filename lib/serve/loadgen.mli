@@ -1,0 +1,30 @@
+(** Closed-loop load generator for a running serve daemon: [clients]
+    concurrent loops each issue [requests] requests back-to-back, so the
+    offered concurrency is exactly [clients]. Used by
+    [dhpfc bench-serve] and the serve tests. *)
+
+type result = {
+  lg_total : int;  (** requests issued (clients x requests) *)
+  lg_ok : int;
+  lg_error : int;  (** final non-ok answers (protocol or error status) *)
+  lg_overloaded : int;
+      (** overloaded answers observed; each is retried with backoff and
+          counts again under its final status *)
+  lg_wall_s : float;
+  lg_latencies : float array;  (** per-request seconds, sorted ascending *)
+}
+
+val run :
+  socket:string ->
+  clients:int ->
+  requests:int ->
+  workload:(client:int -> seq:int -> Proto.request) ->
+  result
+(** [workload ~client ~seq] picks the request for client [client]'s
+    [seq]-th issue, so callers can mix operations deterministically.
+    Overloaded answers are retried (up to 200 times, linear backoff)
+    rather than counted as failures — the generator is closed-loop, so
+    retrying is what a well-behaved client would do. *)
+
+val percentile : float -> float array -> float
+(** [percentile q sorted] by nearest-rank; [0.] on an empty array. *)

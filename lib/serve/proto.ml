@@ -1,0 +1,204 @@
+(* dhpf-serve/1 framing and request codec (see proto.mli). *)
+
+let schema = "dhpf-serve/1"
+let max_frame = 16 * 1024 * 1024
+
+exception Proto_error of string
+
+let perr fmt = Printf.ksprintf (fun s -> raise (Proto_error s)) fmt
+
+(* -- framing -------------------------------------------------------- *)
+
+let rec write_all fd buf pos len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd buf pos len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd buf (pos + n) (len - n)
+  end
+
+(* [false] on EOF at the very first byte (and only there) *)
+let read_exact fd buf pos len =
+  let rec go pos len =
+    if len = 0 then true
+    else
+      match Unix.read fd buf pos len with
+      | 0 ->
+          if pos = 0 then false else perr "short read: connection closed mid-frame"
+      | n -> go (pos + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos len
+  in
+  go pos len
+
+let write_frame fd payload =
+  let len = String.length payload in
+  if len > max_frame then perr "frame of %d bytes exceeds %d" len max_frame;
+  let b = Bytes.create (4 + len) in
+  Bytes.set_uint8 b 0 ((len lsr 24) land 0xFF);
+  Bytes.set_uint8 b 1 ((len lsr 16) land 0xFF);
+  Bytes.set_uint8 b 2 ((len lsr 8) land 0xFF);
+  Bytes.set_uint8 b 3 (len land 0xFF);
+  Bytes.blit_string payload 0 b 4 len;
+  write_all fd b 0 (Bytes.length b)
+
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  if not (read_exact fd hdr 0 4) then None
+  else begin
+    let len =
+      (Bytes.get_uint8 hdr 0 lsl 24)
+      lor (Bytes.get_uint8 hdr 1 lsl 16)
+      lor (Bytes.get_uint8 hdr 2 lsl 8)
+      lor Bytes.get_uint8 hdr 3
+    in
+    if len > max_frame then perr "frame of %d bytes exceeds %d" len max_frame;
+    let b = Bytes.create len in
+    if len > 0 && not (read_exact fd b 0 len) then
+      perr "short read: connection closed mid-frame";
+    Some (Bytes.unsafe_to_string b)
+  end
+
+let write_json fd v = write_frame fd (Jsonx.to_string v)
+
+let read_json fd =
+  match read_frame fd with
+  | None -> None
+  | Some payload -> (
+      match Jsonx.of_string payload with
+      | v -> Some v
+      | exception Jsonx.Error msg -> perr "bad JSON payload: %s" msg)
+
+(* -- requests ------------------------------------------------------- *)
+
+type request =
+  | Ping
+  | Stats
+  | Shutdown
+  | Compile of {
+      label : string;
+      source : string option;
+      opts : Dhpf.Gen.options;
+    }
+  | Run of {
+      label : string;
+      source : string option;
+      opts : Dhpf.Gen.options;
+      nprocs : int;
+      params : (string * int) list;
+      engine : string;
+    }
+
+let opts_to_json (o : Dhpf.Gen.options) =
+  Jsonx.Obj
+    [
+      ("split", Jsonx.Bool o.Dhpf.Gen.opt_split);
+      ("vectorize", Jsonx.Bool o.Dhpf.Gen.opt_vectorize);
+      ("coalesce", Jsonx.Bool o.Dhpf.Gen.opt_coalesce);
+      ("inplace", Jsonx.Bool o.Dhpf.Gen.opt_inplace);
+    ]
+
+let opts_of_json v =
+  match Jsonx.get v "opts" with
+  | None -> Dhpf.Gen.default_options
+  | Some o ->
+      let d = Dhpf.Gen.default_options in
+      let flag k dflt = Option.value (Jsonx.get_bool o k) ~default:dflt in
+      {
+        Dhpf.Gen.opt_split = flag "split" d.Dhpf.Gen.opt_split;
+        opt_vectorize = flag "vectorize" d.Dhpf.Gen.opt_vectorize;
+        opt_coalesce = flag "coalesce" d.Dhpf.Gen.opt_coalesce;
+        opt_inplace = flag "inplace" d.Dhpf.Gen.opt_inplace;
+      }
+
+let params_to_json ps =
+  Jsonx.List
+    (List.map (fun (n, v) -> Jsonx.List [ Jsonx.Str n; Jsonx.int v ]) ps)
+
+let params_of_json v =
+  match Jsonx.get v "params" with
+  | None -> Ok []
+  | Some (Jsonx.List xs) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | Jsonx.List [ Jsonx.Str n; Jsonx.Num x ] :: rest
+          when Float.is_integer x ->
+            go ((n, int_of_float x) :: acc) rest
+        | _ -> Error "params must be a list of [name, int] pairs"
+      in
+      go [] xs
+  | Some _ -> Error "params must be a list of [name, int] pairs"
+
+let src_fields label source =
+  ("src", Jsonx.Str label)
+  ::
+  (match source with Some s -> [ ("source", Jsonx.Str s) ] | None -> [])
+
+let request_to_json = function
+  | Ping -> Jsonx.Obj [ ("op", Jsonx.Str "ping") ]
+  | Stats -> Jsonx.Obj [ ("op", Jsonx.Str "stats") ]
+  | Shutdown -> Jsonx.Obj [ ("op", Jsonx.Str "shutdown") ]
+  | Compile { label; source; opts } ->
+      Jsonx.Obj
+        ((("op", Jsonx.Str "compile") :: src_fields label source)
+        @ [ ("opts", opts_to_json opts) ])
+  | Run { label; source; opts; nprocs; params; engine } ->
+      Jsonx.Obj
+        ((("op", Jsonx.Str "run") :: src_fields label source)
+        @ [
+            ("opts", opts_to_json opts);
+            ("nprocs", Jsonx.int nprocs);
+            ("params", params_to_json params);
+            ("engine", Jsonx.Str engine);
+          ])
+
+let request_of_json v =
+  match Jsonx.get_str v "op" with
+  | None -> Error "missing op field"
+  | Some "ping" -> Ok Ping
+  | Some "stats" -> Ok Stats
+  | Some "shutdown" -> Ok Shutdown
+  | Some ("compile" | "run") as op -> (
+      let op = Option.get op in
+      let source = Jsonx.get_str v "source" in
+      let label =
+        match (Jsonx.get_str v "src", source) with
+        | Some l, _ -> Some l
+        | None, Some _ -> Some "<inline>"
+        | None, None -> None
+      in
+      match label with
+      | None -> Error "compile/run needs src (builtin name) or source (text)"
+      | Some label -> (
+          let opts = opts_of_json v in
+          match op with
+          | "compile" -> Ok (Compile { label; source; opts })
+          | _ -> (
+              match params_of_json v with
+              | Error e -> Error e
+              | Ok params ->
+                  let nprocs =
+                    Option.value (Jsonx.get_int v "nprocs") ~default:4
+                  in
+                  let engine =
+                    Option.value (Jsonx.get_str v "engine") ~default:"closure"
+                  in
+                  if nprocs < 1 then Error "nprocs must be positive"
+                  else Ok (Run { label; source; opts; nprocs; params; engine })
+              )))
+  | Some op -> Error (Printf.sprintf "unknown op %S" op)
+
+(* -- responses ------------------------------------------------------ *)
+
+let base status rest =
+  Jsonx.Obj
+    ((("schema", Jsonx.Str schema) :: [ ("status", Jsonx.Str status) ]) @ rest)
+
+let ok fields = base "ok" fields
+
+let error ~code msg =
+  base "error" [ ("code", Jsonx.Str code); ("message", Jsonx.Str msg) ]
+
+let overloaded =
+  base "overloaded"
+    [ ("message", Jsonx.Str "queue full; retry later") ]

@@ -1,0 +1,48 @@
+(* dhpf-report/1 (see report.mli). *)
+
+let schema = "dhpf-report/1"
+
+let compile_report ~version ~src ~domains ~phase ~events ~statements () =
+  let phases =
+    List.map
+      (fun l ->
+        Jsonx.Obj
+          [
+            ("phase", Jsonx.Str l);
+            ("seconds", Jsonx.Num (Dhpf.Phase.total phase l));
+          ])
+      (Dhpf.Phase.labels phase)
+  in
+  let counters =
+    List.map (fun (n, v) -> (n, Jsonx.int v)) (Iset.Stats.report ())
+  in
+  let diskcache =
+    Jsonx.Obj
+      [
+        ("enabled", Jsonx.Bool (Iset.Diskcache.enabled ()));
+        ( "dir",
+          match Iset.Diskcache.dir () with
+          | Some d -> Jsonx.Str d
+          | None -> Jsonx.Null );
+        ("max_bytes", Jsonx.int (Iset.Diskcache.max_bytes ()));
+        ("bytes", Jsonx.int (Iset.Diskcache.bytes_used ()));
+      ]
+  in
+  Jsonx.Obj
+    [
+      ("schema", Jsonx.Str schema);
+      ("version", Jsonx.Str version);
+      ("src", Jsonx.Str src);
+      ("domains", Jsonx.int domains);
+      ("total_s", Jsonx.Num (Dhpf.Phase.elapsed phase));
+      ("phases", Jsonx.List phases);
+      ("events", Jsonx.int events);
+      ("statements", Jsonx.int statements);
+      ( "cache",
+        Jsonx.Obj
+          [
+            ("enabled", Jsonx.Bool (Iset.Cache.enabled ()));
+            ("counters", Jsonx.Obj counters);
+          ] );
+      ("diskcache", diskcache);
+    ]

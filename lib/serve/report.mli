@@ -1,0 +1,30 @@
+(** The stable machine-readable compile report, schema [dhpf-report/1]:
+    the JSON twin of [dhpfc compile --report], emitted by
+    [--report-json] and embedded verbatim in serve compile responses.
+
+    Shape:
+    [{"schema":"dhpf-report/1","version":...,"src":...,"domains":n,
+      "total_s":x,"phases":[{"phase":label,"seconds":x},...],
+      "events":n,"statements":n,
+      "cache":{"enabled":b,"counters":{name:int,...}},
+      "diskcache":{"enabled":b,"dir":...,"max_bytes":n,"bytes":n}}]
+
+    Phase rows follow the profiler's label order; cache counters are the
+    integer-set engine's global measurement window
+    ({!Iset.Stats.report}), which the CLI resets at subcommand entry and
+    a server never resets (a serve report shows process-lifetime
+    counters — the interesting deltas are per-series in
+    [Obs.Metrics]). *)
+
+val schema : string
+(** ["dhpf-report/1"]. *)
+
+val compile_report :
+  version:string ->
+  src:string ->
+  domains:int ->
+  phase:Dhpf.Phase.t ->
+  events:int ->
+  statements:int ->
+  unit ->
+  Jsonx.t

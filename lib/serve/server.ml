@@ -1,0 +1,420 @@
+(* The serve daemon (see server.mli).
+
+   Threading model: one acceptor domain blocked in select() on the
+   listening socket plus a self-pipe (so request_stop can wake it with a
+   single write), and [workers] worker domains blocked on a
+   mutex/condition-protected FIFO of accepted connections. Admission
+   control lives in the acceptor: past [max_queue] queued connections it
+   answers [overloaded] itself and closes, so a saturated server keeps
+   giving structured answers instead of stacking clients up in the
+   listen backlog. *)
+
+type config = {
+  version : string;
+  socket : string;
+  workers : int;
+  max_queue : int;
+  disk_cache : string option;
+  lookup : string -> string option;
+  quiet : bool;
+}
+
+exception Bind_error of string
+
+(* internal: a [src] label the lookup table doesn't know *)
+exception Unknown_source of string
+
+type state = {
+  cfg : config;
+  listen : Unix.file_descr;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  stopping : bool Atomic.t;
+  mu : Mutex.t;
+  cond : Condition.t;
+  q : Unix.file_descr Queue.t;
+  depth : int Atomic.t;  (* = Queue.length q, readable without the lock *)
+  served : int Atomic.t;
+}
+
+type t = {
+  st : state;
+  acceptor : unit Domain.t;
+  pool : unit Domain.t;
+  joined : bool Atomic.t;
+}
+
+let note st fmt =
+  if st.cfg.quiet then Format.ifprintf Format.err_formatter fmt
+  else Format.eprintf fmt
+
+(* -- metrics -------------------------------------------------------- *)
+
+let m_request op status =
+  Obs.Metrics.incr
+    (Obs.Metrics.counter
+       ~labels:[ ("op", op); ("status", status) ]
+       "serve/requests")
+
+let m_depth st =
+  Obs.Metrics.set
+    (Obs.Metrics.gauge "serve/queue_depth")
+    (float_of_int (Atomic.get st.depth))
+
+let m_latency op seconds =
+  Obs.Metrics.observe
+    (Obs.Metrics.histogram ~labels:[ ("op", op) ] "serve/latency_s")
+    seconds
+
+(* -- request handling ----------------------------------------------- *)
+
+(* mirror the CLI's handle_errors triage so a serve client can script
+   against the same failure classes as a batch caller *)
+let classify = function
+  | Unknown_source l ->
+      ("parse",
+       Printf.sprintf
+         "unknown program %S (not a built-in; pass inline \"source\")" l)
+  | Sys_error msg -> ("parse", msg)
+  | Hpf.Parser.Error (msg, line) ->
+      ("parse", Printf.sprintf "parse error, line %d: %s" line msg)
+  | Hpf.Lexer.Error (msg, line) ->
+      ("parse", Printf.sprintf "lexical error, line %d: %s" line msg)
+  | Iset.Parse.Error msg | Iset.Calc.Error msg -> ("parse", msg)
+  | Hpf.Sema.Error msg -> ("semantic", msg)
+  | Dhpf.Gen.Unsupported msg
+  | Dhpf.Layout.Unsupported msg
+  | Iset.Codegen.Unsupported msg ->
+      ("unsupported", msg)
+  | Spmdsim.Exec.Error msg | Spmdsim.Serial.Error msg -> ("runtime", msg)
+  | Spmdsim.Exec.Deadlock d ->
+      ("runtime", Format.asprintf "%a" Spmdsim.Exec.pp_diagnostic d)
+  | Spmdsim.Predict.Unpredictable msg -> ("unsupported", msg)
+  | e -> ("runtime", Printexc.to_string e)
+
+let source_text st ~label ~source =
+  match source with
+  | Some s -> s
+  | None -> (
+      match st.cfg.lookup label with
+      | Some s -> s
+      | None -> raise (Unknown_source label))
+
+(* compile with a per-request profiler: Phase.global would interleave
+   concurrent requests' timings *)
+let do_compile st ~label ~source ~opts =
+  let text = source_text st ~label ~source in
+  let phase = Dhpf.Phase.create () in
+  let chk =
+    Dhpf.Phase.time phase "parse and semantic analysis" (fun () ->
+        Hpf.Sema.analyze_source text)
+  in
+  let compiled = Dhpf.Gen.compile ~opts ~phase chk in
+  let report =
+    Report.compile_report ~version:st.cfg.version ~src:label
+      ~domains:(Par.domains ()) ~phase
+      ~events:(List.length compiled.Dhpf.Gen.cevents)
+      ~statements:(List.length compiled.Dhpf.Gen.cprog.Dhpf.Spmd.main)
+      ()
+  in
+  (chk, compiled, report)
+
+let handle_compile st ~label ~source ~opts =
+  let _, compiled, report = do_compile st ~label ~source ~opts in
+  (* the compiled node program rides along: it is the artifact a
+     compilation service exists to produce, and returning it lets
+     clients assert warm answers are byte-identical to cold ones *)
+  Proto.ok
+    [
+      ("report", report);
+      ( "spmd",
+        Jsonx.Str (Dhpf.Spmd.program_to_string compiled.Dhpf.Gen.cprog) );
+    ]
+
+let handle_run st ~label ~source ~opts ~nprocs ~params ~engine =
+  match Spmdsim.Exec.engine_of_string engine with
+  | None ->
+      Proto.error ~code:"parse"
+        (Printf.sprintf "unknown engine %S; valid engines: %s" engine
+           (String.concat ", " Spmdsim.Exec.engine_names))
+  | Some engine ->
+      let chk, compiled, report = do_compile st ~label ~source ~opts in
+      let serial = Spmdsim.Serial.run ~params chk in
+      let sim =
+        Spmdsim.Exec.make ~engine ~nprocs ~params compiled.Dhpf.Gen.cprog
+      in
+      let stats = Spmdsim.Exec.run sim in
+      Proto.ok
+        [
+          ("report", report);
+          ( "run",
+            Jsonx.Obj
+              [
+                ("nprocs", Jsonx.int (Spmdsim.Exec.nprocs sim));
+                ("engine", Jsonx.Str (Spmdsim.Exec.engine_to_string engine));
+                ("serial_s", Jsonx.Num serial.Spmdsim.Serial.r_time);
+                ("flops", Jsonx.int serial.Spmdsim.Serial.r_flops);
+                ("spmd_s", Jsonx.Num stats.Spmdsim.Exec.s_time);
+                ("msgs", Jsonx.int stats.Spmdsim.Exec.s_msgs);
+                ("bytes", Jsonx.int stats.Spmdsim.Exec.s_bytes);
+                ( "speedup",
+                  Jsonx.Num
+                    (serial.Spmdsim.Serial.r_time
+                    /. stats.Spmdsim.Exec.s_time) );
+              ] );
+        ]
+
+let handle_stats st =
+  let counters =
+    List.map (fun (n, v) -> (n, Jsonx.int v)) (Iset.Stats.report ())
+  in
+  (* the registry export is already stable JSON; round-trip it through
+     the parser to embed it structurally *)
+  let metrics = Jsonx.of_string (Obs.Metrics.to_json ()) in
+  Proto.ok
+    [
+      ("version", Jsonx.Str st.cfg.version);
+      ("queue_depth", Jsonx.int (Atomic.get st.depth));
+      ("workers", Jsonx.int st.cfg.workers);
+      ("served", Jsonx.int (Atomic.get st.served));
+      ("iset", Jsonx.Obj counters);
+      ( "diskcache",
+        Jsonx.Obj
+          [
+            ("enabled", Jsonx.Bool (Iset.Diskcache.enabled ()));
+            ("bytes", Jsonx.int (Iset.Diskcache.bytes_used ()));
+          ] );
+      ("metrics", metrics);
+    ]
+
+let op_name = function
+  | Proto.Ping -> "ping"
+  | Proto.Stats -> "stats"
+  | Proto.Shutdown -> "shutdown"
+  | Proto.Compile _ -> "compile"
+  | Proto.Run _ -> "run"
+
+let wake st = try ignore (Unix.write st.wake_w (Bytes.make 1 '!') 0 1) with _ -> ()
+
+let begin_stop st =
+  if not (Atomic.exchange st.stopping true) then wake st
+
+let dispatch st = function
+  | Proto.Ping ->
+      Proto.ok
+        [
+          ("version", Jsonx.Str st.cfg.version);
+          ("workers", Jsonx.int st.cfg.workers);
+        ]
+  | Proto.Stats -> handle_stats st
+  | Proto.Shutdown ->
+      begin_stop st;
+      Proto.ok [ ("stopping", Jsonx.Bool true) ]
+  | Proto.Compile { label; source; opts } ->
+      handle_compile st ~label ~source ~opts
+  | Proto.Run { label; source; opts; nprocs; params; engine } ->
+      handle_run st ~label ~source ~opts ~nprocs ~params ~engine
+
+let handle st fd =
+  let t0 = Unix.gettimeofday () in
+  let op = ref "invalid" in
+  let resp =
+    match Proto.read_json fd with
+    | None -> None (* connected, then closed without sending a request *)
+    | Some v -> (
+        match Proto.request_of_json v with
+        | Error e -> Some (Proto.error ~code:"protocol" e)
+        | Ok req ->
+            op := op_name req;
+            Some
+              (Obs.span ~cat:"serve" ("serve/" ^ !op) (fun () ->
+                   try dispatch st req
+                   with e ->
+                     let code, msg = classify e in
+                     Proto.error ~code msg)))
+    | exception Proto.Proto_error e ->
+        Some (Proto.error ~code:"protocol" e)
+  in
+  (match resp with
+  | None -> ()
+  | Some r ->
+      (try Proto.write_json fd r with _ -> ());
+      Atomic.incr st.served;
+      let status =
+        Option.value (Jsonx.get_str r "status") ~default:"error"
+      in
+      let status =
+        match Jsonx.get_str r "code" with
+        | Some "protocol" -> "protocol"
+        | _ -> status
+      in
+      m_request !op status;
+      m_latency !op (Unix.gettimeofday () -. t0));
+  try Unix.close fd with _ -> ()
+
+(* -- worker pool ---------------------------------------------------- *)
+
+let rec worker st =
+  Mutex.lock st.mu;
+  while Queue.is_empty st.q && not (Atomic.get st.stopping) do
+    Condition.wait st.cond st.mu
+  done;
+  if Queue.is_empty st.q then Mutex.unlock st.mu
+    (* stopping, queue drained: exit *)
+  else begin
+    let fd = Queue.pop st.q in
+    ignore (Atomic.fetch_and_add st.depth (-1));
+    Mutex.unlock st.mu;
+    m_depth st;
+    handle st fd;
+    worker st
+  end
+
+(* -- acceptor ------------------------------------------------------- *)
+
+let admit st fd =
+  if Atomic.get st.depth >= st.cfg.max_queue then begin
+    (* structured back-pressure: answer here in the acceptor, never
+       blocking a worker on an over-admitted connection *)
+    (try Proto.write_json fd Proto.overloaded with _ -> ());
+    (try Unix.close fd with _ -> ());
+    m_request "admit" "overloaded"
+  end
+  else begin
+    Mutex.lock st.mu;
+    Queue.push fd st.q;
+    ignore (Atomic.fetch_and_add st.depth 1);
+    Condition.signal st.cond;
+    Mutex.unlock st.mu;
+    m_depth st
+  end
+
+let drain_wake st =
+  let b = Bytes.create 32 in
+  try ignore (Unix.read st.wake_r b 0 32) with _ -> ()
+
+let rec accept_loop st =
+  if not (Atomic.get st.stopping) then begin
+    (match Unix.select [ st.listen; st.wake_r ] [] [] (-1.0) with
+    | rs, _, _ ->
+        if List.mem st.wake_r rs then drain_wake st;
+        if (not (Atomic.get st.stopping)) && List.mem st.listen rs then begin
+          match Unix.accept st.listen with
+          | fd, _ -> admit st fd
+          | exception
+              Unix.Unix_error
+                ( ( Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK
+                  | Unix.ECONNABORTED ),
+                  _,
+                  _ ) ->
+              ()
+        end
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    accept_loop st
+  end
+
+let acceptor_main st =
+  accept_loop st;
+  (try Unix.close st.listen with _ -> ());
+  (try Unix.unlink st.cfg.socket with _ -> ());
+  (* wake every worker so they notice [stopping] and drain out *)
+  Mutex.lock st.mu;
+  Condition.broadcast st.cond;
+  Mutex.unlock st.mu
+
+(* -- socket claim --------------------------------------------------- *)
+
+let bind_error fmt = Printf.ksprintf (fun s -> raise (Bind_error s)) fmt
+
+(* a socket file may be a live server or the droppings of a crashed one;
+   only a connect can tell them apart *)
+let claim_socket path =
+  (match Unix.stat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } ->
+      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let live =
+        try
+          Unix.connect probe (Unix.ADDR_UNIX path);
+          true
+        with Unix.Unix_error _ -> false
+      in
+      (try Unix.close probe with _ -> ());
+      if live then bind_error "%s: a server is already listening" path;
+      (try Unix.unlink path with _ -> ())
+  | _ -> bind_error "%s: exists and is not a socket" path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  try
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    fd
+  with Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with _ -> ());
+    bind_error "%s: %s" path (Unix.error_message e)
+
+(* -- lifecycle ------------------------------------------------------ *)
+
+let launch cfg =
+  let cfg = { cfg with workers = max 1 cfg.workers } in
+  (* a client that hangs up mid-response must cost the daemon an EPIPE,
+     not a fatal SIGPIPE *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Obs.Metrics.enable ();
+  (match cfg.disk_cache with
+  | Some dir -> Iset.Diskcache.set_dir (Some dir)
+  | None -> ());
+  let listen = claim_socket cfg.socket in
+  let wake_r, wake_w = Unix.pipe () in
+  let st =
+    {
+      cfg;
+      listen;
+      wake_r;
+      wake_w;
+      stopping = Atomic.make false;
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      q = Queue.create ();
+      depth = Atomic.make 0;
+      served = Atomic.make 0;
+    }
+  in
+  note st "serve: listening on %s (%d worker%s, queue %d, disk cache %s)@."
+    cfg.socket cfg.workers
+    (if cfg.workers = 1 then "" else "s")
+    cfg.max_queue
+    (match Iset.Diskcache.dir () with
+    | Some d when Iset.Diskcache.enabled () -> d
+    | _ -> "off");
+  let acceptor = Domain.spawn (fun () -> acceptor_main st) in
+  let pool =
+    Domain.spawn (fun () -> Par.spawn_join cfg.workers (fun _ -> worker st))
+  in
+  { st; acceptor; pool; joined = Atomic.make false }
+
+let socket_path t = t.st.cfg.socket
+let queue_depth t = Atomic.get t.st.depth
+let request_stop t = begin_stop t.st
+
+let wait t =
+  (* Poll instead of parking straight in Domain.join: OCaml signal
+     handlers run on the main domain at safe points, and a main domain
+     blocked in Domain.join never reaches one — a SIGTERM would be
+     recorded but its handler (the caller's request_stop) never run.
+     Sleeping in short slices reaches a safe point every iteration. *)
+  while not (Atomic.get t.st.stopping) do
+    Unix.sleepf 0.05
+  done;
+  if not (Atomic.exchange t.joined true) then begin
+    Domain.join t.acceptor;
+    Domain.join t.pool;
+    (try Unix.close t.st.wake_r with _ -> ());
+    (try Unix.close t.st.wake_w with _ -> ());
+    note t.st "serve: stopped after %d request%s@."
+      (Atomic.get t.st.served)
+      (if Atomic.get t.st.served = 1 then "" else "s")
+  end
+
+let stop t =
+  request_stop t;
+  wait t

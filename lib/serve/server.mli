@@ -1,0 +1,60 @@
+(** The [dhpfc serve] daemon: a persistent compilation service over a
+    Unix-domain socket speaking {!Proto} ([dhpf-serve/1]).
+
+    One process owns the socket. An acceptor domain admits connections
+    into a bounded FIFO queue; past [max_queue] pending requests it
+    replies with the structured ["overloaded"] response instead of
+    letting clients hang. A fixed pool of worker domains (run through
+    {!Par.spawn_join}) drains the queue; each request compiles with a
+    private {!Dhpf.Phase} profiler, so concurrent compiles never
+    interleave their phase accounting, while both cache layers — the
+    in-memory {!Iset.Cache} tables and the on-disk {!Iset.Diskcache} —
+    are shared, which is the whole point: the second compile of a
+    program is served out of cache.
+
+    Shutdown is cooperative: {!request_stop} (safe to call from a signal
+    handler: one atomic store and one pipe write) stops admission, the
+    acceptor unlinks the socket, and the workers finish every request
+    already queued before exiting. *)
+
+type config = {
+  version : string;  (** reported by [ping] and in compile reports *)
+  socket : string;  (** Unix-domain socket path *)
+  workers : int;  (** worker domains (floored at 1) *)
+  max_queue : int;  (** pending requests admitted before [overloaded] *)
+  disk_cache : string option;
+      (** [Some dir] points {!Iset.Diskcache} there; [None] leaves the
+          process-wide setting (environment or CLI flag) alone *)
+  lookup : string -> string option;
+      (** resolve a request's [src] label to program text (the CLI passes
+          its built-in benchmark table); the server never reads
+          server-side files *)
+  quiet : bool;  (** suppress the startup/shutdown notes on stderr *)
+}
+
+exception Bind_error of string
+(** The socket could not be claimed: the path is a live server's socket,
+    an existing non-socket file, or bind/listen failed. The CLI maps
+    this to its own exit code. *)
+
+type t
+
+val launch : config -> t
+(** Claim the socket (replacing a stale socket file left by a crashed
+    server — liveness is probed with a connect), enable the metrics
+    registry, point the disk cache, and start the acceptor and worker
+    domains.
+    @raise Bind_error when the socket cannot be claimed. *)
+
+val socket_path : t -> string
+val queue_depth : t -> int
+
+val request_stop : t -> unit
+(** Begin shutdown; returns immediately. Idempotent. *)
+
+val wait : t -> unit
+(** Block until the server has fully stopped (acceptor and workers
+    joined, socket unlinked). *)
+
+val stop : t -> unit
+(** [request_stop] then [wait]. *)

@@ -165,12 +165,33 @@ let cache_key ~dirs src =
     (Digest.string
        (String.concat "\x00" (src :: Sys.ocaml_version :: lib_cmi_digests dirs)))
 
-let write_file path contents =
-  let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
-  let oc = open_out_bin tmp in
-  output_string oc contents;
-  close_out oc;
-  Sys.rename tmp path
+(* unique-temp-plus-atomic-rename, shared with the analysis disk cache:
+   concurrent servers building the same kernel can never expose a torn
+   file, the last rename simply wins *)
+let write_file path contents = Iset.Diskcache.write_atomic path contents
+
+(* Size bound for the kernel cache (DHPF_NATIVE_CACHE_MB, default 512
+   MiB). A kernel is a group of files sharing one basename prefix — .ml,
+   .cmxs, .cmi/.cmx/.o, .log — that live and die together; eviction is
+   whole-group oldest-first (group age = newest member). *)
+let cache_budget () =
+  let mb =
+    match Sys.getenv_opt "DHPF_NATIVE_CACHE_MB" with
+    | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 512)
+    | None -> 512
+  in
+  mb * 1024 * 1024
+
+let kernel_group name =
+  match String.index_opt name '.' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let prune_cache dir =
+  ignore
+    (Iset.Diskcache.prune_dir ~group:kernel_group ~max_bytes:(cache_budget ())
+       dir
+      : int)
 
 let read_file path =
   try
@@ -182,6 +203,11 @@ let read_file path =
   with Sys_error _ -> ""
 
 let memo : (string, kernel_fn) Hashtbl.t = Hashtbl.create 8
+
+(* [pending], [memo] and Dynlink itself are all shared mutable state;
+   one lock over the whole emit-or-reuse-then-load path makes [obtain]
+   safe to call from concurrent domains (the serve daemon's workers) *)
+let obtain_mu = Mutex.create ()
 let m_build = lazy (Obs.Metrics.histogram "native/build_s")
 let m_hits = lazy (Obs.Metrics.counter "native/cache_hit")
 
@@ -208,6 +234,7 @@ let obtain ~cache_dir (kernel : Imp.kernel) : kernel_fn =
   let src = Emit.emit kernel in
   let dirs = include_dirs () in
   let key = cache_key ~dirs src in
+  Mutex.protect obtain_mu @@ fun () ->
   match Hashtbl.find_opt memo key with
   | Some f ->
       if Obs.Metrics.enabled () then Obs.Metrics.incr (Lazy.force m_hits);
@@ -220,12 +247,16 @@ let obtain ~cache_dir (kernel : Imp.kernel) : kernel_fn =
       if Sys.file_exists cmxs then begin
         if Obs.Metrics.enabled () then Obs.Metrics.incr (Lazy.force m_hits)
       end
-      else
+      else begin
         Obs.span ~cat:"native" "native build" (fun () ->
             let t0 = Unix.gettimeofday () in
             compile_plugin ~dirs ~src ~ml ~cmxs;
             if Obs.Metrics.enabled () then
               Obs.Metrics.observe (Lazy.force m_build) (Unix.gettimeofday () -. t0));
+        (* a build added bytes: re-bound the cache (freshly built groups
+           are the newest, so they survive) *)
+        prune_cache cache_dir
+      end;
       pending := None;
       (try Dynlink.loadfile_private cmxs
        with

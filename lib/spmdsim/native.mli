@@ -64,6 +64,17 @@ val do_reduce_scalar : Compile.rt -> int -> Dhpf.Spmd.reduce_op -> unit
 val default_cache_dir : unit -> string
 (** [$DHPF_NATIVE_CACHE] when set, else [<tmpdir>/dhpf-native-cache]. *)
 
+val kernel_group : string -> string
+(** The eviction group of a cache file name: its basename up to the first
+    dot, so one kernel's [.ml]/[.cmxs]/[.cmi]/[.cmx]/[.o]/[.log] live and
+    die together. *)
+
+val prune_cache : string -> unit
+(** Bound the kernel cache directory to [DHPF_NATIVE_CACHE_MB] (default
+    512 MiB) by whole-kernel oldest-first eviction
+    ({!Iset.Diskcache.prune_dir}); runs automatically after every
+    out-of-process build. *)
+
 val make :
   ?machine:Machine.t ->
   ?faults:Fault.spec ->

@@ -1,0 +1,433 @@
+(* The serve subsystem end to end: protocol round trips against an
+   in-process server, error triage, admission control, shutdown, and the
+   property the service exists for — a second server over the same disk
+   cache answers byte-identically to the first, out of cache.  The last
+   test drives the installed dhpfc binary twice as separate processes
+   against a shared --disk-cache directory. *)
+
+open Serve
+
+let counter = ref 0
+
+let fresh_dir () =
+  incr counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dhpf-serve-test-%d-%d" (Unix.getpid ()) !counter)
+  in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter
+        (fun e -> rm_rf (Filename.concat path e))
+        (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let small = Codes.all_small ()
+let lookup name = List.assoc_opt name small
+let opts = Dhpf.Gen.default_options
+
+let mk_cfg ?(workers = 2) ?(max_queue = 16) ?disk_cache ~socket () =
+  {
+    Server.version = "test";
+    socket;
+    workers;
+    max_queue;
+    disk_cache;
+    lookup;
+    quiet = true;
+  }
+
+(* launch, block until the ping answers, run the body, always stop *)
+let with_server ?workers ?max_queue ?disk_cache f =
+  let dir = fresh_dir () in
+  let socket = Filename.concat dir "s.sock" in
+  let srv =
+    Server.launch (mk_cfg ?workers ?max_queue ?disk_cache ~socket ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      rm_rf dir)
+    (fun () ->
+      Alcotest.(check bool)
+        "server ready" true
+        (Client.wait_ready ~socket ());
+      f socket)
+
+let status r = Option.value (Jsonx.get_str r "status") ~default:"?"
+let code r = Option.value (Jsonx.get_str r "code") ~default:"?"
+
+let check_error ~code:expect r =
+  Alcotest.(check string) "status" "error" (status r);
+  Alcotest.(check string) "code" expect (code r)
+
+(* -- basic round trips ---------------------------------------------- *)
+
+let test_ping () =
+  with_server @@ fun socket ->
+  let r = Client.request ~socket Proto.Ping in
+  Alcotest.(check string) "status" "ok" (status r);
+  Alcotest.(check string)
+    "schema" Proto.schema
+    (Option.value (Jsonx.get_str r "schema") ~default:"?");
+  Alcotest.(check string)
+    "version" "test"
+    (Option.value (Jsonx.get_str r "version") ~default:"?")
+
+let test_compile_builtin () =
+  with_server @@ fun socket ->
+  let r =
+    Client.request ~socket
+      (Proto.Compile { label = "jacobi"; source = None; opts })
+  in
+  Alcotest.(check string) "status" "ok" (status r);
+  let report =
+    match Jsonx.get r "report" with
+    | Some rep -> rep
+    | None -> Alcotest.fail "compile response has no report"
+  in
+  Alcotest.(check string)
+    "report schema" "dhpf-report/1"
+    (Option.value (Jsonx.get_str report "schema") ~default:"?");
+  (match Jsonx.get_int report "events" with
+  | Some n -> Alcotest.(check bool) "events > 0" true (n > 0)
+  | None -> Alcotest.fail "report has no events count");
+  match Jsonx.get_str r "spmd" with
+  | Some s -> Alcotest.(check bool) "spmd nonempty" true (String.length s > 0)
+  | None -> Alcotest.fail "compile response has no spmd text"
+
+let test_compile_inline () =
+  with_server @@ fun socket ->
+  let r =
+    Client.request ~socket
+      (Proto.Compile
+         {
+           label = "inline-figure2";
+           source = Some (Codes.figure2 ());
+           opts;
+         })
+  in
+  Alcotest.(check string) "status" "ok" (status r);
+  let report =
+    match Jsonx.get r "report" with
+    | Some rep -> rep
+    | None -> Alcotest.fail "no report"
+  in
+  Alcotest.(check string)
+    "labelled src" "inline-figure2"
+    (Option.value (Jsonx.get_str report "src") ~default:"?")
+
+let test_run () =
+  with_server @@ fun socket ->
+  let r =
+    Client.request ~socket
+      (Proto.Run
+         {
+           label = "figure2";
+           source = None;
+           opts;
+           nprocs = 4;
+           params = [];
+           engine = "closure";
+         })
+  in
+  Alcotest.(check string) "status" "ok" (status r);
+  let run =
+    match Jsonx.get r "run" with
+    | Some run -> run
+    | None -> Alcotest.fail "run response has no run section"
+  in
+  Alcotest.(check (option int)) "nprocs" (Some 4) (Jsonx.get_int run "nprocs");
+  Alcotest.(check (option string))
+    "engine" (Some "closure")
+    (Jsonx.get_str run "engine");
+  (match Jsonx.get_int run "msgs" with
+  | Some n -> Alcotest.(check bool) "msgs >= 0" true (n >= 0)
+  | None -> Alcotest.fail "no msgs");
+  match Jsonx.get_num run "speedup" with
+  | Some s -> Alcotest.(check bool) "speedup finite" true (Float.is_finite s)
+  | None -> Alcotest.fail "no speedup"
+
+(* -- error triage ---------------------------------------------------- *)
+
+let test_unknown_source () =
+  with_server @@ fun socket ->
+  check_error ~code:"parse"
+    (Client.request ~socket
+       (Proto.Compile { label = "no-such-program"; source = None; opts }))
+
+let test_bad_source_text () =
+  with_server @@ fun socket ->
+  check_error ~code:"parse"
+    (Client.request ~socket
+       (Proto.Compile
+          { label = "junk"; source = Some "real a(; this is not hpf"; opts }))
+
+let test_bad_engine () =
+  with_server @@ fun socket ->
+  check_error ~code:"parse"
+    (Client.request ~socket
+       (Proto.Run
+          {
+            label = "figure2";
+            source = None;
+            opts;
+            nprocs = 4;
+            params = [];
+            engine = "quantum";
+          }))
+
+let test_protocol_errors () =
+  with_server @@ fun socket ->
+  (* a syntactically valid request with an op no constructor produces *)
+  check_error ~code:"protocol"
+    (Client.request_json ~socket
+       (Jsonx.Obj [ ("op", Jsonx.Str "frobnicate") ]));
+  check_error ~code:"protocol"
+    (Client.request_json ~socket (Jsonx.Obj [ ("note", Jsonx.Str "no op") ]));
+  (* a frame that is not JSON at all, below the client's builders *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      Proto.write_frame fd "{this is not json";
+      match Proto.read_json fd with
+      | Some r -> check_error ~code:"protocol" r
+      | None -> Alcotest.fail "server closed without a protocol error")
+
+let test_stats () =
+  with_server @@ fun socket ->
+  ignore
+    (Client.request ~socket
+       (Proto.Compile { label = "figure2"; source = None; opts }));
+  let r = Client.request ~socket Proto.Stats in
+  Alcotest.(check string) "status" "ok" (status r);
+  (match Jsonx.get_int r "served" with
+  | Some n -> Alcotest.(check bool) "served >= 1" true (n >= 1)
+  | None -> Alcotest.fail "no served counter");
+  (match Jsonx.get r "iset" with
+  | Some (Jsonx.Obj kvs) ->
+      Alcotest.(check bool)
+        "iset counters include disk lookups" true
+        (List.mem_assoc "disk lookups" kvs)
+  | _ -> Alcotest.fail "no iset counter object");
+  match Jsonx.get r "metrics" with
+  | Some (Jsonx.Obj _) -> ()
+  | _ -> Alcotest.fail "no embedded metrics registry"
+
+(* -- admission control and shutdown ---------------------------------- *)
+
+let test_overloaded () =
+  (* max_queue 0: every admission decision rejects, so any request —
+     including a ping — gets the structured overloaded response.
+     with_server's readiness ping would never succeed, so launch by
+     hand. *)
+  let dir = fresh_dir () in
+  let socket = Filename.concat dir "s.sock" in
+  let srv = Server.launch (mk_cfg ~max_queue:0 ~socket ()) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      rm_rf dir)
+    (fun () ->
+      let rec attempt n =
+        match Client.request ~socket Proto.Ping with
+        | r -> r
+        | exception (Client.Connect_error _ | Proto.Proto_error _)
+          when n > 0 ->
+            Unix.sleepf 0.02;
+            attempt (n - 1)
+      in
+      let r = attempt 50 in
+      Alcotest.(check string) "status" "overloaded" (status r))
+
+let test_shutdown_op () =
+  let dir = fresh_dir () in
+  let socket = Filename.concat dir "s.sock" in
+  let srv = Server.launch (mk_cfg ~socket ()) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      rm_rf dir)
+    (fun () ->
+      Alcotest.(check bool)
+        "server ready" true
+        (Client.wait_ready ~socket ());
+      let r = Client.request ~socket Proto.Shutdown in
+      Alcotest.(check string) "status" "ok" (status r);
+      Alcotest.(check (option bool))
+        "stopping" (Some true)
+        (Jsonx.get_bool r "stopping");
+      Server.wait srv;
+      Alcotest.(check bool)
+        "socket unlinked" false
+        (Sys.file_exists socket);
+      match Client.request ~socket Proto.Ping with
+      | _ -> Alcotest.fail "server still answering after shutdown"
+      | exception Client.Connect_error _ -> ())
+
+let test_socket_conflict () =
+  with_server @@ fun socket ->
+  (* the socket belongs to a live server: a second launch must refuse *)
+  match Server.launch (mk_cfg ~socket ()) with
+  | srv ->
+      Server.stop srv;
+      Alcotest.fail "second server claimed a live socket"
+  | exception Server.Bind_error _ -> ()
+
+(* -- warm service over a shared disk cache --------------------------- *)
+
+let compile_via socket label =
+  let r =
+    Client.request ~socket (Proto.Compile { label; source = None; opts })
+  in
+  Alcotest.(check string) "status" "ok" (status r);
+  match Jsonx.get_str r "spmd" with
+  | Some s -> s
+  | None -> Alcotest.fail "no spmd text"
+
+let test_warm_second_server () =
+  let cache = fresh_dir () in
+  let saved_dir = Iset.Diskcache.dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      Iset.Diskcache.set_dir saved_dir;
+      rm_rf cache)
+    (fun () ->
+      (* first server generation populates the disk cache *)
+      let cold =
+        with_server ~disk_cache:cache @@ fun socket ->
+        compile_via socket "jacobi"
+      in
+      (* simulate a process restart: in-memory tables and counters go,
+         the disk cache stays *)
+      Iset.Cache.clear_all ();
+      Iset.Stats.reset ();
+      let warm, disk_hits =
+        with_server ~disk_cache:cache @@ fun socket ->
+        let spmd = compile_via socket "jacobi" in
+        let stats = Client.request ~socket Proto.Stats in
+        let hits =
+          match Jsonx.get stats "iset" with
+          | Some iset ->
+              Option.value (Jsonx.get_int iset "disk hits") ~default:0
+          | None -> 0
+        in
+        (spmd, hits)
+      in
+      Alcotest.(check string) "warm spmd byte-identical" cold warm;
+      Alcotest.(check bool) "warm served from disk" true (disk_hits > 0);
+      (* and both match a plain batch compile with every cache off *)
+      Iset.Cache.set_enabled false;
+      let direct =
+        Fun.protect
+          ~finally:(fun () -> Iset.Cache.set_enabled true)
+          (fun () ->
+            let chk =
+              Hpf.Sema.analyze_source (List.assoc "jacobi" small)
+            in
+            let compiled =
+              Dhpf.Gen.compile ~opts ~phase:(Dhpf.Phase.create ()) chk
+            in
+            Dhpf.Spmd.program_to_string compiled.Dhpf.Gen.cprog)
+      in
+      Alcotest.(check string) "matches uncached batch compile" direct cold)
+
+(* -- cross-process warm compile through the dhpfc binary -------------- *)
+
+(* resolve relative to this executable, not the cwd: dune runs tests
+   from the build directory, a bare `./test_serve.exe` may not *)
+let dhpfc =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "bin" "dhpfc.exe"))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_cross_process_warm () =
+  if not (Sys.file_exists dhpfc) then
+    Alcotest.skip ()
+  else begin
+    let dir = fresh_dir () in
+    Fun.protect
+      ~finally:(fun () -> rm_rf dir)
+      (fun () ->
+        let cache = Filename.concat dir "cache" in
+        let out n = Filename.concat dir n in
+        let run args redirect =
+          Sys.command
+            (Printf.sprintf "%s %s %s 2>/dev/null" dhpfc args redirect)
+        in
+        Alcotest.(check int)
+          "cold compile exits 0" 0
+          (run
+             (Printf.sprintf "compile figure2 --show-spmd --disk-cache %s"
+                cache)
+             ("> " ^ out "cold.txt"));
+        Alcotest.(check int)
+          "warm compile exits 0" 0
+          (run
+             (Printf.sprintf
+                "compile figure2 --show-spmd --disk-cache %s --report-json %s"
+                cache (out "report.json"))
+             ("> " ^ out "warm.txt"));
+        Alcotest.(check string)
+          "warm process output byte-identical"
+          (read_file (out "cold.txt"))
+          (read_file (out "warm.txt"));
+        let report = Jsonx.of_string (read_file (out "report.json")) in
+        let counters =
+          match Jsonx.get report "cache" with
+          | Some c -> Option.value (Jsonx.get c "counters") ~default:Jsonx.Null
+          | None -> Jsonx.Null
+        in
+        match Jsonx.get_int counters "disk hits" with
+        | Some hits ->
+            Alcotest.(check bool) "cross-process disk hits" true (hits > 0)
+        | None -> Alcotest.fail "report has no disk hits counter")
+  end
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "ping" `Quick test_ping;
+          Alcotest.test_case "compile builtin" `Quick test_compile_builtin;
+          Alcotest.test_case "compile inline" `Quick test_compile_inline;
+          Alcotest.test_case "run" `Quick test_run;
+          Alcotest.test_case "stats" `Quick test_stats;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "unknown source" `Quick test_unknown_source;
+          Alcotest.test_case "bad source text" `Quick test_bad_source_text;
+          Alcotest.test_case "bad engine" `Quick test_bad_engine;
+          Alcotest.test_case "protocol errors" `Quick test_protocol_errors;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "overloaded" `Quick test_overloaded;
+          Alcotest.test_case "shutdown op" `Quick test_shutdown_op;
+          Alcotest.test_case "socket conflict" `Quick test_socket_conflict;
+        ] );
+      ( "warm",
+        [
+          Alcotest.test_case "second server over same cache" `Slow
+            test_warm_second_server;
+          Alcotest.test_case "cross-process warm compile" `Slow
+            test_cross_process_warm;
+        ] );
+    ]
