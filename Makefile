@@ -7,13 +7,13 @@
 DUNE ?= dune
 DHPFC = $(DUNE) exec bin/dhpfc.exe --
 
-.PHONY: all check test resilience fuzz bench bench-smoke bench-run bench-run-smoke bench-par-smoke bench-native-smoke bench-native bench-serve bench-serve-smoke metrics-smoke fmt fmt-check clean
+.PHONY: all check test resilience fuzz bench bench-smoke bench-run bench-run-smoke bench-par-smoke bench-native-smoke bench-native bench-serve bench-serve-smoke serve-obs-smoke metrics-smoke fmt fmt-check clean
 
 all:
 	$(DUNE) build
 
 check:
-	$(DUNE) build && $(DUNE) runtest && $(MAKE) bench-smoke && $(MAKE) bench-run-smoke && $(MAKE) bench-par-smoke && $(MAKE) bench-native-smoke && $(MAKE) bench-serve-smoke && $(MAKE) metrics-smoke
+	$(DUNE) build && $(DUNE) runtest && $(MAKE) bench-smoke && $(MAKE) bench-run-smoke && $(MAKE) bench-par-smoke && $(MAKE) bench-native-smoke && $(MAKE) bench-serve-smoke && $(MAKE) serve-obs-smoke && $(MAKE) metrics-smoke
 
 # Fast Table-1 subset with the bench's JSON emitter; fails if the
 # integer-set caches record zero hits (i.e. the memoization layer is
@@ -62,6 +62,17 @@ bench-serve-smoke:
 
 bench-serve:
 	$(DHPFC) bench-serve --clients 8 --requests 4 --json BENCH_serve.json --smoke
+
+# Observability smoke: the same three daemons (cold, warm, eviction
+# pressure) with every telemetry sink routed to OBS_DIR — structured
+# JSONL logs, Prometheus files, flight-recorder dumps — and the smoke
+# checks extended to parse and validate each artifact, assert that
+# telemetry threads through every response, and that the squeezed
+# daemon records evictions and a degraded hit ratio.
+OBS_DIR ?= artifacts/obs
+serve-obs-smoke:
+	mkdir -p $(OBS_DIR)
+	$(DHPFC) bench-serve --clients 4 --requests 3 --obs $(OBS_DIR) --json $(OBS_DIR)/BENCH_serve.json --smoke
 
 # Predicted-vs-measured communication: the bench's symmetric-stencil
 # matrix assertions, then --check-comm (static integer-set prediction

@@ -7,11 +7,15 @@
                  run for comparison
      bench       print one of the built-in benchmark programs
      serve       persistent compilation daemon on a Unix-domain socket
-     bench-serve cold-vs-warm serve throughput benchmark *)
+     bench-serve cold-vs-warm serve throughput benchmark, plus a
+                 disk-cache eviction-pressure phase and an
+                 observability smoke mode
+     top         live-refreshing dashboard over a running daemon's
+                 stats op *)
 
 open Cmdliner
 
-let version = "1.6.0"
+let version = "1.7.0"
 
 let read_file path =
   let ic = open_in_bin path in
@@ -205,7 +209,7 @@ let report_json_t =
     & opt (some string) None
     & info [ "report-json" ] ~docv:"FILE"
         ~doc:
-          "Write the compile report as stable dhpf-report/1 JSON to \
+          "Write the compile report as stable dhpf-report/2 JSON to \
            $(docv) ($(b,-) for stdout): phase-time breakdown, event and \
            statement counts, integer-set cache counters and the disk-cache \
            state. The same document is embedded in $(b,serve) compile \
@@ -881,6 +885,49 @@ let quiet_t =
     value & flag
     & info [ "quiet" ] ~doc:"Suppress the startup/shutdown notes on stderr.")
 
+let log_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log" ] ~docv:"FILE"
+        ~doc:
+          "Structured JSONL event log (dhpf-log/1): one JSON object per \
+           line — ts, level, request id, event, typed fields — for \
+           accept/dispatch/complete/error/overloaded/shutdown and \
+           cache-fault events. $(b,-) logs to stderr. Also settable via \
+           $(b,DHPF_LOG) (with $(b,DHPF_LOG_LEVEL) = \
+           debug|info|warn|error).")
+
+let prom_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "prom" ] ~docv:"FILE"
+        ~doc:
+          "Prometheus text exposition of the metrics registry, rewritten \
+           atomically (at most once a second) as requests complete and at \
+           shutdown; point a node-exporter textfile collector at it.")
+
+let flight_dump_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-dump" ] ~docv:"FILE"
+        ~doc:
+          "Write the flight-recorder bundle (dhpf-flight/1) to $(docv) \
+           whenever a worker request fails and at shutdown — so a crash \
+           or SIGTERM always leaves a postmortem of the most recent \
+           requests and log events.")
+
+let recorder_slots_t =
+  Arg.(
+    value & opt int 1024
+    & info [ "recorder-slots" ] ~docv:"N"
+        ~doc:
+          "Flight-recorder ring capacity (recent request summaries and \
+           log events kept for the $(b,dump) op and $(b,--flight-dump)); \
+           0 disables the recorder.")
+
 let serve_man =
   [
     `S Manpage.s_description;
@@ -903,7 +950,7 @@ let serve_man =
 
 let serve_cmd =
   let run socket workers max_queue disk_cache disk_cache_mb jobs quiet trace
-      metrics =
+      metrics log prom flight_dump recorder_slots =
     handle_errors @@ fun () ->
     if max_queue < 0 then begin
       Fmt.epr "invalid --max-queue %d: need a non-negative bound@." max_queue;
@@ -924,6 +971,10 @@ let serve_cmd =
         disk_cache = None (* already applied process-wide above *);
         lookup = builtin;
         quiet;
+        log;
+        prom;
+        flight_dump;
+        recorder_slots = max 0 recorder_slots;
       }
     in
     (* install the handlers before launch so a signal in the startup
@@ -948,9 +999,10 @@ let serve_cmd =
        ~doc:"Persistent compilation service on a Unix-domain socket")
     Term.(
       const run $ socket_t $ workers_t $ max_queue_t $ disk_cache_t
-      $ disk_cache_mb_t $ jobs_t $ quiet_t $ trace_t $ metrics_t)
+      $ disk_cache_mb_t $ jobs_t $ quiet_t $ trace_t $ metrics_t $ log_t
+      $ prom_t $ flight_dump_t $ recorder_slots_t)
 
-(* ---- bench-serve (cold vs. warm service throughput) ---- *)
+(* ---- bench-serve (cold vs. warm vs. eviction-pressure) ---- *)
 
 let bench_serve_cmd =
   let clients_t =
@@ -975,7 +1027,30 @@ let bench_serve_cmd =
       value
       & opt (some string) None
       & info [ "json" ] ~docv:"FILE"
-          ~doc:"Write the results as dhpf-bench-serve/1 JSON to $(docv).")
+          ~doc:"Write the results as dhpf-bench-serve/2 JSON to $(docv).")
+  in
+  let pressure_kb_t =
+    Arg.(
+      value & opt int 256
+      & info [ "pressure-kb" ] ~docv:"KB"
+          ~doc:
+            "Disk-cache budget (KiB, floor 64) for the eviction-pressure \
+             daemon: a third phase replays the warm workload against the \
+             same cache squeezed to $(docv) KiB, recording hit-ratio \
+             degradation and GC eviction counts. 0 skips the phase.")
+  in
+  let obs_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "obs" ] ~docv:"DIR"
+          ~doc:
+            "Route each daemon's observability output into $(docv) \
+             ($(i,tag).log.jsonl, $(i,tag).prom, $(i,tag).flight.json) \
+             and, under $(b,--smoke), assert it: every log line parses \
+             as dhpf-log/1, the Prometheus file has TYPE lines, the \
+             stats snapshot is sane and the $(b,dump) op returns a \
+             valid flight bundle.")
   in
   let smoke_t =
     Arg.(
@@ -983,10 +1058,12 @@ let bench_serve_cmd =
       & info [ "smoke" ]
           ~doc:
             "Assert the invariants (every request answered ok, warm \
-             phase hits the disk cache, both daemons exit cleanly on \
-             SIGTERM) and fail with exit 1 otherwise.")
+             phase hits the disk cache, every daemon exits cleanly on \
+             SIGTERM, dump ops return parseable flight bundles — plus \
+             the $(b,--obs) artifact checks when that is set) and fail \
+             with exit 1 otherwise.")
   in
-  let run clients requests workers json smoke =
+  let run clients requests workers json pressure_kb obs smoke =
     handle_errors @@ fun () ->
     if clients < 1 || requests < 1 then begin
       Fmt.epr "bench-serve: need positive --clients and --requests@.";
@@ -998,23 +1075,34 @@ let bench_serve_cmd =
         (Printf.sprintf "dhpf-bench-serve-%d" (Unix.getpid ()))
     in
     (try Unix.mkdir base 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    (match obs with
+    | Some dir -> (
+        try Unix.mkdir dir 0o755
+        with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+    | None -> ());
     let cache_dir = Filename.concat base "cache" in
-    let sock_cold = Filename.concat base "cold.sock" in
-    let sock_warm = Filename.concat base "warm.sock" in
-    List.iter
-      (fun s -> try Unix.unlink s with Unix.Unix_error _ -> ())
-      [ sock_cold; sock_warm ];
-    (* Fork both daemons before this process spawns any domain: the
+    let sock_of tag = Filename.concat base (tag ^ ".sock") in
+    let obs_file tag ext =
+      Option.map (fun dir -> Filename.concat dir (tag ^ ext)) obs
+    in
+    (* Fork every daemon before this process spawns any domain: the
        load generator multicores the parent, and forking a runtime with
        live domains is not supported. The warm daemon idles until the
        cold phase has populated the shared disk cache; being a separate
        process, its in-memory tables start empty, so every hit it gets
-       is a genuine cross-process disk hit. *)
-    let fork_server socket =
+       is a genuine cross-process disk hit. The pressure daemon gets the
+       same cache squeezed to a tiny byte budget, so its stores trigger
+       the oldest-first GC underneath its own lookups. *)
+    let fork_server ?cache_kb tag =
+      let socket = sock_of tag in
+      (try Unix.unlink socket with Unix.Unix_error _ -> ());
       match Unix.fork () with
       | 0 ->
           let code =
             try
+              (match cache_kb with
+              | Some kb -> Iset.Diskcache.set_max_bytes (kb * 1024)
+              | None -> ());
               let cfg =
                 {
                   Serve.Server.version;
@@ -1024,6 +1112,10 @@ let bench_serve_cmd =
                   disk_cache = Some cache_dir;
                   lookup = builtin;
                   quiet = true;
+                  log = obs_file tag ".log.jsonl";
+                  prom = obs_file tag ".prom";
+                  flight_dump = obs_file tag ".flight.json";
+                  recorder_slots = 1024;
                 }
               in
               let srv_ref = ref None in
@@ -1042,8 +1134,13 @@ let bench_serve_cmd =
           Unix._exit code
       | pid -> pid
     in
-    let pid_cold = fork_server sock_cold in
-    let pid_warm = fork_server sock_warm in
+    let with_pressure = pressure_kb > 0 in
+    let pid_cold = fork_server "cold" in
+    let pid_warm = fork_server "warm" in
+    let pid_pressure =
+      if with_pressure then Some (fork_server ~cache_kb:pressure_kb "pressure")
+      else None
+    in
     (* mixed workload: every built-in at smoke size as inline source,
        with every fourth request a full simulated run *)
     let progs = Array.of_list (Codes.all_small ()) in
@@ -1064,20 +1161,42 @@ let bench_serve_cmd =
         Serve.Proto.Compile
           { label = name; source = Some text; opts = Dhpf.Gen.default_options }
     in
-    let run_phase name socket =
+    let run_phase ?prime name socket =
       if not (Serve.Client.wait_ready ~socket ()) then begin
         Fmt.epr "bench-serve: %s daemon did not come up on %s@." name socket;
         exit exit_runtime
       end;
+      (match prime with
+      | Some req -> (
+          try ignore (Serve.Client.request ~socket req)
+          with Serve.Client.Connect_error _ | Serve.Proto.Proto_error _ -> ())
+      | None -> ());
       let r = Serve.Loadgen.run ~socket ~clients ~requests ~workload in
-      let stats =
-        try Some (Serve.Client.request ~socket Serve.Proto.Stats)
+      let ask req =
+        try Some (Serve.Client.request ~socket req)
         with Serve.Client.Connect_error _ | Serve.Proto.Proto_error _ -> None
       in
-      (r, stats)
+      (r, ask Serve.Proto.Stats, ask Serve.Proto.Dump)
     in
-    let cold, cold_stats = run_phase "cold" sock_cold in
-    let warm, warm_stats = run_phase "warm" sock_warm in
+    let cold, cold_stats, cold_dump = run_phase "cold" (sock_of "cold") in
+    let warm, warm_stats, warm_dump = run_phase "warm" (sock_of "warm") in
+    let pressure =
+      if with_pressure then
+        (* the replayed workload would hit 100% and never store, and the
+           disk GC only runs on store — one novel compile trips it under
+           the squeezed budget, after which the evicted entries turn the
+           replay into genuine miss/store/evict churn *)
+        let prime =
+          Serve.Proto.Compile
+            {
+              label = "pressure-prime";
+              source = Some (Codes.jacobi ~n:20 ~iters:1 ());
+              opts = Dhpf.Gen.default_options;
+            }
+        in
+        Some (run_phase ~prime "pressure" (sock_of "pressure"))
+      else None
+    in
     let shutdown name pid =
       Unix.kill pid Sys.sigterm;
       match Unix.waitpid [] pid with
@@ -1088,7 +1207,12 @@ let bench_serve_cmd =
     in
     let clean_cold = shutdown "cold" pid_cold in
     let clean_warm = shutdown "warm" pid_warm in
-    let clean = clean_cold && clean_warm in
+    let clean_pressure =
+      match pid_pressure with
+      | Some pid -> shutdown "pressure" pid
+      | None -> true
+    in
+    let clean = clean_cold && clean_warm && clean_pressure in
     let disk_counter stats key =
       match stats with
       | None -> 0
@@ -1096,6 +1220,11 @@ let bench_serve_cmd =
           match Serve.Jsonx.get v "iset" with
           | Some o -> Option.value (Serve.Jsonx.get_int o key) ~default:0
           | None -> 0)
+    in
+    let hit_ratio stats =
+      let l = disk_counter stats "disk lookups" in
+      if l = 0 then 0.0
+      else float_of_int (disk_counter stats "disk hits") /. float_of_int l
     in
     let rps (r : Serve.Loadgen.result) =
       float_of_int r.lg_ok /. Float.max 1e-9 r.lg_wall_s
@@ -1105,22 +1234,49 @@ let bench_serve_cmd =
     in
     let line name (r : Serve.Loadgen.result) stats =
       Fmt.pr
-        "%-5s %4d ok %3d err %4d overload-retries %8.3f s  %7.1f req/s  \
-         p50 %6.1f ms  p99 %6.1f ms  disk %d/%d@."
+        "%-8s %4d ok %3d err %4d overload-retries %8.3f s  %7.1f req/s  \
+         p50 %6.1f ms  p99 %6.1f ms  disk %d/%d  evict %d@."
         name r.lg_ok r.lg_error r.lg_overloaded r.lg_wall_s (rps r)
         (pct 0.5 r *. 1e3) (pct 0.99 r *. 1e3)
         (disk_counter stats "disk hits")
         (disk_counter stats "disk lookups")
+        (disk_counter stats "disk evictions")
     in
     Fmt.pr "bench-serve: %d clients x %d requests, %d workers per daemon@."
       clients requests workers;
     line "cold" cold cold_stats;
     line "warm" warm warm_stats;
+    (match pressure with
+    | Some (r, stats, _) -> line "pressure" r stats
+    | None -> ());
     if rps cold > 0. then
       Fmt.pr "warm/cold throughput: %.2fx@." (rps warm /. rps cold);
+    (match pressure with
+    | Some (_, stats, _) when with_pressure ->
+        Fmt.pr
+          "eviction pressure (%d KiB budget): hit ratio %.1f%% (warm \
+           %.1f%%), %d evictions@."
+          pressure_kb
+          (hit_ratio stats *. 100.)
+          (hit_ratio warm_stats *. 100.)
+          (disk_counter stats "disk evictions")
+    | _ -> ());
     (match json with
     | None -> ()
     | Some path ->
+        let op_json (op, lats) =
+          ( op,
+            Serve.Jsonx.Obj
+              [
+                ("n", Serve.Jsonx.int (Array.length lats));
+                ( "p50_s",
+                  Serve.Jsonx.Num (Serve.Loadgen.percentile 0.5 lats) );
+                ( "p90_s",
+                  Serve.Jsonx.Num (Serve.Loadgen.percentile 0.9 lats) );
+                ( "p99_s",
+                  Serve.Jsonx.Num (Serve.Loadgen.percentile 0.99 lats) );
+              ] )
+        in
         let phase_json name (r : Serve.Loadgen.result) stats =
           Serve.Jsonx.Obj
             [
@@ -1133,25 +1289,47 @@ let bench_serve_cmd =
               ("p50_s", Serve.Jsonx.Num (pct 0.5 r));
               ("p90_s", Serve.Jsonx.Num (pct 0.9 r));
               ("p99_s", Serve.Jsonx.Num (pct 0.99 r));
+              ( "queue_p50_s",
+                Serve.Jsonx.Num
+                  (Serve.Loadgen.percentile 0.5 r.lg_queue_waits) );
+              ( "queue_p99_s",
+                Serve.Jsonx.Num
+                  (Serve.Loadgen.percentile 0.99 r.lg_queue_waits) );
+              ( "service_p50_s",
+                Serve.Jsonx.Num
+                  (Serve.Loadgen.percentile 0.5 r.lg_services) );
+              ( "service_p99_s",
+                Serve.Jsonx.Num
+                  (Serve.Loadgen.percentile 0.99 r.lg_services) );
+              ("by_op", Serve.Jsonx.Obj (List.map op_json r.lg_by_op));
               ("disk_hits", Serve.Jsonx.int (disk_counter stats "disk hits"));
               ( "disk_lookups",
                 Serve.Jsonx.int (disk_counter stats "disk lookups") );
+              ( "disk_evictions",
+                Serve.Jsonx.int (disk_counter stats "disk evictions") );
+              ("disk_hit_ratio", Serve.Jsonx.Num (hit_ratio stats));
             ]
         in
         let doc =
           Serve.Jsonx.Obj
             [
-              ("schema", Serve.Jsonx.Str "dhpf-bench-serve/1");
+              ("schema", Serve.Jsonx.Str "dhpf-bench-serve/2");
               ("version", Serve.Jsonx.Str version);
               ("clients", Serve.Jsonx.int clients);
               ("requests_per_client", Serve.Jsonx.int requests);
               ("workers", Serve.Jsonx.int workers);
+              ("pressure_kb", Serve.Jsonx.int pressure_kb);
               ( "phases",
                 Serve.Jsonx.List
-                  [
-                    phase_json "cold" cold cold_stats;
-                    phase_json "warm" warm warm_stats;
-                  ] );
+                  ([
+                     phase_json "cold" cold cold_stats;
+                     phase_json "warm" warm warm_stats;
+                   ]
+                  @
+                  match pressure with
+                  | Some (r, stats, _) ->
+                      [ phase_json "pressure" r stats ]
+                  | None -> []) );
               ("clean_shutdown", Serve.Jsonx.Bool clean);
             ]
         in
@@ -1169,6 +1347,118 @@ let bench_serve_cmd =
         (disk_counter warm_stats "disk hits" > 0)
         "warm daemon recorded no disk-cache hits";
       check clean "daemons did not shut down cleanly on SIGTERM";
+      (* the telemetry section must thread back through the load
+         generator: every response carries queue-wait and service time *)
+      check
+        (Array.length warm.lg_services = warm.lg_ok + warm.lg_error)
+        "warm responses were missing telemetry sections";
+      (* dump must return a parseable flight bundle under load *)
+      let check_dump name dump =
+        match Option.bind dump (fun v -> Serve.Jsonx.get v "flight") with
+        | Some flight ->
+            check
+              (Serve.Jsonx.get_str flight "schema" = Some "dhpf-flight/1")
+              (name ^ " dump returned a bundle with the wrong schema");
+            check
+              (match Serve.Jsonx.get_list flight "entries" with
+              | Some (_ :: _) -> true
+              | _ -> false)
+              (name ^ " dump returned an empty flight recorder")
+        | None -> check false (name ^ " dump op failed")
+      in
+      check_dump "cold" cold_dump;
+      check_dump "warm" warm_dump;
+      (* the squeezed daemon must actually churn: evictions recorded and
+         a hit ratio visibly below the warm daemon's *)
+      (match pressure with
+      | Some (r, stats, dump) ->
+          check (r.Serve.Loadgen.lg_error = 0)
+            "pressure phase had failing requests";
+          check
+            (disk_counter stats "disk evictions" > 0)
+            "pressure daemon recorded no evictions";
+          check
+            (hit_ratio stats < hit_ratio warm_stats)
+            "pressure hit ratio did not degrade below warm";
+          check_dump "pressure" dump
+      | None -> ());
+      (* stats v2 sanity: rolling-window gauges present and ordered *)
+      (let wnum stats k =
+         Option.bind stats (fun v ->
+             Option.bind (Serve.Jsonx.get v "window") (fun w ->
+                 Serve.Jsonx.get_num w k))
+       in
+       match (wnum warm_stats "service_p50_s", wnum warm_stats "service_p99_s")
+       with
+      | Some p50, Some p99 ->
+          check (p50 >= 0. && p99 >= p50) "warm stats window percentiles not ordered"
+      | _ -> check false "warm stats response lacks window gauges");
+      check
+        (match
+           Option.bind warm_stats (fun v ->
+               Serve.Jsonx.get_str v "stats_schema")
+         with
+        | Some "dhpf-stats/2" -> true
+        | _ -> false)
+        "stats response is not dhpf-stats/2";
+      (* observability artifacts, when routed to a directory *)
+      (match obs with
+      | None -> ()
+      | Some _ ->
+          List.iter
+            (fun tag ->
+              (match obs_file tag ".log.jsonl" with
+              | Some path when Sys.file_exists path ->
+                  let lines =
+                    String.split_on_char '\n' (read_file path)
+                    |> List.filter (fun l -> String.trim l <> "")
+                  in
+                  check (lines <> []) (tag ^ " log is empty");
+                  List.iter
+                    (fun l ->
+                      match Serve.Jsonx.of_string l with
+                      | v ->
+                          check
+                            (Serve.Jsonx.get_str v "schema"
+                             = Some "dhpf-log/1"
+                            && Serve.Jsonx.get_num v "ts" <> None
+                            && Serve.Jsonx.get_str v "level" <> None
+                            && Serve.Jsonx.get_str v "event" <> None)
+                            (tag ^ " log line missing dhpf-log/1 fields")
+                      | exception Serve.Jsonx.Error _ ->
+                          check false (tag ^ " log line is not valid JSON"))
+                    lines
+              | _ -> check false (tag ^ " log file missing"));
+              (match obs_file tag ".prom" with
+              | Some path when Sys.file_exists path ->
+                  let body = read_file path in
+                  check
+                    (String.length body > 0
+                    && String.trim body <> ""
+                    &&
+                    let rec has_type i =
+                      match String.index_from_opt body i '#' with
+                      | None -> false
+                      | Some j ->
+                          (String.length body - j > 6
+                          && String.sub body j 7 = "# TYPE ")
+                          || has_type (j + 1)
+                    in
+                    has_type 0)
+                    (tag ^ " prometheus file has no TYPE lines")
+              | _ -> check false (tag ^ " prometheus file missing"));
+              match obs_file tag ".flight.json" with
+              | Some path when Sys.file_exists path -> (
+                  match Serve.Jsonx.of_string (read_file path) with
+                  | v ->
+                      check
+                        (Serve.Jsonx.get_str v "schema"
+                        = Some "dhpf-flight/1")
+                        (tag ^ " flight dump has the wrong schema")
+                  | exception Serve.Jsonx.Error _ ->
+                      check false (tag ^ " flight dump is not valid JSON"))
+              | _ -> check false (tag ^ " flight dump missing"))
+            ([ "cold"; "warm" ] @ if with_pressure then [ "pressure" ] else []));
       match List.rev !failures with
       | [] -> Fmt.pr "bench-serve smoke: ok@."
       | fs ->
@@ -1178,13 +1468,112 @@ let bench_serve_cmd =
   in
   Cmd.v
     (Cmd.info "bench-serve"
-       ~doc:"Benchmark the serve daemon: cold vs. warm disk cache")
+       ~doc:
+         "Benchmark the serve daemon: cold vs. warm disk cache, plus \
+          eviction pressure and telemetry smoke checks")
     Term.(
-      const run $ clients_t $ requests_t $ bworkers_t $ json_t $ smoke_t)
+      const run $ clients_t $ requests_t $ bworkers_t $ json_t
+      $ pressure_kb_t $ obs_t $ smoke_t)
+
+(* ---- top (live dashboard over the stats op) ---- *)
+
+let top_cmd =
+  let interval_t =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"S" ~doc:"Seconds between stats polls.")
+  in
+  let iterations_t =
+    Arg.(
+      value & opt int 0
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:"Stop after $(docv) refreshes (0 = run until interrupted).")
+  in
+  let plain_t =
+    Arg.(
+      value & flag
+      & info [ "plain" ]
+          ~doc:
+            "No ANSI clear between refreshes: append one snapshot block \
+             per poll (for logs and tests).")
+  in
+  let run socket interval iterations plain =
+    handle_errors @@ fun () ->
+    let interval = Float.max 0.05 interval in
+    let buf = Buffer.create 1024 in
+    let render v =
+      Buffer.clear buf;
+      let s fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+      let num ?(o = v) k = Option.value (Serve.Jsonx.get_num o k) ~default:0. in
+      let int_ ?(o = v) k = Option.value (Serve.Jsonx.get_int o k) ~default:0 in
+      let str k d = Option.value (Serve.Jsonx.get_str v k) ~default:d in
+      s "dhpfc top — %s   version %s   uptime %.1fs\n" socket
+        (str "version" "?") (num "uptime_s");
+      s "served %d   rejected %d   queue %d   workers %d\n" (int_ "served")
+        (int_ "rejected") (int_ "queue_depth") (int_ "workers");
+      (match Serve.Jsonx.get v "window" with
+      | Some w ->
+          s "window %.0fs: %d reqs  %.1f rps  errors %d  overloaded %d\n"
+            (num ~o:w "seconds") (int_ ~o:w "samples") (num ~o:w "rps")
+            (int_ ~o:w "errors") (int_ ~o:w "overloaded");
+          s "  service p50/p95/p99  %6.1f / %6.1f / %6.1f ms\n"
+            (num ~o:w "service_p50_s" *. 1e3)
+            (num ~o:w "service_p95_s" *. 1e3)
+            (num ~o:w "service_p99_s" *. 1e3);
+          s "  queue   p50/p95/p99  %6.1f / %6.1f / %6.1f ms\n"
+            (num ~o:w "queue_p50_s" *. 1e3)
+            (num ~o:w "queue_p95_s" *. 1e3)
+            (num ~o:w "queue_p99_s" *. 1e3)
+      | None -> ());
+      (match Serve.Jsonx.get v "ratios" with
+      | Some r ->
+          s "ratios: memo %.1f%%   disk %.1f%%\n"
+            (num ~o:r "memo_hit" *. 100.)
+            (num ~o:r "disk_hit" *. 100.)
+      | None -> ());
+      (match Serve.Jsonx.get v "diskcache" with
+      | Some d -> s "diskcache: %d bytes\n" (int_ ~o:d "bytes")
+      | None -> ());
+      Buffer.contents buf
+    in
+    let rec loop i =
+      if iterations = 0 || i < iterations then begin
+        let body =
+          match
+            (try Some (Serve.Client.request ~socket Serve.Proto.Stats)
+             with
+            | Serve.Client.Connect_error msg -> (
+                ignore msg;
+                None)
+            | Serve.Proto.Proto_error _ -> None)
+          with
+          | Some v -> render v
+          | None -> Printf.sprintf "dhpfc top — %s: server unreachable\n" socket
+        in
+        if plain then print_string body
+        else begin
+          print_string "\027[2J\027[H";
+          print_string body
+        end;
+        flush stdout;
+        if iterations = 0 || i + 1 < iterations then Unix.sleepf interval;
+        loop (i + 1)
+      end
+    in
+    loop 0
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal dashboard over a running serve daemon: RPS, \
+          latency percentiles, queue depth and cache hit ratios from \
+          repeated stats polls")
+    Term.(const run $ socket_t $ interval_t $ iterations_t $ plain_t)
 
 let () =
   Obs.init_env ();
   Obs.Metrics.init_env ();
+  Obs.Log.init_env ();
   Iset.Diskcache.init_env ();
   let info =
     Cmd.info "dhpfc" ~version
@@ -1195,5 +1584,5 @@ let () =
        (Cmd.group info
           [
             compile_cmd; run_cmd; bench_cmd; omega_cmd; serve_cmd;
-            bench_serve_cmd;
+            bench_serve_cmd; top_cmd;
           ]))

@@ -26,7 +26,7 @@ let set_dir d =
 let dir () = Atomic.get dir_ref
 let enabled () = Atomic.get dir_ref <> None
 let max_bytes () = Atomic.get max_bytes_ref
-let set_max_bytes n = Atomic.set max_bytes_ref (max (1024 * 1024) n)
+let set_max_bytes n = Atomic.set max_bytes_ref (max (64 * 1024) n)
 
 let init_env () =
   (match Sys.getenv_opt "DHPF_DISK_CACHE" with
@@ -252,6 +252,17 @@ let gc () =
               files;
             Atomic.set bytes_ref !remaining;
             note_bytes ();
+            if Obs.Log.enabled Obs.Log.Info then begin
+              let before = total and after = !remaining in
+              Obs.Log.info "diskcache.gc"
+                ~fields:(fun () ->
+                  [
+                    ("evicted", Obs.Int !removed);
+                    ("bytes_before", Obs.Int before);
+                    ("bytes_after", Obs.Int after);
+                    ("budget", Obs.Int budget);
+                  ])
+            end;
             !removed
           end)
 
@@ -317,6 +328,16 @@ let find ~kind key =
           | None ->
               if Obs.Metrics.enabled () then
                 Obs.Metrics.incr (Lazy.force m_misses);
+              (* a readable file that fails to decode is a cache fault
+                 (corruption or digest collision), not a routine miss *)
+              if Obs.Log.enabled Obs.Log.Warn then
+                Obs.Log.warn "diskcache.corrupt_entry"
+                  ~fields:(fun () ->
+                    [
+                      ("kind", Obs.Str kind);
+                      ("path", Obs.Str path);
+                      ("bytes", Obs.Int (String.length bytes));
+                    ]);
               None))
 
 let store ~kind key value =

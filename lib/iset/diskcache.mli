@@ -46,7 +46,9 @@ val init_env : unit -> unit
 
 val max_bytes : unit -> int
 val set_max_bytes : int -> unit
-(** Set the eviction budget in bytes (clamped to at least 1 MiB). *)
+(** Set the eviction budget in bytes (clamped to at least 64 KiB — low
+    enough that an eviction-pressure benchmark can squeeze a real
+    workload, high enough that a single entry always fits). *)
 
 val bytes_used : unit -> int
 (** Tracked footprint of the enabled cache directory (0 when disabled);

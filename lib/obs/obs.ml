@@ -281,6 +281,280 @@ let init_env () =
       at_exit (fun () -> try write path with Sys_error _ -> ())
   | _ -> ()
 
+(* precise numbers for the log/flight-recorder/prometheus exporters:
+   jfloat's fixed %.3f is right for microsecond trace timestamps but
+   truncates latencies-in-seconds and absolute unix times; %.17g
+   round-trips every float and stays valid JSON once non-finite values
+   are clamped *)
+let jnum v =
+  if Float.is_nan v then "0"
+  else if v = Float.infinity then "1e308"
+  else if v = Float.neg_infinity then "-1e308"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let jarg_num b = function
+  | Str s -> jstr b s
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float v -> Buffer.add_string b (jnum v)
+  | Bool v -> Buffer.add_string b (string_of_bool v)
+
+let jfields b fields =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      jstr b k;
+      Buffer.add_char b ':';
+      jarg_num b v)
+    fields;
+  Buffer.add_char b '}'
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder: an always-on bounded ring of recent events          *)
+(* ------------------------------------------------------------------ *)
+
+module Recorder = struct
+  (* A fixed array of [entry option] slots plus one atomic write index:
+     writers claim a slot with fetch_and_add and overwrite it with a
+     single pointer store, so recording is lock-free and O(1) and the
+     ring self-bounds by overwriting the oldest entries. Readers (the
+     dump path) may observe a slot mid-overwrite as either the old or
+     the new entry — never a torn one — which is the right contract for
+     a postmortem buffer. Disabled (the default) is an empty array: one
+     atomic load, nothing allocated. *)
+
+  let schema = "dhpf-flight/1"
+
+  type entry = {
+    fr_ts : float;  (* absolute unix seconds *)
+    fr_kind : string;  (* "log" | "request" | caller-chosen *)
+    fr_level : string;
+    fr_rid : string;  (* "" when the event has no request id *)
+    fr_event : string;
+    fr_fields : (string * arg) list;
+  }
+
+  let slots : entry option array Atomic.t = Atomic.make [||]
+  let widx = Atomic.make 0
+
+  let enabled () = Array.length (Atomic.get slots) > 0
+  let capacity () = Array.length (Atomic.get slots)
+  let recorded () = Atomic.get widx
+
+  let start ?(capacity = 1024) () =
+    Atomic.set widx 0;
+    Atomic.set slots (Array.make (max 16 capacity) None)
+
+  let stop () = Atomic.set slots [||]
+
+  let record ?ts ?(kind = "log") ?(level = "info") ?(rid = "")
+      ?(fields = []) event =
+    let a = Atomic.get slots in
+    let n = Array.length a in
+    if n > 0 then begin
+      let e =
+        {
+          fr_ts = (match ts with Some t -> t | None -> Unix.gettimeofday ());
+          fr_kind = kind;
+          fr_level = level;
+          fr_rid = rid;
+          fr_event = event;
+          fr_fields = fields;
+        }
+      in
+      let i = Atomic.fetch_and_add widx 1 in
+      a.(i mod n) <- Some e
+    end
+
+  let entries () =
+    let a = Atomic.get slots in
+    let n = Array.length a in
+    if n = 0 then []
+    else begin
+      let w = Atomic.get widx in
+      let lo = if w > n then w - n else 0 in
+      List.filter_map (fun k -> a.((lo + k) mod n)) (List.init (w - lo) Fun.id)
+    end
+
+  let entry_into b e =
+    Buffer.add_string b "{\"ts\":";
+    Buffer.add_string b (jnum e.fr_ts);
+    Buffer.add_string b ",\"kind\":";
+    jstr b e.fr_kind;
+    Buffer.add_string b ",\"level\":";
+    jstr b e.fr_level;
+    if e.fr_rid <> "" then begin
+      Buffer.add_string b ",\"rid\":";
+      jstr b e.fr_rid
+    end;
+    Buffer.add_string b ",\"event\":";
+    jstr b e.fr_event;
+    if e.fr_fields <> [] then begin
+      Buffer.add_string b ",\"fields\":";
+      jfields b e.fr_fields
+    end;
+    Buffer.add_char b '}'
+
+  let to_json () =
+    let es = entries () in
+    let total = recorded () in
+    let b = Buffer.create (256 * (List.length es + 2)) in
+    Buffer.add_string b "{\"schema\":";
+    jstr b schema;
+    Buffer.add_string b
+      (Printf.sprintf ",\"capacity\":%d,\"recorded\":%d,\"dropped\":%d"
+         (capacity ()) total
+         (max 0 (total - capacity ())));
+    Buffer.add_string b ",\"entries\":[";
+    List.iteri
+      (fun i e ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_char b '\n';
+        entry_into b e)
+      es;
+    Buffer.add_string b "\n]}\n";
+    Buffer.contents b
+
+  let write path =
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (to_json ()))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Structured leveled JSONL logging (dhpf-log/1)                        *)
+(* ------------------------------------------------------------------ *)
+
+module Log = struct
+  (* One JSON object per line on a mutex-guarded channel, flushed per
+     line so `tail -f` and crash postmortems see complete records. The
+     disabled path is two atomic loads and allocates nothing: [fields]
+     is a thunk forced only when a sink (the channel or the flight
+     recorder, which tees every line) will consume it. *)
+
+  let schema = "dhpf-log/1"
+
+  type level = Debug | Info | Warn | Error
+
+  let rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+  let level_to_string = function
+    | Debug -> "debug"
+    | Info -> "info"
+    | Warn -> "warn"
+    | Error -> "error"
+
+  let level_of_string = function
+    | "debug" -> Some Debug
+    | "info" -> Some Info
+    | "warn" -> Some Warn
+    | "error" -> Some Error
+    | _ -> None
+
+  let log_mu = Mutex.create ()
+
+  (* (channel, we_own_it): "-" maps to stderr, which is never closed *)
+  let out : (out_channel * bool) option ref = ref None
+  let sink = Atomic.make false
+  let threshold = Atomic.make (rank Info)
+
+  let set_level l = Atomic.set threshold (rank l)
+
+  let level () =
+    match Atomic.get threshold with
+    | 0 -> Debug
+    | 1 -> Info
+    | 2 -> Warn
+    | _ -> Error
+
+  let close_locked () =
+    match !out with
+    | Some (oc, owned) ->
+        (try flush oc with Sys_error _ -> ());
+        if owned then (try close_out oc with Sys_error _ -> ());
+        out := None
+    | None -> ()
+
+  let set_out path =
+    Mutex.protect log_mu (fun () ->
+        close_locked ();
+        match path with
+        | None -> Atomic.set sink false
+        | Some "-" ->
+            out := Some (Stdlib.stderr, false);
+            Atomic.set sink true
+        | Some p ->
+            out := Some (open_out_gen [ Open_append; Open_creat ] 0o644 p, true);
+            Atomic.set sink true)
+
+  let close () = set_out None
+
+  let enabled lvl =
+    (Atomic.get sink && rank lvl >= Atomic.get threshold)
+    || Recorder.enabled ()
+
+  let line ~ts ~lvl ~rid ~fields event =
+    let b = Buffer.create 160 in
+    Buffer.add_string b "{\"schema\":";
+    jstr b schema;
+    Buffer.add_string b ",\"ts\":";
+    Buffer.add_string b (jnum ts);
+    Buffer.add_string b ",\"level\":";
+    jstr b (level_to_string lvl);
+    (match rid with
+    | Some r ->
+        Buffer.add_string b ",\"rid\":";
+        jstr b r
+    | None -> ());
+    Buffer.add_string b ",\"event\":";
+    jstr b event;
+    if fields <> [] then begin
+      Buffer.add_string b ",\"fields\":";
+      jfields b fields
+    end;
+    Buffer.add_char b '}';
+    Buffer.contents b
+
+  let emit ?rid ?(fields = fun () -> []) lvl event =
+    let to_sink = Atomic.get sink && rank lvl >= Atomic.get threshold in
+    let to_rec = Recorder.enabled () in
+    if to_sink || to_rec then begin
+      let ts = Unix.gettimeofday () in
+      let fs = fields () in
+      if to_rec then
+        Recorder.record ~ts ~kind:"log" ~level:(level_to_string lvl)
+          ~rid:(Option.value rid ~default:"") ~fields:fs event;
+      if to_sink then begin
+        let s = line ~ts ~lvl ~rid ~fields:fs event in
+        Mutex.protect log_mu (fun () ->
+            match !out with
+            | Some (oc, _) -> (
+                try
+                  output_string oc s;
+                  output_char oc '\n';
+                  flush oc
+                with Sys_error _ -> ())
+            | None -> ())
+      end
+    end
+
+  let debug ?rid ?fields event = emit ?rid ?fields Debug event
+  let info ?rid ?fields event = emit ?rid ?fields Info event
+  let warn ?rid ?fields event = emit ?rid ?fields Warn event
+  let error ?rid ?fields event = emit ?rid ?fields Error event
+
+  let init_env () =
+    (match Sys.getenv_opt "DHPF_LOG_LEVEL" with
+    | Some s -> ( match level_of_string s with Some l -> set_level l | None -> ())
+    | None -> ());
+    match Sys.getenv_opt "DHPF_LOG" with
+    | Some path when path <> "" -> set_out (Some path)
+    | _ -> ()
+end
+
 (* ------------------------------------------------------------------ *)
 (* Metrics: the aggregate complement to the event timeline              *)
 (* ------------------------------------------------------------------ *)
@@ -618,6 +892,103 @@ module Metrics = struct
     Fun.protect
       ~finally:(fun () -> close_out oc)
       (fun () -> output_string oc (to_json ()))
+
+  (* ---------------- Prometheus text exposition ---------------- *)
+
+  let prom_ident name =
+    let b = Bytes.of_string name in
+    Bytes.iteri
+      (fun i c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ()
+        | _ -> Bytes.set b i '_')
+      b;
+    let s = Bytes.to_string b in
+    if s = "" then "_"
+    else match s.[0] with '0' .. '9' -> "_" ^ s | _ -> s
+
+  let prom_label_value v =
+    let b = Buffer.create (String.length v + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '"' -> Buffer.add_string b "\\\""
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      v;
+    Buffer.contents b
+
+  let prom_num v =
+    if Float.is_nan v then "NaN"
+    else if v = Float.infinity then "+Inf"
+    else if v = Float.neg_infinity then "-Inf"
+    else jnum v
+
+  (* labels (plus an optional trailing le="...") in exposition syntax *)
+  let prom_labels ?le labels =
+    let parts =
+      List.map
+        (fun (k, v) ->
+          Printf.sprintf "%s=\"%s\"" (prom_ident k) (prom_label_value v))
+        labels
+      @ match le with None -> [] | Some e -> [ Printf.sprintf "le=\"%s\"" e ]
+    in
+    match parts with [] -> "" | _ -> "{" ^ String.concat "," parts ^ "}"
+
+  let to_prometheus samples =
+    let b = Buffer.create 4096 in
+    let last_family = ref "" in
+    List.iter
+      (fun s ->
+        let name = prom_ident s.m_name in
+        let typ =
+          match s.m_value with
+          | VCounter _ -> "counter"
+          | VGauge _ -> "gauge"
+          | VHisto _ -> "histogram"
+        in
+        if name <> !last_family then begin
+          last_family := name;
+          Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name typ)
+        end;
+        match s.m_value with
+        | VCounter v | VGauge v ->
+            Buffer.add_string b
+              (Printf.sprintf "%s%s %s\n" name (prom_labels s.m_labels)
+                 (prom_num v))
+        | VHisto h ->
+            let cum = ref 0 in
+            List.iter
+              (fun (bk, c) ->
+                cum := !cum + c;
+                Buffer.add_string b
+                  (Printf.sprintf "%s_bucket%s %d\n" name
+                     (prom_labels
+                        ~le:(prom_num (bucket_upper bk))
+                        s.m_labels)
+                     !cum))
+              h.hs_buckets;
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket%s %d\n" name
+                 (prom_labels ~le:"+Inf" s.m_labels)
+                 h.hs_count);
+            Buffer.add_string b
+              (Printf.sprintf "%s_sum%s %s\n" name (prom_labels s.m_labels)
+                 (prom_num h.hs_sum));
+            Buffer.add_string b
+              (Printf.sprintf "%s_count%s %d\n" name (prom_labels s.m_labels)
+                 h.hs_count))
+      samples;
+    Buffer.contents b
+
+  let write_prometheus path =
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (to_prometheus (snapshot ())));
+    Sys.rename tmp path
 
   let init_env () =
     match Sys.getenv_opt "DHPF_METRICS" with

@@ -127,6 +127,119 @@ val summary : unit -> string
 (** Plain-text table aggregating complete events by (category, name):
     count, total and mean duration, sorted by total within category. *)
 
+(** {1 Flight recorder}
+
+    An always-on bounded ring of recent events for postmortems: writers
+    claim a slot with one [fetch_and_add] and store the entry with a
+    single pointer write, so recording is lock-free, O(1) and safe from
+    any domain. When the ring is full the oldest entries are overwritten.
+    Disabled (the default) is one atomic load and zero allocation. The
+    dump is a best-effort consistent JSON bundle (schema [dhpf-flight/1]);
+    a reader racing a writer sees each slot as either the old or the new
+    entry, never a torn one. *)
+
+module Recorder : sig
+  val schema : string
+  (** ["dhpf-flight/1"] *)
+
+  type entry = {
+    fr_ts : float;  (** absolute unix seconds *)
+    fr_kind : string;  (** ["log"], ["request"], or caller-chosen *)
+    fr_level : string;
+    fr_rid : string;  (** [""] when the event has no request id *)
+    fr_event : string;
+    fr_fields : (string * arg) list;
+  }
+
+  val enabled : unit -> bool
+  val capacity : unit -> int
+
+  val recorded : unit -> int
+  (** Total entries recorded since {!start} (may exceed {!capacity}). *)
+
+  val start : ?capacity:int -> unit -> unit
+  (** Allocate the ring (default 1024 slots, floor 16) and reset the
+      write index. *)
+
+  val stop : unit -> unit
+  (** Drop the ring; recording becomes a no-op again. *)
+
+  val record :
+    ?ts:float -> ?kind:string -> ?level:string -> ?rid:string ->
+    ?fields:(string * arg) list -> string -> unit
+  (** [record event] appends one entry ([ts] defaults to now). No-op when
+      disabled. *)
+
+  val entries : unit -> entry list
+  (** Current ring contents, oldest first (best-effort under concurrent
+      writers). *)
+
+  val to_json : unit -> string
+  (** The ring as a [dhpf-flight/1] bundle:
+      [{"schema":...,"capacity":N,"recorded":M,"dropped":D,
+      "entries":[...]}]. *)
+
+  val write : string -> unit
+end
+
+(** {1 Structured logging}
+
+    Leveled JSONL event logging (schema [dhpf-log/1]): one JSON object
+    per line — [{"schema":"dhpf-log/1","ts":<unix>,"level":"info",
+    "rid":"r-3","event":"serve.complete","fields":{...}}] — on a
+    mutex-guarded channel flushed per line, so concurrent domains never
+    interleave records. Every emitted line also tees into the
+    {!Recorder} when it is running. The disabled path is two atomic
+    loads and allocates nothing: [fields] is a thunk forced only when a
+    sink will consume it. *)
+
+module Log : sig
+  val schema : string
+  (** ["dhpf-log/1"] *)
+
+  type level = Debug | Info | Warn | Error
+
+  val level_to_string : level -> string
+  val level_of_string : string -> level option
+
+  val set_out : string option -> unit
+  (** [Some path] opens (append, create) the sink; [Some "-"] logs to
+      stderr; [None] closes the current sink. *)
+
+  val close : unit -> unit
+
+  val set_level : level -> unit
+  (** Minimum level written to the sink (default [Info]). The recorder
+      tee ignores the threshold. *)
+
+  val level : unit -> level
+
+  val enabled : level -> bool
+  (** True when an [emit] at this level would reach the sink or the
+      flight recorder — the guard for call sites whose field computation
+      is not free. *)
+
+  val emit :
+    ?rid:string -> ?fields:(unit -> (string * arg) list) ->
+    level -> string -> unit
+
+  val debug :
+    ?rid:string -> ?fields:(unit -> (string * arg) list) -> string -> unit
+
+  val info :
+    ?rid:string -> ?fields:(unit -> (string * arg) list) -> string -> unit
+
+  val warn :
+    ?rid:string -> ?fields:(unit -> (string * arg) list) -> string -> unit
+
+  val error :
+    ?rid:string -> ?fields:(unit -> (string * arg) list) -> string -> unit
+
+  val init_env : unit -> unit
+  (** [DHPF_LOG=path] opens the sink ([-] for stderr); [DHPF_LOG_LEVEL]
+      sets the threshold. Called once by the CLI driver. *)
+end
+
 (** {1 Metrics}
 
     The aggregate complement to the event timeline: a process-global
@@ -238,4 +351,15 @@ module Metrics : sig
 
   val write : string -> unit
   (** Write {!to_json} to a file. *)
+
+  val to_prometheus : sample list -> string
+  (** The snapshot in Prometheus text exposition format: names are
+      sanitized to [[a-zA-Z0-9_:]] (["serve/latency_s"] becomes
+      [serve_latency_s]), one [# TYPE] line per family, histograms as
+      cumulative [_bucket{le="..."}] series (log₂ upper edges plus
+      [+Inf]) with [_sum] and [_count]. *)
+
+  val write_prometheus : string -> unit
+  (** Write {!to_prometheus} of the current {!snapshot} to a file
+      atomically (temp + rename). *)
 end

@@ -35,7 +35,15 @@ let request_json ~socket payload =
       | None ->
           raise (Proto.Proto_error "server closed without a response"))
 
-let request ~socket req = request_json ~socket (Proto.request_to_json req)
+let request ?rid ~socket req =
+  let payload = Proto.request_to_json req in
+  let payload =
+    match (rid, payload) with
+    | Some r, Jsonx.Obj fields ->
+        Jsonx.Obj (fields @ [ ("rid", Jsonx.Str r) ])
+    | _ -> payload
+  in
+  request_json ~socket payload
 
 let wait_ready ?(attempts = 100) ?(delay_s = 0.05) ~socket () =
   let rec go n =

@@ -4,8 +4,11 @@
 exception Connect_error of string
 (** The socket could not be reached (no server, stale path, refused). *)
 
-val request : socket:string -> Proto.request -> Jsonx.t
-(** One round trip on a fresh connection.
+val request : ?rid:string -> socket:string -> Proto.request -> Jsonx.t
+(** One round trip on a fresh connection. [rid] is the caller-chosen
+    trace id stamped on the request; the server threads it through its
+    log/flight-recorder and echoes it in the response ([rid] plus the
+    [telemetry] section).
     @raise Connect_error when the connection cannot be established.
     @raise Proto.Proto_error on a malformed response (including a server
     that closed the connection without answering). *)

@@ -12,6 +12,16 @@ type result = {
           counts again under its final status *)
   lg_wall_s : float;
   lg_latencies : float array;  (** per-request seconds, sorted ascending *)
+  lg_queue_waits : float array;
+      (** server-reported queue-wait seconds (from each response's
+          [telemetry] section), sorted ascending; empty against a server
+          that does not report telemetry *)
+  lg_services : float array;
+      (** server-reported service seconds, sorted ascending — so
+          client-observed latency splits into wait vs work *)
+  lg_by_op : (string * float array) list;
+      (** end-to-end latencies grouped by op kind ([compile], [run],
+          ...), each sorted ascending; ops in sorted order *)
 }
 
 val run :

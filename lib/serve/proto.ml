@@ -74,6 +74,7 @@ let read_json fd =
 type request =
   | Ping
   | Stats
+  | Dump
   | Shutdown
   | Compile of {
       label : string;
@@ -134,9 +135,18 @@ let src_fields label source =
   ::
   (match source with Some s -> [ ("source", Jsonx.Str s) ] | None -> [])
 
+let op_name = function
+  | Ping -> "ping"
+  | Stats -> "stats"
+  | Dump -> "dump"
+  | Shutdown -> "shutdown"
+  | Compile _ -> "compile"
+  | Run _ -> "run"
+
 let request_to_json = function
   | Ping -> Jsonx.Obj [ ("op", Jsonx.Str "ping") ]
   | Stats -> Jsonx.Obj [ ("op", Jsonx.Str "stats") ]
+  | Dump -> Jsonx.Obj [ ("op", Jsonx.Str "dump") ]
   | Shutdown -> Jsonx.Obj [ ("op", Jsonx.Str "shutdown") ]
   | Compile { label; source; opts } ->
       Jsonx.Obj
@@ -157,6 +167,7 @@ let request_of_json v =
   | None -> Error "missing op field"
   | Some "ping" -> Ok Ping
   | Some "stats" -> Ok Stats
+  | Some "dump" -> Ok Dump
   | Some "shutdown" -> Ok Shutdown
   | Some ("compile" | "run") as op -> (
       let op = Option.get op in

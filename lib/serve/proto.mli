@@ -44,7 +44,8 @@ val read_json : Unix.file_descr -> Jsonx.t option
 
 type request =
   | Ping
-  | Stats  (** metrics snapshot + queue depth *)
+  | Stats  (** metrics snapshot + queue depth + rolling-window gauges *)
+  | Dump  (** flight-recorder bundle + metrics snapshot *)
   | Shutdown  (** acknowledge, then stop the server *)
   | Compile of {
       label : string;  (** builtin name, or a caller-chosen label *)
@@ -59,6 +60,9 @@ type request =
       params : (string * int) list;
       engine : string;
     }
+
+val op_name : request -> string
+(** The wire ["op"] string of a request (["ping"], ["compile"], ...). *)
 
 val request_to_json : request -> Jsonx.t
 

@@ -1,8 +1,9 @@
-(* dhpf-report/1 (see report.mli). *)
+(* dhpf-report/2 (see report.mli). *)
 
-let schema = "dhpf-report/1"
+let schema = "dhpf-report/2"
 
-let compile_report ~version ~src ~domains ~phase ~events ~statements () =
+let compile_report ?telemetry ~version ~src ~domains ~phase ~events
+    ~statements () =
   let phases =
     List.map
       (fun l ->
@@ -29,20 +30,21 @@ let compile_report ~version ~src ~domains ~phase ~events ~statements () =
       ]
   in
   Jsonx.Obj
-    [
-      ("schema", Jsonx.Str schema);
-      ("version", Jsonx.Str version);
-      ("src", Jsonx.Str src);
-      ("domains", Jsonx.int domains);
-      ("total_s", Jsonx.Num (Dhpf.Phase.elapsed phase));
-      ("phases", Jsonx.List phases);
-      ("events", Jsonx.int events);
-      ("statements", Jsonx.int statements);
-      ( "cache",
-        Jsonx.Obj
-          [
-            ("enabled", Jsonx.Bool (Iset.Cache.enabled ()));
-            ("counters", Jsonx.Obj counters);
-          ] );
-      ("diskcache", diskcache);
-    ]
+    ([
+       ("schema", Jsonx.Str schema);
+       ("version", Jsonx.Str version);
+       ("src", Jsonx.Str src);
+       ("domains", Jsonx.int domains);
+       ("total_s", Jsonx.Num (Dhpf.Phase.elapsed phase));
+       ("phases", Jsonx.List phases);
+       ("events", Jsonx.int events);
+       ("statements", Jsonx.int statements);
+       ( "cache",
+         Jsonx.Obj
+           [
+             ("enabled", Jsonx.Bool (Iset.Cache.enabled ()));
+             ("counters", Jsonx.Obj counters);
+           ] );
+       ("diskcache", diskcache);
+     ]
+    @ match telemetry with Some t -> [ ("telemetry", t) ] | None -> [])

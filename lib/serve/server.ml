@@ -7,7 +7,18 @@
    control lives in the acceptor: past [max_queue] queued connections it
    answers [overloaded] itself and closes, so a saturated server keeps
    giving structured answers instead of stacking clients up in the
-   listen backlog. *)
+   listen backlog.
+
+   Telemetry model: every admitted connection is stamped at admission,
+   so the worker that dequeues it can split queue-wait from service
+   time. Each request gets a trace id (the client's "rid" field, or a
+   generated "r-<n>"), which threads through the structured log
+   (Obs.Log), the flight recorder (Obs.Recorder) and the telemetry
+   section injected into every response. Completed requests also land in
+   a small lock-free ring of window samples from which the stats op
+   derives rolling-window gauges (RPS, latency percentiles). All of it
+   only ever *reads* compiler/simulator state, so responses stay
+   byte-identical with telemetry on or off. *)
 
 type config = {
   version : string;
@@ -17,12 +28,28 @@ type config = {
   disk_cache : string option;
   lookup : string -> string option;
   quiet : bool;
+  log : string option;
+  prom : string option;
+  flight_dump : string option;
+  recorder_slots : int;
 }
 
 exception Bind_error of string
 
 (* internal: a [src] label the lookup table doesn't know *)
 exception Unknown_source of string
+
+(* one completed (or rejected) request in the rolling stats window *)
+type wsample = {
+  w_done : float;  (* completion time, unix seconds *)
+  w_op : string;
+  w_status : string;
+  w_queue_s : float;
+  w_service_s : float;
+}
+
+let window_slots = 512
+let window_seconds = 60.0
 
 type state = {
   cfg : config;
@@ -32,9 +59,15 @@ type state = {
   stopping : bool Atomic.t;
   mu : Mutex.t;
   cond : Condition.t;
-  q : Unix.file_descr Queue.t;
+  q : (Unix.file_descr * float) Queue.t;  (* (connection, admitted-at) *)
   depth : int Atomic.t;  (* = Queue.length q, readable without the lock *)
   served : int Atomic.t;
+  started : float;
+  rid_ctr : int Atomic.t;
+  rejected : int Atomic.t;
+  window : wsample option array;  (* ring, lock-free like Obs.Recorder *)
+  wpos : int Atomic.t;
+  prom_last : float Atomic.t;
 }
 
 type t = {
@@ -65,6 +98,43 @@ let m_latency op seconds =
   Obs.Metrics.observe
     (Obs.Metrics.histogram ~labels:[ ("op", op) ] "serve/latency_s")
     seconds
+
+let m_queue_wait op seconds =
+  Obs.Metrics.observe
+    (Obs.Metrics.histogram ~labels:[ ("op", op) ] "serve/queue_wait_s")
+    seconds
+
+(* -- rolling window -------------------------------------------------- *)
+
+let window_record st ~op ~status ~queue_s ~service_s =
+  let i = Atomic.fetch_and_add st.wpos 1 in
+  st.window.(i mod window_slots) <-
+    Some
+      {
+        w_done = Unix.gettimeofday ();
+        w_op = op;
+        w_status = status;
+        w_queue_s = queue_s;
+        w_service_s = service_s;
+      }
+
+(* maybe-rewrite the Prometheus exposition file, at most once a second *)
+let prom_tick st =
+  match st.cfg.prom with
+  | None -> ()
+  | Some path ->
+      let now = Unix.gettimeofday () in
+      let last = Atomic.get st.prom_last in
+      if
+        now -. last >= 1.0
+        && Atomic.compare_and_set st.prom_last last now
+      then try Obs.Metrics.write_prometheus path with Sys_error _ -> ()
+
+let flight_flush st =
+  match st.cfg.flight_dump with
+  | Some path when Obs.Recorder.enabled () -> (
+      try Obs.Recorder.write path with Sys_error _ -> ())
+  | _ -> ()
 
 (* -- request handling ----------------------------------------------- *)
 
@@ -164,6 +234,71 @@ let handle_run st ~label ~source ~opts ~nprocs ~params ~engine =
               ] );
         ]
 
+(* -- stats op (dhpf-stats/2) ----------------------------------------- *)
+
+(* nearest-rank percentile over a sorted array *)
+let pctl q a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else a.(min (n - 1) (max 0 (int_of_float (ceil (q *. float_of_int n)) - 1)))
+
+let cache_ratios () =
+  let r = Iset.Stats.report () in
+  let g n = Option.value (List.assoc_opt n r) ~default:0 in
+  let memo_l =
+    g "sat lookups" + g "simplify lookups" + g "gist lookups"
+    + g "implies lookups" + g "subset lookups"
+  and memo_h =
+    g "sat hits" + g "simplify hits" + g "gist hits" + g "implies hits"
+    + g "subset hits"
+  in
+  let ratio h l = if l = 0 then 0.0 else float_of_int h /. float_of_int l in
+  Jsonx.Obj
+    [
+      ("memo_hit", Jsonx.Num (ratio memo_h memo_l));
+      ("disk_hit", Jsonx.Num (ratio (g "disk hits") (g "disk lookups")));
+    ]
+
+let window_stats st =
+  let now = Unix.gettimeofday () in
+  let live =
+    Array.to_list st.window
+    |> List.filter_map (fun s ->
+           match s with
+           | Some w when now -. w.w_done <= window_seconds -> Some w
+           | _ -> None)
+  in
+  let handled, rejected =
+    List.partition (fun w -> w.w_status <> "overloaded") live
+  in
+  let errors =
+    List.length (List.filter (fun w -> w.w_status <> "ok") handled)
+  in
+  let sorted f =
+    let a = Array.of_list (List.map f handled) in
+    Array.sort compare a;
+    a
+  in
+  let services = sorted (fun w -> w.w_service_s) in
+  let queues = sorted (fun w -> w.w_queue_s) in
+  (* the rate denominator: a daemon younger than the window has only
+     been collecting for its uptime *)
+  let horizon = Float.max 0.001 (Float.min window_seconds (now -. st.started)) in
+  Jsonx.Obj
+    [
+      ("seconds", Jsonx.Num window_seconds);
+      ("samples", Jsonx.int (List.length handled));
+      ("rps", Jsonx.Num (float_of_int (List.length handled) /. horizon));
+      ("service_p50_s", Jsonx.Num (pctl 0.50 services));
+      ("service_p95_s", Jsonx.Num (pctl 0.95 services));
+      ("service_p99_s", Jsonx.Num (pctl 0.99 services));
+      ("queue_p50_s", Jsonx.Num (pctl 0.50 queues));
+      ("queue_p95_s", Jsonx.Num (pctl 0.95 queues));
+      ("queue_p99_s", Jsonx.Num (pctl 0.99 queues));
+      ("errors", Jsonx.int errors);
+      ("overloaded", Jsonx.int (List.length rejected));
+    ]
+
 let handle_stats st =
   let counters =
     List.map (fun (n, v) -> (n, Jsonx.int v)) (Iset.Stats.report ())
@@ -173,10 +308,15 @@ let handle_stats st =
   let metrics = Jsonx.of_string (Obs.Metrics.to_json ()) in
   Proto.ok
     [
+      ("stats_schema", Jsonx.Str "dhpf-stats/2");
       ("version", Jsonx.Str st.cfg.version);
+      ("uptime_s", Jsonx.Num (Unix.gettimeofday () -. st.started));
       ("queue_depth", Jsonx.int (Atomic.get st.depth));
       ("workers", Jsonx.int st.cfg.workers);
       ("served", Jsonx.int (Atomic.get st.served));
+      ("rejected", Jsonx.int (Atomic.get st.rejected));
+      ("window", window_stats st);
+      ("ratios", cache_ratios ());
       ("iset", Jsonx.Obj counters);
       ( "diskcache",
         Jsonx.Obj
@@ -187,12 +327,12 @@ let handle_stats st =
       ("metrics", metrics);
     ]
 
-let op_name = function
-  | Proto.Ping -> "ping"
-  | Proto.Stats -> "stats"
-  | Proto.Shutdown -> "shutdown"
-  | Proto.Compile _ -> "compile"
-  | Proto.Run _ -> "run"
+let handle_dump () =
+  Proto.ok
+    [
+      ("flight", Jsonx.of_string (Obs.Recorder.to_json ()));
+      ("metrics", Jsonx.of_string (Obs.Metrics.to_json ()));
+    ]
 
 let wake st = try ignore (Unix.write st.wake_w (Bytes.make 1 '!') 0 1) with _ -> ()
 
@@ -207,6 +347,7 @@ let dispatch st = function
           ("workers", Jsonx.int st.cfg.workers);
         ]
   | Proto.Stats -> handle_stats st
+  | Proto.Dump -> handle_dump ()
   | Proto.Shutdown ->
       begin_stop st;
       Proto.ok [ ("stopping", Jsonx.Bool true) ]
@@ -215,29 +356,110 @@ let dispatch st = function
   | Proto.Run { label; source; opts; nprocs; params; engine } ->
       handle_run st ~label ~source ~opts ~nprocs ~params ~engine
 
-let handle st fd =
+(* the per-request counter attribution: the iset engine's counters are
+   process-global, so under concurrent workers a delta can include a
+   neighbour's activity — exact at workers=1, approximate above. The
+   per-series truth is in Obs.Metrics. *)
+let iset_delta before =
+  let d =
+    List.filter_map
+      (fun (n, v1) ->
+        match List.assoc_opt n before with
+        | Some v0 when v1 - v0 <> 0 -> Some (n, Jsonx.int (v1 - v0))
+        | None when v1 <> 0 -> Some (n, Jsonx.int v1)
+        | _ -> None)
+      (Iset.Stats.report ())
+  in
+  if d = [] then [] else [ ("iset", Jsonx.Obj d) ]
+
+(* every response carries its trace id; the telemetry object rides
+   inside the compile report when there is one (dhpf-report/2), at the
+   top level otherwise *)
+let inject_telemetry r ~rid ~telemetry =
+  match r with
+  | Jsonx.Obj fields ->
+      let has_report = ref false in
+      let fields =
+        List.map
+          (fun (k, v) ->
+            match (k, v) with
+            | "report", Jsonx.Obj rf ->
+                has_report := true;
+                (k, Jsonx.Obj (rf @ [ ("telemetry", telemetry) ]))
+            | _ -> (k, v))
+          fields
+      in
+      Jsonx.Obj
+        (fields
+        @ ("rid", Jsonx.Str rid)
+          :: (if !has_report then [] else [ ("telemetry", telemetry) ]))
+  | r -> r
+
+let handle st fd ~admitted =
   let t0 = Unix.gettimeofday () in
+  let queue_s = Float.max 0.0 (t0 -. admitted) in
   let op = ref "invalid" in
   let resp =
     match Proto.read_json fd with
     | None -> None (* connected, then closed without sending a request *)
-    | Some v -> (
-        match Proto.request_of_json v with
-        | Error e -> Some (Proto.error ~code:"protocol" e)
-        | Ok req ->
-            op := op_name req;
-            Some
-              (Obs.span ~cat:"serve" ("serve/" ^ !op) (fun () ->
-                   try dispatch st req
-                   with e ->
-                     let code, msg = classify e in
-                     Proto.error ~code msg)))
     | exception Proto.Proto_error e ->
-        Some (Proto.error ~code:"protocol" e)
+        Some (Proto.error ~code:"protocol" e, "")
+    | Some v ->
+        let rid =
+          match Jsonx.get_str v "rid" with
+          | Some r -> r
+          | None ->
+              Printf.sprintf "r-%d" (Atomic.fetch_and_add st.rid_ctr 1)
+        in
+        let r =
+          match Proto.request_of_json v with
+          | Error e -> Proto.error ~code:"protocol" e
+          | Ok req ->
+              op := Proto.op_name req;
+              if Obs.Log.enabled Obs.Log.Debug then
+                Obs.Log.debug ~rid
+                  ~fields:(fun () ->
+                    [
+                      ("op", Obs.Str !op);
+                      ("queue_wait_s", Obs.Float queue_s);
+                    ])
+                  "serve.dispatch";
+              let iset0 = Iset.Stats.report () in
+              let resp =
+                Obs.span ~cat:"serve" ("serve/" ^ !op) (fun () ->
+                    try dispatch st req
+                    with e ->
+                      let code, msg = classify e in
+                      Obs.Log.error ~rid
+                        ~fields:(fun () ->
+                          [
+                            ("op", Obs.Str !op);
+                            ("code", Obs.Str code);
+                            ("message", Obs.Str msg);
+                          ])
+                        "serve.error";
+                      (* postmortem: freeze the flight ring at the
+                         failure *)
+                      flight_flush st;
+                      Proto.error ~code msg)
+              in
+              let telemetry =
+                Jsonx.Obj
+                  ([
+                     ("rid", Jsonx.Str rid);
+                     ("queue_wait_s", Jsonx.Num queue_s);
+                     ( "service_s",
+                       Jsonx.Num (Unix.gettimeofday () -. t0) );
+                   ]
+                  @ iset_delta iset0)
+              in
+              inject_telemetry resp ~rid ~telemetry
+        in
+        Some (r, rid)
   in
   (match resp with
   | None -> ()
-  | Some r ->
+  | Some (r, rid) ->
       (try Proto.write_json fd r with _ -> ());
       Atomic.incr st.served;
       let status =
@@ -248,8 +470,32 @@ let handle st fd =
         | Some "protocol" -> "protocol"
         | _ -> status
       in
+      let service_s = Unix.gettimeofday () -. t0 in
       m_request !op status;
-      m_latency !op (Unix.gettimeofday () -. t0));
+      m_latency !op service_s;
+      m_queue_wait !op queue_s;
+      window_record st ~op:!op ~status ~queue_s ~service_s;
+      if Obs.Recorder.enabled () then
+        Obs.Recorder.record ~kind:"request" ~rid
+          ~fields:
+            [
+              ("op", Obs.Str !op);
+              ("status", Obs.Str status);
+              ("queue_wait_s", Obs.Float queue_s);
+              ("service_s", Obs.Float service_s);
+            ]
+          "serve.request";
+      if Obs.Log.enabled Obs.Log.Info then
+        Obs.Log.info ~rid
+          ~fields:(fun () ->
+            [
+              ("op", Obs.Str !op);
+              ("status", Obs.Str status);
+              ("queue_wait_s", Obs.Float queue_s);
+              ("service_s", Obs.Float service_s);
+            ])
+          "serve.complete";
+      prom_tick st);
   try Unix.close fd with _ -> ()
 
 (* -- worker pool ---------------------------------------------------- *)
@@ -262,11 +508,11 @@ let rec worker st =
   if Queue.is_empty st.q then Mutex.unlock st.mu
     (* stopping, queue drained: exit *)
   else begin
-    let fd = Queue.pop st.q in
+    let fd, admitted = Queue.pop st.q in
     ignore (Atomic.fetch_and_add st.depth (-1));
     Mutex.unlock st.mu;
     m_depth st;
-    handle st fd;
+    handle st fd ~admitted;
     worker st
   end
 
@@ -278,15 +524,32 @@ let admit st fd =
        blocking a worker on an over-admitted connection *)
     (try Proto.write_json fd Proto.overloaded with _ -> ());
     (try Unix.close fd with _ -> ());
-    m_request "admit" "overloaded"
+    Atomic.incr st.rejected;
+    m_request "admit" "overloaded";
+    window_record st ~op:"admit" ~status:"overloaded" ~queue_s:0.0
+      ~service_s:0.0;
+    if Obs.Log.enabled Obs.Log.Warn then
+      Obs.Log.warn
+        ~fields:(fun () ->
+          [
+            ("queue_depth", Obs.Int (Atomic.get st.depth));
+            ("max_queue", Obs.Int st.cfg.max_queue);
+          ])
+        "serve.overloaded"
   end
   else begin
+    let admitted = Unix.gettimeofday () in
     Mutex.lock st.mu;
-    Queue.push fd st.q;
+    Queue.push (fd, admitted) st.q;
     ignore (Atomic.fetch_and_add st.depth 1);
     Condition.signal st.cond;
     Mutex.unlock st.mu;
-    m_depth st
+    m_depth st;
+    if Obs.Log.enabled Obs.Log.Debug then
+      Obs.Log.debug
+        ~fields:(fun () ->
+          [ ("queue_depth", Obs.Int (Atomic.get st.depth)) ])
+        "serve.admit"
   end
 
 let drain_wake st =
@@ -360,6 +623,9 @@ let launch cfg =
      not a fatal SIGPIPE *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   Obs.Metrics.enable ();
+  (match cfg.log with Some path -> Obs.Log.set_out (Some path) | None -> ());
+  if cfg.recorder_slots > 0 then
+    Obs.Recorder.start ~capacity:cfg.recorder_slots ();
   (match cfg.disk_cache with
   | Some dir -> Iset.Diskcache.set_dir (Some dir)
   | None -> ());
@@ -377,6 +643,12 @@ let launch cfg =
       q = Queue.create ();
       depth = Atomic.make 0;
       served = Atomic.make 0;
+      started = Unix.gettimeofday ();
+      rid_ctr = Atomic.make 0;
+      rejected = Atomic.make 0;
+      window = Array.make window_slots None;
+      wpos = Atomic.make 0;
+      prom_last = Atomic.make 0.0;
     }
   in
   note st "serve: listening on %s (%d worker%s, queue %d, disk cache %s)@."
@@ -386,6 +658,16 @@ let launch cfg =
     (match Iset.Diskcache.dir () with
     | Some d when Iset.Diskcache.enabled () -> d
     | _ -> "off");
+  if Obs.Log.enabled Obs.Log.Info then
+    Obs.Log.info
+      ~fields:(fun () ->
+        [
+          ("socket", Obs.Str cfg.socket);
+          ("workers", Obs.Int cfg.workers);
+          ("max_queue", Obs.Int cfg.max_queue);
+          ("version", Obs.Str cfg.version);
+        ])
+      "serve.start";
   let acceptor = Domain.spawn (fun () -> acceptor_main st) in
   let pool =
     Domain.spawn (fun () -> Par.spawn_join cfg.workers (fun _ -> worker st))
@@ -410,6 +692,21 @@ let wait t =
     Domain.join t.pool;
     (try Unix.close t.st.wake_r with _ -> ());
     (try Unix.close t.st.wake_w with _ -> ());
+    if Obs.Log.enabled Obs.Log.Info then
+      Obs.Log.info
+        ~fields:(fun () ->
+          [
+            ("served", Obs.Int (Atomic.get t.st.served));
+            ("rejected", Obs.Int (Atomic.get t.st.rejected));
+          ])
+        "serve.shutdown";
+    (* the postmortem bundle and a final scrape survive the shutdown *)
+    flight_flush t.st;
+    (match t.st.cfg.prom with
+    | Some path -> (
+        try Obs.Metrics.write_prometheus path with Sys_error _ -> ())
+    | None -> ());
+    (match t.st.cfg.log with Some _ -> Obs.Log.close () | None -> ());
     note t.st "serve: stopped after %d request%s@."
       (Atomic.get t.st.served)
       (if Atomic.get t.st.served = 1 then "" else "s")

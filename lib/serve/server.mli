@@ -15,7 +15,22 @@
     Shutdown is cooperative: {!request_stop} (safe to call from a signal
     handler: one atomic store and one pipe write) stops admission, the
     acceptor unlinks the socket, and the workers finish every request
-    already queued before exiting. *)
+    already queued before exiting.
+
+    Telemetry: every request carries a trace id ([rid] — the client's,
+    or a generated [r-<n>]) threaded through the structured log
+    ({!Obs.Log}), the flight recorder ({!Obs.Recorder}) and a
+    [telemetry] section injected into the response (inside the
+    [dhpf-report/2] compile report when there is one, top-level
+    otherwise) with queue-wait and service latency plus per-request
+    integer-set counter deltas (exact at one worker, approximate under
+    concurrency — the counters are process-global). The [stats] op
+    answers [dhpf-stats/2]: lifetime totals plus rolling-window gauges
+    (RPS, p50/p95/p99 service and queue-wait latency, errors, overload
+    rejections) and memo/disk hit ratios; [dump] returns the
+    flight-recorder bundle and a metrics snapshot. All instrumentation
+    only reads compiler/simulator state, so responses are byte-identical
+    with telemetry on or off. *)
 
 type config = {
   version : string;  (** reported by [ping] and in compile reports *)
@@ -30,6 +45,23 @@ type config = {
           its built-in benchmark table); the server never reads
           server-side files *)
   quiet : bool;  (** suppress the startup/shutdown notes on stderr *)
+  log : string option;
+      (** [Some path] opens the process-wide {!Obs.Log} JSONL sink there
+          ([-] for stderr) and the server emits
+          [serve.start]/[serve.admit]/[serve.dispatch]/[serve.complete]/
+          [serve.error]/[serve.overloaded]/[serve.shutdown] events;
+          [None] leaves the sink alone *)
+  prom : string option;
+      (** [Some path] rewrites a Prometheus text exposition of the
+          metrics registry there (atomically, throttled to once a
+          second) after requests and at shutdown *)
+  flight_dump : string option;
+      (** [Some path] writes the flight-recorder bundle there on a
+          worker exception and at shutdown (so a SIGTERM leaves a
+          postmortem) *)
+  recorder_slots : int;
+      (** flight-recorder ring capacity; [0] leaves the process-wide
+          recorder alone *)
 }
 
 exception Bind_error of string

@@ -238,6 +238,9 @@ let obtain ~cache_dir (kernel : Imp.kernel) : kernel_fn =
   match Hashtbl.find_opt memo key with
   | Some f ->
       if Obs.Metrics.enabled () then Obs.Metrics.incr (Lazy.force m_hits);
+      if Obs.Log.enabled Obs.Log.Debug then
+        Obs.Log.debug "native.cache_hit"
+          ~fields:(fun () -> [ ("key", Obs.Str key); ("where", Obs.Str "memo") ]);
       f
   | None ->
       mkdir_p cache_dir;
@@ -245,14 +248,25 @@ let obtain ~cache_dir (kernel : Imp.kernel) : kernel_fn =
       let ml = Filename.concat cache_dir (base ^ ".ml") in
       let cmxs = Filename.concat cache_dir (base ^ ".cmxs") in
       if Sys.file_exists cmxs then begin
-        if Obs.Metrics.enabled () then Obs.Metrics.incr (Lazy.force m_hits)
+        if Obs.Metrics.enabled () then Obs.Metrics.incr (Lazy.force m_hits);
+        if Obs.Log.enabled Obs.Log.Debug then
+          Obs.Log.debug "native.cache_hit"
+            ~fields:(fun () -> [ ("key", Obs.Str key); ("where", Obs.Str "disk") ])
       end
       else begin
+        if Obs.Log.enabled Obs.Log.Info then
+          Obs.Log.info "native.build_start"
+            ~fields:(fun () -> [ ("key", Obs.Str key) ]);
         Obs.span ~cat:"native" "native build" (fun () ->
             let t0 = Unix.gettimeofday () in
             compile_plugin ~dirs ~src ~ml ~cmxs;
+            let dt = Unix.gettimeofday () -. t0 in
             if Obs.Metrics.enabled () then
-              Obs.Metrics.observe (Lazy.force m_build) (Unix.gettimeofday () -. t0));
+              Obs.Metrics.observe (Lazy.force m_build) dt;
+            if Obs.Log.enabled Obs.Log.Info then
+              Obs.Log.info "native.build_done"
+                ~fields:(fun () ->
+                  [ ("key", Obs.Str key); ("build_s", Obs.Float dt) ]));
         (* a build added bytes: re-bound the cache (freshly built groups
            are the newest, so they survive) *)
         prune_cache cache_dir

@@ -253,13 +253,13 @@ let test_racing_writers_no_torn_reads () =
 let test_gc_bounds_footprint () =
   with_cache @@ fun _d ->
   Stats.reset ();
-  Diskcache.set_max_bytes 1 (* clamps to the 1 MiB floor *);
-  Alcotest.(check int) "budget floor" (1024 * 1024) (Diskcache.max_bytes ());
+  Diskcache.set_max_bytes 1 (* clamps to the 64 KiB floor *);
+  Alcotest.(check int) "budget floor" (64 * 1024) (Diskcache.max_bytes ());
   let v = String.make 16384 'x' in
   for i = 1 to 200 do
     Diskcache.store ~kind:"gc" (Printf.sprintf "key-%d" i) v
   done;
-  (* 200 * 16K = 3.1 MiB offered against a 1 MiB budget *)
+  (* 200 * 16K = 3.1 MiB offered against a 64 KiB budget *)
   Alcotest.(check bool)
     (Printf.sprintf "footprint %d within budget" (Diskcache.bytes_used ()))
     true

@@ -62,6 +62,140 @@ let test_accumulate () =
       Alcotest.(check (float 0.0)) "histo max" 1024.0 h.hs_max
   | _ -> Alcotest.fail "t/h not a histogram")
 
+(* ---- concurrent mutation: no lost increments, stable snapshots ---- *)
+
+let test_multidomain_hammer () =
+  let domains = 4 and per_domain = 10_000 in
+  let (), snap =
+    with_metrics (fun () ->
+        let c = M.counter "hammer/c" in
+        let h = M.histogram "hammer/h" in
+        Par.spawn_join domains (fun d ->
+            for i = 0 to per_domain - 1 do
+              M.incr c;
+              if i land 63 = 0 then
+                M.observe h (float_of_int (d + 1))
+            done))
+  in
+  let find name =
+    match List.find_opt (fun (s : M.sample) -> s.m_name = name) snap with
+    | Some s -> s.M.m_value
+    | None -> Alcotest.failf "series %s missing" name
+  in
+  (match find "hammer/c" with
+  | M.VCounter v ->
+      Alcotest.(check (float 0.0))
+        "no lost increments across domains"
+        (float_of_int (domains * per_domain))
+        v
+  | _ -> Alcotest.fail "hammer/c not a counter");
+  (match find "hammer/h" with
+  | M.VHisto hs ->
+      Alcotest.(check int) "no lost observations"
+        (domains * ((per_domain + 63) / 64))
+        hs.hs_count
+  | _ -> Alcotest.fail "hammer/h not a histogram");
+  (* a quiescent registry exports deterministically *)
+  Alcotest.(check string) "snapshot JSON is stable"
+    (M.samples_to_json snap) (M.samples_to_json snap);
+  (* merge with itself doubles counters and bucket counts *)
+  (match
+     List.find_opt
+       (fun (s : M.sample) -> s.m_name = "hammer/c")
+       (M.merge snap snap)
+   with
+  | Some { M.m_value = M.VCounter v; _ } ->
+      Alcotest.(check (float 0.0)) "self-merge doubles"
+        (2.0 *. float_of_int (domains * per_domain))
+        v
+  | _ -> Alcotest.fail "merged counter missing")
+
+(* ---- Prometheus text exposition ---- *)
+
+let test_prometheus_format () =
+  let (), snap =
+    with_metrics (fun () ->
+        M.inc (M.counter ~labels:[ ("op", "compile") ] "serve/requests") 3.0;
+        M.set (M.gauge "serve/queue depth") 2.0;
+        let h = M.histogram "serve/latency_s" in
+        List.iter (M.observe h) [ 0.001; 0.01; 0.1 ])
+  in
+  let text = M.to_prometheus snap in
+  let lines = String.split_on_char '\n' text in
+  let has prefix =
+    List.exists
+      (fun l ->
+        String.length l >= String.length prefix
+        && String.sub l 0 (String.length prefix) = prefix)
+      lines
+  in
+  Alcotest.(check bool) "counter TYPE line" true
+    (has "# TYPE serve_requests counter");
+  Alcotest.(check bool) "counter sample with label" true
+    (has "serve_requests{op=\"compile\"} 3");
+  Alcotest.(check bool) "gauge name sanitized" true
+    (has "serve_queue_depth 2");
+  Alcotest.(check bool) "histogram +Inf bucket" true
+    (List.exists
+       (fun l ->
+         has "serve_latency_s_bucket"
+         &&
+         let rec find i =
+           i + 6 <= String.length l
+           && (String.sub l i 6 = "+Inf\"}" || find (i + 1))
+         in
+         find 0)
+       lines);
+  Alcotest.(check bool) "histogram count" true (has "serve_latency_s_count 3");
+  (* every non-comment, non-blank line is "name{labels} value" with a
+     sanitized name *)
+  List.iter
+    (fun l ->
+      if l <> "" && l.[0] <> '#' then begin
+        match String.index_opt l ' ' with
+        | None -> Alcotest.failf "prometheus line %S has no value" l
+        | Some sp ->
+            let name_part = String.sub l 0 sp in
+            let name_end =
+              match String.index_opt name_part '{' with
+              | Some i -> i
+              | None -> String.length name_part
+            in
+            String.iter
+              (fun ch ->
+                if
+                  not
+                    ((ch >= 'a' && ch <= 'z')
+                    || (ch >= 'A' && ch <= 'Z')
+                    || (ch >= '0' && ch <= '9')
+                    || ch = '_' || ch = ':')
+                then Alcotest.failf "unsanitized metric name in %S" l)
+              (String.sub name_part 0 name_end)
+      end)
+    lines;
+  (* cumulative buckets: counts never decrease as le rises *)
+  let bucket_counts =
+    List.filter_map
+      (fun l ->
+        let p = "serve_latency_s_bucket" in
+        if
+          String.length l > String.length p
+          && String.sub l 0 (String.length p) = p
+        then
+          match String.rindex_opt l ' ' with
+          | Some sp ->
+              float_of_string_opt
+                (String.sub l (sp + 1) (String.length l - sp - 1))
+          | None -> None
+        else None)
+      lines
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "buckets are cumulative" true (monotone bucket_counts)
+
 (* ---- QCheck: merge associativity, percentile bounds ---- *)
 
 let snap_of vals =
@@ -289,6 +423,10 @@ let () =
         [
           Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
           Alcotest.test_case "accumulation" `Quick test_accumulate;
+          Alcotest.test_case "multi-domain hammer loses nothing" `Quick
+            test_multidomain_hammer;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_prometheus_format;
         ] );
       ( "histograms",
         [

@@ -33,7 +33,8 @@ let small = Codes.all_small ()
 let lookup name = List.assoc_opt name small
 let opts = Dhpf.Gen.default_options
 
-let mk_cfg ?(workers = 2) ?(max_queue = 16) ?disk_cache ~socket () =
+let mk_cfg ?(workers = 2) ?(max_queue = 16) ?disk_cache ?log ?prom
+    ?flight_dump ?(recorder_slots = 0) ~socket () =
   {
     Server.version = "test";
     socket;
@@ -42,14 +43,21 @@ let mk_cfg ?(workers = 2) ?(max_queue = 16) ?disk_cache ~socket () =
     disk_cache;
     lookup;
     quiet = true;
+    log;
+    prom;
+    flight_dump;
+    recorder_slots;
   }
 
 (* launch, block until the ping answers, run the body, always stop *)
-let with_server ?workers ?max_queue ?disk_cache f =
+let with_server ?workers ?max_queue ?disk_cache ?log ?prom ?flight_dump
+    ?recorder_slots f =
   let dir = fresh_dir () in
   let socket = Filename.concat dir "s.sock" in
   let srv =
-    Server.launch (mk_cfg ?workers ?max_queue ?disk_cache ~socket ())
+    Server.launch
+      (mk_cfg ?workers ?max_queue ?disk_cache ?log ?prom ?flight_dump
+         ?recorder_slots ~socket ())
   in
   Fun.protect
     ~finally:(fun () ->
@@ -94,7 +102,7 @@ let test_compile_builtin () =
     | None -> Alcotest.fail "compile response has no report"
   in
   Alcotest.(check string)
-    "report schema" "dhpf-report/1"
+    "report schema" "dhpf-report/2"
     (Option.value (Jsonx.get_str report "schema") ~default:"?");
   (match Jsonx.get_int report "events" with
   | Some n -> Alcotest.(check bool) "events > 0" true (n > 0)
@@ -399,6 +407,254 @@ let test_cross_process_warm () =
         | None -> Alcotest.fail "report has no disk hits counter")
   end
 
+(* -- telemetry: trace ids, stats v2, flight recorder ------------------ *)
+
+let test_telemetry_section () =
+  with_server @@ fun socket ->
+  let r =
+    Client.request ~rid:"my-trace" ~socket
+      (Proto.Compile { label = "jacobi"; source = None; opts })
+  in
+  Alcotest.(check string) "status" "ok" (status r);
+  Alcotest.(check (option string))
+    "response echoes rid" (Some "my-trace") (Jsonx.get_str r "rid");
+  let report =
+    match Jsonx.get r "report" with
+    | Some rep -> rep
+    | None -> Alcotest.fail "no report"
+  in
+  let tel =
+    match Jsonx.get report "telemetry" with
+    | Some t -> t
+    | None -> Alcotest.fail "report has no telemetry section"
+  in
+  Alcotest.(check (option string))
+    "telemetry rid" (Some "my-trace") (Jsonx.get_str tel "rid");
+  (match Jsonx.get_num tel "queue_wait_s" with
+  | Some q -> Alcotest.(check bool) "queue_wait_s >= 0" true (q >= 0.)
+  | None -> Alcotest.fail "no queue_wait_s");
+  (match Jsonx.get_num tel "service_s" with
+  | Some s -> Alcotest.(check bool) "service_s >= 0" true (s >= 0.)
+  | None -> Alcotest.fail "no service_s");
+  (* a generated rid when the client sends none *)
+  let r2 = Client.request ~socket Proto.Ping in
+  match Jsonx.get_str r2 "rid" with
+  | Some rid -> Alcotest.(check bool) "generated rid" true (rid <> "")
+  | None -> Alcotest.fail "ping response has no rid"
+
+let test_stats_v2 () =
+  with_server @@ fun socket ->
+  ignore
+    (Client.request ~socket
+       (Proto.Compile { label = "figure2"; source = None; opts }));
+  ignore
+    (Client.request ~socket
+       (Proto.Compile { label = "figure2"; source = None; opts }));
+  let r = Client.request ~socket Proto.Stats in
+  Alcotest.(check string) "status" "ok" (status r);
+  Alcotest.(check (option string))
+    "stats schema" (Some "dhpf-stats/2")
+    (Jsonx.get_str r "stats_schema");
+  (match Jsonx.get_num r "uptime_s" with
+  | Some u -> Alcotest.(check bool) "uptime >= 0" true (u >= 0.)
+  | None -> Alcotest.fail "no uptime_s");
+  let w =
+    match Jsonx.get r "window" with
+    | Some w -> w
+    | None -> Alcotest.fail "no window gauges"
+  in
+  (match
+     ( Jsonx.get_num w "service_p50_s",
+       Jsonx.get_num w "service_p95_s",
+       Jsonx.get_num w "service_p99_s" )
+   with
+  | Some p50, Some p95, Some p99 ->
+      Alcotest.(check bool)
+        "percentiles ordered" true
+        (0. <= p50 && p50 <= p95 && p95 <= p99)
+  | _ -> Alcotest.fail "missing service percentiles");
+  (match (Jsonx.get_num w "rps", Jsonx.get_int w "samples") with
+  | Some rps, Some n ->
+      Alcotest.(check bool) "rps positive" true (rps > 0.);
+      Alcotest.(check bool) "window samples >= 2" true (n >= 2)
+  | _ -> Alcotest.fail "missing rps/samples");
+  match Jsonx.get r "ratios" with
+  | Some rt -> (
+      match (Jsonx.get_num rt "memo_hit", Jsonx.get_num rt "disk_hit") with
+      | Some m, Some d ->
+          Alcotest.(check bool)
+            "ratios in [0,1]" true
+            (m >= 0. && m <= 1. && d >= 0. && d <= 1.)
+      | _ -> Alcotest.fail "missing hit ratios")
+  | None -> Alcotest.fail "no ratios"
+
+let test_dump_op () =
+  with_server ~recorder_slots:64 @@ fun socket ->
+  ignore
+    (Client.request ~rid:"dump-probe" ~socket
+       (Proto.Compile { label = "figure2"; source = None; opts }));
+  let r = Client.request ~socket Proto.Dump in
+  Alcotest.(check string) "status" "ok" (status r);
+  let flight =
+    match Jsonx.get r "flight" with
+    | Some f -> f
+    | None -> Alcotest.fail "dump has no flight bundle"
+  in
+  Alcotest.(check (option string))
+    "flight schema" (Some "dhpf-flight/1")
+    (Jsonx.get_str flight "schema");
+  let entries =
+    match Jsonx.get_list flight "entries" with
+    | Some es -> es
+    | None -> Alcotest.fail "flight bundle has no entries"
+  in
+  Alcotest.(check bool) "entries nonempty" true (entries <> []);
+  Alcotest.(check bool)
+    "request summary recorded" true
+    (List.exists
+       (fun e ->
+         Jsonx.get_str e "kind" = Some "request"
+         && Jsonx.get_str e "rid" = Some "dump-probe")
+       entries);
+  match Jsonx.get r "metrics" with
+  | Some (Jsonx.Obj _) -> ()
+  | _ -> Alcotest.fail "dump has no metrics snapshot"
+
+let test_dump_on_exception () =
+  let dir = fresh_dir () in
+  let socket = Filename.concat dir "s.sock" in
+  let flight = Filename.concat dir "flight.json" in
+  let srv =
+    Server.launch (mk_cfg ~recorder_slots:64 ~flight_dump:flight ~socket ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      rm_rf dir)
+    (fun () ->
+      Alcotest.(check bool)
+        "server ready" true
+        (Client.wait_ready ~socket ());
+      check_error ~code:"parse"
+        (Client.request ~rid:"boom" ~socket
+           (Proto.Compile
+              { label = "broken"; source = Some "not hpf at all ("; opts }));
+      Alcotest.(check bool)
+        "flight dump written on failure" true
+        (Sys.file_exists flight);
+      let v = Jsonx.of_string (read_file flight) in
+      Alcotest.(check (option string))
+        "dump schema" (Some "dhpf-flight/1")
+        (Jsonx.get_str v "schema");
+      match Jsonx.get_list v "entries" with
+      | Some entries ->
+          Alcotest.(check bool)
+            "error event in dump" true
+            (List.exists
+               (fun e ->
+                 Jsonx.get_str e "event" = Some "serve.error"
+                 && Jsonx.get_str e "rid" = Some "boom")
+               entries)
+      | None -> Alcotest.fail "dump has no entries")
+
+let test_log_lines () =
+  let dir = fresh_dir () in
+  let socket = Filename.concat dir "s.sock" in
+  let log = Filename.concat dir "serve.log.jsonl" in
+  let srv = Server.launch (mk_cfg ~log ~socket ()) in
+  Alcotest.(check bool) "server ready" true (Client.wait_ready ~socket ());
+  ignore
+    (Client.request ~rid:"log-probe" ~socket
+       (Proto.Compile { label = "figure2"; source = None; opts }));
+  Server.stop srv;
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let lines =
+        String.split_on_char '\n' (read_file log)
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      Alcotest.(check bool) "log nonempty" true (lines <> []);
+      let parsed = List.map Jsonx.of_string lines in
+      List.iter
+        (fun v ->
+          Alcotest.(check (option string))
+            "line schema" (Some "dhpf-log/1") (Jsonx.get_str v "schema");
+          Alcotest.(check bool) "line has ts" true (Jsonx.get_num v "ts" <> None);
+          Alcotest.(check bool)
+            "line has level" true
+            (Jsonx.get_str v "level" <> None);
+          Alcotest.(check bool)
+            "line has event" true
+            (Jsonx.get_str v "event" <> None))
+        parsed;
+      let has event =
+        List.exists (fun v -> Jsonx.get_str v "event" = Some event) parsed
+      in
+      Alcotest.(check bool) "serve.start logged" true (has "serve.start");
+      Alcotest.(check bool) "serve.complete logged" true (has "serve.complete");
+      Alcotest.(check bool) "serve.shutdown logged" true (has "serve.shutdown");
+      Alcotest.(check bool)
+        "rid threaded into log" true
+        (List.exists
+           (fun v -> Jsonx.get_str v "rid" = Some "log-probe")
+           parsed))
+
+(* the acceptance invariant: telemetry must be inert — the same compile
+   answers byte-identically with every sink lit up *)
+let test_telemetry_inert () =
+  let plain =
+    with_server @@ fun socket -> compile_via socket "jacobi"
+  in
+  let dir = fresh_dir () in
+  let socket = Filename.concat dir "s.sock" in
+  let srv =
+    Server.launch
+      (mk_cfg
+         ~log:(Filename.concat dir "log.jsonl")
+         ~prom:(Filename.concat dir "prom.txt")
+         ~flight_dump:(Filename.concat dir "flight.json")
+         ~recorder_slots:256 ~socket ())
+  in
+  let lit =
+    Fun.protect
+      ~finally:(fun () ->
+        Server.stop srv;
+        rm_rf dir)
+      (fun () ->
+        Alcotest.(check bool)
+          "server ready" true
+          (Client.wait_ready ~socket ());
+        compile_via socket "jacobi")
+  in
+  Alcotest.(check string) "spmd identical with telemetry on" plain lit
+
+let test_flight_wraparound () =
+  Obs.Recorder.start ~capacity:16 ();
+  Fun.protect
+    ~finally:(fun () -> Obs.Recorder.stop ())
+    (fun () ->
+      for i = 0 to 39 do
+        Obs.Recorder.record
+          ~fields:[ ("i", Obs.Int i) ]
+          (Printf.sprintf "e-%d" i)
+      done;
+      Alcotest.(check int) "capacity" 16 (Obs.Recorder.capacity ());
+      Alcotest.(check int) "recorded" 40 (Obs.Recorder.recorded ());
+      let es = Obs.Recorder.entries () in
+      Alcotest.(check int) "ring keeps capacity entries" 16 (List.length es);
+      Alcotest.(check string)
+        "oldest surviving entry" "e-24"
+        (List.hd es).Obs.Recorder.fr_event;
+      Alcotest.(check string)
+        "newest entry" "e-39"
+        (List.nth es 15).Obs.Recorder.fr_event;
+      let v = Jsonx.of_string (Obs.Recorder.to_json ()) in
+      Alcotest.(check (option int)) "dropped" (Some 24) (Jsonx.get_int v "dropped");
+      match Jsonx.get_list v "entries" with
+      | Some entries -> Alcotest.(check int) "json entries" 16 (List.length entries)
+      | None -> Alcotest.fail "bundle has no entries")
+
 let () =
   Alcotest.run "serve"
     [
@@ -422,6 +678,19 @@ let () =
           Alcotest.test_case "overloaded" `Quick test_overloaded;
           Alcotest.test_case "shutdown op" `Quick test_shutdown_op;
           Alcotest.test_case "socket conflict" `Quick test_socket_conflict;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "telemetry section + rid" `Quick
+            test_telemetry_section;
+          Alcotest.test_case "stats v2 gauges" `Quick test_stats_v2;
+          Alcotest.test_case "dump op" `Quick test_dump_op;
+          Alcotest.test_case "dump on exception" `Quick
+            test_dump_on_exception;
+          Alcotest.test_case "log lines parse" `Quick test_log_lines;
+          Alcotest.test_case "telemetry inert" `Quick test_telemetry_inert;
+          Alcotest.test_case "flight ring wraparound" `Quick
+            test_flight_wraparound;
         ] );
       ( "warm",
         [
